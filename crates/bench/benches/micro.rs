@@ -1,0 +1,90 @@
+//! Microbenchmarks of the hot paths every experiment leans on: SECDED
+//! encode/decode, TASP snooping, L-Ob transforms, and a raw simulator
+//! cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use htnoc_core::prelude::*;
+use noc_ecc::{flip_bit, flip_bits, Secded};
+use noc_mitigation::LobPlan;
+
+fn bench_secded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secded");
+    let data = 0x0123_4567_89AB_CDEFu64;
+    let cw = Secded::encode(data);
+    g.bench_function("encode", |b| b.iter(|| Secded::encode(black_box(data))));
+    g.bench_function("decode_clean", |b| b.iter(|| Secded::decode(black_box(cw))));
+    let one = flip_bit(cw, 17);
+    g.bench_function("decode_corrected", |b| b.iter(|| Secded::decode(black_box(one))));
+    let two = flip_bits(cw, (1 << 3) | (1 << 40));
+    g.bench_function("decode_uncorrectable", |b| {
+        b.iter(|| Secded::decode(black_box(two)))
+    });
+    g.finish();
+}
+
+fn bench_tasp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tasp");
+    let mut ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(9)));
+    ht.set_kill_switch(true);
+    let hit = Header {
+        src: NodeId(0),
+        dest: NodeId(9),
+        vc: VcId(0),
+        mem_addr: 0,
+        thread: 0,
+        len: 1,
+    }
+    .pack();
+    let miss = Header {
+        src: NodeId(0),
+        dest: NodeId(5),
+        vc: VcId(0),
+        mem_addr: 0,
+        thread: 0,
+        len: 1,
+    }
+    .pack();
+    let mut cycle = 0u64;
+    g.bench_function("snoop_miss", |b| {
+        b.iter(|| {
+            cycle += 1;
+            ht.snoop(cycle, black_box(miss), true)
+        })
+    });
+    g.bench_function("snoop_hit", |b| {
+        b.iter(|| {
+            cycle += 1;
+            ht.snoop(cycle, black_box(hit), true)
+        })
+    });
+    g.finish();
+}
+
+fn bench_lob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lob");
+    let word = 0xFEED_FACE_CAFE_F00Du64;
+    for (i, plan) in LobPlan::LADDER.iter().enumerate() {
+        g.bench_function(format!("apply_undo_rung{i}"), |b| {
+            b.iter(|| {
+                let obf = plan.apply(black_box(word), 0x1234);
+                plan.undo(obf, 0x1234)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("step_loaded_64core", |b| {
+        let mut sim = Simulator::new(SimConfig::paper());
+        let mut traffic = AppModel::new(AppSpec::blackscholes(), Mesh::paper(), 7);
+        sim.run(500, &mut traffic); // warm the network
+        b.iter(|| sim.step(&mut traffic));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_secded, bench_tasp, bench_lob, bench_sim_cycle);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: which L-Ob method defeats which TASP comparator, and at what
+//! undo penalty. A method "defeats" a target when the obfuscated wire word
+//! no longer matches the trojan's comparator.
+//!
+//! Run: `cargo run --release -p noc-bench --bin ablation_lob_methods`
+
+use noc_bench::table::print_table;
+use noc_mitigation::LobPlan;
+use noc_types::{Header, NodeId, VcId};
+use noc_trojan::{TargetKind, TargetSpec};
+
+fn spec_for(kind: TargetKind, h: &Header) -> TargetSpec {
+    use noc_trojan::FieldMatch::Exact;
+    match kind {
+        TargetKind::Full => TargetSpec {
+            src: Some(Exact(h.src.0)),
+            dest: Some(Exact(h.dest.0)),
+            vc: Some(Exact(h.vc.0)),
+            mem: Some(Exact(h.mem_addr)),
+        },
+        TargetKind::Dest => TargetSpec::dest(h.dest.0),
+        TargetKind::Src => TargetSpec::src(h.src.0),
+        TargetKind::DestSrc => TargetSpec::flow(h.src.0, h.dest.0),
+        TargetKind::Mem => TargetSpec {
+            mem: Some(Exact(h.mem_addr)),
+            ..TargetSpec::default()
+        },
+        TargetKind::Vc => TargetSpec {
+            vc: Some(Exact(h.vc.0)),
+            ..TargetSpec::default()
+        },
+    }
+}
+
+fn main() {
+    println!("=== Ablation — L-Ob ladder methods vs TASP comparators ===\n");
+    // A representative header population; a method must hide every one.
+    let headers: Vec<Header> = (0..64u32)
+        .map(|i| Header {
+            src: NodeId((i % 16) as u8),
+            dest: NodeId(((i * 7) % 16) as u8),
+            vc: VcId((i % 4) as u8),
+            mem_addr: 0x1000_0000 | (i * 0x91),
+            thread: (i % 4) as u8,
+            len: 4,
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (rung, plan) in LobPlan::LADDER.iter().enumerate() {
+        let mut cols = vec![
+            format!("{rung}: {:?}/{:?}", plan.method, plan.granularity),
+            plan.method.undo_penalty().to_string(),
+        ];
+        for kind in TargetKind::ALL {
+            let defeated = headers.iter().all(|h| {
+                let spec = spec_for(kind, h);
+                let wire = plan.apply(h.pack(), 0xA5A5_5A5A_DEAD_BEEF);
+                !spec.matches_wire(wire)
+            });
+            cols.push(if defeated { "yes" } else { "NO" }.to_string());
+        }
+        rows.push(cols);
+    }
+    let headers_row = [
+        "ladder rung",
+        "penalty",
+        "Full",
+        "Dest",
+        "Src",
+        "Dest_Src",
+        "Mem",
+        "VC",
+    ];
+    print_table(&headers_row, &rows);
+    println!(
+        "\n`NO` marks residual exposure (e.g. a rotation that happens to map a\n\
+         field onto an identical value); the ladder escalates until a method\n\
+         crosses cleanly, and the success is logged per link."
+    );
+}

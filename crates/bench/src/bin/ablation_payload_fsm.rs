@@ -1,0 +1,42 @@
+//! Ablation: payload-counter width `Y` — camouflage (distinct fault
+//! locations before the pattern repeats) versus the trojan's own area and
+//! leakage (its side-channel exposure while idle).
+//!
+//! Run: `cargo run --release -p noc-bench --bin ablation_payload_fsm`
+
+use noc_bench::table::{f, print_table};
+use noc_power::{CellLibrary, TaspPower};
+use noc_trojan::PayloadFsm;
+use std::collections::HashSet;
+
+fn main() {
+    println!("=== Ablation — TASP payload FSM width (camouflage vs exposure) ===\n");
+    let mut rows = Vec::new();
+    for y in 1..=8u8 {
+        let mut fsm = PayloadFsm::new(y, 72);
+        let states = fsm.num_states();
+        let mut pairs = HashSet::new();
+        for _ in 0..states {
+            pairs.insert(fsm.inject());
+        }
+        let fixed = TaspPower::new(CellLibrary::tsmc40())
+            .with_y_bits(y as u32)
+            .fixed_block();
+        rows.push(vec![
+            y.to_string(),
+            states.to_string(),
+            pairs.len().to_string(),
+            f(fixed.area_um2, 1),
+            f(fixed.leakage_nw, 1),
+        ]);
+    }
+    print_table(
+        &["Y bits", "states", "distinct wire pairs", "area µm²", "idle leak nW"],
+        &rows,
+    );
+    println!(
+        "\nLarger Y spreads faults over more wire pairs (harder to classify as\n\
+         a permanent fault) but costs area and idle leakage — the only\n\
+         side-channel visible while the trojan is dormant."
+    );
+}

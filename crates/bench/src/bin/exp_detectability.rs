@@ -1,0 +1,76 @@
+//! Extension experiment — §III-A's detectability analysis, quantified:
+//! how hard is each TASP variant to catch with logic testing (trigger
+//! probability) and side-channel analysis (idle-leakage SNR), and how the
+//! kill switch + comparator width close the logic-testing avenue that
+//! caught prior work's 1–3-gate link trojans.
+//!
+//! Run: `cargo run --release -p noc-bench --bin exp_detectability`
+
+use noc_bench::table::{f, print_table};
+use noc_power::{CellLibrary, RouterPower, SideChannelModel, TaspPower};
+use noc_trojan::detection::{expected_triggers, trigger_probability, vectors_for_confidence};
+use noc_trojan::TargetKind;
+
+fn main() {
+    println!("=== Extension — TASP post-fabrication detectability ===\n");
+    let router_leak = RouterPower::paper().total().leakage_nw;
+    let sc = SideChannelModel::default();
+    let tight = SideChannelModel {
+        leakage_sigma_frac: 0.01,
+        measurements: 1_000_000,
+        threshold_sigma: 3.0,
+    };
+    let mut rows = Vec::new();
+    for kind in TargetKind::ALL {
+        let p = trigger_probability(kind);
+        let vectors = vectors_for_confidence(kind, 0.95)
+            .map(|v| {
+                if v > 1_000_000_000 {
+                    format!("{:.1e}", v as f64)
+                } else {
+                    v.to_string()
+                }
+            })
+            .unwrap_or_else(|| "> 2^60".into());
+        let tasp = TaspPower::new(CellLibrary::tsmc40()).variant(kind);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.2e}", p),
+            vectors,
+            format!(
+                "{:.0}",
+                expected_triggers(kind, 1_000_000_000, false)
+            ),
+            f(sc.snr(tasp.leakage_nw, router_leak), 2),
+            f(tight.snr(tasp.leakage_nw, router_leak), 1),
+        ]);
+    }
+    print_table(
+        &[
+            "target",
+            "P(trigger/vector)",
+            "vectors for 95%",
+            "triggers @1e9 vec, killsw down",
+            "SNR (5% σ, 100 avg)",
+            "SNR (1% σ, 1e6 avg)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe kill switch zeroes logic-testing exposure outright; the wide\n\
+         comparators would defeat it anyway (vs ~200 vectors for the 1–3-gate\n\
+         trojans of prior work). Dormant, the trojan's only footprint is its\n\
+         ~15–30 nW leakage — invisible at production-test measurement quality\n\
+         (SNR ≪ 3), only approachable with laboratory-grade calibration."
+    );
+    println!("\nAttacker's stealth budget: max payload-counter width Y below 3σ:");
+    let mut rows = Vec::new();
+    for (label, m) in [("production test", sc), ("laboratory", tight)] {
+        let y = m
+            .max_stealthy_y(TargetKind::Dest)
+            .map(|y| y.to_string())
+            .unwrap_or_else(|| "0 (always visible)".into());
+        rows.push(vec![label.to_string(), y]);
+    }
+    print_table(&["measurement quality", "max stealthy Y (Dest)"], &rows);
+}

@@ -1,0 +1,51 @@
+//! Extension experiment — §III-A's routing claim under flood DoS:
+//! background latency for XY vs odd-even adaptive routing, with and
+//! without a software flood at one victim router.
+//!
+//! Run: `cargo run --release -p noc-bench --bin exp_flood_routing`
+
+use noc_bench::flood::compute;
+use noc_bench::table::{f, print_table};
+
+fn main() {
+    println!("=== Extension — XY vs odd-even adaptive routing under flood DoS ===\n");
+    let rates = [0.01, 0.02, 0.03];
+    let cells = compute(&rates, 1200, 7);
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        for (adaptive, name) in [(false, "XY"), (true, "odd-even")] {
+            let clean = cells
+                .iter()
+                .find(|c| c.adaptive == adaptive && !c.flooded && c.rate == rate)
+                .unwrap();
+            let flooded = cells
+                .iter()
+                .find(|c| c.adaptive == adaptive && c.flooded && c.rate == rate)
+                .unwrap();
+            rows.push(vec![
+                format!("{rate}"),
+                name.to_string(),
+                f(clean.bg_latency, 1),
+                f(flooded.bg_latency, 1),
+                f(flooded.bg_latency / clean.bg_latency, 2),
+                format!("{}/{}", flooded.bg_delivered, flooded.bg_injected),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "bg rate",
+            "routing",
+            "clean lat",
+            "flooded lat",
+            "slowdown",
+            "bg delivered",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe paper's §III-A observation: below saturation, XY confines the\n\
+         flood's saturation tree to the victim's row/column while minimal\n\
+         adaptive routing spreads it — so XY's background slowdown is smaller."
+    );
+}

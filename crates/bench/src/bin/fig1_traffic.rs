@@ -1,0 +1,66 @@
+//! Regenerate **Fig. 1**: traffic distributions of the Blackscholes model
+//! on the 64-core NoC — (a) src×dest matrix, (b) per-source totals,
+//! (c) per-link traffic shares.
+//!
+//! Run: `cargo run --release -p noc-bench --bin fig1_traffic [app] [cycles]`
+
+use htnoc_core::prelude::*;
+use noc_bench::fig1;
+use noc_bench::table::{pct, print_table};
+
+fn app_by_name(name: &str) -> AppSpec {
+    AppSpec::all()
+        .into_iter()
+        .find(|a| a.name == name)
+        .unwrap_or_else(AppSpec::blackscholes)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app = app_by_name(&args.next().unwrap_or_else(|| "blackscholes".into()));
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let data = fig1::compute(app, cycles, 7);
+    let mesh = Mesh::paper();
+
+    println!("=== Fig. 1 — {} traffic distributions ({} sampled cycles) ===\n", data.app, cycles);
+
+    println!("(a) source × destination request packets:");
+    let headers: Vec<String> = std::iter::once("src\\dst".to_string())
+        .chain((0..16).map(|d| format!("{d}")))
+        .collect();
+    let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..16)
+        .map(|s| {
+            std::iter::once(format!("{s}"))
+                .chain((0..16).map(|d| data.matrix.counts[s][d].to_string()))
+                .collect()
+        })
+        .collect();
+    print_table(&hrefs, &rows);
+
+    println!("\n(b) per-source totals by mesh position (hot spots):");
+    for y in (0..4).rev() {
+        let row: Vec<String> = (0..4)
+            .map(|x| {
+                let n = mesh.node_at(noc_types::Coord::new(x, y));
+                format!("{:6}", data.source_totals[n.index()])
+            })
+            .collect();
+        println!("  y={y}  {}", row.join(" "));
+    }
+
+    println!("\n(c) per-link traffic share under XY routing (top 12):");
+    let hot = data.matrix.hottest_links_xy(&mesh, 12);
+    let rows: Vec<Vec<String>> = hot
+        .iter()
+        .map(|(l, share)| {
+            let (src, dir) = mesh.link_source(*l);
+            vec![
+                format!("link {}", l.0),
+                format!("{:?} {:?}", src, dir),
+                pct(*share),
+            ]
+        })
+        .collect();
+    print_table(&["link", "from / dir", "share"], &rows);
+}

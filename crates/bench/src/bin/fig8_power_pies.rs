@@ -1,0 +1,38 @@
+//! Regenerate **Fig. 8**: router dynamic/leakage power pies, NoC area pie,
+//! and the worst-case "TASP on all 48 links" NoC dynamic-power pie.
+//!
+//! Run: `cargo run --release -p noc-bench --bin fig8_power_pies`
+
+use noc_bench::power_tables::{fig8_noc_pies, fig8_router_pies};
+use noc_bench::table::{pct, print_table};
+
+fn main() {
+    println!("=== Fig. 8 — power and area breakdowns ===\n");
+
+    println!("Router power shares (paper: buffer 71/88, crossbar 18/9, SA 4/3, clock 6/~0, TASP 1/~0):");
+    let rows: Vec<Vec<String>> = fig8_router_pies()
+        .into_iter()
+        .map(|(name, d, l)| vec![name.to_string(), pct(d), pct(l)])
+        .collect();
+    print_table(&["component", "dynamic", "leakage"], &rows);
+
+    let ((tasp_area, wire_area, active_area), (routers_dyn, tasp_dyn)) = fig8_noc_pies();
+    println!("\nNoC area (paper: wires 86%, active 13%, TASP-on-all-links ~1%):");
+    print_table(
+        &["slice", "share"],
+        &[
+            vec!["TASP on all 48 links".into(), pct(tasp_area)],
+            vec!["global wire area".into(), pct(wire_area)],
+            vec!["active (router) area".into(), pct(active_area)],
+        ],
+    );
+
+    println!("\nNoC dynamic power (paper: routers 99.44%, TASP on all 48 links 0.56%):");
+    print_table(
+        &["slice", "share"],
+        &[
+            vec!["routers".into(), pct(routers_dyn)],
+            vec!["TASP on all 48 links".into(), pct(tasp_dyn)],
+        ],
+    );
+}

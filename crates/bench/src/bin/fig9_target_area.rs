@@ -1,0 +1,27 @@
+//! Regenerate **Fig. 9**: TASP area by target-comparator variant.
+//!
+//! Run: `cargo run --release -p noc-bench --bin fig9_target_area`
+
+use noc_bench::power_tables::{fig9_areas, table1_paper};
+use noc_bench::table::{f, print_table};
+
+fn main() {
+    println!("=== Fig. 9 — TASP target selection vs area overhead ===\n");
+    let rows: Vec<Vec<String>> = fig9_areas()
+        .into_iter()
+        .map(|(kind, area)| {
+            let (paper_area, _, _, _) = table1_paper(kind);
+            vec![
+                kind.name().to_string(),
+                format!("{}", kind.comparator_bits()),
+                f(area, 2),
+                f(paper_area, 2),
+                f((area / paper_area - 1.0) * 100.0, 1) + "%",
+            ]
+        })
+        .collect();
+    print_table(
+        &["target", "cmp bits", "model µm²", "paper µm²", "delta"],
+        &rows,
+    );
+}

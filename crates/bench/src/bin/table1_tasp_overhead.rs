@@ -1,0 +1,41 @@
+//! Regenerate **Table I**: power, area, and timing for each TASP variant,
+//! side-by-side with the paper's synthesis numbers.
+//!
+//! Run: `cargo run --release -p noc-bench --bin table1_tasp_overhead`
+
+use noc_bench::power_tables::{table1_model, table1_paper};
+use noc_bench::table::{f, print_table};
+
+fn main() {
+    println!("=== Table I — TASP variants: model vs paper ===\n");
+    let mut rows = Vec::new();
+    for (kind, p) in table1_model() {
+        let (pa, pd, pl, pt) = table1_paper(kind);
+        rows.push(vec![
+            kind.name().to_string(),
+            f(p.area_um2, 2),
+            f(pa, 2),
+            f(p.dynamic_uw, 3),
+            f(pd, 3),
+            f(p.leakage_nw, 2),
+            f(pl, 2),
+            f(p.timing_ns, 2),
+            f(pt, 2),
+        ]);
+    }
+    print_table(
+        &[
+            "target",
+            "area µm²",
+            "(paper)",
+            "dyn µW",
+            "(paper)",
+            "leak nW",
+            "(paper)",
+            "ns",
+            "(paper)",
+        ],
+        &rows,
+    );
+    println!("\nEvery variant fits the 0.5 ns LT window at 2 GHz.");
+}

@@ -1,0 +1,55 @@
+//! Regenerate **Table II**: area/power/timing overhead of the proposed
+//! mitigation (threat detector + L-Ob) relative to the baseline router.
+//!
+//! Run: `cargo run --release -p noc-bench --bin table2_mitigation_overhead`
+
+use noc_bench::power_tables::table2_model;
+use noc_bench::table::{f, pct, print_table};
+
+fn main() {
+    println!("=== Table II — mitigation overhead (paper: ~2% area, ~6% power) ===\n");
+    let (mit, router, (area_ovh, power_ovh)) = table2_model();
+    let rows = vec![
+        vec![
+            "threat detector".to_string(),
+            f(mit.detector.area_um2, 1),
+            f(mit.detector.dynamic_uw, 1),
+            f(mit.detector.leakage_nw, 1),
+            f(mit.detector.timing_ns, 2),
+        ],
+        vec![
+            "L-Ob block".to_string(),
+            f(mit.lob.area_um2, 1),
+            f(mit.lob.dynamic_uw, 1),
+            f(mit.lob.leakage_nw, 1),
+            f(mit.lob.timing_ns, 2),
+        ],
+        vec![
+            "induced datapath activity".to_string(),
+            "-".to_string(),
+            f(mit.induced.dynamic_uw, 1),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "total".to_string(),
+            f(mit.total().area_um2, 1),
+            f(mit.total().dynamic_uw, 1),
+            f(mit.total().leakage_nw, 1),
+            f(mit.total().timing_ns, 2),
+        ],
+        vec![
+            "baseline router".to_string(),
+            f(router.total().area_um2, 0),
+            f(router.total().dynamic_uw, 0),
+            f(router.total().leakage_nw, 0),
+            f(router.total().timing_ns, 2),
+        ],
+    ];
+    print_table(&["block", "area µm²", "dyn µW", "leak nW", "ns"], &rows);
+    println!(
+        "\noverheads: area {} (paper ~2%), power {} (paper ~6%); both blocks fit the 2 GHz clock",
+        pct(area_ovh),
+        pct(power_ovh)
+    );
+}

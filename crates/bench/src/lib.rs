@@ -1,0 +1,16 @@
+//! The figure/table regeneration harness.
+//!
+//! Every table and figure of the paper's evaluation has a compute function
+//! here returning structured data, a `src/bin/*.rs` binary that prints the
+//! same rows/series the paper reports, and a criterion bench exercising the
+//! underlying code path. EXPERIMENTS.md records paper-vs-measured for each.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod flood;
+pub mod migration;
+pub mod power_tables;
+pub mod table;

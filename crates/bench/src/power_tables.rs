@@ -1,0 +1,107 @@
+//! Tables I & II and Figs. 8 & 9 — the synthesis-cost results, from the
+//! calibrated gate-level model in `noc-power`.
+
+use htnoc_core::prelude::*;
+use noc_power::Power;
+
+/// Paper Table I reference values: (area µm², dynamic µW, leakage nW,
+/// timing ns) per target variant — used by the binaries to print
+/// paper-vs-model columns and by EXPERIMENTS.md.
+pub fn table1_paper(kind: TargetKind) -> (f64, f64, f64, f64) {
+    match kind {
+        TargetKind::Full => (50.45, 25.5304, 30.2694, 0.21),
+        TargetKind::Dest => (33.516, 9.9263, 16.2355, 0.21),
+        TargetKind::Src => (33.516, 9.9263, 16.2355, 0.21),
+        TargetKind::DestSrc => (37.044, 10.9416, 16.2498, 0.21),
+        TargetKind::Mem => (44.4528, 10.1997, 17.0468, 0.21),
+        TargetKind::Vc => (31.9284, 10.5953, 15.0765, 0.21),
+    }
+}
+
+/// Model rows for Table I.
+pub fn table1_model() -> Vec<(TargetKind, Power)> {
+    TaspPower::new(noc_power::CellLibrary::tsmc40()).table1()
+}
+
+/// Table II: mitigation overhead (area fraction, power fraction).
+pub fn table2_model() -> (MitigationPower, RouterPower, (f64, f64)) {
+    let router = RouterPower::paper();
+    let mit = MitigationPower::paper();
+    let overhead = mit.overhead(&router);
+    (mit, router, overhead)
+}
+
+/// Fig. 8 left pies: router component shares (name, dynamic, leakage),
+/// with the single-TASP slice appended the way the paper draws it.
+pub fn fig8_router_pies() -> Vec<(&'static str, f64, f64)> {
+    let router = RouterPower::paper();
+    let tasp = TaspPower::new(noc_power::CellLibrary::tsmc40()).variant(TargetKind::Full);
+    let total = router.total();
+    let dyn_total = total.dynamic_uw + tasp.dynamic_uw;
+    let leak_total = total.leakage_nw + tasp.leakage_nw;
+    let mut rows: Vec<(&'static str, f64, f64)> = router
+        .shares()
+        .into_iter()
+        .map(|(name, d, l)| {
+            (
+                name,
+                d * total.dynamic_uw / dyn_total,
+                l * total.leakage_nw / leak_total,
+            )
+        })
+        .collect();
+    rows.push((
+        "Single TASP HT",
+        tasp.dynamic_uw / dyn_total,
+        tasp.leakage_nw / leak_total,
+    ));
+    rows
+}
+
+/// Fig. 8 right pies: NoC area (tasp-on-all-links, wires, active) and NoC
+/// dynamic power (routers, tasp-on-all-48-links).
+pub fn fig8_noc_pies() -> ((f64, f64, f64), (f64, f64)) {
+    let noc = NocPower::paper();
+    (noc.area_shares(), noc.dynamic_shares())
+}
+
+/// Fig. 9: TASP area per target variant (µm²).
+pub fn fig9_areas() -> Vec<(TargetKind, f64)> {
+    table1_model()
+        .into_iter()
+        .map(|(k, p)| (k, p.area_um2))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_pie_slices_sum_to_one() {
+        let rows = fig8_router_pies();
+        let d: f64 = rows.iter().map(|r| r.1).sum();
+        let l: f64 = rows.iter().map(|r| r.2).sum();
+        assert!((d - 1.0).abs() < 1e-9);
+        assert!((l - 1.0).abs() < 1e-9);
+        // TASP slice ≲ 1 % as in the paper.
+        let tasp = rows.last().unwrap();
+        assert!(tasp.1 < 0.01 && tasp.2 < 0.01);
+    }
+
+    #[test]
+    fn fig9_order_matches_comparator_widths_with_activity_fixups() {
+        let areas = fig9_areas();
+        let get = |k: TargetKind| areas.iter().find(|(a, _)| *a == k).unwrap().1;
+        assert!(get(TargetKind::Full) > get(TargetKind::Mem));
+        assert!(get(TargetKind::Mem) > get(TargetKind::DestSrc));
+        assert!(get(TargetKind::Vc) < get(TargetKind::Dest));
+    }
+
+    #[test]
+    fn table2_overheads() {
+        let (_, _, (area, power)) = table2_model();
+        assert!((area - 0.02).abs() < 0.005);
+        assert!((power - 0.06).abs() < 0.01);
+    }
+}

@@ -1,0 +1,140 @@
+//! Attacker-side link selection (§III-A of the paper).
+//!
+//! The attacker wants maximum disruption from as few trojans as possible.
+//! Traffic localises around the application's primary router, so the best
+//! links are the hot ones — but not the links *immediately* attached to
+//! the primary, which would be the first suspects: "an attacker aiming to
+//! disrupt an application operating from a specific core may not choose a
+//! link immediately connected to the primary operating cores. Choosing a
+//! few links in x-dimension or y-dimension a few hops away … should be
+//! sufficient."
+
+use noc_sim::routing::RouteTables;
+use noc_types::{LinkId, Mesh, NodeId};
+
+/// Pick the links to infect: the hottest `fraction` of all links (by the
+/// given per-link traffic shares), preferring links not directly attached
+/// to `primary`. `fraction` of 0.05/0.10/0.15 reproduces the paper's
+/// Fig. 10 x-axis; 0 returns no links.
+///
+/// The accumulated set always remains *reroutable* (up*/down* routes
+/// avoiding it exist): a set whose disabling strands part of the chip
+/// would crash the system outright — instantly conspicuous, and outside
+/// the graceful-degradation comparison the paper's Fig. 10 makes (its
+/// rerouting bars exist at every infection fraction).
+pub fn select_infected(
+    mesh: &Mesh,
+    shares: &[f64],
+    fraction: f64,
+    primary: Option<NodeId>,
+) -> Vec<LinkId> {
+    assert_eq!(shares.len(), mesh.links());
+    let count = ((mesh.links() as f64 * fraction).round() as usize).min(mesh.links());
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|a, b| shares[*b].partial_cmp(&shares[*a]).expect("no NaN"));
+    let touches_primary = |l: usize| {
+        primary.is_some_and(|p| {
+            let link = LinkId(l as u16);
+            let (src, _) = mesh.link_source(link);
+            mesh.link_dest(link) == p || src == p
+        })
+    };
+    let mut picked: Vec<LinkId> = Vec::with_capacity(count);
+    let try_add = |picked: &mut Vec<LinkId>, id: LinkId| {
+        let mut candidate = picked.clone();
+        candidate.push(id);
+        if RouteTables::build_updown(mesh, &candidate).is_some() {
+            picked.push(id);
+        }
+    };
+    // First pass: hot links that keep their distance from the primary;
+    // second pass tops up from the remainder if the mesh is too small.
+    for l in order.iter().copied().filter(|l| !touches_primary(*l)) {
+        if picked.len() == count {
+            break;
+        }
+        try_add(&mut picked, LinkId(l as u16));
+    }
+    if picked.len() < count {
+        for l in order {
+            let id = LinkId(l as u16);
+            if picked.len() == count {
+                break;
+            }
+            if !picked.contains(&id) {
+                try_add(&mut picked, id);
+            }
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_traffic::{AppModel, AppSpec, TrafficMatrix};
+
+    fn shares() -> (Mesh, Vec<f64>) {
+        let mesh = Mesh::paper();
+        let mut model = AppModel::new(AppSpec::blackscholes(), mesh.clone(), 3);
+        let m = TrafficMatrix::sample(&mut model, 2000);
+        let s = m.link_shares_xy(&mesh);
+        (mesh, s)
+    }
+
+    #[test]
+    fn fraction_controls_count() {
+        let (mesh, s) = shares();
+        assert!(select_infected(&mesh, &s, 0.0, None).is_empty());
+        assert_eq!(select_infected(&mesh, &s, 0.05, None).len(), 2);
+        assert_eq!(select_infected(&mesh, &s, 0.10, None).len(), 5);
+        assert_eq!(select_infected(&mesh, &s, 0.15, None).len(), 7);
+    }
+
+    #[test]
+    fn picks_are_hot_links() {
+        let (mesh, s) = shares();
+        let picked = select_infected(&mesh, &s, 0.10, None);
+        let min_picked = picked
+            .iter()
+            .map(|l| s[l.index()])
+            .fold(f64::INFINITY, f64::min);
+        let median = {
+            let mut v = s.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            v[v.len() / 2]
+        };
+        assert!(min_picked >= median, "picked links must be hot");
+    }
+
+    #[test]
+    fn avoids_links_touching_the_primary() {
+        let (mesh, s) = shares();
+        let primary = AppSpec::blackscholes().primary;
+        let picked = select_infected(&mesh, &s, 0.10, Some(primary));
+        for l in picked {
+            let (src, _) = mesh.link_source(l);
+            assert_ne!(src, primary);
+            assert_ne!(mesh.link_dest(l), primary);
+        }
+    }
+
+    #[test]
+    fn deduplicates_and_stays_reroutable() {
+        let (mesh, s) = shares();
+        // At fraction 1.0 the filter caps the set at the largest hot subset
+        // that still leaves the mesh reroutable.
+        let picked = select_infected(&mesh, &s, 1.0, None);
+        assert!(picked.len() >= 10, "got {}", picked.len());
+        assert!(picked.len() < 48, "disabling every link cannot be routable");
+        let mut dedup = picked.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), picked.len());
+        use noc_sim::routing::RouteTables;
+        assert!(RouteTables::build_updown(&mesh, &picked).is_some());
+    }
+}

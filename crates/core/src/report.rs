@@ -1,0 +1,202 @@
+//! Machine-readable result export: a small, dependency-free JSON writer
+//! for run results and time series, so external plotting/analysis tooling
+//! can consume experiment outputs without parsing the human tables.
+//! (serde is available for Rust-to-Rust round-trips; this module covers
+//! the interchange case without pulling a JSON crate into the tree.)
+
+use crate::experiment::RunResult;
+use std::fmt::Write;
+
+/// Minimal JSON value builder. Only what the reports need: objects,
+/// arrays, strings, numbers, booleans.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Json>),
+    /// JSON object (ordered fields).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A number from anything convertible to f64.
+    pub fn num<N: Into<f64>>(n: N) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// `u64` loses no precision below 2^53, which covers every counter we
+    /// export; larger values are clamped (and none occur in practice).
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n.min(1 << 53) as f64)
+    }
+
+    /// Serialise to a compact JSON string.
+    pub fn to_string(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < (1i64 << 53) as f64 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Export one run's aggregates and time series as JSON.
+pub fn run_result_json(label: &str, r: &RunResult) -> String {
+    let snapshots = Json::Arr(
+        r.stats
+            .snapshots
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("cycle", Json::u64(s.cycle)),
+                    ("input_util", Json::u64(s.input_util as u64)),
+                    ("output_util", Json::u64(s.output_util as u64)),
+                    ("injection_util", Json::u64(s.injection_util as u64)),
+                    ("all_cores_full", Json::u64(s.routers_all_cores_full as u64)),
+                    (
+                        "half_cores_full",
+                        Json::u64(s.routers_half_cores_full as u64),
+                    ),
+                    ("blocked", Json::u64(s.routers_blocked_port as u64)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("label", Json::Str(label.to_string())),
+        ("cycles", Json::u64(r.cycles)),
+        ("drained", Json::Bool(r.drained)),
+        ("injected_packets", Json::u64(r.stats.injected_packets)),
+        ("delivered_packets", Json::u64(r.stats.delivered_packets)),
+        ("avg_latency", Json::num(r.stats.avg_latency())),
+        ("p99_latency", Json::u64(r.stats.latency_percentile(0.99))),
+        ("retransmissions", Json::u64(r.stats.retransmissions)),
+        (
+            "uncorrectable_faults",
+            Json::u64(r.stats.uncorrectable_faults),
+        ),
+        ("bist_scans", Json::u64(r.stats.bist_scans)),
+        ("snapshots", snapshots),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::SimStats;
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        let j = Json::obj(vec![
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("n", Json::num(1.5)),
+            ("i", Json::u64(42)),
+            ("b", Json::Bool(true)),
+            ("z", Json::Null),
+            ("a", Json::Arr(vec![Json::u64(1), Json::u64(2)])),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"s":"a\"b\\c\nd","n":1.5,"i":42,"b":true,"z":null,"a":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::num(3.0).to_string(), "3");
+        assert_eq!(Json::num(3.25).to_string(), "3.25");
+    }
+
+    #[test]
+    fn run_result_exports_valid_json_shape() {
+        let r = RunResult {
+            stats: SimStats::default(),
+            cycles: 100,
+            completion: None,
+            drained: true,
+            events: Vec::new(),
+        };
+        let s = run_result_json("smoke", &r);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains(r#""label":"smoke""#));
+        assert!(s.contains(r#""drained":true"#));
+        assert!(s.contains(r#""snapshots":[]"#));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let depth = s.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let j = Json::Str("\u{1}".into());
+        assert_eq!(j.to_string(), "\"\\u0001\"");
+    }
+}

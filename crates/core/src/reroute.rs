@@ -1,0 +1,92 @@
+//! The Ariadne-style **rerouting** baseline: once links are flagged (by
+//! BIST or by policy), disable them and rebuild deadlock-free routing
+//! tables so all traffic detours around the infected hardware. The cost is
+//! extra hops and lost path diversity — exactly what Fig. 10 charges this
+//! baseline with.
+
+use noc_sim::routing::{RouteTables, Routing};
+use noc_sim::Simulator;
+use noc_types::{LinkId, Mesh};
+
+/// Build the table-based routing that avoids `dead` links, using the
+/// deadlock-free up*/down* construction (what Ariadne reconfigures to).
+///
+/// Returns `None` if removing those links disconnects the mesh (the
+/// baseline cannot run; the paper's infection fractions never disconnect a
+/// 4×4 mesh, but callers must handle the general case).
+pub fn routes_avoiding(mesh: &Mesh, dead: &[LinkId]) -> Option<RouteTables> {
+    let tables = RouteTables::build_updown(mesh, dead)?;
+    tables.fully_connected().then_some(tables)
+}
+
+/// Configure a simulator for the rerouting baseline: infected links are
+/// disabled outright and tables steer around them.
+pub fn apply_reroute(sim: &mut Simulator, dead: &[LinkId]) -> bool {
+    let Some(tables) = routes_avoiding(sim.mesh(), dead) else {
+        return false;
+    };
+    sim.set_routing(Routing::Table(tables));
+    sim.set_dead_links(dead.to_vec());
+    true
+}
+
+/// Average hop inflation caused by avoiding `dead` links: mean shortest
+/// path with detours over mean Manhattan distance, across all pairs.
+pub fn hop_inflation(mesh: &Mesh, dead: &[LinkId]) -> Option<f64> {
+    let tables = routes_avoiding(mesh, dead)?;
+    let mut base = 0u64;
+    let mut detour = 0u64;
+    for s in 0..mesh.routers() {
+        for d in 0..mesh.routers() {
+            if s == d {
+                continue;
+            }
+            let s = noc_types::NodeId(s as u8);
+            let d = noc_types::NodeId(d as u8);
+            base += mesh.hop_distance(s, d) as u64;
+            detour += tables.path_len(mesh, s, d)? as u64;
+        }
+    }
+    Some(detour as f64 / base as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{Direction, NodeId};
+
+    #[test]
+    fn no_dead_links_means_no_inflation() {
+        let mesh = Mesh::paper();
+        assert_eq!(hop_inflation(&mesh, &[]), Some(1.0));
+    }
+
+    #[test]
+    fn dead_links_inflate_paths() {
+        let mesh = Mesh::paper();
+        let dead = vec![
+            mesh.link_out(NodeId(5), Direction::East).unwrap(),
+            mesh.link_out(NodeId(6), Direction::North).unwrap(),
+        ];
+        let inflation = hop_inflation(&mesh, &dead).unwrap();
+        assert!(inflation > 1.0, "{inflation}");
+        assert!(inflation < 1.5, "two links cannot devastate a 4×4 mesh");
+    }
+
+    #[test]
+    fn disconnection_is_detected() {
+        // Cut both links of the only neighbour pair in a 1×2 mesh.
+        let mesh = Mesh::new(2, 1, 1);
+        let dead: Vec<LinkId> = mesh.all_links().collect();
+        assert!(routes_avoiding(&mesh, &dead).is_none());
+        assert!(hop_inflation(&mesh, &dead).is_none());
+    }
+
+    #[test]
+    fn apply_reroute_configures_the_simulator() {
+        use noc_sim::SimConfig;
+        let mut sim = Simulator::new(SimConfig::paper());
+        let dead = vec![sim.mesh().link_out(NodeId(0), Direction::East).unwrap()];
+        assert!(apply_reroute(&mut sim, &dead));
+    }
+}

@@ -1,0 +1,109 @@
+//! Parallel parameter sweeps.
+//!
+//! Every simulation run is independent, so sweeps are embarrassingly
+//! parallel. We fan work out over crossbeam scoped threads with a shared
+//! atomic work index (no unsafe, no channels needed) and collect results in
+//! input order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` in parallel, preserving order. Uses up to
+/// `threads` workers (defaults to the available parallelism).
+pub fn par_map<T, R, F>(items: Vec<T>, threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Move items behind Option slots so workers can take them by index.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().take().expect("each slot taken once");
+                *results[i].lock() = Some(f(item));
+            });
+        }
+    })
+    .expect("sweep workers must not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect(), Some(8), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), None, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = par_map(vec![1, 2, 3], Some(1), |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        par_map((0..16).collect(), Some(4), |_: i32| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(PEAK.load(Ordering::SeqCst) >= 2, "no observed overlap");
+    }
+
+    #[test]
+    fn works_with_simulation_runs() {
+        use crate::scenario::{Scenario, Strategy};
+        use noc_traffic::AppSpec;
+        let mut scenarios = Vec::new();
+        for seed in 0..4u64 {
+            let mut sc = Scenario::paper_default(AppSpec::ferret(), Strategy::Unprotected)
+                .with_seed(seed);
+            sc.warmup = 50;
+            sc.inject_until = 150;
+            sc.max_cycles = 3000;
+            scenarios.push(sc);
+        }
+        let results = par_map(scenarios, None, |sc| crate::experiment::run_scenario(&sc));
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.drained));
+    }
+}

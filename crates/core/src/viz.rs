@@ -1,0 +1,158 @@
+//! Terminal visualisation of network state: per-router heat maps and the
+//! link-utilisation picture of Fig. 1(b)/(c), rendered as text grids so
+//! examples and the CLI can show *where* an attack is biting.
+
+use noc_sim::Snapshot;
+use noc_types::{Coord, Direction, Mesh, NodeId};
+
+/// Map an intensity in `[0, 1]` to a heat glyph.
+pub fn heat_glyph(intensity: f64) -> char {
+    const RAMP: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+    let i = (intensity.clamp(0.0, 1.0) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[i]
+}
+
+/// Render a 4-wide grid of per-router values as a heat map, highest row
+/// (y = 3) on top. `peak` scales the ramp; zero peak renders all blank.
+pub fn router_grid(mesh: &Mesh, values: &[f64], peak: f64) -> String {
+    assert_eq!(values.len(), mesh.routers());
+    let mut out = String::new();
+    for y in (0..mesh.height()).rev() {
+        out.push_str("  ");
+        for x in 0..mesh.width() {
+            let n = mesh.node_at(Coord::new(x, y));
+            let v = if peak > 0.0 {
+                values[n.index()] / peak
+            } else {
+                0.0
+            };
+            out.push('[');
+            out.push(heat_glyph(v));
+            out.push(']');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render per-link shares as a mesh diagram: routers as `(r)` cells with
+/// horizontal/vertical link glyphs between them scaled by utilisation.
+pub fn link_grid(mesh: &Mesh, shares: &[f64]) -> String {
+    assert_eq!(shares.len(), mesh.links());
+    let peak = shares.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let pair_heat = |a: NodeId, dir: Direction| {
+        // Combine both directions of the physical pair for the glyph.
+        let fwd = mesh.link_out(a, dir).map(|l| shares[l.index()]).unwrap_or(0.0);
+        let rev = mesh
+            .neighbor(a, dir)
+            .and_then(|nb| mesh.link_out(nb, dir.opposite()))
+            .map(|l| shares[l.index()])
+            .unwrap_or(0.0);
+        (fwd + rev) / (2.0 * peak)
+    };
+    let mut out = String::new();
+    for y in (0..mesh.height()).rev() {
+        // Router row with eastward links.
+        out.push_str("  ");
+        for x in 0..mesh.width() {
+            let n = mesh.node_at(Coord::new(x, y));
+            out.push_str(&format!("({:X})", n.0));
+            if x + 1 < mesh.width() {
+                let h = pair_heat(n, Direction::East);
+                let g = heat_glyph(h);
+                out.push(g);
+                out.push(g);
+            }
+        }
+        out.push('\n');
+        // Southward links below this row.
+        if y > 0 {
+            out.push_str("  ");
+            for x in 0..mesh.width() {
+                let n = mesh.node_at(Coord::new(x, y));
+                let v = pair_heat(n, Direction::South);
+                out.push(' ');
+                out.push(heat_glyph(v));
+                out.push(' ');
+                if x + 1 < mesh.width() {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Summarise one snapshot as a one-line status string.
+pub fn snapshot_line(s: &Snapshot) -> String {
+    format!(
+        "cycle {:>6}  in {:>4}  out {:>4}  inj {:>6}  blocked {:>2}/16  dead {:>2}/16",
+        s.cycle,
+        s.input_util,
+        s.output_util,
+        s.injection_util,
+        s.routers_blocked_port,
+        s.routers_half_cores_full
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::Mesh;
+
+    #[test]
+    fn glyph_ramp_is_monotone() {
+        let glyphs: Vec<char> = (0..=10).map(|i| heat_glyph(i as f64 / 10.0)).collect();
+        assert_eq!(*glyphs.first().unwrap(), ' ');
+        assert_eq!(*glyphs.last().unwrap(), '@');
+        // Indices into the ramp never decrease.
+        const RAMP: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+        let idx = |c: char| RAMP.iter().position(|r| *r == c).unwrap();
+        assert!(glyphs.windows(2).all(|w| idx(w[0]) <= idx(w[1])));
+        // Out-of-range inputs clamp.
+        assert_eq!(heat_glyph(-1.0), ' ');
+        assert_eq!(heat_glyph(2.0), '@');
+    }
+
+    #[test]
+    fn router_grid_shape_and_orientation() {
+        let mesh = Mesh::paper();
+        let mut values = vec![0.0; 16];
+        values[12] = 1.0; // router 12 = (0, 3): top-left cell
+        let grid = router_grid(&mesh, &values, 1.0);
+        let lines: Vec<&str> = grid.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("  [@]"), "{grid}");
+        assert!(lines[3].starts_with("  [ ]"), "{grid}");
+    }
+
+    #[test]
+    fn link_grid_renders_all_rows() {
+        let mesh = Mesh::paper();
+        let shares = vec![1.0 / 48.0; 48];
+        let grid = link_grid(&mesh, &shares);
+        // 4 router rows + 3 vertical-link rows.
+        assert_eq!(grid.lines().count(), 7);
+        assert!(grid.contains("(0)"));
+        assert!(grid.contains("(F)"), "router 15 printed in hex: {grid}");
+    }
+
+    #[test]
+    fn snapshot_line_contains_all_series() {
+        let s = Snapshot {
+            cycle: 42,
+            input_util: 1,
+            output_util: 2,
+            injection_util: 3,
+            routers_all_cores_full: 0,
+            routers_half_cores_full: 5,
+            routers_blocked_port: 6,
+        };
+        let line = snapshot_line(&s);
+        for needle in ["42", "blocked  6/16", "dead  5/16"] {
+            assert!(line.contains(needle), "{line}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Switch-to-switch SECDED error correction for NoC links.
+//!
+//! The paper assumes a single-error-correction double-error-detection
+//! (SECDED) Hamming code on every router-to-router link: one flipped bit is
+//! silently corrected, two flipped bits are detected but *not* correctable
+//! and trigger a switch-to-switch retransmission. The TASP trojan exploits
+//! exactly this gap by always flipping two bits.
+//!
+//! We implement the standard extended Hamming(72,64) code: 64 data bits,
+//! 7 Hamming parity bits, and one overall-parity bit, for a 72-bit codeword
+//! carried as the low bits of a `u128`.
+
+pub mod codeword;
+pub mod secded;
+
+pub use codeword::{flip_bit, flip_bits, Codeword, CODEWORD_BITS, DATA_BITS};
+pub use secded::{Decode, Secded, Syndrome};

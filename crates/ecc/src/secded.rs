@@ -1,0 +1,299 @@
+//! Extended Hamming(72,64) SECDED encoder/decoder.
+//!
+//! Construction: codeword positions `1..72` use classic Hamming numbering —
+//! powers of two (1, 2, 4, 8, 16, 32, 64) hold the seven Hamming parity
+//! bits; the remaining 64 positions hold data bits in increasing order.
+//! Position 0 holds an overall (even) parity bit over the whole word.
+//!
+//! Decoding computes the 7-bit syndrome `s` (XOR of the positions of all set
+//! bits) and the overall parity `p`:
+//!
+//! | `s`    | `p`  | verdict                                             |
+//! |--------|------|-----------------------------------------------------|
+//! | 0      | even | clean                                               |
+//! | any    | odd  | single error at position `s` (0 ⇒ parity bit): fix  |
+//! | ≠0     | even | **double error — detected, uncorrectable**          |
+//!
+//! A syndrome pointing outside the 72-bit word with odd parity means ≥3
+//! errors; we conservatively report it as uncorrectable too.
+
+use crate::codeword::{Codeword, CODEWORD_BITS, DATA_BITS};
+
+/// The 7-bit Hamming syndrome extracted during decode. `0` means "no
+//  positional error". The threat detector logs these to fingerprint faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Syndrome(pub u8);
+
+/// Result of decoding one received codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decode {
+    /// No error detected.
+    Clean {
+        /// The recovered data word.
+        data: u64,
+    },
+    /// A single-bit error was corrected.
+    Corrected {
+        /// The recovered data word (after the fix).
+        data: u64,
+        /// Codeword position (0..72) of the corrected bit.
+        bit: u8,
+        /// The syndrome that located the error.
+        syndrome: Syndrome,
+    },
+    /// Two (or an even number ≥2, or ≥3 inconsistent) bit errors: detected
+    /// but uncorrectable. The receiver must request retransmission — this is
+    /// the response the TASP trojan farms for its DoS.
+    Uncorrectable {
+        /// The nonzero syndrome (logged by the threat detector).
+        syndrome: Syndrome,
+    },
+}
+
+impl Decode {
+    /// The recovered data word, when the codeword was usable.
+    #[inline]
+    pub fn data(&self) -> Option<u64> {
+        match *self {
+            Decode::Clean { data } | Decode::Corrected { data, .. } => Some(data),
+            Decode::Uncorrectable { .. } => None,
+        }
+    }
+
+    /// True when retransmission is required.
+    #[inline]
+    pub fn needs_retransmission(&self) -> bool {
+        matches!(self, Decode::Uncorrectable { .. })
+    }
+}
+
+/// Codeword positions (in `1..72`) that hold data bits, lowest first.
+const DATA_POSITIONS: [u8; DATA_BITS] = build_data_positions();
+
+const fn build_data_positions() -> [u8; DATA_BITS] {
+    let mut out = [0u8; DATA_BITS];
+    let mut pos = 1u8;
+    let mut n = 0usize;
+    while n < DATA_BITS {
+        if !pos.is_power_of_two() {
+            out[n] = pos;
+            n += 1;
+        }
+        pos += 1;
+    }
+    out
+}
+
+/// The Hamming(72,64) SECDED codec. Stateless; all methods are associated
+/// functions on a unit struct so call sites read `Secded::encode(..)`.
+///
+/// ```
+/// use noc_ecc::{flip_bit, flip_bits, Decode, Secded};
+///
+/// let cw = Secded::encode(0xDEAD_BEEF);
+/// assert_eq!(Secded::decode(cw), Decode::Clean { data: 0xDEAD_BEEF });
+///
+/// // One flipped bit is corrected...
+/// assert_eq!(Secded::decode(flip_bit(cw, 17)).data(), Some(0xDEAD_BEEF));
+///
+/// // ...two are detected but NOT correctable — the response the TASP
+/// // trojan farms for its denial-of-service attack.
+/// let two = flip_bits(cw, (1 << 3) | (1 << 40));
+/// assert!(Secded::decode(two).needs_retransmission());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Secded;
+
+impl Secded {
+    /// Encode 64 data bits into a 72-bit codeword.
+    pub fn encode(data: u64) -> Codeword {
+        let mut cw: u128 = 0;
+        // Scatter data bits into their Hamming positions.
+        let mut i = 0;
+        while i < DATA_BITS {
+            if (data >> i) & 1 == 1 {
+                cw |= 1u128 << DATA_POSITIONS[i];
+            }
+            i += 1;
+        }
+        // Hamming parity bits: parity bit at power-of-two position `p`
+        // covers every position with that bit set in its index. Choosing it
+        // equal to the XOR of the covered data bits zeroes the syndrome.
+        let syndrome = Self::positional_xor(cw);
+        let mut p = 1usize;
+        while p < CODEWORD_BITS {
+            if (syndrome as usize) & p != 0 {
+                cw |= 1u128 << p;
+            }
+            p <<= 1;
+        }
+        // Overall parity (even) over all 72 bits.
+        if (cw.count_ones() & 1) == 1 {
+            cw |= 1;
+        }
+        debug_assert_eq!(Self::positional_xor(cw), 0);
+        debug_assert_eq!(cw.count_ones() & 1, 0);
+        Codeword(cw)
+    }
+
+    /// XOR of the positions (1..72) of all set bits — the Hamming syndrome.
+    #[inline]
+    fn positional_xor(cw: u128) -> u8 {
+        let mut s = 0u8;
+        let mut bits = cw >> 1; // skip overall-parity bit 0
+        let mut base = 1u8;
+        while bits != 0 {
+            let tz = bits.trailing_zeros() as u8;
+            let pos = base + tz;
+            s ^= pos;
+            bits >>= tz + 1;
+            base += tz + 1;
+        }
+        s
+    }
+
+    /// Extract the 64 data bits from (a possibly corrected) codeword.
+    fn extract(cw: u128) -> u64 {
+        let mut data = 0u64;
+        let mut i = 0;
+        while i < DATA_BITS {
+            if (cw >> DATA_POSITIONS[i]) & 1 == 1 {
+                data |= 1u64 << i;
+            }
+            i += 1;
+        }
+        data
+    }
+
+    /// Decode a received codeword, correcting a single-bit error if present.
+    pub fn decode(received: Codeword) -> Decode {
+        let cw = received.0 & Codeword::MASK;
+        let syndrome = Self::positional_xor(cw);
+        let parity_odd = cw.count_ones() & 1 == 1;
+        match (syndrome, parity_odd) {
+            (0, false) => Decode::Clean {
+                data: Self::extract(cw),
+            },
+            (s, true) => {
+                let pos = s as usize;
+                if pos >= CODEWORD_BITS {
+                    // A "single" error pointing off the wire: ≥3 real errors.
+                    return Decode::Uncorrectable {
+                        syndrome: Syndrome(s),
+                    };
+                }
+                // pos == 0 means the overall-parity bit itself flipped; data
+                // positions are untouched either way after the fix below.
+                let fixed = cw ^ (1u128 << pos);
+                Decode::Corrected {
+                    data: Self::extract(fixed),
+                    bit: s,
+                    syndrome: Syndrome(s),
+                }
+            }
+            (s, false) => Decode::Uncorrectable {
+                syndrome: Syndrome(s),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codeword::{flip_bit, flip_bits};
+    use proptest::prelude::*;
+
+    #[test]
+    fn data_positions_are_the_64_non_powers_of_two_below_72() {
+        assert_eq!(DATA_POSITIONS.len(), 64);
+        for p in DATA_POSITIONS {
+            assert!(p >= 1 && (p as usize) < CODEWORD_BITS);
+            assert!(!p.is_power_of_two(), "{p} is a parity position");
+        }
+        // Strictly increasing ⇒ all distinct.
+        for w in DATA_POSITIONS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(DATA_POSITIONS[0], 3);
+        assert_eq!(*DATA_POSITIONS.last().unwrap(), 71);
+    }
+
+    #[test]
+    fn clean_roundtrip_for_edge_words() {
+        for data in [0u64, u64::MAX, 1, 1 << 63, 0xAAAA_AAAA_AAAA_AAAA] {
+            let cw = Secded::encode(data);
+            assert_eq!(Secded::decode(cw), Decode::Clean { data });
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected_exhaustive() {
+        let data = 0x0123_4567_89AB_CDEF;
+        let cw = Secded::encode(data);
+        for i in 0..CODEWORD_BITS {
+            match Secded::decode(flip_bit(cw, i)) {
+                Decode::Corrected {
+                    data: d, bit, ..
+                } => {
+                    assert_eq!(d, data, "flip at {i} not corrected");
+                    assert_eq!(bit as usize, i);
+                }
+                other => panic!("flip at {i} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected_exhaustive() {
+        // 72*71/2 = 2556 pairs — cheap enough to enumerate completely.
+        let data = 0xFEED_FACE_CAFE_BEEF;
+        let cw = Secded::encode(data);
+        for i in 0..CODEWORD_BITS {
+            for j in (i + 1)..CODEWORD_BITS {
+                let bad = flip_bits(cw, (1u128 << i) | (1u128 << j));
+                assert!(
+                    matches!(Secded::decode(bad), Decode::Uncorrectable { .. }),
+                    "double flip ({i},{j}) was not flagged uncorrectable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_accessors() {
+        let cw = Secded::encode(99);
+        assert_eq!(Secded::decode(cw).data(), Some(99));
+        assert!(!Secded::decode(cw).needs_retransmission());
+        let bad = flip_bits(cw, 0b11 << 10);
+        assert_eq!(Secded::decode(bad).data(), None);
+        assert!(Secded::decode(bad).needs_retransmission());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in any::<u64>()) {
+            prop_assert_eq!(Secded::decode(Secded::encode(data)), Decode::Clean { data });
+        }
+
+        #[test]
+        fn single_error_corrected(data in any::<u64>(), bit in 0usize..CODEWORD_BITS) {
+            let got = Secded::decode(flip_bit(Secded::encode(data), bit));
+            prop_assert_eq!(got.data(), Some(data));
+        }
+
+        #[test]
+        fn double_error_detected(data in any::<u64>(),
+                                 a in 0usize..CODEWORD_BITS, b in 0usize..CODEWORD_BITS) {
+            prop_assume!(a != b);
+            let bad = flip_bits(Secded::encode(data), (1u128 << a) | (1u128 << b));
+            prop_assert!(Secded::decode(bad).needs_retransmission());
+        }
+
+        #[test]
+        fn encoded_words_have_even_weight_and_zero_syndrome(data in any::<u64>()) {
+            let cw = Secded::encode(data);
+            prop_assert_eq!(cw.0.count_ones() % 2, 0);
+        }
+    }
+}

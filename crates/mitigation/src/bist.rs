@@ -1,0 +1,198 @@
+//! Built-in self-test for link wires.
+//!
+//! When the threat detector sees the *same* fault recur it cannot yet tell a
+//! stuck-at wire from a trojan holding its payload state. BIST settles the
+//! question: it drives known patterns (all-zeros, all-ones, alternating,
+//! and a walking-one) across the raw 72-bit wire bundle and compares what
+//! arrives. A stuck-at wire corrupts patterns deterministically; a TASP
+//! trojan stays silent because BIST patterns never contain its target (and
+//! during post-silicon test its kill switch is off anyway). A link that
+//! faults under traffic but passes BIST is therefore trojan-infected.
+
+use noc_ecc::{Codeword, CODEWORD_BITS};
+use serde::{Deserialize, Serialize};
+
+/// Abstraction over "push one raw codeword across the physical link".
+/// The simulator implements this for its fault-layer links.
+pub trait LinkUnderTest {
+    /// Push one raw codeword across the physical wires.
+    fn transmit(&mut self, cw: Codeword) -> Codeword;
+}
+
+/// Stuck-at polarity of a faulty wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StuckAt {
+    /// Wire reads 0 regardless of the driven value.
+    Zero,
+    /// Wire reads 1 regardless of the driven value.
+    One,
+}
+
+/// Result of one BIST scan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BistReport {
+    /// Wires observed stuck, with polarity.
+    pub stuck_wires: Vec<(u8, StuckAt)>,
+    /// Wires that flipped inconsistently (neither healthy nor stuck) —
+    /// intermittent contact or an active injector.
+    pub flaky_wires: Vec<u8>,
+    /// Number of test patterns driven.
+    pub patterns: u32,
+}
+
+impl BistReport {
+    /// The link is physically healthy (which, after recurring traffic
+    /// faults, is the hardware-trojan tell).
+    pub fn passed(&self) -> bool {
+        self.stuck_wires.is_empty() && self.flaky_wires.is_empty()
+    }
+}
+
+/// The BIST engine. Stateless; `scan` drives the full pattern set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bist;
+
+impl Bist {
+    /// Patterns: all-zeros, all-ones, 0x55…, 0xAA…, then a walking one.
+    /// Every wire is exercised at both polarities.
+    pub fn scan<L: LinkUnderTest>(link: &mut L) -> BistReport {
+        let mask = Codeword::MASK;
+        let mut always_one = mask; // wires that read 1 on every pattern
+        let mut always_zero = mask; // wires that read 0 on every pattern
+        let mut ever_wrong = 0u128; // wires that ever differed from driven
+        let mut patterns = 0u32;
+
+        let mut drive = |link: &mut L, pat: u128| {
+            let got = link.transmit(Codeword(pat & mask)).0 & mask;
+            always_one &= got;
+            always_zero &= !got;
+            ever_wrong |= got ^ (pat & mask);
+        };
+
+        let alternating_a = {
+            let mut p = 0u128;
+            let mut i = 0;
+            while i < CODEWORD_BITS {
+                if i % 2 == 0 {
+                    p |= 1 << i;
+                }
+                i += 1;
+            }
+            p
+        };
+        for pat in [0u128, mask, alternating_a, !alternating_a & mask] {
+            drive(link, pat);
+            patterns += 1;
+        }
+        for i in 0..CODEWORD_BITS {
+            drive(link, 1u128 << i);
+            patterns += 1;
+        }
+
+        let mut stuck_wires = Vec::new();
+        let mut flaky_wires = Vec::new();
+        for w in 0..CODEWORD_BITS as u8 {
+            let bit = 1u128 << w;
+            if always_one & bit != 0 {
+                stuck_wires.push((w, StuckAt::One));
+            } else if always_zero & bit != 0 {
+                stuck_wires.push((w, StuckAt::Zero));
+            } else if ever_wrong & bit != 0 {
+                flaky_wires.push(w);
+            }
+        }
+        BistReport {
+            stuck_wires,
+            flaky_wires,
+            patterns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A healthy link.
+    struct Healthy;
+    impl LinkUnderTest for Healthy {
+        fn transmit(&mut self, cw: Codeword) -> Codeword {
+            cw
+        }
+    }
+
+    /// A link with configured stuck-at wires.
+    struct Stuck {
+        stuck_one: u128,
+        stuck_zero: u128,
+    }
+    impl LinkUnderTest for Stuck {
+        fn transmit(&mut self, cw: Codeword) -> Codeword {
+            Codeword((cw.0 | self.stuck_one) & !self.stuck_zero)
+        }
+    }
+
+    /// A link that flips one wire on every other transmission.
+    struct Intermittent {
+        n: u32,
+    }
+    impl LinkUnderTest for Intermittent {
+        fn transmit(&mut self, cw: Codeword) -> Codeword {
+            self.n += 1;
+            if self.n % 2 == 0 {
+                Codeword(cw.0 ^ (1 << 17))
+            } else {
+                cw
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_link_passes() {
+        let report = Bist::scan(&mut Healthy);
+        assert!(report.passed());
+        assert_eq!(report.patterns, 4 + CODEWORD_BITS as u32);
+    }
+
+    #[test]
+    fn stuck_at_one_is_located() {
+        let mut link = Stuck {
+            stuck_one: 1 << 5,
+            stuck_zero: 0,
+        };
+        let report = Bist::scan(&mut link);
+        assert_eq!(report.stuck_wires, vec![(5, StuckAt::One)]);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn stuck_at_zero_is_located() {
+        let mut link = Stuck {
+            stuck_one: 0,
+            stuck_zero: 1 << 70,
+        };
+        let report = Bist::scan(&mut link);
+        assert_eq!(report.stuck_wires, vec![(70, StuckAt::Zero)]);
+    }
+
+    #[test]
+    fn multiple_stuck_wires_all_found() {
+        let mut link = Stuck {
+            stuck_one: (1 << 3) | (1 << 40),
+            stuck_zero: 1 << 12,
+        };
+        let report = Bist::scan(&mut link);
+        assert_eq!(
+            report.stuck_wires,
+            vec![(3, StuckAt::One), (12, StuckAt::Zero), (40, StuckAt::One)]
+        );
+    }
+
+    #[test]
+    fn intermittent_wire_reported_flaky_not_stuck() {
+        let report = Bist::scan(&mut Intermittent { n: 0 });
+        assert!(report.stuck_wires.is_empty());
+        assert_eq!(report.flaky_wires, vec![17]);
+        assert!(!report.passed());
+    }
+}

@@ -1,0 +1,28 @@
+//! Threat detection and switch-to-switch link obfuscation (the paper's
+//! proposed mitigation).
+//!
+//! Three cooperating pieces:
+//!
+//! * [`lob`] — the **L-Ob** module attached to each output port's
+//!   retransmission buffers. It obfuscates flits *before* they re-cross a
+//!   suspicious link (invert / rotate-shuffle / scramble-with-partner /
+//!   reorder, at full-flit, header, or payload granularity) so a deep-packet-
+//!   inspection trojan no longer recognises its target, and un-obfuscates on
+//!   the receiving side for a 1–3 cycle penalty. A per-link method log
+//!   remembers what worked.
+//! * [`detector`] — the **threat source detector** on each input port. It
+//!   fingerprints every ECC event (syndrome + packet signature), decides
+//!   whether a fault is fresh or a repeat, escalates repeats to L-Ob, asks
+//!   BIST to rule out permanent faults, and classifies the fault source as
+//!   transient, permanent, or hardware trojan (Fig. 6).
+//! * [`bist`] — a built-in self-test that drives known patterns across a
+//!   link to find stuck-at wires. A link that keeps faulting under traffic
+//!   but passes BIST cleanly is the trojan's tell.
+
+pub mod bist;
+pub mod detector;
+pub mod lob;
+
+pub use bist::{Bist, BistReport, LinkUnderTest};
+pub use detector::{DetectorAction, DetectorConfig, FaultClass, ThreatDetector, Verdict};
+pub use lob::{Granularity, LobModule, LobPlan, ObfuscationMethod, TriggerScope};

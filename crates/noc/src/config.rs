@@ -1,0 +1,157 @@
+//! Simulator configuration.
+
+use noc_mitigation::DetectorConfig;
+use noc_types::Mesh;
+use serde::{Deserialize, Serialize};
+
+/// Where the retransmission buffers live (the paper evaluates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetxScheme {
+    /// Shared slots per output port, after the crossbar — the paper's
+    /// worst case (head-of-line blocking across VCs) and the default.
+    Output,
+    /// Slots partitioned per VC: a NACKed flit only blocks its own VC.
+    PerVc,
+}
+
+/// Quality-of-service mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QosMode {
+    /// Plain best-effort network.
+    None,
+    /// SurfNoC-style time-division multiplexing into `domains` groups.
+    /// VCs are partitioned round-robin across domains and a domain's flits
+    /// may only win switch allocation / launch on its time slots.
+    Tdm {
+        /// Number of non-interfering domains.
+        domains: u8,
+    },
+}
+
+/// Full simulator configuration. `SimConfig::paper()` reproduces the
+/// evaluation platform of the paper exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Full simulator configuration (see `SimConfig::paper`).
+    pub mesh: Mesh,
+    /// Virtual channels per port.
+    pub vcs: u8,
+    /// Buffer slots (flits) per VC.
+    pub vc_depth: u8,
+    /// Retransmission buffer slots per output port (or per VC under
+    /// [`RetxScheme::PerVc`]).
+    pub retx_depth: u8,
+    /// The mesh to simulate.
+    pub retx_scheme: RetxScheme,
+    /// Virtual channels per port.
+    pub qos: QosMode,
+    /// Enable the threat detector + L-Ob mitigation path. When off, NACKs
+    /// trigger plain retransmission forever (Fig. 11(a) behaviour).
+    pub mitigation: bool,
+    /// Retransmission scheme (output-shared or per-VC).
+    pub detector: DetectorConfig,
+    /// Injection-queue length (flits) past which a core counts as "full"
+    /// for the Fig. 11/12 utilisation bins.
+    pub injection_full_threshold: usize,
+    /// Record a statistics snapshot every this many cycles (1 = every
+    /// cycle; larger values keep long runs cheap).
+    pub snapshot_interval: u64,
+    /// An output port whose oldest retransmission entry has waited this
+    /// many cycles counts as "blocked" in the router statistics.
+    pub blocked_threshold: u64,
+    /// Record a [`crate::message::TraceEvent`] trail for this packet.
+    pub trace_packet: Option<noc_types::PacketId>,
+}
+
+impl SimConfig {
+    /// The paper's platform: 64 cores, 16 routers, 4 VCs × 4 slots, output
+    /// retransmission buffers, mitigation on.
+    pub fn paper() -> Self {
+        Self {
+            mesh: Mesh::paper(),
+            vcs: 4,
+            vc_depth: 4,
+            retx_depth: 4,
+            retx_scheme: RetxScheme::Output,
+            qos: QosMode::None,
+            mitigation: true,
+            detector: DetectorConfig::default(),
+            injection_full_threshold: 16,
+            snapshot_interval: 1,
+            blocked_threshold: 32,
+            trace_packet: None,
+        }
+    }
+
+    /// Same platform with the mitigation path disabled.
+    pub fn paper_unprotected() -> Self {
+        Self {
+            mitigation: false,
+            ..Self::paper()
+        }
+    }
+
+    /// Ports per router: 4 network directions + `concentration` locals.
+    pub fn ports(&self) -> usize {
+        4 + self.mesh.concentration() as usize
+    }
+
+    /// The TDM domain a VC belongs to (VCs are striped across domains).
+    pub fn domain_of_vc(&self, vc: u8) -> u8 {
+        match self.qos {
+            QosMode::None => 0,
+            QosMode::Tdm { domains } => vc % domains,
+        }
+    }
+
+    /// Whether `vc` may use the switch/link during `cycle`.
+    pub fn tdm_slot_open(&self, vc: u8, cycle: u64) -> bool {
+        match self.qos {
+            QosMode::None => true,
+            QosMode::Tdm { domains } => (cycle % domains as u64) as u8 == self.domain_of_vc(vc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_evaluation_platform() {
+        let c = SimConfig::paper();
+        assert_eq!(c.mesh.routers(), 16);
+        assert_eq!(c.mesh.cores(), 64);
+        assert_eq!(c.vcs, 4);
+        assert_eq!(c.vc_depth, 4);
+        assert_eq!(c.retx_scheme, RetxScheme::Output);
+        assert_eq!(c.ports(), 8);
+        assert!(c.mitigation);
+        assert!(!SimConfig::paper_unprotected().mitigation);
+    }
+
+    #[test]
+    fn tdm_partitions_vcs_and_slots() {
+        let mut c = SimConfig::paper();
+        c.qos = QosMode::Tdm { domains: 2 };
+        assert_eq!(c.domain_of_vc(0), 0);
+        assert_eq!(c.domain_of_vc(1), 1);
+        assert_eq!(c.domain_of_vc(2), 0);
+        assert_eq!(c.domain_of_vc(3), 1);
+        // Even cycles serve domain 0, odd cycles domain 1.
+        assert!(c.tdm_slot_open(0, 0));
+        assert!(!c.tdm_slot_open(0, 1));
+        assert!(c.tdm_slot_open(1, 1));
+        assert!(!c.tdm_slot_open(1, 0));
+    }
+
+    #[test]
+    fn no_qos_opens_every_slot() {
+        let c = SimConfig::paper();
+        for vc in 0..4 {
+            for cycle in 0..4 {
+                assert!(c.tdm_slot_open(vc, cycle));
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The physical link: one flit slot of forward wire, plus reverse control
+//! wires carrying ACK/NACKs and credit returns (each with one cycle of
+//! latency).
+
+use crate::fault::LinkFaults;
+use crate::message::{AckMsg, LinkFlit};
+use noc_types::VcId;
+use std::collections::VecDeque;
+
+/// One unidirectional router-to-router link and its reverse control wires.
+#[derive(Debug)]
+pub struct LinkWire {
+    /// Flit launched last cycle, delivered when `now >= deliver_at`.
+    in_flight: Option<(u64, LinkFlit)>,
+    /// ACK/NACK messages heading upstream: `(deliver_cycle, msg)`.
+    acks: VecDeque<(u64, AckMsg)>,
+    /// Credit returns heading upstream: `(deliver_cycle, vc)`.
+    credits: VecDeque<(u64, VcId)>,
+    /// The fault layer (transients, stuck wires, trojan).
+    pub faults: LinkFaults,
+    /// Lifetime flit count (Fig. 1(c) per-link traffic share).
+    pub flits_carried: u64,
+}
+
+/// Link traversal latency in cycles (the LT pipeline stage).
+pub const LT_CYCLES: u64 = 1;
+/// Reverse-channel latency for ACKs and credits.
+pub const REVERSE_CYCLES: u64 = 1;
+
+impl LinkWire {
+    /// A fresh idle link with the given fault layer.
+    pub fn new(faults: LinkFaults) -> Self {
+        Self {
+            in_flight: None,
+            acks: VecDeque::new(),
+            credits: VecDeque::new(),
+            faults,
+            flits_carried: 0,
+        }
+    }
+
+    /// Whether a new flit can launch this cycle.
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// Launch a flit; it arrives after [`LT_CYCLES`].
+    pub fn launch(&mut self, now: u64, lf: LinkFlit) {
+        debug_assert!(self.idle(), "link is a single-flit pipeline");
+        self.in_flight = Some((now + LT_CYCLES, lf));
+        self.flits_carried += 1;
+    }
+
+    /// Take the flit arriving this cycle, applying the fault layer.
+    pub fn deliver(&mut self, now: u64) -> Option<LinkFlit> {
+        match self.in_flight {
+            Some((at, lf)) if at <= now => {
+                self.in_flight = None;
+                let tampered = self.faults.traverse(
+                    now,
+                    lf.wire_word,
+                    lf.flit.kind.carries_header(),
+                    lf.codeword,
+                );
+                Some(LinkFlit {
+                    codeword: tampered,
+                    ..lf
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Queue an ACK/NACK for the upstream router.
+    pub fn send_ack(&mut self, now: u64, msg: AckMsg) {
+        self.acks.push_back((now + REVERSE_CYCLES, msg));
+    }
+
+    /// Queue a credit return for the upstream router.
+    pub fn send_credit(&mut self, now: u64, vc: VcId) {
+        self.credits.push_back((now + REVERSE_CYCLES, vc));
+    }
+
+    /// Drain ACKs that have arrived upstream.
+    pub fn take_acks(&mut self, now: u64) -> Vec<AckMsg> {
+        let mut out = Vec::new();
+        while let Some((at, _)) = self.acks.front() {
+            if *at <= now {
+                out.push(self.acks.pop_front().unwrap().1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Drain credits that have arrived upstream.
+    pub fn take_credits(&mut self, now: u64) -> Vec<VcId> {
+        let mut out = Vec::new();
+        while let Some((at, _)) = self.credits.front() {
+            if *at <= now {
+                out.push(self.credits.pop_front().unwrap().1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::AckKind;
+    use noc_ecc::Secded;
+    use noc_types::{Flit, FlitId, FlitKind, Header, NodeId, PacketId};
+
+    fn lf() -> LinkFlit {
+        let h = Header {
+            src: NodeId(0),
+            dest: NodeId(1),
+            vc: VcId(0),
+            mem_addr: 0,
+            thread: 0,
+            len: 1,
+        };
+        let flit = Flit::head(FlitId(1), PacketId(1), FlitKind::Single, h);
+        LinkFlit {
+            flit,
+            codeword: Secded::encode(flit.word),
+            wire_word: flit.word,
+            vc: VcId(0),
+            obf: None,
+        }
+    }
+
+    #[test]
+    fn flit_takes_one_cycle_to_cross() {
+        let mut link = LinkWire::new(LinkFaults::healthy(0));
+        link.launch(10, lf());
+        assert!(!link.idle());
+        assert!(link.deliver(10).is_none(), "not there yet");
+        let got = link.deliver(11).expect("arrives after LT");
+        assert_eq!(got.flit.id, FlitId(1));
+        assert!(link.idle());
+        assert_eq!(link.flits_carried, 1);
+    }
+
+    #[test]
+    fn acks_and_credits_take_a_cycle_back() {
+        let mut link = LinkWire::new(LinkFaults::healthy(0));
+        link.send_ack(
+            5,
+            AckMsg {
+                flit: FlitId(1),
+                kind: AckKind::Ack { obf_success: None },
+            },
+        );
+        link.send_credit(5, VcId(2));
+        assert!(link.take_acks(5).is_empty());
+        assert!(link.take_credits(5).is_empty());
+        assert_eq!(link.take_acks(6).len(), 1);
+        assert_eq!(link.take_credits(6), vec![VcId(2)]);
+        // Drained exactly once.
+        assert!(link.take_acks(7).is_empty());
+    }
+
+    #[test]
+    fn delivery_applies_fault_layer() {
+        use crate::fault::StuckWires;
+        let faults = LinkFaults::healthy(0).with_stuck(StuckWires {
+            stuck_one: 1 << 3,
+            stuck_zero: 0,
+        });
+        let mut link = LinkWire::new(faults);
+        let flit = lf();
+        let clean_cw = flit.codeword;
+        link.launch(0, flit);
+        let got = link.deliver(1).unwrap();
+        assert_eq!(got.codeword.0 | (1 << 3), got.codeword.0);
+        // Either the bit was already 1 (no-op) or it differs now.
+        let _ = clean_cw;
+    }
+}

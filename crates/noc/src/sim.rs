@@ -1,0 +1,975 @@
+//! The top-level cycle-accurate simulator.
+
+use crate::config::SimConfig;
+use crate::fault::LinkFaults;
+use crate::link::LinkWire;
+use crate::message::{AckKind, AckMsg, LinkFlit, SimEvent, TraceEvent, TraceOutcome};
+use crate::router::Router;
+use crate::routing::Routing;
+use crate::stats::{SimStats, Snapshot};
+use noc_ecc::{Decode, Secded};
+use noc_mitigation::{Bist, DetectorAction};
+use noc_types::{Flit, LinkId, Mesh, NodeId, Packet, Port};
+use std::collections::VecDeque;
+
+/// Anything that injects packets into the network.
+pub trait TrafficSource {
+    /// Called once per cycle; push the packets to inject this cycle.
+    fn poll(&mut self, cycle: u64, out: &mut Vec<Packet>);
+
+    /// True once the source will never produce another packet (lets
+    /// [`Simulator::run_to_quiescence`] terminate).
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// A source that never injects (for drain phases and unit tests).
+pub struct NoTraffic;
+
+impl TrafficSource for NoTraffic {
+    fn poll(&mut self, _cycle: u64, _out: &mut Vec<Packet>) {}
+    fn done(&self) -> bool {
+        true
+    }
+}
+
+/// The simulator: routers, links, injection queues, statistics.
+///
+/// ```
+/// use noc_sim::{SimConfig, Simulator};
+/// use noc_sim::sim::TrafficSource;
+/// use noc_types::{NodeId, Packet, PacketId, VcId};
+///
+/// // One four-flit packet from router 0 to router 15.
+/// struct One(Option<Packet>);
+/// impl TrafficSource for One {
+///     fn poll(&mut self, cycle: u64, out: &mut Vec<Packet>) {
+///         if cycle == 0 {
+///             out.extend(self.0.take());
+///         }
+///     }
+///     fn done(&self) -> bool { self.0.is_none() }
+/// }
+///
+/// let mut sim = Simulator::new(SimConfig::paper());
+/// let pkt = Packet::new(PacketId(1), NodeId(0), NodeId(15), VcId(0), 0, 0, 4, 0);
+/// let mut src = One(Some(pkt));
+/// assert!(sim.run_to_quiescence(500, &mut src));
+/// assert_eq!(sim.stats().delivered_packets, 1);
+/// // Six hops × the 5-stage pipeline dominate the latency.
+/// assert!(sim.stats().avg_latency() >= 30.0);
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    mesh: Mesh,
+    routing: Routing,
+    routers: Vec<Router>,
+    links: Vec<LinkWire>,
+    dead_links: Vec<LinkId>,
+    /// Injection queues, one per (core, VC class) so a stalled class never
+    /// head-of-line blocks another (essential for TDM non-interference).
+    /// Indexed `core * vcs + vc`.
+    inj_queues: Vec<VecDeque<Flit>>,
+    /// Round-robin pointer per core over its VC queues.
+    inj_rr: Vec<u8>,
+    cycle: u64,
+    next_flit_id: u64,
+    /// Injection cycle per in-flight packet (latency accounting).
+    birth: std::collections::HashMap<noc_types::PacketId, u64>,
+    stats: SimStats,
+    events: Vec<SimEvent>,
+    /// Journey of the traced packet (when `cfg.trace_packet` is set).
+    trace: Vec<TraceEvent>,
+    poll_buf: Vec<Packet>,
+}
+
+impl Simulator {
+    /// Build a simulator over the configured mesh, all links healthy.
+    pub fn new(cfg: SimConfig) -> Self {
+        let mesh = cfg.mesh.clone();
+        let routers = (0..mesh.routers())
+            .map(|r| Router::new(NodeId(r as u8), &mesh, &cfg))
+            .collect();
+        let links = mesh
+            .all_links()
+            .map(|l| LinkWire::new(LinkFaults::healthy(0xB0C0_0000 + l.index() as u64)))
+            .collect();
+        let cores = mesh.cores();
+        let vcs = cfg.vcs as usize;
+        Self {
+            cfg,
+            mesh,
+            routing: Routing::Xy,
+            routers,
+            links,
+            dead_links: Vec::new(),
+            inj_queues: (0..cores * vcs).map(|_| VecDeque::new()).collect(),
+            inj_rr: vec![0; cores],
+            cycle: 0,
+            next_flit_id: 0,
+            birth: std::collections::HashMap::new(),
+            stats: SimStats::default(),
+            events: Vec::new(),
+            trace: Vec::new(),
+            poll_buf: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration and attack surface
+    // ------------------------------------------------------------------
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The mesh geometry.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Access a link's fault layer (mount trojans, set transients/stuck-ats).
+    pub fn link_faults_mut(&mut self, link: LinkId) -> &mut LinkFaults {
+        &mut self.links[link.index()].faults
+    }
+
+    /// Immutable view of a link fault layer.
+    pub fn link_faults(&self, link: LinkId) -> &LinkFaults {
+        &self.links[link.index()].faults
+    }
+
+    /// Assert/deassert the kill switch on every mounted trojan.
+    pub fn arm_trojans(&mut self, on: bool) {
+        for l in &mut self.links {
+            if let Some(t) = l.faults.trojan.as_mut() {
+                t.set_kill_switch(on);
+            }
+        }
+    }
+
+    /// Replace the routing function (rerouting baseline).
+    pub fn set_routing(&mut self, routing: Routing) {
+        self.routing = routing;
+    }
+
+    /// Declare links dead: nothing launches on them any more. Combine with
+    /// [`Simulator::set_routing`] so traffic avoids them.
+    pub fn set_dead_links(&mut self, dead: Vec<LinkId>) {
+        self.dead_links = dead;
+    }
+
+    // ------------------------------------------------------------------
+    // Results
+    // ------------------------------------------------------------------
+
+    /// All run statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Events emitted and not yet drained.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Take all pending events.
+    pub fn drain_events(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Clear measurement counters (keep time series and link counts): call
+    /// after a warm-up phase so averages reflect only the steady state.
+    pub fn reset_measurement(&mut self) {
+        self.stats.reset_measurement();
+    }
+
+    /// The traced packet's journey so far (`cfg.trace_packet`).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Audit every router against the flow-control/wormhole invariants
+    /// (NoCAlert-style runtime checking). Returns all violations found;
+    /// an empty vec means the micro-architectural state is sound.
+    pub fn check_invariants(&self) -> Vec<crate::invariants::Violation> {
+        self.routers
+            .iter()
+            .flat_map(|r| crate::invariants::check_router(r, &self.cfg))
+            .collect()
+    }
+
+    /// Flits resident anywhere in the network (buffers, crossbars,
+    /// retransmission slots, descramble holds) — link copies of un-ACKed
+    /// retransmission entries are not double-counted.
+    pub fn resident_flits(&self) -> usize {
+        self.routers.iter().map(Router::resident_flits).sum()
+    }
+
+    /// Flits still waiting in core injection queues.
+    pub fn queued_flits(&self) -> usize {
+        self.inj_queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Length of one core's injection queue for a given VC class.
+    pub fn injection_queue_len(&self, core: usize, vc: u8) -> usize {
+        self.inj_queues[core * self.cfg.vcs as usize + vc as usize].len()
+    }
+
+    /// True when no flit remains anywhere.
+    pub fn is_quiescent(&self) -> bool {
+        self.resident_flits() == 0 && self.queued_flits() == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Run for `cycles` cycles with the given traffic source.
+    pub fn run(&mut self, cycles: u64, source: &mut dyn TrafficSource) {
+        for _ in 0..cycles {
+            self.step(source);
+        }
+    }
+
+    /// Run until every injected flit is delivered (or `max_cycles` passes,
+    /// which indicates saturation/deadlock). Returns true on full drain.
+    pub fn run_to_quiescence(&mut self, max_cycles: u64, source: &mut dyn TrafficSource) -> bool {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            self.step(source);
+            if source.done() && self.is_quiescent() {
+                return true;
+            }
+        }
+        source.done() && self.is_quiescent()
+    }
+
+    /// Advance one cycle: the eight phases in reverse pipeline order.
+    pub fn step(&mut self, source: &mut dyn TrafficSource) {
+        let now = self.cycle;
+        self.phase_link_delivery(now);
+        self.phase_resolve_holds(now);
+        self.phase_acks_and_credits(now);
+        self.phase_launch(now);
+        self.phase_st(now);
+        self.phase_sa(now);
+        self.phase_va_rc(now);
+        self.phase_injection(now, source);
+        if now.is_multiple_of(self.cfg.snapshot_interval) {
+            self.record_snapshot(now);
+        }
+        self.cycle = now + 1;
+    }
+
+    // Phase 1: flits completing link traversal are decoded and judged.
+    fn phase_link_delivery(&mut self, now: u64) {
+        for li in 0..self.links.len() {
+            let Some(lf) = self.links[li].deliver(now) else {
+                continue;
+            };
+            let link = LinkId(li as u16);
+            let (_, dir) = self.mesh.link_source(link);
+            let dst = self.mesh.link_dest(link);
+            let in_port = Port::Net(dir.opposite());
+            self.handle_arrival(now, link, dst, in_port, lf);
+        }
+    }
+
+    fn handle_arrival(&mut self, now: u64, link: LinkId, dst: NodeId, in_port: Port, lf: LinkFlit) {
+        let decode = Secded::decode(lf.codeword);
+        match decode {
+            Decode::Corrected { .. } => self.stats.corrected_faults += 1,
+            Decode::Uncorrectable { .. } => self.stats.uncorrectable_faults += 1,
+            Decode::Clean { .. } => {}
+        }
+        let key = (lf.flit.packet, lf.flit.seq);
+        let obf_info = lf
+            .obf
+            .map(|o| (o.attempt, o.plan.method.undo_penalty()));
+        let mitigation = self.cfg.mitigation;
+        let traced = self.cfg.trace_packet == Some(lf.flit.packet);
+        let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
+        let verdict = unit.detector.on_flit(key, &decode, obf_info);
+
+        let mut accepted = matches!(
+            verdict.action,
+            DetectorAction::Accept | DetectorAction::AcceptObfuscated { .. }
+        );
+        // Receiver-side go-back-N ordering: an accepted flit must be the
+        // next expected one on its VC, else it is NACKed despite decoding
+        // cleanly (the upstream will replay in order).
+        if accepted && !Self::wire_in_order(unit, &lf) {
+            accepted = false;
+        }
+
+        if accepted {
+            Self::wire_advance(unit, &lf);
+            unit.remember_word(lf.flit.id, lf.flit.word);
+            let order = unit.take_order();
+            match verdict.action {
+                DetectorAction::AcceptObfuscated { penalty } => {
+                    let obf = lf.obf.expect("obfuscated accept implies metadata");
+                    if let Some(partner) = obf.partner {
+                        unit.pending_scrambles.push(crate::input::PendingScramble {
+                            flit: lf.flit,
+                            vc: lf.vc,
+                            partner,
+                            arrived: now,
+                            penalty,
+                            order,
+                        });
+                    } else {
+                        unit.delayed.push(crate::input::DelayedEntry {
+                            ready: now + penalty as u64,
+                            vc: lf.vc,
+                            flit: lf.flit,
+                            order,
+                        });
+                    }
+                    self.events.push(SimEvent::ObfuscationSucceeded {
+                        link,
+                        plan: obf.plan,
+                        cycle: now,
+                    });
+                }
+                _ => {
+                    // Preserve order behind any same-VC flits still paying
+                    // an obfuscation stall: queue behind them (the release
+                    // logic in `take_ready_delayed` is order-gated).
+                    let held = unit.delayed.iter().any(|d| d.vc == lf.vc)
+                        || unit.pending_scrambles.iter().any(|p| p.vc == lf.vc);
+                    if held {
+                        unit.delayed.push(crate::input::DelayedEntry {
+                            ready: now,
+                            vc: lf.vc,
+                            flit: lf.flit,
+                            order,
+                        });
+                    } else {
+                        self.routers[dst.index()].buffer_write(in_port, lf.vc, lf.flit, now);
+                    }
+                }
+            }
+            if traced {
+                let outcome = match decode {
+                    Decode::Corrected { .. } => TraceOutcome::CorrectedSingleBit,
+                    _ => TraceOutcome::Clean,
+                };
+                self.trace.push(TraceEvent::Delivered {
+                    cycle: now,
+                    flit: lf.flit.id,
+                    link,
+                    outcome,
+                });
+            }
+            let obf_success = lf.obf.map(|o| o.plan);
+            self.links[link.index()].send_ack(
+                now,
+                AckMsg {
+                    flit: lf.flit.id,
+                    kind: AckKind::Ack { obf_success },
+                },
+            );
+        } else {
+            let lob_attempt = match verdict.action {
+                DetectorAction::RetransmitWithLob { attempt } if mitigation => Some(attempt),
+                _ => None,
+            };
+            if traced {
+                self.trace.push(TraceEvent::Delivered {
+                    cycle: now,
+                    flit: lf.flit.id,
+                    link,
+                    outcome: TraceOutcome::Nacked {
+                        lob_requested: lob_attempt.is_some(),
+                    },
+                });
+            }
+            self.links[link.index()].send_ack(
+                now,
+                AckMsg {
+                    flit: lf.flit.id,
+                    kind: AckKind::Nack { lob_attempt },
+                },
+            );
+        }
+
+        if verdict.run_bist && mitigation {
+            let report = Bist::scan(&mut self.links[link.index()].faults);
+            self.stats.bist_scans += 1;
+            let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
+            unit.detector.on_bist_result(report.passed());
+            self.events.push(SimEvent::BistRan {
+                link,
+                passed: report.passed(),
+                cycle: now,
+            });
+        }
+        // Report classification changes (faults and obfuscation responses
+        // both move the detector's belief).
+        if mitigation {
+            let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
+            let class = unit.detector.link_class();
+            if class != unit.reported_class {
+                unit.reported_class = class;
+                self.events.push(SimEvent::LinkClassified {
+                    link,
+                    class,
+                    cycle: now,
+                });
+            }
+        }
+    }
+
+    /// Wire-side ordering check for an arriving flit: heads may only start
+    /// once the previous packet's wire stream closed; body/tail flits must
+    /// arrive in sequence.
+    fn wire_in_order(unit: &crate::input::InputUnit, lf: &LinkFlit) -> bool {
+        let ivc = &unit.vcs[lf.vc.index()];
+        if lf.flit.kind.carries_header() {
+            ivc.wire_packet.is_none()
+        } else {
+            ivc.wire_packet == Some(lf.flit.packet) && lf.flit.seq == ivc.expected_seq
+        }
+    }
+
+    /// Advance wire-side ordering state after accepting a flit (tracked
+    /// separately from the wormhole state machine, which may lag while the
+    /// head sits in RC/VA).
+    fn wire_advance(unit: &mut crate::input::InputUnit, lf: &LinkFlit) {
+        let ivc = &mut unit.vcs[lf.vc.index()];
+        if lf.flit.kind.closes_packet() {
+            ivc.wire_packet = None;
+            ivc.expected_seq = 0;
+        } else if lf.flit.kind.carries_header() {
+            ivc.wire_packet = Some(lf.flit.packet);
+            ivc.expected_seq = 1;
+        } else {
+            ivc.expected_seq += 1;
+        }
+    }
+
+    // Phase 2: scrambles whose partner arrived + expired undo stalls.
+    fn phase_resolve_holds(&mut self, now: u64) {
+        for r in 0..self.routers.len() {
+            for p in 0..self.routers[r].inputs.len() {
+                self.routers[r].inputs[p].resolve_scrambles(now);
+                let ready = self.routers[r].inputs[p].take_ready_delayed(now);
+                for (vc, flit) in ready {
+                    let port = Port::from_index(p);
+                    self.routers[r].buffer_write(port, vc, flit, now);
+                }
+            }
+        }
+    }
+
+    // Phase 3: ACK/NACK and credit returns reach the upstream output units.
+    fn phase_acks_and_credits(&mut self, now: u64) {
+        for li in 0..self.links.len() {
+            let link = LinkId(li as u16);
+            let (src, dir) = self.mesh.link_source(link);
+            let acks = self.links[li].take_acks(now);
+            let credits = self.links[li].take_credits(now);
+            let out = self.routers[src.index()].outputs[dir.index()]
+                .as_mut()
+                .expect("link implies output unit");
+            for ack in acks {
+                match ack.kind {
+                    AckKind::Ack { obf_success } => {
+                        out.ack(ack.flit, obf_success, now);
+                    }
+                    AckKind::Nack { lob_attempt } => {
+                        out.nack(ack.flit, lob_attempt);
+                        self.stats.retransmissions += 1;
+                    }
+                }
+            }
+            for vc in credits {
+                out.credits[vc.index()] += 1;
+                debug_assert!(out.credits[vc.index()] <= self.cfg.vc_depth);
+            }
+        }
+    }
+
+    // Phase 4: drive retransmission-buffer heads onto idle links.
+    fn phase_launch(&mut self, now: u64) {
+        for li in 0..self.links.len() {
+            let link = LinkId(li as u16);
+            if self.dead_links.contains(&link) || !self.links[li].idle() {
+                continue;
+            }
+            let (src, dir) = self.mesh.link_source(link);
+            let cfg = &self.cfg;
+            let Some(out) = self.routers[src.index()].outputs[dir.index()].as_mut() else {
+                continue;
+            };
+            let Some(idx) = out.select_send(|vc| cfg.tdm_slot_open(vc, now)) else {
+                continue;
+            };
+            if cfg.mitigation {
+                out.maybe_protect(idx);
+            }
+            let obf = out.resolve_obf_for_send(idx);
+            let entry_flit = out.entries[idx].flit;
+            let vc = out.entries[idx].vc;
+            let wire_word = match obf {
+                None => entry_flit.word,
+                Some(ow) => {
+                    let key = ow
+                        .partner
+                        .and_then(|pid| {
+                            out.entries.iter().find(|e| e.flit.id == pid).map(|e| e.flit.word)
+                        })
+                        .unwrap_or(0);
+                    ow.plan.apply(entry_flit.word, key)
+                }
+            };
+            out.mark_sent(idx, now);
+            if self.cfg.trace_packet == Some(entry_flit.packet) {
+                self.trace.push(TraceEvent::Launched {
+                    cycle: now,
+                    flit: entry_flit.id,
+                    link,
+                    obfuscated: obf.map(|o| o.plan),
+                    attempt: obf.map(|o| o.attempt).unwrap_or(0),
+                });
+            }
+            self.links[li].launch(
+                now,
+                LinkFlit {
+                    flit: entry_flit,
+                    codeword: Secded::encode(wire_word),
+                    wire_word,
+                    vc,
+                    obf,
+                },
+            );
+        }
+    }
+
+    // Phase 5: crossbar traversals commit; local ejections deliver.
+    fn phase_st(&mut self, now: u64) {
+        for r in 0..self.routers.len() {
+            let ejections = self.routers[r].st_stage(now);
+            for ej in ejections {
+                if self.cfg.trace_packet == Some(ej.flit.packet) {
+                    self.trace.push(TraceEvent::Ejected {
+                        cycle: now,
+                        flit: ej.flit.id,
+                        router: NodeId(r as u8),
+                    });
+                }
+                self.stats.delivered_flits += 1;
+                if ej.flit.kind.closes_packet() {
+                    self.stats.delivered_packets += 1;
+                    let born = self.birth.remove(&ej.flit.packet).unwrap_or(now);
+                    let latency = now.saturating_sub(born);
+                    self.stats.record_latency(latency);
+                    self.events.push(SimEvent::PacketDelivered {
+                        packet: ej.flit.packet,
+                        src: ej.flit.header.src,
+                        dest: ej.flit.header.dest,
+                        injected_at: born,
+                        delivered_at: now,
+                    });
+                }
+            }
+        }
+    }
+
+    // Phase 6: switch allocation; credits return upstream.
+    fn phase_sa(&mut self, now: u64) {
+        for r in 0..self.routers.len() {
+            let node = NodeId(r as u8);
+            let credits = {
+                let cfg = self.cfg.clone();
+                self.routers[r].sa_stage(now, &cfg)
+            };
+            for cr in credits {
+                // Input port Net(d) at `node` is fed by neighbour(node, d)
+                // over that neighbour's link in direction opposite(d).
+                if let Some(nb) = self.mesh.neighbor(node, cr.in_dir) {
+                    let feeding = self
+                        .mesh
+                        .link_out(nb, cr.in_dir.opposite())
+                        .expect("feeding link exists");
+                    self.links[feeding.index()].send_credit(now, cr.vc);
+                }
+            }
+        }
+    }
+
+    // Phase 7: VC allocation then route computation.
+    fn phase_va_rc(&mut self, now: u64) {
+        let cfg = self.cfg.clone();
+        for r in 0..self.routers.len() {
+            self.routers[r].va_stage(now, &cfg);
+            self.routers[r].rc_stage(now, &self.mesh, &self.routing);
+        }
+    }
+
+    // Phase 8: traffic sources inject; injection queues feed local ports.
+    fn phase_injection(&mut self, now: u64, source: &mut dyn TrafficSource) {
+        self.poll_buf.clear();
+        source.poll(now, &mut self.poll_buf);
+        let conc = self.mesh.concentration();
+        let vcs = self.cfg.vcs as usize;
+        let packets = std::mem::take(&mut self.poll_buf);
+        for pkt in &packets {
+            self.stats.injected_packets += 1;
+            self.birth.insert(pkt.id, pkt.created_at);
+            let flits = pkt.packetize(&mut self.next_flit_id);
+            self.stats.injected_flits += flits.len() as u64;
+            let core = pkt.src.index() * conc as usize + (pkt.thread % conc) as usize;
+            if self.cfg.trace_packet == Some(pkt.id) {
+                for f in &flits {
+                    self.trace.push(TraceEvent::Injected {
+                        cycle: now,
+                        flit: f.id,
+                        core: core as u16,
+                    });
+                }
+            }
+            self.inj_queues[core * vcs + pkt.vc.index()].extend(flits);
+        }
+        self.poll_buf = packets;
+        // One flit per injection port per cycle; round-robin over the
+        // port's VC-class queues so no class starves another.
+        for core in 0..self.inj_rr.len() {
+            let router = core / conc as usize;
+            let port = Port::Local((core % conc as usize) as u8);
+            let start = self.inj_rr[core] as usize;
+            for off in 0..vcs {
+                let v = (start + off) % vcs;
+                let q = core * vcs + v;
+                let Some(f) = self.inj_queues[q].front().copied() else {
+                    continue;
+                };
+                let vc = f.header.vc;
+                debug_assert_eq!(vc.index(), v);
+                let unit = &self.routers[router].inputs[port.index()];
+                let ivc = &unit.vcs[vc.index()];
+                let admit_head = f.kind.carries_header()
+                    && ivc.state == crate::input::VcState::Idle
+                    && ivc.fifo.is_empty();
+                let admit_body = !f.kind.carries_header()
+                    && ivc
+                        .fifo
+                        .back()
+                        .map(|b| b.packet == f.packet)
+                        .unwrap_or(ivc.state != crate::input::VcState::Idle);
+                let has_room = unit.free_slots(vc, self.cfg.vc_depth as usize) > 0;
+                if has_room && (admit_head || admit_body) {
+                    self.inj_queues[q].pop_front();
+                    self.routers[router].buffer_write(port, vc, f, now);
+                    self.inj_rr[core] = ((v + 1) % vcs) as u8;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Total flits queued at one core's injection port (over VC classes).
+    fn core_queue_len(&self, core: usize) -> usize {
+        let vcs = self.cfg.vcs as usize;
+        (0..vcs).map(|v| self.inj_queues[core * vcs + v].len()).sum()
+    }
+
+    fn record_snapshot(&mut self, now: u64) {
+        let conc = self.mesh.concentration() as usize;
+        let mut all_full = 0;
+        let mut half_full = 0;
+        let mut blocked = 0;
+        for r in 0..self.routers.len() {
+            let full_cores = (0..conc)
+                .filter(|c| {
+                    self.core_queue_len(r * conc + c) >= self.cfg.injection_full_threshold
+                })
+                .count();
+            if full_cores == conc {
+                all_full += 1;
+            }
+            if full_cores * 2 > conc {
+                half_full += 1;
+            }
+            if self.routers[r].has_blocked_port(now, self.cfg.blocked_threshold) {
+                blocked += 1;
+            }
+        }
+        self.stats.snapshots.push(Snapshot {
+            cycle: now,
+            input_util: self
+                .routers
+                .iter()
+                .map(Router::network_input_occupancy)
+                .sum(),
+            output_util: self.routers.iter().map(Router::output_occupancy).sum(),
+            injection_util: self.queued_flits(),
+            routers_all_cores_full: all_full,
+            routers_half_cores_full: half_full,
+            routers_blocked_port: blocked,
+        });
+        self.stats.link_flits = self.links.iter().map(|l| l.flits_carried).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{Direction, PacketId, VcId};
+
+    /// Inject a fixed list of packets at their `created_at` cycles.
+    pub struct ListSource {
+        pub packets: Vec<Packet>,
+    }
+
+    impl TrafficSource for ListSource {
+        fn poll(&mut self, cycle: u64, out: &mut Vec<Packet>) {
+            let mut i = 0;
+            while i < self.packets.len() {
+                if self.packets[i].created_at == cycle {
+                    out.push(self.packets.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        fn done(&self) -> bool {
+            self.packets.is_empty()
+        }
+    }
+
+    fn pkt(id: u64, cycle: u64, src: u8, dest: u8, len: u8) -> Packet {
+        // Low 32 bits of the id carry the creation cycle (see created_at_of).
+        Packet::new(
+            PacketId((id << 32) | cycle),
+            NodeId(src),
+            NodeId(dest),
+            VcId(0),
+            0,
+            0,
+            len,
+            cycle,
+        )
+    }
+
+    #[test]
+    fn single_packet_crosses_one_hop() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 1)],
+        };
+        assert!(sim.run_to_quiescence(200, &mut src), "must drain");
+        assert_eq!(sim.stats().delivered_packets, 1);
+        assert_eq!(sim.stats().injected_packets, 1);
+        // 5-stage pipeline × 2 routers + link ≈ 11±few cycles.
+        let lat = sim.stats().avg_latency();
+        assert!((8.0..=16.0).contains(&lat), "latency {lat}");
+    }
+
+    #[test]
+    fn multi_flit_packet_delivers_in_order() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 15, 4)],
+        };
+        assert!(sim.run_to_quiescence(500, &mut src));
+        assert_eq!(sim.stats().delivered_packets, 1);
+        assert_eq!(sim.stats().delivered_flits, 4);
+    }
+
+    #[test]
+    fn many_packets_all_deliver_without_faults() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        let mut packets = Vec::new();
+        for i in 0..40u64 {
+            packets.push(pkt(i + 1, i, (i % 16) as u8, ((i * 7 + 3) % 16) as u8, 4));
+        }
+        let mut src = ListSource { packets };
+        assert!(sim.run_to_quiescence(4000, &mut src), "must drain");
+        assert_eq!(sim.stats().delivered_packets, 40);
+        assert_eq!(sim.stats().delivered_flits, 160);
+        assert_eq!(sim.stats().retransmissions, 0);
+        assert_eq!(sim.stats().uncorrectable_faults, 0);
+    }
+
+    #[test]
+    fn local_traffic_same_router_delivers() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 5, 5, 2)],
+        };
+        assert!(sim.run_to_quiescence(100, &mut src));
+        assert_eq!(sim.stats().delivered_packets, 1);
+    }
+
+    #[test]
+    fn quiescence_detects_undelivered_flits() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 3, 4)],
+        };
+        sim.run(3, &mut src);
+        assert!(!sim.is_quiescent(), "flits still in flight");
+    }
+
+    fn mount_dest_trojan(sim: &mut Simulator, dest: u8) -> LinkId {
+        use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
+        // The XY route 0→1 uses the eastward link out of router 0.
+        let link = sim
+            .mesh()
+            .link_out(NodeId(0), crate::routing::xy_direction(sim.mesh(), NodeId(0), NodeId(dest)))
+            .unwrap();
+        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest)));
+        let faults = std::mem::replace(
+            sim.link_faults_mut(link),
+            LinkFaults::healthy(0),
+        );
+        *sim.link_faults_mut(link) = faults.with_trojan(ht);
+        link
+    }
+
+    #[test]
+    fn armed_trojan_without_mitigation_starves_the_flow() {
+        let mut sim = Simulator::new(SimConfig::paper_unprotected());
+        let link = mount_dest_trojan(&mut sim, 1);
+        sim.arm_trojans(true);
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 1)],
+        };
+        let drained = sim.run_to_quiescence(1000, &mut src);
+        assert!(!drained, "targeted packet must never deliver");
+        assert_eq!(sim.stats().delivered_packets, 0);
+        assert!(sim.stats().retransmissions > 10, "NACK storm expected");
+        assert!(sim.stats().uncorrectable_faults > 10);
+        let _ = link;
+    }
+
+    #[test]
+    fn mitigation_defeats_the_trojan() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        mount_dest_trojan(&mut sim, 1);
+        sim.arm_trojans(true);
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 1)],
+        };
+        let drained = sim.run_to_quiescence(1000, &mut src);
+        assert!(drained, "L-Ob must get the packet through");
+        assert_eq!(sim.stats().delivered_packets, 1);
+        // A handful of retransmissions while the detector converges, then
+        // the obfuscated retry crosses cleanly.
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::ObfuscationSucceeded { .. })));
+    }
+
+    #[test]
+    fn mitigation_handles_multi_flit_targeted_packets() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        mount_dest_trojan(&mut sim, 1);
+        sim.arm_trojans(true);
+        let mut packets: Vec<Packet> = (0..6u64).map(|i| pkt(i + 1, i * 3, 0, 1, 4)).collect();
+        packets.iter_mut().for_each(|p| p.vc = VcId((p.id.0 % 4) as u8));
+        let mut src = ListSource { packets };
+        assert!(sim.run_to_quiescence(4000, &mut src));
+        assert_eq!(sim.stats().delivered_packets, 6);
+        assert_eq!(sim.stats().delivered_flits, 24);
+    }
+
+    #[test]
+    fn disarmed_trojan_never_interferes() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        mount_dest_trojan(&mut sim, 1);
+        // Kill switch stays down.
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 1)],
+        };
+        assert!(sim.run_to_quiescence(200, &mut src));
+        assert_eq!(sim.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn transient_faults_are_corrected_or_retried() {
+        let mut sim = Simulator::new(SimConfig::paper());
+        let link = sim.mesh().link_out(NodeId(0), Direction::East).unwrap();
+        sim.link_faults_mut(link).transient_bit_prob = 0.002;
+        let mut packets = Vec::new();
+        for i in 0..20u64 {
+            packets.push(pkt(i + 1, i * 2, 0, 1, 4));
+        }
+        let mut src = ListSource { packets };
+        assert!(sim.run_to_quiescence(8000, &mut src), "transients must not kill the flow");
+        assert_eq!(sim.stats().delivered_packets, 20);
+        assert!(
+            sim.stats().corrected_faults + sim.stats().uncorrectable_faults > 0,
+            "fault layer must have fired at p=0.002 over 80 flits × 72 bits"
+        );
+    }
+
+    #[test]
+    fn permanent_fault_is_found_by_bist() {
+        use crate::fault::StuckWires;
+        let mut sim = Simulator::new(SimConfig::paper());
+        let link = sim.mesh().link_out(NodeId(0), Direction::East).unwrap();
+        // Stick two wires so SECDED always sees a double error.
+        sim.link_faults_mut(link).stuck = StuckWires {
+            stuck_one: (1 << 10) | (1 << 20),
+            stuck_zero: 0,
+        };
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 1)],
+        };
+        sim.run_to_quiescence(300, &mut src);
+        assert!(
+            sim.events()
+                .iter()
+                .any(|e| matches!(e, SimEvent::BistRan { passed: false, .. })),
+            "BIST must find the stuck wires: {:?}",
+            sim.events()
+        );
+    }
+
+    #[test]
+    fn dead_link_with_table_reroute_still_delivers() {
+        use crate::routing::RouteTables;
+        let mut sim = Simulator::new(SimConfig::paper());
+        let dead = sim.mesh().link_out(NodeId(0), Direction::East).unwrap();
+        let tables = RouteTables::build(sim.mesh(), &[dead]);
+        sim.set_routing(Routing::Table(tables));
+        sim.set_dead_links(vec![dead]);
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 1)],
+        };
+        assert!(sim.run_to_quiescence(300, &mut src));
+        assert_eq!(sim.stats().delivered_packets, 1);
+        // Detour 0→4→5→1 (3 hops instead of 1): latency grows accordingly.
+        assert!(sim.stats().avg_latency() > 15.0);
+    }
+
+    #[test]
+    fn tdm_contains_interference_between_domains() {
+        use crate::config::{QosMode, RetxScheme};
+        let mut cfg = SimConfig::paper();
+        cfg.qos = QosMode::Tdm { domains: 2 };
+        cfg.retx_scheme = RetxScheme::PerVc;
+        let mut sim = Simulator::new(cfg);
+        // Domain 0 (VC 0) and domain 1 (VC 1) flows share the 0→1 link.
+        let mut packets = Vec::new();
+        for i in 0..10u64 {
+            let mut p = pkt(i + 1, i * 4, 0, 1, 2);
+            p.vc = VcId((i % 2) as u8);
+            packets.push(p);
+        }
+        let mut src = ListSource { packets };
+        assert!(sim.run_to_quiescence(2000, &mut src));
+        assert_eq!(sim.stats().delivered_packets, 10);
+    }
+}

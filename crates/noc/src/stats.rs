@@ -1,0 +1,204 @@
+//! Simulation statistics: the time series behind Figs. 11/12 and the
+//! aggregate counters behind Figs. 1, 2, and 10.
+
+use serde::{Deserialize, Serialize};
+
+/// One per-interval sample of network pressure (Figs. 11/12 series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Simulation cycle of the sample.
+    pub cycle: u64,
+    /// Flits buffered across all network input ports.
+    pub input_util: usize,
+    /// Flits held across all output retransmission buffers.
+    pub output_util: usize,
+    /// Flits waiting in core injection queues.
+    pub injection_util: usize,
+    /// Routers whose 4 cores all have full injection queues.
+    pub routers_all_cores_full: usize,
+    /// Routers with more than half their cores' queues full.
+    pub routers_half_cores_full: usize,
+    /// Routers with at least one completely stalled output port.
+    pub routers_blocked_port: usize,
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Statistics time series, one entry per snapshot interval.
+    pub snapshots: Vec<Snapshot>,
+    /// Packets offered by the traffic source.
+    pub injected_packets: u64,
+    /// Packets whose tail reached its destination core.
+    pub delivered_packets: u64,
+    /// Flits offered.
+    pub injected_flits: u64,
+    /// Flits delivered.
+    pub delivered_flits: u64,
+    /// Sum of packet latencies (injection → tail delivery).
+    pub latency_sum: u64,
+    /// Number of latency samples.
+    pub latency_samples: u64,
+    /// Largest observed packet latency.
+    pub latency_max: u64,
+    /// Latency histogram in power-of-two buckets: `histogram[i]` counts
+    /// packets with latency in `[2^i, 2^(i+1))` (bucket 0 holds 0–1).
+    pub latency_histogram: [u64; 32],
+    /// Total retransmissions driven by NACKs, over all links.
+    pub retransmissions: u64,
+    /// Single-bit ECC corrections performed at link ingress.
+    pub corrected_faults: u64,
+    /// Detected-but-uncorrectable ECC events (each triggers a NACK).
+    pub uncorrectable_faults: u64,
+    /// BIST scans performed.
+    pub bist_scans: u64,
+    /// Flits carried per link (Fig. 1(c) traffic shares).
+    pub link_flits: Vec<u64>,
+}
+
+impl SimStats {
+    /// Mean packet latency in cycles (0 when nothing delivered).
+    pub fn avg_latency(&self) -> f64 {
+        if self.latency_samples == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.latency_samples as f64
+        }
+    }
+
+    /// Delivered fraction of injected packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected_packets == 0 {
+            1.0
+        } else {
+            self.delivered_packets as f64 / self.injected_packets as f64
+        }
+    }
+
+    /// Throughput in delivered flits per cycle over `cycles`.
+    pub fn throughput(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.delivered_flits as f64 / cycles as f64
+        }
+    }
+
+    /// Record one packet latency into the aggregate fields.
+    pub fn record_latency(&mut self, latency: u64) {
+        self.latency_sum += latency;
+        self.latency_samples += 1;
+        self.latency_max = self.latency_max.max(latency);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(31);
+        self.latency_histogram[bucket] += 1;
+    }
+
+    /// Approximate latency percentile (0.0–1.0) from the power-of-two
+    /// histogram: the upper bound of the bucket containing the quantile.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.latency_samples == 0 {
+            return 0;
+        }
+        let rank = (q * self.latency_samples as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, count) in self.latency_histogram.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.latency_max
+    }
+
+    /// Clear the measurement counters while keeping the configuration-free
+    /// time series — the standard warm-up discipline: run the warm-up,
+    /// reset, then measure the steady state.
+    pub fn reset_measurement(&mut self) {
+        let snapshots = std::mem::take(&mut self.snapshots);
+        let link_flits = std::mem::take(&mut self.link_flits);
+        *self = SimStats {
+            snapshots,
+            link_flits,
+            ..SimStats::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_ratio_handle_empty_runs() {
+        let s = SimStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.throughput(0), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            injected_packets: 10,
+            delivered_packets: 5,
+            delivered_flits: 20,
+            latency_sum: 100,
+            latency_samples: 5,
+            latency_max: 40,
+            ..SimStats::default()
+        };
+        assert_eq!(s.avg_latency(), 20.0);
+        assert_eq!(s.delivery_ratio(), 0.5);
+        assert_eq!(s.throughput(10), 2.0);
+    }
+
+    #[test]
+    fn latency_histogram_and_percentiles() {
+        let mut s = SimStats::default();
+        for lat in [3u64, 5, 9, 17, 33, 65, 129, 257, 513, 1025] {
+            s.record_latency(lat);
+        }
+        assert_eq!(s.latency_samples, 10);
+        assert_eq!(s.latency_max, 1025);
+        // Each sample lands in its own power-of-two bucket (3→[2,4),
+        // 5→[4,8), …); the 5th of 10 samples is 33, whose bucket's upper
+        // bound is 64, and the 9th is 513 (bound 1024).
+        assert_eq!(s.latency_percentile(0.5), 64);
+        assert_eq!(s.latency_percentile(0.9), 1024);
+        assert_eq!(s.latency_percentile(0.0), 4);
+        let total: u64 = s.latency_histogram.iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn reset_measurement_keeps_series_clears_counters() {
+        let mut s = SimStats {
+            injected_packets: 7,
+            retransmissions: 3,
+            link_flits: vec![1, 2, 3],
+            snapshots: vec![Snapshot {
+                cycle: 5,
+                input_util: 1,
+                output_util: 0,
+                injection_util: 0,
+                routers_all_cores_full: 0,
+                routers_half_cores_full: 0,
+                routers_blocked_port: 0,
+            }],
+            ..SimStats::default()
+        };
+        s.record_latency(12);
+        s.reset_measurement();
+        assert_eq!(s.injected_packets, 0);
+        assert_eq!(s.retransmissions, 0);
+        assert_eq!(s.latency_samples, 0);
+        assert_eq!(s.snapshots.len(), 1, "time series kept");
+        assert_eq!(s.link_flits, vec![1, 2, 3], "link counts kept");
+    }
+
+    #[test]
+    fn percentile_of_empty_stats_is_zero() {
+        assert_eq!(SimStats::default().latency_percentile(0.99), 0);
+    }
+}

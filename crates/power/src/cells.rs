@@ -1,0 +1,123 @@
+//! Per-cell constants for the calibrated TSMC-40 nm model.
+
+use serde::{Deserialize, Serialize};
+
+/// Cell library constants at 1.0 V / 2 GHz. The values are calibrated so
+/// that structural gate counts of the paper's blocks reproduce its
+/// synthesis results; see the crate docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    /// Area of a NAND2-equivalent gate (µm²).
+    pub gate_area: f64,
+    /// Area of a D flip-flop (µm²).
+    pub ff_area: f64,
+    /// Area of one compact comparator bit (XNOR + its share of the match
+    /// tree), µm².
+    pub cmp_bit_area: f64,
+    /// Dynamic power of a gate at activity 1.0 and 2 GHz (µW).
+    pub gate_dyn: f64,
+    /// Dynamic power of a flip-flop including its clock pin (µW).
+    pub ff_dyn: f64,
+    /// Leakage of a gate (nW).
+    pub gate_leak: f64,
+    /// Leakage of a flip-flop (nW).
+    pub ff_leak: f64,
+    /// Leakage of one comparator bit (nW).
+    pub cmp_bit_leak: f64,
+    /// Delay of one logic level (ns).
+    pub level_delay: f64,
+    /// Area of one millimetre of one repeated global wire (µm²), including
+    /// spacing and repeaters.
+    pub wire_area_per_mm: f64,
+    /// Operating frequency (GHz), for documentation and scaling.
+    pub freq_ghz: f64,
+}
+
+impl CellLibrary {
+    /// The calibrated 40 nm library.
+    pub fn tsmc40() -> Self {
+        Self {
+            gate_area: 0.9,
+            ff_area: 3.2,
+            cmp_bit_area: 0.45,
+            gate_dyn: 0.55,
+            ff_dyn: 1.1,
+            gate_leak: 1.0,
+            ff_leak: 2.5,
+            cmp_bit_leak: 0.066,
+            level_delay: 0.03,
+            wire_area_per_mm: 620.0,
+            freq_ghz: 2.0,
+        }
+    }
+
+    /// Rescale the library to another clock under dynamic frequency
+    /// scaling: dynamic power is linear in f (same voltage), leakage and
+    /// area are frequency-independent, and propagation delays don't move —
+    /// only the cycle budget does. The paper notes the TASP "fits well
+    /// within the 0.5 ns window, even for architectures with dynamic
+    /// frequency scaling (DFS)".
+    pub fn at_frequency(&self, ghz: f64) -> Self {
+        assert!(ghz > 0.0);
+        let scale = ghz / self.freq_ghz;
+        Self {
+            gate_dyn: self.gate_dyn * scale,
+            ff_dyn: self.ff_dyn * scale,
+            freq_ghz: ghz,
+            ..*self
+        }
+    }
+
+    /// The clock period in ns at this library's frequency.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.freq_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_constants_are_physical() {
+        let lib = CellLibrary::tsmc40();
+        assert!(lib.gate_area > 0.0 && lib.gate_area < 5.0);
+        assert!(lib.ff_area > lib.gate_area, "FFs are bigger than gates");
+        assert!(lib.ff_leak > lib.gate_leak);
+        assert!(lib.level_delay > 0.0 && lib.level_delay < 0.1);
+        assert_eq!(lib.freq_ghz, 2.0);
+    }
+
+    #[test]
+    fn dfs_scales_dynamic_power_only() {
+        let base = CellLibrary::tsmc40();
+        let slow = base.at_frequency(1.0);
+        assert_eq!(slow.gate_dyn, base.gate_dyn / 2.0);
+        assert_eq!(slow.ff_dyn, base.ff_dyn / 2.0);
+        assert_eq!(slow.gate_leak, base.gate_leak, "leakage is static");
+        assert_eq!(slow.gate_area, base.gate_area, "area is static");
+        assert_eq!(slow.level_delay, base.level_delay, "gates don't speed up");
+        assert_eq!(slow.cycle_ns(), 1.0);
+    }
+
+    #[test]
+    fn tasp_fits_the_lt_window_across_dfs_range() {
+        // The paper's DFS remark: even scaled down to 1 GHz (a 1 ns cycle)
+        // or up to 2.5 GHz (0.4 ns), every TASP variant's comparator path
+        // fits the link-traversal stage.
+        use crate::tasp::TaspPower;
+        for ghz in [1.0, 2.0, 2.5] {
+            let lib = CellLibrary::tsmc40().at_frequency(ghz);
+            let window = lib.cycle_ns();
+            for (kind, p) in TaspPower::new(lib).table1() {
+                assert!(
+                    p.timing_ns < window,
+                    "{} at {ghz} GHz: {:.3} ns ≥ {:.3} ns",
+                    kind.name(),
+                    p.timing_ns,
+                    window
+                );
+            }
+        }
+    }
+}

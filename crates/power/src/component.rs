@@ -1,0 +1,100 @@
+//! The common area/power/timing quadruple and its algebra.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// Area, dynamic power, leakage and critical path of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Power {
+    /// µm².
+    pub area_um2: f64,
+    /// µW at 2 GHz.
+    pub dynamic_uw: f64,
+    /// nW.
+    pub leakage_nw: f64,
+    /// ns (0 for blocks off the critical path).
+    pub timing_ns: f64,
+}
+
+impl Power {
+    /// Construct a quadruple from explicit values.
+    pub fn new(area_um2: f64, dynamic_uw: f64, leakage_nw: f64, timing_ns: f64) -> Self {
+        Self {
+            area_um2,
+            dynamic_uw,
+            leakage_nw,
+            timing_ns,
+        }
+    }
+
+    /// Replicate the block `n` times (areas and powers add; timing is the
+    /// per-instance path, unchanged).
+    pub fn times(self, n: f64) -> Self {
+        Self {
+            area_um2: self.area_um2 * n,
+            dynamic_uw: self.dynamic_uw * n,
+            leakage_nw: self.leakage_nw * n,
+            timing_ns: self.timing_ns,
+        }
+    }
+
+    /// Total power in µW (dynamic + leakage).
+    pub fn total_uw(&self) -> f64 {
+        self.dynamic_uw + self.leakage_nw / 1000.0
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power {
+            area_um2: self.area_um2 + rhs.area_um2,
+            dynamic_uw: self.dynamic_uw + rhs.dynamic_uw,
+            leakage_nw: self.leakage_nw + rhs.leakage_nw,
+            timing_ns: self.timing_ns.max(rhs.timing_ns),
+        }
+    }
+}
+
+impl std::iter::Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_accumulates_and_takes_worst_timing() {
+        let a = Power::new(10.0, 1.0, 100.0, 0.2);
+        let b = Power::new(5.0, 2.0, 50.0, 0.3);
+        let c = a + b;
+        assert_eq!(c.area_um2, 15.0);
+        assert_eq!(c.dynamic_uw, 3.0);
+        assert_eq!(c.leakage_nw, 150.0);
+        assert_eq!(c.timing_ns, 0.3);
+    }
+
+    #[test]
+    fn times_scales_everything_but_timing() {
+        let p = Power::new(2.0, 3.0, 4.0, 0.1).times(10.0);
+        assert_eq!(p.area_um2, 20.0);
+        assert_eq!(p.dynamic_uw, 30.0);
+        assert_eq!(p.leakage_nw, 40.0);
+        assert_eq!(p.timing_ns, 0.1);
+    }
+
+    #[test]
+    fn total_power_merges_units() {
+        let p = Power::new(0.0, 10.0, 2000.0, 0.0);
+        assert_eq!(p.total_uw(), 12.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Power = (0..4).map(|_| Power::new(1.0, 1.0, 1.0, 0.1)).sum();
+        assert_eq!(total.area_um2, 4.0);
+    }
+}

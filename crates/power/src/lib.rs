@@ -1,0 +1,31 @@
+//! Analytical area / power / timing model for the NoC micro-architecture,
+//! the TASP trojan, and the proposed mitigation hardware.
+//!
+//! The paper synthesises its designs with Synopsys Design Compiler on TSMC
+//! 40 nm libraries (1.0 V, 2 GHz). Neither the tool nor the libraries are
+//! redistributable, so this crate provides a **calibrated gate-level
+//! model**: each block is described by its structural content (flip-flops,
+//! comparator bits, mux/XOR datapaths, wire runs) costed with per-cell
+//! constants chosen so the model lands on the paper's published numbers
+//! (Table I, Table II, Figs. 8–9). The *shape* conclusions — which target
+//! variant is biggest, trojan ≪ 1 % of a router, mitigation ≈ 2 % area /
+//! ≈ 6 % power — follow from the structure, not the calibration.
+//!
+//! All areas are in µm², dynamic power in µW, leakage in nW, delay in ns,
+//! at 2 GHz and 1.0 V unless stated otherwise.
+
+pub mod cells;
+pub mod component;
+pub mod mitigation;
+pub mod noc;
+pub mod side_channel;
+pub mod router;
+pub mod tasp;
+
+pub use cells::CellLibrary;
+pub use component::Power;
+pub use mitigation::MitigationPower;
+pub use noc::NocPower;
+pub use side_channel::SideChannelModel;
+pub use router::RouterPower;
+pub use tasp::TaspPower;

@@ -1,0 +1,137 @@
+//! Chip-level aggregation: the right-hand pies of Fig. 8.
+//!
+//! The NoC consists of 16 routers (active area) and 48 inter-router links
+//! whose repeated global wires dominate the footprint. The worst-case
+//! trojan scenario mounts one TASP on every link.
+
+use crate::cells::CellLibrary;
+use crate::component::Power;
+use crate::router::RouterPower;
+use crate::tasp::TaspPower;
+use noc_trojan::TargetKind;
+use serde::{Deserialize, Serialize};
+
+/// NoC-level structural parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocParams {
+    /// Number of routers.
+    pub routers: u32,
+    /// Number of unidirectional links.
+    pub links: u32,
+    /// Wires per link (flit width + ECC check bits).
+    pub wires_per_link: u32,
+    /// Physical link length in mm (tile pitch of a 4-core tile at 40 nm).
+    pub link_length_mm: f64,
+}
+
+impl NocParams {
+    /// The paper platform: 16 routers, 48 links, 72-wire 1.77 mm links.
+    pub fn paper() -> Self {
+        Self {
+            routers: 16,
+            links: 48,
+            wires_per_link: 72,
+            link_length_mm: 1.77,
+        }
+    }
+}
+
+/// Chip-level cost aggregation.
+#[derive(Debug, Clone, Copy)]
+pub struct NocPower {
+    /// Chip-level parameters.
+    pub params: NocParams,
+    /// The router cost model in use.
+    pub router: RouterPower,
+    lib: CellLibrary,
+}
+
+impl NocPower {
+    /// The paper-configured chip model.
+    pub fn paper() -> Self {
+        Self {
+            params: NocParams::paper(),
+            router: RouterPower::paper(),
+            lib: CellLibrary::tsmc40(),
+        }
+    }
+
+    /// Total active (router) area.
+    pub fn active_area(&self) -> f64 {
+        self.router.total().area_um2 * self.params.routers as f64
+    }
+
+    /// Total global-wire area of all links.
+    pub fn wire_area(&self) -> f64 {
+        self.params.links as f64
+            * self.params.wires_per_link as f64
+            * self.params.link_length_mm
+            * self.lib.wire_area_per_mm
+    }
+
+    /// One TASP instance (the worst-case `Full` comparator).
+    pub fn tasp(&self) -> Power {
+        TaspPower::new(self.lib).variant(TargetKind::Full)
+    }
+
+    /// Fig. 8 "NoC Area" pie: (TASP on every link, global wire, active).
+    pub fn area_shares(&self) -> (f64, f64, f64) {
+        let tasp_all = self.tasp().area_um2 * self.params.links as f64;
+        let total = tasp_all + self.wire_area() + self.active_area();
+        (
+            tasp_all / total,
+            self.wire_area() / total,
+            self.active_area() / total,
+        )
+    }
+
+    /// Fig. 8 "NoC Dynamic Power" pie: (routers, TASP on all 48 links).
+    pub fn dynamic_shares(&self) -> (f64, f64) {
+        let routers = self.router.total().dynamic_uw * self.params.routers as f64;
+        let tasp_all = self.tasp().dynamic_uw * self.params.links as f64;
+        let total = routers + tasp_all;
+        (routers / total, tasp_all / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wires_dominate_noc_area_like_figure8() {
+        let noc = NocPower::paper();
+        let (tasp, wire, active) = noc.area_shares();
+        // Paper pie: wires 86 %, active 13 %, TASP (all links) ~1 %.
+        assert!((wire - 0.86).abs() < 0.03, "wire share {wire:.3}");
+        assert!((active - 0.13).abs() < 0.03, "active share {active:.3}");
+        assert!(tasp < 0.01, "48 trojans are ~0.1 % of chip area: {tasp:.4}");
+    }
+
+    #[test]
+    fn routers_take_virtually_all_dynamic_power() {
+        let noc = NocPower::paper();
+        let (routers, tasp_all) = noc.dynamic_shares();
+        // Paper: routers 99.44 %, TASP on all 48 links 0.56 %.
+        assert!((routers - 0.9944).abs() < 0.002, "router share {routers:.4}");
+        assert!((tasp_all - 0.0056).abs() < 0.002, "tasp share {tasp_all:.4}");
+    }
+
+    #[test]
+    fn shares_are_probability_distributions() {
+        let noc = NocPower::paper();
+        let (a, b, c) = noc.area_shares();
+        assert!((a + b + c - 1.0).abs() < 1e-12);
+        let (d, e) = noc.dynamic_shares();
+        assert!((d + e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mounting_trojans_everywhere_stays_feasible() {
+        // The paper's point: even 48 trojans are a rounding error, which is
+        // why injection of multiple HTs is feasible for an attacker.
+        let noc = NocPower::paper();
+        let budget = noc.tasp().times(noc.params.links as f64);
+        assert!(budget.area_um2 < noc.active_area() * 0.01);
+    }
+}

@@ -1,0 +1,203 @@
+//! Router cost model: the Fig. 8 component breakdown.
+//!
+//! Paper router: 8 ports (4 network + 4 local), 4 VCs × 4 × 64-bit buffer
+//! slots per port, an 8×8 64-bit crossbar, separable round-robin
+//! allocators, retransmission buffers, and the clock tree. The published
+//! dynamic-power split is buffers 71 %, crossbar 18 %, switch allocator
+//! 4 %, clock 6 %; leakage splits 88 % / 9 % / 3 % / ~0 %.
+
+use crate::cells::CellLibrary;
+use crate::component::Power;
+use serde::{Deserialize, Serialize};
+
+/// Per-component breakdown of one router.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterPower {
+    /// Input + retransmission buffer arrays.
+    pub buffers: Power,
+    /// The ports x ports flit-wide crossbar.
+    pub crossbar: Power,
+    /// VC + switch allocators.
+    pub allocators: Power,
+    /// Clock tree.
+    pub clock: Power,
+}
+
+/// Router structural parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterParams {
+    /// Ports per router (4 network + locals).
+    pub ports: u32,
+    /// Virtual channels per port.
+    pub vcs: u32,
+    /// Buffer slots per VC.
+    pub vc_depth: u32,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+    /// Retransmission slots per network output (stored at codeword width).
+    pub retx_slots: u32,
+    /// Network output ports carrying retransmission buffers.
+    pub net_outputs: u32,
+}
+
+impl RouterParams {
+    /// The paper router: 8 ports, 4 VCs x 4 x 64-bit slots.
+    pub fn paper() -> Self {
+        Self {
+            ports: 8,
+            vcs: 4,
+            vc_depth: 4,
+            flit_bits: 64,
+            retx_slots: 4,
+            net_outputs: 4,
+        }
+    }
+}
+
+impl RouterPower {
+    /// Cost a router with the given structure.
+    pub fn model(lib: &CellLibrary, p: &RouterParams) -> Self {
+        // --- Buffers: input VC FIFOs + retransmission buffers ------------
+        let input_bits = (p.ports * p.vcs * p.vc_depth * p.flit_bits) as f64;
+        let retx_bits = (p.net_outputs * p.retx_slots * (p.flit_bits + 8)) as f64;
+        let buffer_ffs = input_bits + retx_bits;
+        // FIFO control: head/tail pointers and credit counters per VC.
+        let buffer_gates = (p.ports * p.vcs) as f64 * 30.0;
+        let buffers = Power {
+            area_um2: buffer_ffs * lib.ff_area * 0.92 + buffer_gates * lib.gate_area,
+            // Storage switches on every write/read; average activity over
+            // the whole array is low but the array is huge.
+            dynamic_uw: buffer_ffs * lib.ff_dyn,
+            leakage_nw: buffer_ffs * lib.ff_leak + buffer_gates * lib.gate_leak,
+            timing_ns: 3.0 * lib.level_delay,
+        };
+        // --- Crossbar: ports × ports muxes at flit width ------------------
+        let xbar_gates = (p.ports * p.ports * p.flit_bits) as f64;
+        let crossbar = Power {
+            area_um2: xbar_gates * lib.gate_area * 0.8,
+            dynamic_uw: buffers.dynamic_uw * 18.0 / 71.0,
+            leakage_nw: buffers.leakage_nw * 9.0 / 88.0,
+            timing_ns: 4.0 * lib.level_delay,
+        };
+        // --- Allocators: VA + SA round-robin trees ------------------------
+        let alloc_gates = (p.ports * p.vcs) as f64 * (p.ports as f64) * 14.0;
+        let allocators = Power {
+            area_um2: alloc_gates * lib.gate_area,
+            dynamic_uw: buffers.dynamic_uw * 4.0 / 71.0,
+            leakage_nw: buffers.leakage_nw * 3.0 / 88.0,
+            timing_ns: 6.0 * lib.level_delay,
+        };
+        // --- Clock tree ----------------------------------------------------
+        let clock = Power {
+            area_um2: (buffers.area_um2 + crossbar.area_um2) * 0.04,
+            dynamic_uw: buffers.dynamic_uw * 6.0 / 71.0,
+            leakage_nw: buffers.leakage_nw * 0.002,
+            timing_ns: 0.0,
+        };
+        Self {
+            buffers,
+            crossbar,
+            allocators,
+            clock,
+        }
+    }
+
+    /// The paper's router.
+    pub fn paper() -> Self {
+        Self::model(&CellLibrary::tsmc40(), &RouterParams::paper())
+    }
+
+    /// The total over all components.
+    pub fn total(&self) -> Power {
+        self.buffers + self.crossbar + self.allocators + self.clock
+    }
+
+    /// `(name, dynamic share, leakage share)` rows of the Fig. 8 pies.
+    pub fn shares(&self) -> Vec<(&'static str, f64, f64)> {
+        let t = self.total();
+        let row = |name, p: Power| {
+            (
+                name,
+                p.dynamic_uw / t.dynamic_uw,
+                p.leakage_nw / t.leakage_nw,
+            )
+        };
+        vec![
+            row("Buffer", self.buffers),
+            row("Crossbar", self.crossbar),
+            row("Switch allocator", self.allocators),
+            row("Clock", self.clock),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_shares_match_figure8() {
+        let r = RouterPower::paper();
+        let shares = r.shares();
+        let pct: Vec<f64> = shares.iter().map(|(_, d, _)| d * 100.0).collect();
+        // Paper: buffer 71, crossbar 18, SA 4, clock 6 (TASP takes the
+        // remaining ~1 % when mounted; see NocPower).
+        assert!((pct[0] - 71.7).abs() < 2.0, "buffer {:.1}%", pct[0]);
+        assert!((pct[1] - 18.2).abs() < 2.0, "crossbar {:.1}%", pct[1]);
+        assert!((pct[2] - 4.0).abs() < 1.5, "allocator {:.1}%", pct[2]);
+        assert!((pct[3] - 6.1).abs() < 1.5, "clock {:.1}%", pct[3]);
+    }
+
+    #[test]
+    fn leakage_shares_match_figure8() {
+        let r = RouterPower::paper();
+        let shares = r.shares();
+        let pct: Vec<f64> = shares.iter().map(|(_, _, l)| l * 100.0).collect();
+        // Paper: buffer 88, crossbar 9, SA 3, clock ~0.
+        assert!((pct[0] - 88.0).abs() < 2.5, "buffer {:.1}%", pct[0]);
+        assert!((pct[1] - 9.0).abs() < 2.0, "crossbar {:.1}%", pct[1]);
+        assert!((pct[2] - 3.0).abs() < 1.5, "allocator {:.1}%", pct[2]);
+        assert!(pct[3] < 1.0, "clock {:.1}%", pct[3]);
+    }
+
+    #[test]
+    fn buffers_dominate_area() {
+        let r = RouterPower::paper();
+        let t = r.total();
+        assert!(r.buffers.area_um2 / t.area_um2 > 0.6);
+        // Router active area in a plausible 40 nm band (tens of kµm²).
+        assert!(t.area_um2 > 15_000.0 && t.area_um2 < 80_000.0, "{}", t.area_um2);
+    }
+
+    #[test]
+    fn single_tasp_is_below_one_percent_of_router() {
+        use crate::tasp::TaspPower;
+        use noc_trojan::TargetKind;
+        let router = RouterPower::paper().total();
+        let tasp = TaspPower::new(CellLibrary::tsmc40()).variant(TargetKind::Full);
+        assert!(tasp.area_um2 / router.area_um2 < 0.01);
+        assert!(tasp.dynamic_uw / router.dynamic_uw < 0.01);
+        assert!(tasp.leakage_nw / router.leakage_nw < 0.01);
+    }
+
+    #[test]
+    fn timing_fits_2ghz() {
+        let r = RouterPower::paper();
+        assert!(r.total().timing_ns <= 0.5);
+    }
+
+    #[test]
+    fn bigger_routers_cost_more() {
+        let lib = CellLibrary::tsmc40();
+        let small = RouterPower::model(&lib, &RouterParams::paper()).total();
+        let big = RouterPower::model(
+            &lib,
+            &RouterParams {
+                vcs: 8,
+                ..RouterParams::paper()
+            },
+        )
+        .total();
+        assert!(big.area_um2 > small.area_um2 * 1.5);
+    }
+}

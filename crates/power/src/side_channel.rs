@@ -1,0 +1,125 @@
+//! Side-channel detectability of a dormant TASP (§V-A: "The static power
+//! cost of a HT is important because when the HT is idle, it remains the
+//! only visible characteristic that is detectable").
+//!
+//! Model: a measurement compares a suspect chip's idle (leakage) power
+//! against a golden distribution whose standard deviation comes from
+//! process variation. The trojan is detectable when its added leakage
+//! rises above the measurement noise floor — the classic SNR test of the
+//! current-integration literature the paper cites ([16]).
+
+use crate::cells::CellLibrary;
+use crate::router::RouterPower;
+use crate::tasp::TaspPower;
+use noc_trojan::TargetKind;
+use serde::{Deserialize, Serialize};
+
+/// Side-channel measurement context.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SideChannelModel {
+    /// Relative process-variation σ of a router's leakage (die-to-die
+    /// leakage spread at 40 nm is large; 3–10 % within-die after
+    /// calibration is typical for the localized analyses of [16]).
+    pub leakage_sigma_frac: f64,
+    /// Number of averaged measurements (averaging shrinks noise by √n).
+    pub measurements: u32,
+    /// Detection threshold in σ (e.g. 3σ for a 99.7 % test).
+    pub threshold_sigma: f64,
+}
+
+impl Default for SideChannelModel {
+    fn default() -> Self {
+        Self {
+            leakage_sigma_frac: 0.05,
+            measurements: 100,
+            threshold_sigma: 3.0,
+        }
+    }
+}
+
+impl SideChannelModel {
+    /// Signal-to-noise ratio of one dormant TASP against one router's
+    /// leakage distribution: `added leakage / (σ_router / √n)`.
+    pub fn snr(&self, tasp_leak_nw: f64, router_leak_nw: f64) -> f64 {
+        let sigma = router_leak_nw * self.leakage_sigma_frac;
+        let noise = sigma / (self.measurements as f64).sqrt();
+        tasp_leak_nw / noise
+    }
+
+    /// Whether a dormant trojan with this leakage clears the detection
+    /// threshold.
+    pub fn detectable(&self, tasp_leak_nw: f64, router_leak_nw: f64) -> bool {
+        self.snr(tasp_leak_nw, router_leak_nw) >= self.threshold_sigma
+    }
+
+    /// The attacker's design rule (§III-B: the FSM "should be large to
+    /// camouflage its intentions, but small to decrease the amount of
+    /// power hungry flip-flops needed to avoid side-channel analysis
+    /// detection"): the widest payload counter whose idle leakage stays
+    /// below the threshold, for a given comparator variant. Returns `None`
+    /// if even `Y = 1` is detectable under this measurement context.
+    pub fn max_stealthy_y(&self, kind: TargetKind) -> Option<u8> {
+        let router_leak = RouterPower::paper().total().leakage_nw;
+        (1..=10u8)
+            .take_while(|y| {
+                let tasp = TaspPower::new(CellLibrary::tsmc40())
+                    .with_y_bits(*y as u32)
+                    .variant(kind);
+                !self.detectable(tasp.leakage_nw, router_leak)
+            })
+            .last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_cannot_see_a_paper_sized_tasp() {
+        // Table I leakage (~15–30 nW) against a router leaking ~28 µW with
+        // 5 % spread: the trojan hides under the noise even with heavy
+        // averaging — the paper's feasibility argument.
+        let m = SideChannelModel::default();
+        let router = RouterPower::paper().total().leakage_nw;
+        for (_, p) in TaspPower::new(CellLibrary::tsmc40()).table1() {
+            assert!(!m.detectable(p.leakage_nw, router), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn snr_grows_with_averaging() {
+        let base = SideChannelModel::default();
+        let heavy = SideChannelModel {
+            measurements: 10_000,
+            ..base
+        };
+        let router = RouterPower::paper().total().leakage_nw;
+        assert!(heavy.snr(30.0, router) > base.snr(30.0, router) * 9.0);
+    }
+
+    #[test]
+    fn a_bloated_payload_counter_eventually_shows_up() {
+        // Tight calibration (1 % spread, 10⁶ averaged samples) makes large
+        // counters visible — the attacker's reason to keep Y small.
+        let tight = SideChannelModel {
+            leakage_sigma_frac: 0.01,
+            measurements: 1_000_000,
+            threshold_sigma: 3.0,
+        };
+        let max = tight.max_stealthy_y(TargetKind::Dest);
+        assert!(max.is_none() || max.unwrap() < 10, "{max:?}");
+        // And the stealth budget shrinks as measurements improve.
+        let loose = SideChannelModel::default();
+        let loose_max = loose.max_stealthy_y(TargetKind::Dest).unwrap_or(0);
+        let tight_max = tight.max_stealthy_y(TargetKind::Dest).unwrap_or(0);
+        assert!(loose_max >= tight_max);
+    }
+
+    #[test]
+    fn snr_is_linear_in_the_trojan_leakage() {
+        let m = SideChannelModel::default();
+        let router = 28_000.0;
+        assert!((m.snr(60.0, router) - 2.0 * m.snr(30.0, router)).abs() < 1e-9);
+    }
+}

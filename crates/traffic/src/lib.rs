@@ -1,0 +1,24 @@
+//! Traffic generation: synthetic patterns and application-trace models.
+//!
+//! The paper drives its simulator with "real traffic distributions from the
+//! PARSEC and SPLASH-2 benchmark suites". Those gate-level traces are not
+//! redistributable, so this crate provides **seeded synthetic models** whose
+//! src×dest distributions reproduce the *shape* the paper reports for them
+//! (Fig. 1): a primary router acting as the application's master, traffic
+//! mass decaying with hop distance from it, and a handful of hot links.
+//! DESIGN.md §2 records the substitution argument.
+//!
+//! Every generator implements [`noc_sim::TrafficSource`] and is fully
+//! deterministic given its seed.
+
+pub mod app;
+pub mod flood;
+pub mod matrix;
+pub mod synthetic;
+pub mod trace;
+
+pub use app::{AppModel, AppSpec};
+pub use flood::FloodAttack;
+pub use matrix::TrafficMatrix;
+pub use trace::{Recorder, Replay, Trace};
+pub use synthetic::{Pattern, SyntheticTraffic};

@@ -1,0 +1,157 @@
+//! Traffic-matrix extraction for the Fig. 1 harness: src×dest packet
+//! counts, per-source geographic totals, and analytical per-link shares
+//! under XY routing.
+
+use crate::app::AppModel;
+use noc_sim::TrafficSource;
+use noc_types::{LinkId, Mesh, NodeId, Packet};
+
+/// Measured src×dest packet counts plus derived views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMatrix {
+    /// Number of routers (matrix dimension).
+    pub routers: usize,
+    /// `counts[src][dest]` in packets.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl TrafficMatrix {
+    /// An all-zero matrix for `routers` routers.
+    pub fn zero(routers: usize) -> Self {
+        Self {
+            routers,
+            counts: vec![vec![0; routers]; routers],
+        }
+    }
+
+    /// Sample `cycles` of generation from an application model (no network
+    /// simulation needed: Fig. 1 characterises the offered load).
+    pub fn sample(model: &mut AppModel, cycles: u64) -> Self {
+        let routers = model.mesh().routers();
+        let mut m = Self::zero(routers);
+        let mut buf: Vec<Packet> = Vec::new();
+        for c in 0..cycles {
+            buf.clear();
+            model.poll(c, &mut buf);
+            for p in &buf {
+                m.counts[p.src.index()][p.dest.index()] += 1;
+            }
+        }
+        m
+    }
+
+    /// Total packets sent by each source router (Fig. 1(b) hot spots).
+    pub fn source_totals(&self) -> Vec<u64> {
+        self.counts.iter().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Total packets in the matrix.
+    pub fn total(&self) -> u64 {
+        self.source_totals().iter().sum()
+    }
+
+    /// Per-link traffic share (fraction of all hops crossing each link)
+    /// under XY routing — Fig. 1(c).
+    pub fn link_shares_xy(&self, mesh: &Mesh) -> Vec<f64> {
+        let mut hops = vec![0u64; mesh.links()];
+        for s in 0..self.routers {
+            for d in 0..self.routers {
+                let n = self.counts[s][d];
+                if n == 0 || s == d {
+                    continue;
+                }
+                for link in noc_sim::routing::xy_path(mesh, NodeId(s as u8), NodeId(d as u8)) {
+                    hops[link.index()] += n;
+                }
+            }
+        }
+        let total: u64 = hops.iter().sum();
+        hops.iter()
+            .map(|&h| {
+                if total == 0 {
+                    0.0
+                } else {
+                    h as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// The `n` busiest links under XY routing, hottest first.
+    pub fn hottest_links_xy(&self, mesh: &Mesh, n: usize) -> Vec<(LinkId, f64)> {
+        let shares = self.link_shares_xy(mesh);
+        let mut idx: Vec<usize> = (0..shares.len()).collect();
+        idx.sort_by(|a, b| shares[*b].partial_cmp(&shares[*a]).expect("no NaN"));
+        idx.into_iter()
+            .take(n)
+            .map(|i| (LinkId(i as u16), shares[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppSpec;
+
+    fn sampled() -> (TrafficMatrix, Mesh) {
+        let mesh = Mesh::paper();
+        let mut model = AppModel::new(AppSpec::blackscholes(), mesh.clone(), 7);
+        (TrafficMatrix::sample(&mut model, 3000), mesh)
+    }
+
+    #[test]
+    fn matrix_has_no_self_traffic() {
+        let (m, _) = sampled();
+        assert!(m.total() > 100, "enough samples");
+        for r in 0..m.routers {
+            assert_eq!(m.counts[r][r], 0);
+        }
+    }
+
+    #[test]
+    fn primary_column_is_hottest() {
+        let (m, _) = sampled();
+        let primary = AppSpec::blackscholes().primary.index();
+        let col = |d: usize| -> u64 { (0..m.routers).map(|s| m.counts[s][d]).sum() };
+        let primary_mass = col(primary);
+        for d in 0..m.routers {
+            if d != primary {
+                assert!(primary_mass >= col(d), "dest {d} beats the primary");
+            }
+        }
+    }
+
+    #[test]
+    fn link_shares_sum_to_one() {
+        let (m, mesh) = sampled();
+        let shares = m.link_shares_xy(&mesh);
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(shares.len(), 48);
+    }
+
+    #[test]
+    fn hottest_links_cluster_near_the_primary() {
+        let (m, mesh) = sampled();
+        let hot = m.hottest_links_xy(&mesh, 5);
+        assert_eq!(hot.len(), 5);
+        // Every hot link's endpoint lies within 2 hops of the primary.
+        let primary = AppSpec::blackscholes().primary;
+        for (link, share) in hot {
+            assert!(share > 0.0);
+            let (src, _) = mesh.link_source(link);
+            let dst = mesh.link_dest(link);
+            let d = mesh
+                .hop_distance(src, primary)
+                .min(mesh.hop_distance(dst, primary));
+            assert!(d <= 2, "hot link {link:?} is {d} hops from the primary");
+        }
+    }
+
+    #[test]
+    fn source_totals_match_total() {
+        let (m, _) = sampled();
+        assert_eq!(m.source_totals().iter().sum::<u64>(), m.total());
+    }
+}

@@ -1,0 +1,108 @@
+//! Post-fabrication detectability of a TASP instance (§III-A's "Hardware
+//! Trojan Triggering" analysis, made quantitative).
+//!
+//! Two classic detection avenues and why TASP is built to dodge both:
+//!
+//! * **Logic testing** drives random/structured vectors through the link
+//!   hoping to *trigger* the trojan and observe the corruption. A
+//!   combinational trigger watching `k` bits fires on a random vector
+//!   with probability `2^-k` — trivial to catch for the 1–3-gate trojans
+//!   of prior work, hopeless for a 32–42-bit comparator. And TASP's
+//!   external kill switch makes the point moot: with `killsw` down during
+//!   manufacturing test, the trigger probability is exactly zero.
+//! * **Side-channel analysis** looks for the trojan's electrical
+//!   footprint; while dormant, idle leakage "remains the only visible
+//!   characteristic that is detectable" (§V-A). See
+//!   `noc_power::side_channel` for the SNR model; this module provides
+//!   the trigger-exposure side.
+
+use crate::target::TargetKind;
+
+/// Probability that one uniformly random test vector on the link triggers
+/// a comparator watching `k` bits (no kill switch).
+pub fn trigger_probability(kind: TargetKind) -> f64 {
+    0.5f64.powi(kind.comparator_bits() as i32)
+}
+
+/// Number of independent random vectors needed to trigger the trojan at
+/// least once with confidence `conf` (no kill switch). Returns `None`
+/// when the requirement overflows practical budgets (> 2^60 vectors).
+pub fn vectors_for_confidence(kind: TargetKind, conf: f64) -> Option<u64> {
+    assert!((0.0..1.0).contains(&conf));
+    let p = trigger_probability(kind);
+    // n ≥ ln(1-conf) / ln(1-p)
+    let n = (1.0 - conf).ln() / (1.0 - p).ln();
+    if !n.is_finite() || n > (1u64 << 60) as f64 {
+        None
+    } else {
+        Some(n.ceil() as u64)
+    }
+}
+
+/// Expected triggers observed during a logic-test campaign of `vectors`
+/// random vectors, with and without the kill switch.
+pub fn expected_triggers(kind: TargetKind, vectors: u64, kill_switch_up: bool) -> f64 {
+    if !kill_switch_up {
+        // The externally driven kill switch is down during manufacturing
+        // test — the whole point of requiring two enabling sources.
+        return 0.0;
+    }
+    vectors as f64 * trigger_probability(kind)
+}
+
+/// The prior-work comparison (§II: link trojans "limited to a small number
+/// of logic gates (1–3)" where "logic testing should have a high
+/// probability of triggering"): trigger width of a g-gate combinational
+/// trojan, roughly 2 watched bits per gate.
+pub fn small_trojan_trigger_bits(gates: u32) -> u32 {
+    2 * gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_probability_halves_per_bit() {
+        assert_eq!(trigger_probability(TargetKind::Vc), 0.25);
+        assert_eq!(trigger_probability(TargetKind::Dest), 1.0 / 16.0);
+        assert!(trigger_probability(TargetKind::Mem) < 1e-9);
+        assert!(trigger_probability(TargetKind::Full) < 1e-12);
+    }
+
+    #[test]
+    fn narrow_comparators_are_caught_quickly_wide_ones_never() {
+        // A VC-watching trojan (2 bits) is triggered within a handful of
+        // vectors; prior work's 1–3 gate trojans (2–6 bits) within ~200.
+        assert!(vectors_for_confidence(TargetKind::Vc, 0.95).unwrap() <= 16);
+        assert!(vectors_for_confidence(TargetKind::DestSrc, 0.95).unwrap() <= 800);
+        // A 32-bit memory comparator needs ~13 billion vectors for 95%.
+        let mem = vectors_for_confidence(TargetKind::Mem, 0.95).unwrap();
+        assert!(mem > 1_000_000_000, "{mem}");
+        // The full 42-bit comparator is beyond any practical campaign at
+        // link rate, and well beyond 2^40 vectors.
+        let full = vectors_for_confidence(TargetKind::Full, 0.95).unwrap();
+        assert!(full > (1u64 << 40), "{full}");
+    }
+
+    #[test]
+    fn kill_switch_zeroes_logic_test_exposure() {
+        for kind in TargetKind::ALL {
+            assert_eq!(expected_triggers(kind, u64::MAX >> 1, false), 0.0);
+        }
+        // Armed, the expectation is vectors × p.
+        assert!((expected_triggers(TargetKind::Vc, 100, true) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prior_work_small_trojans_are_trivially_exposed() {
+        // 1–3 gates ⇒ 2–6 watched bits ⇒ 95% detection within hundreds of
+        // vectors — which is §II's argument for why [15]'s model is weak.
+        for gates in 1..=3 {
+            let bits = small_trojan_trigger_bits(gates);
+            let p = 0.5f64.powi(bits as i32);
+            let n = ((1.0f64 - 0.95).ln() / (1.0 - p).ln()).ceil();
+            assert!(n <= 200.0, "gates {gates}: {n}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The TASP hardware trojan: **t**arget-**a**ctivated **s**equential-**p**ayload.
+//!
+//! TASP is the paper's attack model — a light-weight trojan implanted on a
+//! router-to-router link that
+//!
+//! 1. sits **idle** until an externally driven *kill switch* is asserted
+//!    (which also keeps post-silicon logic testing from ever triggering it),
+//! 2. then goes **active**, performing deep packet inspection on every flit
+//!    crossing the link with a comparator over a tunable slice of the header
+//!    (src / dest / dest+src / memory address / VC / the full 42 bits),
+//! 3. and on sighting its target goes **attacking**: an XOR tree flips
+//!    exactly **two** codeword bits — enough for SECDED to *detect* but not
+//!    *correct* — forcing a switch-to-switch retransmission. A Y-bit payload
+//!    counter FSM walks the flip positions across the wires on every
+//!    injection so the faults masquerade as transients and the link escapes
+//!    permanent-fault classification.
+//!
+//! The result is a denial-of-service attack powered by the victim's own
+//! fault-tolerance machinery: every retransmission burns link bandwidth,
+//! blocks the retransmission buffer, drains credits, and builds the
+//! back-pressure tree that ultimately deadlocks the chip.
+
+pub mod detection;
+pub mod payload;
+pub mod target;
+pub mod tasp;
+
+pub use payload::PayloadFsm;
+pub use target::{FieldMatch, TargetKind, TargetSpec};
+pub use tasp::{TaspConfig, TaspHt, TaspState, TaspStats};

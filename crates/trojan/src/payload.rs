@@ -1,0 +1,220 @@
+//! The Y-bit sequential payload counter.
+//!
+//! On every fault injection the trojan must pick **which two wires** to
+//! corrupt. Injecting on the same wires repeatedly would let a fault-aware
+//! architecture classify the link as permanently broken (and route around
+//! it, ending the attack), so TASP drives the XOR tree from a small FSM that
+//! *shifts* the flip positions between injections — disguising its faults as
+//! transients. The counter width `Y` is a design-time knob: more states mean
+//! better camouflage but more power-hungry flip-flops for side-channel
+//! analysis to spot (the paper's Fig. 3 draws the 2-bit, four-state case
+//! PL0..PL3).
+//!
+//! The FSM holds its state while the target is absent — it only advances on
+//! injection, which both saves power and spreads the reuse of any one wire
+//! pair over a longer window.
+
+use serde::{Deserialize, Serialize};
+
+/// Sequential payload-state counter. Each state deterministically maps to a
+/// pair of distinct codeword wire positions for the XOR tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PayloadFsm {
+    /// Counter width in bits (`Y` in the paper). `2^y` payload states.
+    y_bits: u8,
+    /// Current payload state, `0 .. 2^y`.
+    state: u16,
+    /// Width of the protected wire bundle the XOR tree can reach
+    /// (72 for a Hamming(72,64) link).
+    wire_bits: u8,
+    /// Number of injections performed (diagnostics / tests).
+    injections: u64,
+}
+
+impl PayloadFsm {
+    /// A new FSM with `y_bits`-wide counter over a `wire_bits`-wide link.
+    ///
+    /// # Panics
+    /// Panics if `y_bits` is 0 or greater than 10 (1024 states is already
+    /// far beyond any sensible hardware budget), or `wire_bits < 2`.
+    pub fn new(y_bits: u8, wire_bits: u8) -> Self {
+        assert!((1..=10).contains(&y_bits), "Y must be in 1..=10");
+        assert!(wire_bits >= 2, "need at least two wires to flip");
+        Self {
+            y_bits,
+            state: 0,
+            wire_bits,
+            injections: 0,
+        }
+    }
+
+    /// Number of distinct payload states (`2^Y`).
+    #[inline]
+    pub fn num_states(&self) -> u16 {
+        1 << self.y_bits
+    }
+
+    #[inline]
+    /// Counter width in bits (`Y` in the paper).
+    pub fn y_bits(&self) -> u8 {
+        self.y_bits
+    }
+
+    #[inline]
+    /// Current payload state index.
+    pub fn state(&self) -> u16 {
+        self.state
+    }
+
+    #[inline]
+    /// Lifetime injection count.
+    pub fn injections(&self) -> u64 {
+        self.injections
+    }
+
+    /// The wire pair the XOR tree would flip in payload state `s`.
+    ///
+    /// The mapping scatters pairs across the bundle with a multiplicative
+    /// hash so consecutive states hit distant wires — in hardware this is
+    /// just a fixed wiring pattern between the counter and the XOR tree.
+    pub fn positions_for(&self, s: u16) -> (u8, u8) {
+        let w = self.wire_bits as u32;
+        let h = (s as u32).wrapping_mul(2654435761) >> 16;
+        let a = h % w;
+        // Offset derived from a second hash, guaranteed nonzero mod w so the
+        // two positions are always distinct.
+        let h2 = (s as u32 ^ 0xBEEF).wrapping_mul(40503) >> 8;
+        let off = 1 + (h2 % (w - 1));
+        let b = (a + off) % w;
+        debug_assert_ne!(a, b);
+        (a as u8, b as u8)
+    }
+
+    /// Current flip pair without advancing (the FSM "holds the payload state
+    /// until the next fault injection").
+    #[inline]
+    pub fn current_positions(&self) -> (u8, u8) {
+        self.positions_for(self.state)
+    }
+
+    /// Perform one injection: return the flip pair for the *current* state,
+    /// then advance to the next payload state.
+    pub fn inject(&mut self) -> (u8, u8) {
+        let pair = self.current_positions();
+        self.state = (self.state + 1) % self.num_states();
+        self.injections += 1;
+        pair
+    }
+
+    /// Reset to PL0 (used when the kill switch is dropped).
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// The 128-bit XOR mask over the codeword for the current state.
+    pub fn mask_for(&self, s: u16) -> u128 {
+        let (a, b) = self.positions_for(s);
+        (1u128 << a) | (1u128 << b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn four_state_fsm_cycles_pl0_to_pl3() {
+        let mut fsm = PayloadFsm::new(2, 72);
+        assert_eq!(fsm.num_states(), 4);
+        let states: Vec<u16> = (0..8)
+            .map(|_| {
+                let s = fsm.state();
+                fsm.inject();
+                s
+            })
+            .collect();
+        assert_eq!(states, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(fsm.injections(), 8);
+    }
+
+    #[test]
+    fn positions_are_always_distinct_and_on_the_wire() {
+        for y in 1..=8 {
+            let fsm = PayloadFsm::new(y, 72);
+            for s in 0..fsm.num_states() {
+                let (a, b) = fsm.positions_for(s);
+                assert_ne!(a, b, "y={y} state={s}");
+                assert!(a < 72 && b < 72);
+            }
+        }
+    }
+
+    #[test]
+    fn masks_have_exactly_two_bits() {
+        let fsm = PayloadFsm::new(4, 72);
+        for s in 0..fsm.num_states() {
+            assert_eq!(fsm.mask_for(s).count_ones(), 2);
+        }
+    }
+
+    #[test]
+    fn consecutive_injections_move_the_fault_location() {
+        // The whole point of the sequential payload: the wire pair shifts
+        // between injections so the faults look transient.
+        let mut fsm = PayloadFsm::new(4, 72);
+        let mut pairs = HashSet::new();
+        for _ in 0..fsm.num_states() {
+            pairs.insert(fsm.inject());
+        }
+        // With 16 states we expect substantially more than one distinct pair;
+        // require at least half to be unique (hash collisions allowed).
+        assert!(pairs.len() >= 8, "only {} distinct pairs", pairs.len());
+    }
+
+    #[test]
+    fn state_holds_between_injections() {
+        let mut fsm = PayloadFsm::new(2, 72);
+        let before = fsm.current_positions();
+        // Peeking doesn't advance.
+        assert_eq!(fsm.current_positions(), before);
+        assert_eq!(fsm.inject(), before);
+        assert_ne!(fsm.state(), 0);
+    }
+
+    #[test]
+    fn reset_returns_to_pl0() {
+        let mut fsm = PayloadFsm::new(3, 72);
+        fsm.inject();
+        fsm.inject();
+        fsm.reset();
+        assert_eq!(fsm.state(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Y must be in 1..=10")]
+    fn zero_width_counter_rejected() {
+        PayloadFsm::new(0, 72);
+    }
+
+    proptest! {
+        #[test]
+        fn inject_never_repeats_position_within_a_pair(y in 1u8..=10, w in 2u8..=72) {
+            let mut fsm = PayloadFsm::new(y, w);
+            for _ in 0..64 {
+                let (a, b) = fsm.inject();
+                prop_assert!(a != b);
+                prop_assert!(a < w && b < w);
+            }
+        }
+
+        #[test]
+        fn fsm_is_periodic_with_period_num_states(y in 1u8..=6) {
+            let mut fsm = PayloadFsm::new(y, 72);
+            let first: Vec<_> = (0..fsm.num_states()).map(|_| fsm.inject()).collect();
+            let second: Vec<_> = (0..fsm.num_states()).map(|_| fsm.inject()).collect();
+            prop_assert_eq!(first, second);
+        }
+    }
+}

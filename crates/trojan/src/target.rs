@@ -1,0 +1,289 @@
+//! The TASP target block: comparators over the head-flit wire word.
+//!
+//! The paper evaluates six comparator configurations, each watching a
+//! different slice of the 42-bit header material; the slice width drives the
+//! trojan's area and power (Fig. 9 / Table I):
+//!
+//! | variant    | fields compared | width (bits) |
+//! |------------|-----------------|--------------|
+//! | `Full`     | src+dest+vc+mem | 42           |
+//! | `Dest`     | dest            | 4            |
+//! | `Src`      | src             | 4            |
+//! | `DestSrc`  | dest+src        | 8            |
+//! | `Mem`      | memory address  | 32           |
+//! | `Vc`       | virtual channel | 2            |
+//!
+//! Matching is performed against the *wire word* — the bits physically on
+//! the link. This is the hook the L-Ob defence exploits: once the upstream
+//! router obfuscates the flit, the comparator sees garbage and the trojan
+//! never triggers.
+
+use noc_types::header::{Header, HeaderLayout};
+use serde::{Deserialize, Serialize};
+use std::ops::RangeInclusive;
+
+/// Which preset comparator the trojan was manufactured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// The full 42-bit header comparator.
+    Full,
+    /// Destination-router comparator (4 bits).
+    Dest,
+    /// Source-router comparator (4 bits).
+    Src,
+    /// Source+destination comparator (8 bits).
+    DestSrc,
+    /// Memory-address comparator (32 bits).
+    Mem,
+    /// Virtual-channel comparator (2 bits).
+    Vc,
+}
+
+impl TargetKind {
+    /// All variants, in the order the paper's Fig. 9 / Table I list them.
+    pub const ALL: [TargetKind; 6] = [
+        TargetKind::Full,
+        TargetKind::Dest,
+        TargetKind::Src,
+        TargetKind::DestSrc,
+        TargetKind::Mem,
+        TargetKind::Vc,
+    ];
+
+    /// Comparator width in bits — the area/power driver.
+    pub fn comparator_bits(self) -> u32 {
+        match self {
+            TargetKind::Full => HeaderLayout::FULL_BITS,
+            TargetKind::Dest => HeaderLayout::DEST_BITS,
+            TargetKind::Src => HeaderLayout::SRC_BITS,
+            TargetKind::DestSrc => HeaderLayout::DEST_BITS + HeaderLayout::SRC_BITS,
+            TargetKind::Mem => HeaderLayout::MEM_BITS,
+            TargetKind::Vc => HeaderLayout::VC_BITS,
+        }
+    }
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetKind::Full => "Full",
+            TargetKind::Dest => "Dest",
+            TargetKind::Src => "Src",
+            TargetKind::DestSrc => "Dest_Src",
+            TargetKind::Mem => "Mem",
+            TargetKind::Vc => "VC",
+        }
+    }
+}
+
+/// A single-field match: exact value or inclusive range (the paper allows
+/// comparators tuned to "any combination or ranges").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldMatch<T> {
+    /// Match a single exact value.
+    Exact(T),
+    /// Match any value in an inclusive range.
+    Range(RangeInclusive<T>),
+}
+
+impl<T: PartialOrd + Copy> FieldMatch<T> {
+    #[inline]
+    /// Whether `v` satisfies this field match.
+    pub fn matches(&self, v: T) -> bool {
+        match self {
+            FieldMatch::Exact(x) => v == *x,
+            FieldMatch::Range(r) => r.contains(&v),
+        }
+    }
+}
+
+/// The programmed target: any combination of header fields. A `None` field is
+/// "don't care". An all-`None` spec matches every header flit (a maximally
+/// indiscriminate trojan).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TargetSpec {
+    /// Source-router constraint (None = do not care).
+    pub src: Option<FieldMatch<u8>>,
+    /// Destination-router constraint.
+    pub dest: Option<FieldMatch<u8>>,
+    /// VC-class constraint.
+    pub vc: Option<FieldMatch<u8>>,
+    /// Memory-address constraint.
+    pub mem: Option<FieldMatch<u32>>,
+}
+
+impl TargetSpec {
+    /// Target every packet destined for router `dest` (the paper's running
+    /// example: disrupt the application pinned near one primary core).
+    pub fn dest(dest: u8) -> Self {
+        Self {
+            dest: Some(FieldMatch::Exact(dest)),
+            ..Self::default()
+        }
+    }
+
+    /// Target every packet issued by router `src`.
+    pub fn src(src: u8) -> Self {
+        Self {
+            src: Some(FieldMatch::Exact(src)),
+            ..Self::default()
+        }
+    }
+
+    /// Target one specific flow.
+    pub fn flow(src: u8, dest: u8) -> Self {
+        Self {
+            src: Some(FieldMatch::Exact(src)),
+            dest: Some(FieldMatch::Exact(dest)),
+            ..Self::default()
+        }
+    }
+
+    /// Target a memory address range (e.g. one application's heap).
+    pub fn mem_range(range: RangeInclusive<u32>) -> Self {
+        Self {
+            mem: Some(FieldMatch::Range(range)),
+            ..Self::default()
+        }
+    }
+
+    /// The preset comparator kind this spec most closely corresponds to,
+    /// used by the power model to cost the comparator.
+    pub fn kind(&self) -> TargetKind {
+        match (
+            self.src.is_some(),
+            self.dest.is_some(),
+            self.vc.is_some(),
+            self.mem.is_some(),
+        ) {
+            (true, true, _, true) => TargetKind::Full,
+            (true, true, _, false) => TargetKind::DestSrc,
+            (true, false, false, false) => TargetKind::Src,
+            (false, true, false, false) => TargetKind::Dest,
+            (false, false, false, true) => TargetKind::Mem,
+            (false, false, true, false) => TargetKind::Vc,
+            // Mixed/sparse combinations: cost as the widest field watched.
+            _ => {
+                if self.mem.is_some() {
+                    TargetKind::Mem
+                } else if self.src.is_some() {
+                    TargetKind::Src
+                } else if self.dest.is_some() {
+                    TargetKind::Dest
+                } else {
+                    TargetKind::Vc
+                }
+            }
+        }
+    }
+
+    /// Compare the programmed target against a header-carrying wire word.
+    /// Fields the comparator does not watch are ignored.
+    pub fn matches_wire(&self, wire_word: u64) -> bool {
+        let h = Header::unpack(wire_word);
+        self.matches_header(&h)
+    }
+
+    /// Compare against an already-decoded header.
+    pub fn matches_header(&self, h: &Header) -> bool {
+        self.src.as_ref().is_none_or(|m| m.matches(h.src.0))
+            && self.dest.as_ref().is_none_or(|m| m.matches(h.dest.0))
+            && self.vc.as_ref().is_none_or(|m| m.matches(h.vc.0))
+            && self.mem.as_ref().is_none_or(|m| m.matches(h.mem_addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::ids::{NodeId, VcId};
+
+    fn hdr(src: u8, dest: u8, vc: u8, mem: u32) -> Header {
+        Header {
+            src: NodeId(src),
+            dest: NodeId(dest),
+            vc: VcId(vc),
+            mem_addr: mem,
+            thread: 0,
+            len: 1,
+        }
+    }
+
+    #[test]
+    fn comparator_widths_match_the_paper() {
+        assert_eq!(TargetKind::Full.comparator_bits(), 42);
+        assert_eq!(TargetKind::Dest.comparator_bits(), 4);
+        assert_eq!(TargetKind::Src.comparator_bits(), 4);
+        assert_eq!(TargetKind::DestSrc.comparator_bits(), 8);
+        assert_eq!(TargetKind::Mem.comparator_bits(), 32);
+        assert_eq!(TargetKind::Vc.comparator_bits(), 2);
+    }
+
+    #[test]
+    fn dest_target_matches_only_its_router() {
+        let t = TargetSpec::dest(9);
+        assert!(t.matches_wire(hdr(0, 9, 0, 0).pack()));
+        assert!(t.matches_wire(hdr(5, 9, 3, 0xFFFF).pack()));
+        assert!(!t.matches_wire(hdr(9, 8, 0, 0).pack()));
+    }
+
+    #[test]
+    fn flow_target_requires_both_endpoints() {
+        let t = TargetSpec::flow(2, 7);
+        assert!(t.matches_wire(hdr(2, 7, 0, 0).pack()));
+        assert!(!t.matches_wire(hdr(2, 6, 0, 0).pack()));
+        assert!(!t.matches_wire(hdr(3, 7, 0, 0).pack()));
+    }
+
+    #[test]
+    fn mem_range_target() {
+        let t = TargetSpec::mem_range(0x1000..=0x1FFF);
+        assert!(t.matches_wire(hdr(0, 1, 0, 0x1000).pack()));
+        assert!(t.matches_wire(hdr(0, 1, 0, 0x1ABC).pack()));
+        assert!(!t.matches_wire(hdr(0, 1, 0, 0x2000).pack()));
+    }
+
+    #[test]
+    fn empty_spec_matches_everything() {
+        let t = TargetSpec::default();
+        assert!(t.matches_wire(hdr(3, 3, 1, 77).pack()));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(TargetSpec::dest(1).kind(), TargetKind::Dest);
+        assert_eq!(TargetSpec::src(1).kind(), TargetKind::Src);
+        assert_eq!(TargetSpec::flow(1, 2).kind(), TargetKind::DestSrc);
+        assert_eq!(TargetSpec::mem_range(0..=10).kind(), TargetKind::Mem);
+        let full = TargetSpec {
+            src: Some(FieldMatch::Exact(1)),
+            dest: Some(FieldMatch::Exact(2)),
+            vc: Some(FieldMatch::Exact(0)),
+            mem: Some(FieldMatch::Exact(5)),
+        };
+        assert_eq!(full.kind(), TargetKind::Full);
+        let vc_only = TargetSpec {
+            vc: Some(FieldMatch::Exact(1)),
+            ..TargetSpec::default()
+        };
+        assert_eq!(vc_only.kind(), TargetKind::Vc);
+    }
+
+    #[test]
+    fn obfuscated_wire_word_defeats_the_comparator() {
+        // Inverting the wire word (one of the L-Ob methods) garbles the
+        // fields the comparator unpacks.
+        let t = TargetSpec::dest(9);
+        let clean = hdr(0, 9, 0, 0).pack();
+        assert!(t.matches_wire(clean));
+        assert!(!t.matches_wire(!clean));
+    }
+
+    #[test]
+    fn field_match_range_and_exact() {
+        assert!(FieldMatch::Exact(4u8).matches(4));
+        assert!(!FieldMatch::Exact(4u8).matches(5));
+        assert!(FieldMatch::Range(2u8..=6).matches(2));
+        assert!(FieldMatch::Range(2u8..=6).matches(6));
+        assert!(!FieldMatch::Range(2u8..=6).matches(7));
+    }
+}

@@ -1,0 +1,336 @@
+//! The assembled TASP trojan: target block + payload FSM + XOR tree,
+//! governed by the idle / active / attacking state machine of Fig. 3.
+
+use crate::payload::PayloadFsm;
+use crate::target::{TargetKind, TargetSpec};
+use serde::{Deserialize, Serialize};
+
+/// Operating state of the trojan (Fig. 3's FSM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaspState {
+    /// Kill switch de-asserted: completely dormant (only leakage power is
+    /// observable — the sole side channel while idle).
+    Idle,
+    /// Kill switch asserted: snooping every flit for the target.
+    Active,
+    /// Target sighted on the current flit: the XOR tree is firing.
+    Attacking,
+}
+
+/// Design-time configuration of one TASP instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaspConfig {
+    /// What the comparator watches.
+    pub target: TargetSpec,
+    /// Payload counter width `Y` (camouflage vs. area trade-off).
+    pub y_bits: u8,
+    /// Protected wire-bundle width the XOR tree can reach (72 for
+    /// Hamming(72,64) links).
+    pub wire_bits: u8,
+    /// Minimum cycles between injections. The paper's evaluation injects
+    /// "every 10 cycles or so" once triggered; `0` attacks every sighting.
+    pub cooldown: u32,
+}
+
+impl TaspConfig {
+    /// Paper-default trojan: four payload states over a 72-bit link, no
+    /// cooldown, target supplied by the attacker.
+    pub fn new(target: TargetSpec) -> Self {
+        Self {
+            target,
+            y_bits: 2,
+            wire_bits: 72,
+            cooldown: 0,
+        }
+    }
+
+    /// Set the payload-counter width.
+    pub fn with_y_bits(mut self, y: u8) -> Self {
+        self.y_bits = y;
+        self
+    }
+
+    /// Set the minimum cycles between injections.
+    pub fn with_cooldown(mut self, cycles: u32) -> Self {
+        self.cooldown = cycles;
+        self
+    }
+}
+
+/// Lifetime counters for analysis and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaspStats {
+    /// Header flits inspected while active.
+    pub inspections: u64,
+    /// Times the comparator matched.
+    pub sightings: u64,
+    /// Fault masks actually emitted (sightings minus cooldown suppressions).
+    pub injections: u64,
+}
+
+/// One manufactured TASP instance mounted on a link.
+///
+/// ```
+/// use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
+/// use noc_types::{Header, NodeId, VcId};
+///
+/// let mut ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(9)));
+/// let wire = Header {
+///     src: NodeId(0), dest: NodeId(9), vc: VcId(0),
+///     mem_addr: 0, thread: 0, len: 1,
+/// }.pack();
+///
+/// // Dormant until the externally driven kill switch goes up — which is
+/// // also what hides it from post-silicon logic testing.
+/// assert_eq!(ht.snoop(0, wire, true), None);
+///
+/// ht.set_kill_switch(true);
+/// let mask = ht.snoop(1, wire, true).expect("target sighted");
+/// assert_eq!(mask.count_ones(), 2, "exactly the SECDED-defeating two bits");
+///
+/// // The next injection shifts the fault location (sequential payload).
+/// assert_ne!(ht.snoop(2, wire, true), Some(mask));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaspHt {
+    config: TaspConfig,
+    fsm: PayloadFsm,
+    killsw: bool,
+    state: TaspState,
+    /// Cycle of the last injection, for cooldown accounting.
+    last_injection: Option<u64>,
+    stats: TaspStats,
+}
+
+impl TaspHt {
+    /// Manufacture a trojan instance (kill switch down).
+    pub fn new(config: TaspConfig) -> Self {
+        let fsm = PayloadFsm::new(config.y_bits, config.wire_bits);
+        Self {
+            config,
+            fsm,
+            killsw: false,
+            state: TaspState::Idle,
+            last_injection: None,
+            stats: TaspStats::default(),
+        }
+    }
+
+    /// Assert/deassert the externally driven kill switch (the backdoor).
+    /// Dropping it returns the trojan to `Idle` and resets the payload FSM,
+    /// exactly the `!killsw | 0` arcs of Fig. 3.
+    pub fn set_kill_switch(&mut self, on: bool) {
+        self.killsw = on;
+        if on {
+            if self.state == TaspState::Idle {
+                self.state = TaspState::Active;
+            }
+        } else {
+            self.state = TaspState::Idle;
+            self.fsm.reset();
+        }
+    }
+
+    #[inline]
+    /// Whether the kill switch is asserted.
+    pub fn kill_switch(&self) -> bool {
+        self.killsw
+    }
+
+    #[inline]
+    /// Current FSM state.
+    pub fn state(&self) -> TaspState {
+        self.state
+    }
+
+    #[inline]
+    /// Lifetime counters.
+    pub fn stats(&self) -> TaspStats {
+        self.stats
+    }
+
+    #[inline]
+    /// The manufactured configuration.
+    pub fn config(&self) -> &TaspConfig {
+        &self.config
+    }
+
+    /// Comparator kind (for the power model).
+    pub fn target_kind(&self) -> TargetKind {
+        self.config.target.kind()
+    }
+
+    /// Inspect one flit crossing the link at `cycle`.
+    ///
+    /// `wire_word` is the 64-bit data word physically on the link —
+    /// post-obfuscation if the upstream router applied L-Ob.
+    /// `carries_header` mirrors the side-band head-flit indicator real links
+    /// expose; TASP's deep packet inspection keys on header flits.
+    ///
+    /// Returns the XOR mask (over the 72-bit codeword) to apply, or `None`
+    /// when the trojan does not fire. Every returned mask has **exactly two
+    /// bits set** — the SECDED-defeating signature.
+    pub fn snoop(&mut self, cycle: u64, wire_word: u64, carries_header: bool) -> Option<u128> {
+        if !self.killsw {
+            debug_assert_eq!(self.state, TaspState::Idle);
+            return None;
+        }
+        if !carries_header {
+            // Body/tail flits carry payload bits; the comparator ignores
+            // them (it would otherwise false-fire on random data).
+            self.state = TaspState::Active;
+            return None;
+        }
+        self.stats.inspections += 1;
+        if !self.config.target.matches_wire(wire_word) {
+            self.state = TaspState::Active;
+            return None;
+        }
+        self.stats.sightings += 1;
+        // Cooldown: hold fire if the last injection was too recent. The
+        // trojan stays `Active` (scanning) rather than `Attacking`.
+        if let Some(last) = self.last_injection {
+            if cycle.saturating_sub(last) < self.config.cooldown as u64 {
+                self.state = TaspState::Active;
+                return None;
+            }
+        }
+        self.state = TaspState::Attacking;
+        self.last_injection = Some(cycle);
+        self.stats.injections += 1;
+        let (a, b) = self.fsm.inject();
+        Some((1u128 << a) | (1u128 << b))
+    }
+
+    /// Current payload state (PL index) — exposed for the ablation benches.
+    pub fn payload_state(&self) -> u16 {
+        self.fsm.state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::header::Header;
+    use noc_types::ids::{NodeId, VcId};
+
+    fn wire(src: u8, dest: u8) -> u64 {
+        Header {
+            src: NodeId(src),
+            dest: NodeId(dest),
+            vc: VcId(0),
+            mem_addr: 0,
+            thread: 0,
+            len: 1,
+        }
+        .pack()
+    }
+
+    fn trojan(dest: u8) -> TaspHt {
+        TaspHt::new(TaspConfig::new(TargetSpec::dest(dest)))
+    }
+
+    #[test]
+    fn idle_until_kill_switch() {
+        let mut ht = trojan(9);
+        assert_eq!(ht.state(), TaspState::Idle);
+        // Even a perfect target sighting does nothing while idle — this is
+        // what protects the trojan from logic testing.
+        assert_eq!(ht.snoop(0, wire(0, 9), true), None);
+        assert_eq!(ht.stats().inspections, 0);
+        ht.set_kill_switch(true);
+        assert_eq!(ht.state(), TaspState::Active);
+    }
+
+    #[test]
+    fn fires_exactly_two_bit_mask_on_target() {
+        let mut ht = trojan(9);
+        ht.set_kill_switch(true);
+        let mask = ht.snoop(1, wire(0, 9), true).expect("must fire");
+        assert_eq!(mask.count_ones(), 2);
+        assert_eq!(ht.state(), TaspState::Attacking);
+        assert_eq!(ht.stats().injections, 1);
+    }
+
+    #[test]
+    fn ignores_non_target_headers() {
+        let mut ht = trojan(9);
+        ht.set_kill_switch(true);
+        assert_eq!(ht.snoop(1, wire(0, 5), true), None);
+        assert_eq!(ht.state(), TaspState::Active);
+        assert_eq!(ht.stats().inspections, 1);
+        assert_eq!(ht.stats().sightings, 0);
+    }
+
+    #[test]
+    fn ignores_payload_flits() {
+        let mut ht = trojan(9);
+        ht.set_kill_switch(true);
+        // A payload word that would decode to the target header must not fire.
+        assert_eq!(ht.snoop(1, wire(0, 9), false), None);
+        assert_eq!(ht.stats().inspections, 0);
+    }
+
+    #[test]
+    fn dropping_kill_switch_resets() {
+        let mut ht = trojan(9);
+        ht.set_kill_switch(true);
+        ht.snoop(1, wire(0, 9), true);
+        let pl = ht.payload_state();
+        assert_ne!(pl, 0);
+        ht.set_kill_switch(false);
+        assert_eq!(ht.state(), TaspState::Idle);
+        assert_eq!(ht.payload_state(), 0);
+        assert_eq!(ht.snoop(2, wire(0, 9), true), None);
+    }
+
+    #[test]
+    fn masks_shift_across_injections() {
+        let mut ht = trojan(9);
+        ht.set_kill_switch(true);
+        let m1 = ht.snoop(1, wire(0, 9), true).unwrap();
+        let m2 = ht.snoop(2, wire(0, 9), true).unwrap();
+        assert_ne!(m1, m2, "sequential payload must move the fault");
+    }
+
+    #[test]
+    fn cooldown_suppresses_rapid_fire() {
+        let mut ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(9)).with_cooldown(10));
+        ht.set_kill_switch(true);
+        assert!(ht.snoop(100, wire(0, 9), true).is_some());
+        assert!(ht.snoop(105, wire(0, 9), true).is_none());
+        assert_eq!(ht.state(), TaspState::Active);
+        assert!(ht.snoop(110, wire(0, 9), true).is_some());
+        assert_eq!(ht.stats().sightings, 3);
+        assert_eq!(ht.stats().injections, 2);
+    }
+
+    #[test]
+    fn injected_mask_defeats_secded() {
+        use noc_ecc::{flip_bits, Secded};
+        let mut ht = trojan(9);
+        ht.set_kill_switch(true);
+        let word = wire(3, 9);
+        let mask = ht.snoop(0, word, true).unwrap();
+        let corrupted = flip_bits(Secded::encode(word), mask);
+        assert!(
+            Secded::decode(corrupted).needs_retransmission(),
+            "two-bit TASP fault must be detected-but-uncorrectable"
+        );
+    }
+
+    #[test]
+    fn obfuscated_word_bypasses_the_trojan() {
+        let mut ht = trojan(9);
+        ht.set_kill_switch(true);
+        let word = wire(3, 9);
+        assert!(ht.snoop(0, word, true).is_some());
+        // Inversion (one of the L-Ob methods) hides the target.
+        assert!(ht.snoop(1, !word, true).is_none());
+    }
+
+    #[test]
+    fn target_kind_is_exposed_for_power_model() {
+        assert_eq!(trojan(1).target_kind(), TargetKind::Dest);
+    }
+}

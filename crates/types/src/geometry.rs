@@ -1,0 +1,401 @@
+//! Mesh geometry: coordinates, directions, ports, and link numbering.
+//!
+//! The evaluation platform is a `k × k` 2-D mesh (4×4 in the paper) with a
+//! concentration factor `c` (4 cores per router). Every adjacent router pair
+//! is joined by **two unidirectional links**, one per direction; [`Mesh`]
+//! assigns each a stable [`LinkId`] so trojans, fault injectors, and
+//! statistics can all name "the +x link out of router 5" unambiguously.
+
+use crate::ids::{CoreId, LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A router position in the mesh. `x` grows eastward, `y` grows northward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column (grows eastward).
+    pub x: u8,
+    /// Row (grows northward).
+    pub y: u8,
+}
+
+impl Coord {
+    #[inline]
+    /// A new coordinate.
+    pub fn new(x: u8, y: u8) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (hop) distance between two router positions.
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+/// One of the four mesh directions. The paper labels these ±x / ±y; we use
+/// compass names with East = +x and North = +y.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward +x.
+    East,
+    /// Toward -x.
+    West,
+    /// Toward +y.
+    North,
+    /// Toward -y.
+    South,
+}
+
+impl Direction {
+    /// All directions in a fixed iteration order (matches port numbering).
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+    ];
+
+    /// The direction a flit travels on the reverse link.
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+        }
+    }
+
+    /// Unit step in this direction as `(dx, dy)`.
+    #[inline]
+    pub fn delta(self) -> (i8, i8) {
+        match self {
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+            Direction::North => (0, 1),
+            Direction::South => (0, -1),
+        }
+    }
+
+    /// Stable small index (used for port arrays).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+        }
+    }
+}
+
+/// A router port: either one of the four network directions or a local
+/// (core injection/ejection) port. With concentration 4 each router has four
+/// local ports, indexed `0..4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Port {
+    /// Network port facing the given direction.
+    Net(Direction),
+    /// Local port for the `n`-th concentrated core on this router.
+    Local(u8),
+}
+
+impl Port {
+    /// Dense index for port arrays: network ports first (0..4), then locals.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Port::Net(d) => d.index(),
+            Port::Local(n) => 4 + n as usize,
+        }
+    }
+
+    /// Inverse of [`Port::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Port {
+        match i {
+            0 => Port::Net(Direction::East),
+            1 => Port::Net(Direction::West),
+            2 => Port::Net(Direction::North),
+            3 => Port::Net(Direction::South),
+            n => Port::Local((n - 4) as u8),
+        }
+    }
+
+    /// Whether this is a local (core) port.
+    #[inline]
+    pub fn is_local(self) -> bool {
+        matches!(self, Port::Local(_))
+    }
+}
+
+/// Geometry of a concentrated 2-D mesh.
+///
+/// Link numbering: for every router in row-major order and every direction in
+/// [`Direction::ALL`] order, the outgoing link (if the neighbour exists) gets
+/// the next [`LinkId`]. A 4×4 mesh therefore has 48 links, ids `0..48`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    width: u8,
+    height: u8,
+    concentration: u8,
+    /// `link_ids[router][direction] == Some(id)` when the neighbour exists.
+    link_ids: Vec<[Option<LinkId>; 4]>,
+    /// Reverse map: link id → (source router, direction).
+    link_ends: Vec<(NodeId, Direction)>,
+}
+
+impl Mesh {
+    /// Build a `width × height` mesh with `concentration` cores per router.
+    ///
+    /// # Panics
+    /// Panics if the mesh has more than 16 routers (the wire header encodes
+    /// router ids in 4 bits, per the paper) or any dimension is zero.
+    pub fn new(width: u8, height: u8, concentration: u8) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        assert!(
+            (width as usize) * (height as usize) <= 16,
+            "wire header encodes router ids in 4 bits; at most 16 routers"
+        );
+        assert!(concentration >= 1, "concentration must be at least 1");
+        let routers = width as usize * height as usize;
+        let mut link_ids = vec![[None; 4]; routers];
+        let mut link_ends = Vec::new();
+        for r in 0..routers {
+            let node = NodeId(r as u8);
+            for dir in Direction::ALL {
+                let here = Self::coord_of_raw(width, r);
+                let (dx, dy) = dir.delta();
+                let nx = here.x as i16 + dx as i16;
+                let ny = here.y as i16 + dy as i16;
+                if nx < 0 || ny < 0 || nx >= width as i16 || ny >= height as i16 {
+                    continue;
+                }
+                let id = LinkId(link_ends.len() as u16);
+                link_ids[r][dir.index()] = Some(id);
+                link_ends.push((node, dir));
+            }
+        }
+        Self {
+            width,
+            height,
+            concentration,
+            link_ids,
+            link_ends,
+        }
+    }
+
+    /// The paper's evaluation platform: 4×4 mesh, 4 cores per router.
+    pub fn paper() -> Self {
+        Self::new(4, 4, 4)
+    }
+
+    #[inline]
+    /// Mesh width in routers.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    #[inline]
+    /// Mesh height in routers.
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    #[inline]
+    /// Cores per router.
+    pub fn concentration(&self) -> u8 {
+        self.concentration
+    }
+
+    /// Number of routers.
+    #[inline]
+    pub fn routers(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Number of cores (`routers × concentration`).
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.routers() * self.concentration as usize
+    }
+
+    /// Number of unidirectional router-to-router links.
+    #[inline]
+    pub fn links(&self) -> usize {
+        self.link_ends.len()
+    }
+
+    fn coord_of_raw(width: u8, index: usize) -> Coord {
+        Coord::new((index % width as usize) as u8, (index / width as usize) as u8)
+    }
+
+    /// Position of a router.
+    #[inline]
+    pub fn coord_of(&self, node: NodeId) -> Coord {
+        Self::coord_of_raw(self.width, node.index())
+    }
+
+    /// Router at a position.
+    #[inline]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// The router a core is attached to (cores are numbered router-major).
+    #[inline]
+    pub fn router_of_core(&self, core: CoreId) -> NodeId {
+        NodeId(core.0 / self.concentration)
+    }
+
+    /// The local port index of a core on its router.
+    #[inline]
+    pub fn local_port_of_core(&self, core: CoreId) -> u8 {
+        core.0 % self.concentration
+    }
+
+    /// All cores attached to `node`.
+    pub fn cores_of_router(&self, node: NodeId) -> impl Iterator<Item = CoreId> {
+        let base = node.0 * self.concentration;
+        (base..base + self.concentration).map(CoreId)
+    }
+
+    /// The neighbour of `node` in `dir`, if it exists.
+    #[inline]
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord_of(node);
+        let (dx, dy) = dir.delta();
+        let nx = c.x as i16 + dx as i16;
+        let ny = c.y as i16 + dy as i16;
+        if nx < 0 || ny < 0 || nx >= self.width as i16 || ny >= self.height as i16 {
+            None
+        } else {
+            Some(self.node_at(Coord::new(nx as u8, ny as u8)))
+        }
+    }
+
+    /// The outgoing link of `node` in `dir`, if the neighbour exists.
+    #[inline]
+    pub fn link_out(&self, node: NodeId, dir: Direction) -> Option<LinkId> {
+        self.link_ids[node.index()][dir.index()]
+    }
+
+    /// The `(source router, direction)` pair of a link.
+    #[inline]
+    pub fn link_source(&self, link: LinkId) -> (NodeId, Direction) {
+        self.link_ends[link.index()]
+    }
+
+    /// The router a link delivers into.
+    #[inline]
+    pub fn link_dest(&self, link: LinkId) -> NodeId {
+        let (src, dir) = self.link_source(link);
+        self.neighbor(src, dir)
+            .expect("link always targets an existing neighbour")
+    }
+
+    /// Iterate over every link id.
+    pub fn all_links(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links() as u16).map(LinkId)
+    }
+
+    /// Hop distance between two routers under minimal routing.
+    #[inline]
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.coord_of(a).manhattan(self.coord_of(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_has_16_routers_64_cores_48_links() {
+        let m = Mesh::paper();
+        assert_eq!(m.routers(), 16);
+        assert_eq!(m.cores(), 64);
+        assert_eq!(m.links(), 48);
+    }
+
+    #[test]
+    fn coordinates_roundtrip() {
+        let m = Mesh::paper();
+        for r in 0..16u8 {
+            let n = NodeId(r);
+            assert_eq!(m.node_at(m.coord_of(n)), n);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let m = Mesh::paper();
+        for r in 0..16u8 {
+            let n = NodeId(r);
+            for dir in Direction::ALL {
+                if let Some(nb) = m.neighbor(n, dir) {
+                    assert_eq!(m.neighbor(nb, dir.opposite()), Some(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_routers_have_two_links_edges_three_center_four() {
+        let m = Mesh::paper();
+        let count = |n: NodeId| {
+            Direction::ALL
+                .iter()
+                .filter(|d| m.link_out(n, **d).is_some())
+                .count()
+        };
+        assert_eq!(count(m.node_at(Coord::new(0, 0))), 2);
+        assert_eq!(count(m.node_at(Coord::new(1, 0))), 3);
+        assert_eq!(count(m.node_at(Coord::new(1, 1))), 4);
+    }
+
+    #[test]
+    fn links_partition_to_source_direction() {
+        let m = Mesh::paper();
+        for l in m.all_links() {
+            let (src, dir) = m.link_source(l);
+            assert_eq!(m.link_out(src, dir), Some(l));
+            let dst = m.link_dest(l);
+            assert_eq!(m.neighbor(src, dir), Some(dst));
+        }
+    }
+
+    #[test]
+    fn core_to_router_mapping() {
+        let m = Mesh::paper();
+        assert_eq!(m.router_of_core(CoreId(0)), NodeId(0));
+        assert_eq!(m.router_of_core(CoreId(3)), NodeId(0));
+        assert_eq!(m.router_of_core(CoreId(4)), NodeId(1));
+        assert_eq!(m.router_of_core(CoreId(63)), NodeId(15));
+        assert_eq!(m.local_port_of_core(CoreId(6)), 2);
+        let cores: Vec<_> = m.cores_of_router(NodeId(2)).collect();
+        assert_eq!(cores, vec![CoreId(8), CoreId(9), CoreId(10), CoreId(11)]);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 3)), 6);
+        assert_eq!(Coord::new(2, 1).manhattan(Coord::new(2, 1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16 routers")]
+    fn mesh_larger_than_16_routers_rejected() {
+        Mesh::new(5, 4, 1);
+    }
+
+    #[test]
+    fn port_index_roundtrip() {
+        for i in 0..8 {
+            assert_eq!(Port::from_index(i).index(), i);
+        }
+        assert!(Port::Local(0).is_local());
+        assert!(!Port::Net(Direction::East).is_local());
+    }
+}

@@ -1,0 +1,32 @@
+//! Fundamental Network-on-Chip data types shared by every `htnoc` crate.
+//!
+//! This crate defines the *logical* representation of on-chip traffic — flits,
+//! packets, headers — and the *geometric* representation of a concentrated 2-D
+//! mesh — coordinates, directions, ports, links. It is deliberately free of
+//! any simulator state so that the trojan, ECC, and mitigation crates can
+//! operate on the same vocabulary without depending on the simulator.
+//!
+//! # Wire format
+//!
+//! The evaluated system (Boraten & Kodi, IPDPS 2016) uses 64-bit flits
+//! protected by a SECDED code on every router-to-router link. Head flits
+//! carry the packet header in their low bits using the paper's field widths
+//! (src 4, dest 4, vc 2, mem 32 — 42 bits of "full" target material); see
+//! [`header`] for the exact layout. The TASP hardware trojan performs deep
+//! packet inspection against this wire word, so the layout here is
+//! load-bearing for the whole reproduction.
+
+pub mod flit;
+pub mod geometry;
+pub mod header;
+pub mod ids;
+pub mod packet;
+
+pub use flit::{Flit, FlitKind};
+pub use geometry::{Coord, Direction, Mesh, Port};
+pub use header::{Header, HeaderLayout};
+pub use ids::{CoreId, FlitId, LinkId, NodeId, PacketId, VcId};
+pub use packet::Packet;
+
+/// Width of the flit data word on a link, in bits (excluding ECC check bits).
+pub const FLIT_BITS: usize = 64;

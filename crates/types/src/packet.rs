@@ -1,0 +1,181 @@
+//! Packets and packetisation into flits.
+
+use crate::flit::{Flit, FlitKind};
+use crate::header::Header;
+use crate::ids::{FlitId, NodeId, PacketId, VcId};
+use serde::{Deserialize, Serialize};
+
+/// A logical packet prior to packetisation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique packet id.
+    pub id: PacketId,
+    /// Source router.
+    pub src: NodeId,
+    /// Destination router.
+    pub dest: NodeId,
+    /// Requested VC class at injection.
+    pub vc: VcId,
+    /// Memory address the request refers to.
+    pub mem_addr: u32,
+    /// Issuing thread/process id.
+    pub thread: u8,
+    /// Length in flits (≥ 1).
+    pub len: u8,
+    /// Cycle the packet was created (for latency accounting).
+    pub created_at: u64,
+    /// Payload words for flits 1..len (body/tail). May be shorter than
+    /// `len - 1`; missing words default to a seq-derived pattern.
+    pub payload: Vec<u64>,
+}
+
+impl Packet {
+    /// Convenience constructor with synthetic payload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: PacketId,
+        src: NodeId,
+        dest: NodeId,
+        vc: VcId,
+        mem_addr: u32,
+        thread: u8,
+        len: u8,
+        created_at: u64,
+    ) -> Self {
+        assert!(len >= 1, "packets are at least one flit long");
+        Self {
+            id,
+            src,
+            dest,
+            vc,
+            mem_addr,
+            thread,
+            len,
+            created_at,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The header carried by this packet's head flit.
+    pub fn header(&self) -> Header {
+        Header {
+            src: self.src,
+            dest: self.dest,
+            vc: self.vc,
+            mem_addr: self.mem_addr,
+            thread: self.thread,
+            len: self.len,
+        }
+    }
+
+    /// Split the packet into flits. Flit ids are allocated from `next_flit`,
+    /// which is advanced past the ids consumed.
+    pub fn packetize(&self, next_flit: &mut u64) -> Vec<Flit> {
+        let header = self.header();
+        let mut flits = Vec::with_capacity(self.len as usize);
+        let mut take_id = || {
+            let id = FlitId(*next_flit);
+            *next_flit += 1;
+            id
+        };
+        if self.len == 1 {
+            flits.push(Flit::head(take_id(), self.id, FlitKind::Single, header));
+            return flits;
+        }
+        flits.push(Flit::head(take_id(), self.id, FlitKind::Head, header));
+        for seq in 1..self.len {
+            let kind = if seq == self.len - 1 {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            };
+            let word = self
+                .payload
+                .get(seq as usize - 1)
+                .copied()
+                .unwrap_or_else(|| synth_word(self.id, seq));
+            flits.push(Flit::payload(take_id(), self.id, kind, seq, header, word));
+        }
+        flits
+    }
+}
+
+/// Deterministic synthetic payload word (splitmix64 over packet id and seq),
+/// so payload bits look random to the trojan without needing an RNG.
+fn synth_word(packet: PacketId, seq: u8) -> u64 {
+    let mut z = packet
+        .0
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(len: u8) -> Packet {
+        Packet::new(
+            PacketId(42),
+            NodeId(0),
+            NodeId(15),
+            VcId(1),
+            0xCAFE,
+            7,
+            len,
+            100,
+        )
+    }
+
+    #[test]
+    fn single_flit_packet() {
+        let mut next = 0;
+        let flits = pkt(1).packetize(&mut next);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::Single);
+        assert_eq!(next, 1);
+    }
+
+    #[test]
+    fn multi_flit_packet_structure() {
+        let mut next = 10;
+        let flits = pkt(4).packetize(&mut next);
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+        assert_eq!(next, 14);
+        // Sequence numbers are dense and ids are consecutive.
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq as usize, i);
+            assert_eq!(f.id.0, 10 + i as u64);
+            assert_eq!(f.packet, PacketId(42));
+        }
+    }
+
+    #[test]
+    fn explicit_payload_words_are_used() {
+        let mut p = pkt(3);
+        p.payload = vec![0x1111, 0x2222];
+        let mut next = 0;
+        let flits = p.packetize(&mut next);
+        assert_eq!(flits[1].word, 0x1111);
+        assert_eq!(flits[2].word, 0x2222);
+    }
+
+    #[test]
+    fn synthetic_payload_is_deterministic() {
+        let mut a = 0;
+        let mut b = 0;
+        assert_eq!(pkt(4).packetize(&mut a), pkt(4).packetize(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_rejected() {
+        pkt(0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Compare every defence strategy on the same attacked workload:
+//! no protection, Fort-NoCs-style e2e obfuscation, SurfNoC-style TDM,
+//! Ariadne-style rerouting, and the paper's threat detector + s2s L-Ob.
+//!
+//! Run: `cargo run --release --example mitigation_comparison`
+
+use htnoc::prelude::*;
+
+fn main() {
+    let app = AppSpec::blackscholes();
+    let mesh = Mesh::paper();
+    let mut model = AppModel::new(app.clone(), mesh.clone(), 7);
+    let shares = TrafficMatrix::sample(&mut model, 1500).link_shares_xy(&mesh);
+    let infected: Vec<LinkId> =
+        select_infected(&mesh, &shares, 0.10, Some(app.primary));
+    println!(
+        "workload: {} | {} infected links | trojan target: dest {:?}\n",
+        app.name,
+        infected.len(),
+        app.primary
+    );
+
+    println!(
+        "{:<22} {:>9} {:>10} {:>13} {:>12} {:>8}",
+        "strategy", "delivered", "injected", "avg latency", "retransmits", "drained"
+    );
+    for (name, strategy) in [
+        ("unprotected", Strategy::Unprotected),
+        ("e2e obfuscation", Strategy::E2eObfuscation),
+        ("TDM (2 domains)", Strategy::Tdm { domains: 2 }),
+        ("reroute (Ariadne)", Strategy::Reroute),
+        ("s2s L-Ob (proposed)", Strategy::S2sLob),
+    ] {
+        let mut sc = Scenario::paper_default(app.clone(), strategy).with_infected(infected.clone());
+        sc.warmup = 300;
+        sc.inject_until = 1200;
+        sc.max_cycles = 20_000;
+        sc.snapshot_interval = 100;
+        let r = run_scenario(&sc);
+        println!(
+            "{:<22} {:>9} {:>10} {:>13.1} {:>12} {:>8}",
+            name,
+            r.stats.delivered_packets,
+            r.stats.injected_packets,
+            r.stats.avg_latency(),
+            r.stats.retransmissions,
+            r.drained
+        );
+    }
+    println!(
+        "\nOnly the proposed s2s L-Ob keeps using the infected links AND finishes\n\
+         the workload; rerouting finishes but pays detour hops; TDM bounds the\n\
+         blast radius but the attacked domain still stalls; e2e obfuscation\n\
+         cannot hide the header fields the trojan keys on."
+    );
+}

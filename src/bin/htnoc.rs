@@ -1,0 +1,202 @@
+//! `htnoc` — command-line front end for the simulator.
+//!
+//! ```text
+//! htnoc attack   [--app NAME] [--strategy NAME] [--infected PCT] [--cycles N] [--seed N]
+//! htnoc clean    [--app NAME] [--cycles N] [--seed N]
+//! htnoc power
+//! htnoc list
+//! ```
+
+use htnoc::prelude::*;
+use std::collections::HashMap;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args.get(i + 1).cloned().unwrap_or_default();
+            out.insert(key.to_string(), val);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn app_by_name(name: &str) -> Option<AppSpec> {
+    AppSpec::all().into_iter().find(|a| a.name == name)
+}
+
+fn strategy_by_name(name: &str) -> Option<Strategy> {
+    Some(match name {
+        "unprotected" => Strategy::Unprotected,
+        "e2e" => Strategy::E2eObfuscation,
+        "tdm" => Strategy::Tdm { domains: 2 },
+        "reroute" => Strategy::Reroute,
+        "lob" | "s2s" | "s2s-lob" => Strategy::S2sLob,
+        _ => return None,
+    })
+}
+
+fn report(r: &htnoc::core::RunResult) {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", htnoc::core::report::run_result_json("run", r));
+        return;
+    }
+    println!("cycles simulated     {}", r.cycles);
+    println!("packets injected     {}", r.stats.injected_packets);
+    println!("packets delivered    {}", r.stats.delivered_packets);
+    println!("flits delivered      {}", r.stats.delivered_flits);
+    println!("avg packet latency   {:.1} cycles", r.stats.avg_latency());
+    println!("max packet latency   {} cycles", r.stats.latency_max);
+    println!("retransmissions      {}", r.stats.retransmissions);
+    println!("uncorrectable faults {}", r.stats.uncorrectable_faults);
+    println!("BIST scans           {}", r.stats.bist_scans);
+    println!(
+        "workload finished    {}",
+        if r.drained { "yes" } else { "NO (starved/deadlocked)" }
+    );
+    let obf = r
+        .events
+        .iter()
+        .filter(|e| matches!(e, SimEvent::ObfuscationSucceeded { .. }))
+        .count();
+    if obf > 0 {
+        println!("L-Ob clean crossings {obf}");
+    }
+}
+
+fn cmd_attack(flags: &HashMap<String, String>) {
+    let app = flags
+        .get("app")
+        .and_then(|n| app_by_name(n))
+        .unwrap_or_else(AppSpec::blackscholes);
+    let strategy = flags
+        .get("strategy")
+        .and_then(|n| strategy_by_name(n))
+        .unwrap_or(Strategy::S2sLob);
+    let pct: f64 = flags
+        .get("infected")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0)
+        / 100.0;
+    let cycles: u64 = flags
+        .get("cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+
+    let mesh = Mesh::paper();
+    let mut model = AppModel::new(app.clone(), mesh.clone(), seed);
+    let shares = TrafficMatrix::sample(&mut model, 1500).link_shares_xy(&mesh);
+    let infected = select_infected(&mesh, &shares, pct, Some(app.primary));
+    println!(
+        "workload {} | defence {:?} | {} infected links | {} injection cycles\n",
+        app.name,
+        strategy,
+        infected.len(),
+        cycles
+    );
+    let mut sc = Scenario::paper_default(app, strategy).with_infected(infected);
+    sc.seed = seed;
+    sc.warmup = 300;
+    sc.inject_until = 300 + cycles;
+    sc.max_cycles = (300 + cycles) * 10;
+    sc.snapshot_interval = 50;
+    report(&run_scenario(&sc));
+}
+
+fn cmd_clean(flags: &HashMap<String, String>) {
+    let app = flags
+        .get("app")
+        .and_then(|n| app_by_name(n))
+        .unwrap_or_else(AppSpec::blackscholes);
+    let cycles: u64 = flags
+        .get("cycles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    println!("workload {} | no trojans | {} injection cycles\n", app.name, cycles);
+    let mut sc = Scenario::paper_default(app, Strategy::Unprotected);
+    sc.seed = seed;
+    sc.warmup = 0;
+    sc.inject_until = cycles;
+    sc.max_cycles = cycles * 10;
+    sc.snapshot_interval = 50;
+    report(&run_scenario(&sc));
+}
+
+fn cmd_power() {
+    let router = RouterPower::paper();
+    let mit = MitigationPower::paper();
+    let (area, power) = mit.overhead(&router);
+    println!("router: {:.0} µm², {:.1} mW dynamic", router.total().area_um2,
+             router.total().dynamic_uw / 1000.0);
+    println!(
+        "mitigation: {:.0} µm² (+{:.1}%), {:.0} µW (+{:.1}%)",
+        mit.total().area_um2,
+        area * 100.0,
+        mit.total().dynamic_uw,
+        power * 100.0
+    );
+    println!("\nTASP variants (area µm² / dynamic µW / leakage nW):");
+    for (kind, p) in TaspPower::new(noc_power::CellLibrary::tsmc40()).table1() {
+        println!(
+            "  {:<9} {:6.2} / {:7.3} / {:6.2}",
+            kind.name(),
+            p.area_um2,
+            p.dynamic_uw,
+            p.leakage_nw
+        );
+    }
+}
+
+fn cmd_list() {
+    println!("applications: blackscholes facesim ferret fft");
+    println!("strategies:   unprotected e2e tdm reroute lob");
+    println!();
+    println!("figure harnesses (cargo run --release -p noc-bench --bin <name>):");
+    for b in [
+        "fig1_traffic",
+        "fig2_fault_latency",
+        "fig8_power_pies",
+        "fig9_target_area",
+        "fig10_speedup",
+        "fig11_backpressure",
+        "fig12_mitigation",
+        "table1_tasp_overhead",
+        "table2_mitigation_overhead",
+        "ablation_payload_fsm",
+        "ablation_retx_scheme",
+        "ablation_lob_methods",
+        "ablation_detector_thresholds",
+        "ablation_buffer_geometry",
+        "exp_flood_routing",
+        "exp_detectability",
+        "exp_multi_trojan",
+        "ext_migration",
+    ] {
+        println!("  {b}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    match args.first().map(String::as_str) {
+        Some("attack") => cmd_attack(&flags),
+        Some("clean") => cmd_clean(&flags),
+        Some("power") => cmd_power(),
+        Some("list") => cmd_list(),
+        _ => {
+            println!("htnoc — hardware-trojan-aware NoC simulator\n");
+            println!("usage:");
+            println!("  htnoc attack [--app NAME] [--strategy NAME] [--infected PCT] [--cycles N] [--seed N] [--json]");
+            println!("  htnoc clean  [--app NAME] [--cycles N] [--seed N]");
+            println!("  htnoc power");
+            println!("  htnoc list");
+        }
+    }
+}

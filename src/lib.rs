@@ -1,0 +1,22 @@
+//! `htnoc` — umbrella crate re-exporting the whole workspace.
+//!
+//! This is the crate downstream users depend on. It re-exports every
+//! subsystem under a stable module path; the examples under `examples/` and
+//! the integration tests under `tests/` exercise exactly this surface.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-reproduction index.
+
+pub use htnoc_core as core;
+pub use noc_ecc as ecc;
+pub use noc_mitigation as mitigation;
+pub use noc_power as power;
+pub use noc_sim as sim;
+pub use noc_traffic as traffic;
+pub use noc_trojan as trojan;
+pub use noc_types as types;
+
+/// Convenience prelude pulling in the names almost every user needs.
+pub mod prelude {
+    pub use htnoc_core::prelude::*;
+}

@@ -1,0 +1,171 @@
+//! Forensic packet tracing: replay the exact journey of a trojan-targeted
+//! packet and verify the attack → detection → obfuscation story appears in
+//! the trace, event by event.
+
+use htnoc::prelude::*;
+use htnoc::sim::message::{TraceEvent, TraceOutcome};
+use htnoc::sim::sim::TrafficSource;
+use noc_types::{Direction, PacketId};
+
+struct One(Option<Packet>);
+impl TrafficSource for One {
+    fn poll(&mut self, cycle: u64, out: &mut Vec<Packet>) {
+        if cycle == 0 {
+            out.extend(self.0.take());
+        }
+    }
+    fn done(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+fn traced_sim(mitigation: bool, packet: PacketId) -> Simulator {
+    let mut cfg = if mitigation {
+        SimConfig::paper()
+    } else {
+        SimConfig::paper_unprotected()
+    };
+    cfg.trace_packet = Some(packet);
+    let mut sim = Simulator::new(cfg);
+    let link = sim.mesh().link_out(NodeId(0), Direction::East).unwrap();
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(1)));
+    let faults = std::mem::replace(
+        sim.link_faults_mut(link),
+        htnoc::sim::fault::LinkFaults::healthy(0),
+    );
+    *sim.link_faults_mut(link) = faults.with_trojan(ht);
+    sim.arm_trojans(true);
+    sim
+}
+
+#[test]
+fn trace_shows_the_full_attack_and_mitigation_story() {
+    let pid = PacketId(77);
+    let mut sim = traced_sim(true, pid);
+    let mut src = One(Some(Packet::new(
+        pid,
+        NodeId(0),
+        NodeId(1),
+        VcId(0),
+        0,
+        0,
+        1,
+        0,
+    )));
+    assert!(sim.run_to_quiescence(2000, &mut src));
+    let trace = sim.trace();
+
+    // Story: injected → launched plain → NACKed (trojan) → relaunched →
+    // NACKed again → launched obfuscated → delivered clean → ejected.
+    assert!(
+        matches!(trace.first(), Some(TraceEvent::Injected { .. })),
+        "{trace:#?}"
+    );
+    assert!(
+        matches!(trace.last(), Some(TraceEvent::Ejected { .. })),
+        "{trace:#?}"
+    );
+    let nacks = trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Delivered {
+                    outcome: TraceOutcome::Nacked { .. },
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(nacks >= 2, "the trojan hits the plain retries: {trace:#?}");
+    // At least one launch carried an obfuscation plan...
+    let obf_launch = trace.iter().any(|e| {
+        matches!(
+            e,
+            TraceEvent::Launched {
+                obfuscated: Some(_),
+                ..
+            }
+        )
+    });
+    assert!(obf_launch, "{trace:#?}");
+    // ...and the final crossing decoded clean.
+    let last_delivery = trace
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            TraceEvent::Delivered { outcome, .. } => Some(*outcome),
+            _ => None,
+        })
+        .expect("delivered at least once");
+    assert_eq!(last_delivery, TraceOutcome::Clean);
+    // Events are in nondecreasing cycle order.
+    let cycles: Vec<u64> = trace
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Injected { cycle, .. }
+            | TraceEvent::Launched { cycle, .. }
+            | TraceEvent::Delivered { cycle, .. }
+            | TraceEvent::Ejected { cycle, .. } => *cycle,
+        })
+        .collect();
+    assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn unprotected_trace_shows_endless_nacks_and_no_ejection() {
+    let pid = PacketId(78);
+    let mut sim = traced_sim(false, pid);
+    let mut src = One(Some(Packet::new(
+        pid,
+        NodeId(0),
+        NodeId(1),
+        VcId(0),
+        0,
+        0,
+        1,
+        0,
+    )));
+    assert!(!sim.run_to_quiescence(600, &mut src), "must starve");
+    let trace = sim.trace();
+    assert!(
+        !trace.iter().any(|e| matches!(e, TraceEvent::Ejected { .. })),
+        "the victim never arrives"
+    );
+    let nacks = trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Delivered {
+                    outcome: TraceOutcome::Nacked { .. },
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(nacks > 20, "NACK livelock expected, saw {nacks}");
+    // No launch ever carried an obfuscation plan (mitigation off).
+    assert!(trace
+        .iter()
+        .all(|e| !matches!(e, TraceEvent::Launched { obfuscated: Some(_), .. })));
+}
+
+#[test]
+fn untraced_runs_record_nothing() {
+    let mut cfg = SimConfig::paper();
+    cfg.trace_packet = None;
+    let mut sim = Simulator::new(cfg);
+    let mut src = One(Some(Packet::new(
+        PacketId(1),
+        NodeId(0),
+        NodeId(5),
+        VcId(0),
+        0,
+        0,
+        2,
+        0,
+    )));
+    assert!(sim.run_to_quiescence(500, &mut src));
+    assert!(sim.trace().is_empty());
+}
