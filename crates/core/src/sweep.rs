@@ -1,12 +1,12 @@
 //! Parallel parameter sweeps.
 //!
 //! Every simulation run is independent, so sweeps are embarrassingly
-//! parallel. We fan work out over crossbeam scoped threads with a shared
-//! atomic work index (no unsafe, no channels needed) and collect results in
-//! input order.
+//! parallel. We fan work out over `std::thread::scope` workers with a
+//! shared atomic work index (no unsafe, no channels needed) and collect
+//! results in input order.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Map `f` over `items` in parallel, preserving order. Uses up to
 /// `threads` workers (defaults to the available parallelism).
@@ -34,22 +34,30 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = slots[i].lock().take().expect("each slot taken once");
-                *results[i].lock() = Some(f(item));
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock never poisoned")
+                    .take()
+                    .expect("each slot taken once");
+                let r = f(item);
+                *results[i].lock().expect("result lock never poisoned") = Some(r);
             });
         }
-    })
-    .expect("sweep workers must not panic");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("all slots filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock never poisoned")
+                .expect("all slots filled")
+        })
         .collect()
 }
 

@@ -10,7 +10,6 @@
 //! faults under traffic but passes BIST is therefore trojan-infected.
 
 use noc_ecc::{Codeword, CODEWORD_BITS};
-use serde::{Deserialize, Serialize};
 
 /// Abstraction over "push one raw codeword across the physical link".
 /// The simulator implements this for its fault-layer links.
@@ -20,7 +19,7 @@ pub trait LinkUnderTest {
 }
 
 /// Stuck-at polarity of a faulty wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StuckAt {
     /// Wire reads 0 regardless of the driven value.
     Zero,
@@ -29,7 +28,7 @@ pub enum StuckAt {
 }
 
 /// Result of one BIST scan.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BistReport {
     /// Wires observed stuck, with polarity.
     pub stuck_wires: Vec<(u8, StuckAt)>,

@@ -21,11 +21,10 @@
 
 use noc_ecc::{Decode, Syndrome};
 use noc_types::ids::PacketId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Detector tuning knobs (ablation targets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DetectorConfig {
     /// Identical-syndrome repeats on one flit before BIST is invoked.
     pub bist_threshold: u32,
@@ -48,7 +47,7 @@ impl Default for DetectorConfig {
 }
 
 /// What the receiving router must do with the flit that just arrived.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DetectorAction {
     /// Clean, un-obfuscated: deliver normally.
     Accept,
@@ -69,7 +68,7 @@ pub enum DetectorAction {
 }
 
 /// Full verdict: the action plus whether a BIST scan should be scheduled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Verdict {
     /// The action the receiving router must take.
     pub action: DetectorAction,
@@ -78,7 +77,7 @@ pub struct Verdict {
 }
 
 /// The detector's best current explanation for a link's faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
     /// No faults observed.
     None,
@@ -98,7 +97,7 @@ pub enum FaultClass {
 /// that tuple here, with the full header retained in [`FaultRecord`]).
 pub type FlitKey = (PacketId, u8);
 
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct FaultRecord {
     faults: u32,
     syndromes: Vec<u8>,
@@ -128,7 +127,7 @@ struct FaultRecord {
 /// assert_eq!(v.action, DetectorAction::RetransmitWithLob { attempt: 0 });
 /// assert_eq!(det.classify(&key), FaultClass::HardwareTrojan);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreatDetector {
     config: DetectorConfig,
     records: HashMap<FlitKey, FaultRecord>,

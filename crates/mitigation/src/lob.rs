@@ -21,10 +21,9 @@
 //!   Reorder changes *when*, not *what*, so it composes with the others.
 
 use noc_types::header::HeaderLayout;
-use serde::{Deserialize, Serialize};
 
 /// Bit window an obfuscation applies to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// All 64 wire bits.
     Full,
@@ -58,7 +57,7 @@ impl Granularity {
 }
 
 /// One reversible obfuscation method.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObfuscationMethod {
     /// Bitwise complement of the window.
     Invert,
@@ -97,7 +96,7 @@ impl ObfuscationMethod {
 /// assert_eq!(plan.undo(wire, 0), word, "the receiver recovers the flit");
 /// assert!(plan.method.undo_penalty() <= 3, "within the paper's 1-3 cycles");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LobPlan {
     /// The transform to apply.
     pub method: ObfuscationMethod,
@@ -181,7 +180,7 @@ fn transform(word: u64, plan: LobPlan, key: u64, inverse: bool) -> u64 {
 /// Per-output-port L-Ob controller: chooses the next method for a flit that
 /// keeps faulting and remembers which method last succeeded on this link so
 /// similar flits skip straight to it (the paper's method log).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LobModule {
     /// The last plan that crossed this link cleanly (any plan, ladder or
     /// custom).
@@ -259,7 +258,7 @@ impl LobModule {
 }
 
 /// The part of the flit a trojan's trigger has been narrowed to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TriggerScope {
     /// The comparator keys on header bits (src/dest/vc/mem).
     Header,

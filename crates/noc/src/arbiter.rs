@@ -1,11 +1,10 @@
 //! Round-robin arbitration (the paper's allocator discipline).
 
-use serde::{Deserialize, Serialize};
 
 /// A round-robin arbiter over `n` requesters. The grant pointer advances
 /// past the winner so every requester is served within `n` grants — the
 /// starvation-freedom property the tests pin down.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundRobin {
     next: usize,
     n: usize,

@@ -2,10 +2,9 @@
 
 use noc_mitigation::DetectorConfig;
 use noc_types::Mesh;
-use serde::{Deserialize, Serialize};
 
 /// Where the retransmission buffers live (the paper evaluates both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetxScheme {
     /// Shared slots per output port, after the crossbar — the paper's
     /// worst case (head-of-line blocking across VCs) and the default.
@@ -15,7 +14,7 @@ pub enum RetxScheme {
 }
 
 /// Quality-of-service mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QosMode {
     /// Plain best-effort network.
     None,
@@ -30,7 +29,7 @@ pub enum QosMode {
 
 /// Full simulator configuration. `SimConfig::paper()` reproduces the
 /// evaluation platform of the paper exactly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Full simulator configuration (see `SimConfig::paper`).
     pub mesh: Mesh,

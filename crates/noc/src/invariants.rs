@@ -10,10 +10,9 @@
 use crate::config::SimConfig;
 use crate::input::VcState;
 use crate::router::Router;
-use serde::{Deserialize, Serialize};
 
 /// One detected protocol violation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Router where the violation was observed.
     pub router: u8,

@@ -4,7 +4,6 @@
 use noc_ecc::Codeword;
 use noc_mitigation::{FaultClass, LobPlan};
 use noc_types::{Flit, FlitId, LinkId, NodeId, PacketId, VcId};
-use serde::{Deserialize, Serialize};
 
 /// Obfuscation side-band metadata travelling with a flit. The paper assumes
 /// the mitigation hardware itself is trustworthy; these control wires are
@@ -125,7 +124,7 @@ pub enum TraceOutcome {
 
 /// Events surfaced to the orchestration layer (rerouting decisions, figure
 /// harnesses, tests).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimEvent {
     /// A packet's tail flit reached its destination core.
     PacketDelivered {

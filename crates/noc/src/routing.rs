@@ -2,11 +2,10 @@
 //! for the fault-avoidance (Ariadne-style) baseline.
 
 use noc_types::{Direction, Header, LinkId, Mesh, NodeId, Port};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The routing function installed in every router.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Routing {
     /// XY dimension-order routing (deadlock-free on a mesh; the paper's
     /// default, and the better performer under flood DoS at < 0.65
@@ -26,7 +25,7 @@ pub enum Routing {
 }
 
 /// Table-driven routes, rebuilt whenever a link is declared dead.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteTables {
     /// `next[router][dest]` — `None` when `dest` is unreachable.
     next: Vec<Vec<Option<Direction>>>,

@@ -1,10 +1,9 @@
 //! Simulation statistics: the time series behind Figs. 11/12 and the
 //! aggregate counters behind Figs. 1, 2, and 10.
 
-use serde::{Deserialize, Serialize};
 
 /// One per-interval sample of network pressure (Figs. 11/12 series).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
     /// Simulation cycle of the sample.
     pub cycle: u64,
@@ -23,7 +22,7 @@ pub struct Snapshot {
 }
 
 /// Aggregate run statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Statistics time series, one entry per snapshot interval.
     pub snapshots: Vec<Snapshot>,

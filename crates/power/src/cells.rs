@@ -1,11 +1,10 @@
 //! Per-cell constants for the calibrated TSMC-40 nm model.
 
-use serde::{Deserialize, Serialize};
 
 /// Cell library constants at 1.0 V / 2 GHz. The values are calibrated so
 /// that structural gate counts of the paper's blocks reproduce its
 /// synthesis results; see the crate docs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellLibrary {
     /// Area of a NAND2-equivalent gate (µm²).
     pub gate_area: f64,

@@ -1,10 +1,9 @@
 //! The common area/power/timing quadruple and its algebra.
 
-use serde::{Deserialize, Serialize};
 use std::ops::Add;
 
 /// Area, dynamic power, leakage and critical path of one block.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Power {
     /// µm².
     pub area_um2: f64,

@@ -12,10 +12,9 @@
 use crate::cells::CellLibrary;
 use crate::component::Power;
 use crate::router::RouterPower;
-use serde::{Deserialize, Serialize};
 
 /// Mitigation hardware breakdown for one router.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MitigationPower {
     /// Threat source detector (fault log + syndrome compare + FSM).
     pub detector: Power,

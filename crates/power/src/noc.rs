@@ -9,10 +9,9 @@ use crate::component::Power;
 use crate::router::RouterPower;
 use crate::tasp::TaspPower;
 use noc_trojan::TargetKind;
-use serde::{Deserialize, Serialize};
 
 /// NoC-level structural parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocParams {
     /// Number of routers.
     pub routers: u32,

@@ -8,10 +8,9 @@
 
 use crate::cells::CellLibrary;
 use crate::component::Power;
-use serde::{Deserialize, Serialize};
 
 /// Per-component breakdown of one router.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouterPower {
     /// Input + retransmission buffer arrays.
     pub buffers: Power,
@@ -24,7 +23,7 @@ pub struct RouterPower {
 }
 
 /// Router structural parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouterParams {
     /// Ports per router (4 network + locals).
     pub ports: u32,

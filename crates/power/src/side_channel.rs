@@ -12,10 +12,9 @@ use crate::cells::CellLibrary;
 use crate::router::RouterPower;
 use crate::tasp::TaspPower;
 use noc_trojan::TargetKind;
-use serde::{Deserialize, Serialize};
 
 /// Side-channel measurement context.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SideChannelModel {
     /// Relative process-variation σ of a router's leakage (die-to-die
     /// leakage spread at 40 nm is large; 3–10 % within-die after

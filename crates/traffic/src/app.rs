@@ -12,10 +12,9 @@ use noc_sim::TrafficSource;
 use noc_types::{CoreId, Mesh, NodeId, Packet, PacketId, VcId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Shape parameters of one application model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     /// Benchmark name as printed in tables.
     pub name: &'static str,

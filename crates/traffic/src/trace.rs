@@ -9,10 +9,9 @@
 
 use noc_sim::TrafficSource;
 use noc_types::Packet;
-use serde::{Deserialize, Serialize};
 
 /// One recorded injection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// Cycle the packet was injected.
     pub cycle: u64,
@@ -21,7 +20,7 @@ pub struct TraceEntry {
 }
 
 /// A complete recorded workload.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// The recorded injections in nondecreasing cycle order.
     pub entries: Vec<TraceEntry>,

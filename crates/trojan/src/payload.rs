@@ -14,11 +14,10 @@
 //! injection, which both saves power and spreads the reuse of any one wire
 //! pair over a longer window.
 
-use serde::{Deserialize, Serialize};
 
 /// Sequential payload-state counter. Each state deterministically maps to a
 /// pair of distinct codeword wire positions for the XOR tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PayloadFsm {
     /// Counter width in bits (`Y` in the paper). `2^y` payload states.
     y_bits: u8,

@@ -19,11 +19,10 @@
 //! never triggers.
 
 use noc_types::header::{Header, HeaderLayout};
-use serde::{Deserialize, Serialize};
 use std::ops::RangeInclusive;
 
 /// Which preset comparator the trojan was manufactured with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TargetKind {
     /// The full 42-bit header comparator.
     Full,
@@ -77,7 +76,7 @@ impl TargetKind {
 
 /// A single-field match: exact value or inclusive range (the paper allows
 /// comparators tuned to "any combination or ranges").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldMatch<T> {
     /// Match a single exact value.
     Exact(T),
@@ -99,7 +98,7 @@ impl<T: PartialOrd + Copy> FieldMatch<T> {
 /// The programmed target: any combination of header fields. A `None` field is
 /// "don't care". An all-`None` spec matches every header flit (a maximally
 /// indiscriminate trojan).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TargetSpec {
     /// Source-router constraint (None = do not care).
     pub src: Option<FieldMatch<u8>>,

@@ -3,10 +3,9 @@
 
 use crate::payload::PayloadFsm;
 use crate::target::{TargetKind, TargetSpec};
-use serde::{Deserialize, Serialize};
 
 /// Operating state of the trojan (Fig. 3's FSM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaspState {
     /// Kill switch de-asserted: completely dormant (only leakage power is
     /// observable — the sole side channel while idle).
@@ -18,7 +17,7 @@ pub enum TaspState {
 }
 
 /// Design-time configuration of one TASP instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaspConfig {
     /// What the comparator watches.
     pub target: TargetSpec,
@@ -58,7 +57,7 @@ impl TaspConfig {
 }
 
 /// Lifetime counters for analysis and tests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaspStats {
     /// Header flits inspected while active.
     pub inspections: u64,
@@ -91,7 +90,7 @@ pub struct TaspStats {
 /// // The next injection shifts the fault location (sequential payload).
 /// assert_ne!(ht.snoop(2, wire, true), Some(mask));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaspHt {
     config: TaspConfig,
     fsm: PayloadFsm,

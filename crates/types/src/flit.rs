@@ -9,10 +9,9 @@
 
 use crate::header::Header;
 use crate::ids::{FlitId, PacketId};
-use serde::{Deserialize, Serialize};
 
 /// Position of a flit within its packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitKind {
     /// First flit of a multi-flit packet; carries the header on the wire.
     Head,
@@ -40,7 +39,7 @@ impl FlitKind {
 
 /// One flit. Cheap to copy; the simulator moves these by value through
 /// buffers, the crossbar, and links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     /// Globally unique flit id.
     pub id: FlitId,

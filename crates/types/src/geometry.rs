@@ -7,10 +7,9 @@
 //! statistics can all name "the +x link out of router 5" unambiguously.
 
 use crate::ids::{CoreId, LinkId, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A router position in the mesh. `x` grows eastward, `y` grows northward.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Column (grows eastward).
     pub x: u8,
@@ -34,7 +33,7 @@ impl Coord {
 
 /// One of the four mesh directions. The paper labels these ±x / ±y; we use
 /// compass names with East = +x and North = +y.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {
     /// Toward +x.
     East,
@@ -92,7 +91,7 @@ impl Direction {
 /// A router port: either one of the four network directions or a local
 /// (core injection/ejection) port. With concentration 4 each router has four
 /// local ports, indexed `0..4`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Port {
     /// Network port facing the given direction.
     Net(Direction),
@@ -134,7 +133,7 @@ impl Port {
 /// Link numbering: for every router in row-major order and every direction in
 /// [`Direction::ALL`] order, the outgoing link (if the neighbour exists) gets
 /// the next [`LinkId`]. A 4×4 mesh therefore has 48 links, ids `0..48`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mesh {
     width: u8,
     height: u8,

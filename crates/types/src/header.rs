@@ -9,7 +9,6 @@
 //! packet length, which the paper's comparator does not inspect.
 
 use crate::ids::{NodeId, VcId};
-use serde::{Deserialize, Serialize};
 
 /// Bit layout of a head flit's data word. All offsets/widths in bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +54,7 @@ impl HeaderLayout {
 }
 
 /// Logical packet header carried by head flits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Header {
     /// Source router.
     pub src: NodeId,

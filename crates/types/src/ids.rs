@@ -4,12 +4,11 @@
 //! hot simulator structures (see the type-size guidance in the Rust
 //! Performance Book) while remaining impossible to confuse with one another.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifies a router in the network. For the paper's 4×4 mesh this is
 /// `0..16`; the header encodes it in 4 bits, so at most 16 routers are
 /// addressable on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u8);
 
 impl NodeId {
@@ -22,7 +21,7 @@ impl NodeId {
 
 /// Identifies a core (processing element). With a concentration of 4 on a
 /// 16-router mesh this is `0..64`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(pub u8);
 
 impl CoreId {
@@ -36,7 +35,7 @@ impl CoreId {
 /// Identifies one *unidirectional* router-to-router link. The 4×4 mesh has
 /// 48 of them (24 neighbour pairs × 2 directions), matching the paper's
 /// "TASP on all 48 links" worst case.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u16);
 
 impl LinkId {
@@ -48,7 +47,7 @@ impl LinkId {
 }
 
 /// A virtual-channel index within a port (`0..4` in the paper configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VcId(pub u8);
 
 impl VcId {
@@ -60,11 +59,11 @@ impl VcId {
 }
 
 /// Globally unique packet identifier, assigned at injection time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PacketId(pub u64);
 
 /// Globally unique flit identifier, assigned at packetisation time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlitId(pub u64);
 
 #[cfg(test)]

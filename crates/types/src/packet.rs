@@ -3,10 +3,9 @@
 use crate::flit::{Flit, FlitKind};
 use crate::header::Header;
 use crate::ids::{FlitId, NodeId, PacketId, VcId};
-use serde::{Deserialize, Serialize};
 
 /// A logical packet prior to packetisation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Globally unique packet id.
     pub id: PacketId,

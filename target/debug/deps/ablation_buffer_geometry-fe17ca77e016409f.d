@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_buffer_geometry-fe17ca77e016409f.d: crates/bench/src/bin/ablation_buffer_geometry.rs
+
+/root/repo/target/debug/deps/ablation_buffer_geometry-fe17ca77e016409f: crates/bench/src/bin/ablation_buffer_geometry.rs
+
+crates/bench/src/bin/ablation_buffer_geometry.rs:

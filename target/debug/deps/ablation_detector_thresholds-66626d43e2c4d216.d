@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_detector_thresholds-66626d43e2c4d216.d: crates/bench/src/bin/ablation_detector_thresholds.rs
+
+/root/repo/target/debug/deps/ablation_detector_thresholds-66626d43e2c4d216: crates/bench/src/bin/ablation_detector_thresholds.rs
+
+crates/bench/src/bin/ablation_detector_thresholds.rs:

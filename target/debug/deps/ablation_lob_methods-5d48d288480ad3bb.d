@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lob_methods-5d48d288480ad3bb.d: crates/bench/src/bin/ablation_lob_methods.rs
+
+/root/repo/target/debug/deps/ablation_lob_methods-5d48d288480ad3bb: crates/bench/src/bin/ablation_lob_methods.rs
+
+crates/bench/src/bin/ablation_lob_methods.rs:

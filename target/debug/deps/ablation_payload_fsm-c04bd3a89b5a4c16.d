@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_payload_fsm-c04bd3a89b5a4c16.d: crates/bench/src/bin/ablation_payload_fsm.rs
+
+/root/repo/target/debug/deps/ablation_payload_fsm-c04bd3a89b5a4c16: crates/bench/src/bin/ablation_payload_fsm.rs
+
+crates/bench/src/bin/ablation_payload_fsm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_retx_scheme-f0b59a0e0624e813.d: crates/bench/src/bin/ablation_retx_scheme.rs
+
+/root/repo/target/debug/deps/ablation_retx_scheme-f0b59a0e0624e813: crates/bench/src/bin/ablation_retx_scheme.rs
+
+crates/bench/src/bin/ablation_retx_scheme.rs:

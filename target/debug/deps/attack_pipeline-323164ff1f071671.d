@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_pipeline-323164ff1f071671.d: tests/attack_pipeline.rs
+
+/root/repo/target/debug/deps/attack_pipeline-323164ff1f071671: tests/attack_pipeline.rs
+
+tests/attack_pipeline.rs:

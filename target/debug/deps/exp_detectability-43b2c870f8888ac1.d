@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_detectability-43b2c870f8888ac1.d: crates/bench/src/bin/exp_detectability.rs
+
+/root/repo/target/debug/deps/exp_detectability-43b2c870f8888ac1: crates/bench/src/bin/exp_detectability.rs
+
+crates/bench/src/bin/exp_detectability.rs:

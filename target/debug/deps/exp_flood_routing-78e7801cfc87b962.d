@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_flood_routing-78e7801cfc87b962.d: crates/bench/src/bin/exp_flood_routing.rs
+
+/root/repo/target/debug/deps/exp_flood_routing-78e7801cfc87b962: crates/bench/src/bin/exp_flood_routing.rs
+
+crates/bench/src/bin/exp_flood_routing.rs:

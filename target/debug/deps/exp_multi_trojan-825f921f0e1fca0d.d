@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_multi_trojan-825f921f0e1fca0d.d: crates/bench/src/bin/exp_multi_trojan.rs
+
+/root/repo/target/debug/deps/exp_multi_trojan-825f921f0e1fca0d: crates/bench/src/bin/exp_multi_trojan.rs
+
+crates/bench/src/bin/exp_multi_trojan.rs:

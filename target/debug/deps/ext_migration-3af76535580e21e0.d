@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_migration-3af76535580e21e0.d: crates/bench/src/bin/ext_migration.rs
+
+/root/repo/target/debug/deps/ext_migration-3af76535580e21e0: crates/bench/src/bin/ext_migration.rs
+
+crates/bench/src/bin/ext_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_speedup-d7402f0403e5f85b.d: crates/bench/src/bin/fig10_speedup.rs
+
+/root/repo/target/debug/deps/fig10_speedup-d7402f0403e5f85b: crates/bench/src/bin/fig10_speedup.rs
+
+crates/bench/src/bin/fig10_speedup.rs:

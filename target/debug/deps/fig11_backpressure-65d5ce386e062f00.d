@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_backpressure-65d5ce386e062f00.d: crates/bench/src/bin/fig11_backpressure.rs
+
+/root/repo/target/debug/deps/fig11_backpressure-65d5ce386e062f00: crates/bench/src/bin/fig11_backpressure.rs
+
+crates/bench/src/bin/fig11_backpressure.rs:

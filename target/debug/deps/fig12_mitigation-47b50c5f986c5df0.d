@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_mitigation-47b50c5f986c5df0.d: crates/bench/src/bin/fig12_mitigation.rs
+
+/root/repo/target/debug/deps/fig12_mitigation-47b50c5f986c5df0: crates/bench/src/bin/fig12_mitigation.rs
+
+crates/bench/src/bin/fig12_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_traffic-c0fb26d3f87e97a7.d: crates/bench/src/bin/fig1_traffic.rs
+
+/root/repo/target/debug/deps/fig1_traffic-c0fb26d3f87e97a7: crates/bench/src/bin/fig1_traffic.rs
+
+crates/bench/src/bin/fig1_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fault_latency-d8ea059d09c11431.d: crates/bench/src/bin/fig2_fault_latency.rs
+
+/root/repo/target/debug/deps/fig2_fault_latency-d8ea059d09c11431: crates/bench/src/bin/fig2_fault_latency.rs
+
+crates/bench/src/bin/fig2_fault_latency.rs:

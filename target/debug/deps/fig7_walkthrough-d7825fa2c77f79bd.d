@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_walkthrough-d7825fa2c77f79bd.d: tests/fig7_walkthrough.rs
+
+/root/repo/target/debug/deps/fig7_walkthrough-d7825fa2c77f79bd: tests/fig7_walkthrough.rs
+
+tests/fig7_walkthrough.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_power_pies-f0e350c938c57f95.d: crates/bench/src/bin/fig8_power_pies.rs
+
+/root/repo/target/debug/deps/fig8_power_pies-f0e350c938c57f95: crates/bench/src/bin/fig8_power_pies.rs
+
+crates/bench/src/bin/fig8_power_pies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_target_area-cc1b6bf872e8c27b.d: crates/bench/src/bin/fig9_target_area.rs
+
+/root/repo/target/debug/deps/fig9_target_area-cc1b6bf872e8c27b: crates/bench/src/bin/fig9_target_area.rs
+
+crates/bench/src/bin/fig9_target_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htnoc-258b5d0f4477cea9.d: src/lib.rs
+
+/root/repo/target/debug/deps/htnoc-258b5d0f4477cea9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/htnoc-6b910fe4872e4185.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhtnoc-6b910fe4872e4185.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhtnoc-6b910fe4872e4185.rmeta: src/lib.rs
+
+src/lib.rs:

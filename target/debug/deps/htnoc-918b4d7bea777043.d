@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htnoc-918b4d7bea777043.d: src/bin/htnoc.rs
+
+/root/repo/target/debug/deps/htnoc-918b4d7bea777043: src/bin/htnoc.rs
+
+src/bin/htnoc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/htnoc-93b42f2e89b1c388.d: src/bin/htnoc.rs
+
+/root/repo/target/debug/deps/htnoc-93b42f2e89b1c388: src/bin/htnoc.rs
+
+src/bin/htnoc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-c29f6bf38ecd7d95.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-c29f6bf38ecd7d95: tests/invariants.rs
+
+tests/invariants.rs:

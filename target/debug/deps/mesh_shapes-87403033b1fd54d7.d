@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mesh_shapes-87403033b1fd54d7.d: tests/mesh_shapes.rs
+
+/root/repo/target/debug/deps/mesh_shapes-87403033b1fd54d7: tests/mesh_shapes.rs
+
+tests/mesh_shapes.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/noc_bench-bdd692fbe5cb07cf.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig2.rs crates/bench/src/flood.rs crates/bench/src/migration.rs crates/bench/src/power_tables.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/noc_bench-bdd692fbe5cb07cf: crates/bench/src/lib.rs crates/bench/src/fig1.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig2.rs crates/bench/src/flood.rs crates/bench/src/migration.rs crates/bench/src/power_tables.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/flood.rs:
+crates/bench/src/migration.rs:
+crates/bench/src/power_tables.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_ecc-1a1d88f443a80fb8.d: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+/root/repo/target/debug/deps/libnoc_ecc-1a1d88f443a80fb8.rlib: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+/root/repo/target/debug/deps/libnoc_ecc-1a1d88f443a80fb8.rmeta: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/codeword.rs:
+crates/ecc/src/secded.rs:

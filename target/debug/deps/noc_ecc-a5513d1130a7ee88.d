@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/noc_ecc-a5513d1130a7ee88.d: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+/root/repo/target/debug/deps/noc_ecc-a5513d1130a7ee88: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/codeword.rs:
+crates/ecc/src/secded.rs:

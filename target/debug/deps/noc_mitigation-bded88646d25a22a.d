@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/noc_mitigation-bded88646d25a22a.d: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+/root/repo/target/debug/deps/libnoc_mitigation-bded88646d25a22a.rlib: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+/root/repo/target/debug/deps/libnoc_mitigation-bded88646d25a22a.rmeta: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/bist.rs:
+crates/mitigation/src/detector.rs:
+crates/mitigation/src/lob.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/noc_mitigation-c17a7b9536680f8b.d: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+/root/repo/target/debug/deps/noc_mitigation-c17a7b9536680f8b: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/bist.rs:
+crates/mitigation/src/detector.rs:
+crates/mitigation/src/lob.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/noc_traffic-75f53c4de3cfef13.d: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libnoc_traffic-75f53c4de3cfef13.rlib: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/libnoc_traffic-75f53c4de3cfef13.rmeta: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/app.rs:
+crates/traffic/src/flood.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/noc_traffic-9d0231a2e69298ff.d: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/debug/deps/noc_traffic-9d0231a2e69298ff: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/app.rs:
+crates/traffic/src/flood.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_trojan-261f755c494e6c5f.d: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+/root/repo/target/debug/deps/noc_trojan-261f755c494e6c5f: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+crates/trojan/src/lib.rs:
+crates/trojan/src/detection.rs:
+crates/trojan/src/payload.rs:
+crates/trojan/src/target.rs:
+crates/trojan/src/tasp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/noc_trojan-ac2896c62af47cb7.d: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+/root/repo/target/debug/deps/libnoc_trojan-ac2896c62af47cb7.rlib: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+/root/repo/target/debug/deps/libnoc_trojan-ac2896c62af47cb7.rmeta: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+crates/trojan/src/lib.rs:
+crates/trojan/src/detection.rs:
+crates/trojan/src/payload.rs:
+crates/trojan/src/target.rs:
+crates/trojan/src/tasp.rs:

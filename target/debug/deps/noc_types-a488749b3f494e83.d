@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/noc_types-a488749b3f494e83.d: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+/root/repo/target/debug/deps/noc_types-a488749b3f494e83: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+crates/types/src/lib.rs:
+crates/types/src/flit.rs:
+crates/types/src/geometry.rs:
+crates/types/src/header.rs:
+crates/types/src/ids.rs:
+crates/types/src/packet.rs:

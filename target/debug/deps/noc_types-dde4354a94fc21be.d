@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/noc_types-dde4354a94fc21be.d: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+/root/repo/target/debug/deps/libnoc_types-dde4354a94fc21be.rlib: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+/root/repo/target/debug/deps/libnoc_types-dde4354a94fc21be.rmeta: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+crates/types/src/lib.rs:
+crates/types/src/flit.rs:
+crates/types/src/geometry.rs:
+crates/types/src/header.rs:
+crates/types/src/ids.rs:
+crates/types/src/packet.rs:

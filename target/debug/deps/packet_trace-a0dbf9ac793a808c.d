@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packet_trace-a0dbf9ac793a808c.d: tests/packet_trace.rs
+
+/root/repo/target/debug/deps/packet_trace-a0dbf9ac793a808c: tests/packet_trace.rs
+
+tests/packet_trace.rs:

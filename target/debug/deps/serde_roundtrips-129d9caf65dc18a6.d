@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrips-129d9caf65dc18a6.d: tests/serde_roundtrips.rs
+
+/root/repo/target/debug/deps/serde_roundtrips-129d9caf65dc18a6: tests/serde_roundtrips.rs
+
+tests/serde_roundtrips.rs:

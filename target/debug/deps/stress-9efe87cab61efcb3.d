@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-9efe87cab61efcb3.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-9efe87cab61efcb3: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_tasp_overhead-082387004e397ee8.d: crates/bench/src/bin/table1_tasp_overhead.rs
+
+/root/repo/target/debug/deps/table1_tasp_overhead-082387004e397ee8: crates/bench/src/bin/table1_tasp_overhead.rs
+
+crates/bench/src/bin/table1_tasp_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_mitigation_overhead-2afa6ada61eeec44.d: crates/bench/src/bin/table2_mitigation_overhead.rs
+
+/root/repo/target/debug/deps/table2_mitigation_overhead-2afa6ada61eeec44: crates/bench/src/bin/table2_mitigation_overhead.rs
+
+crates/bench/src/bin/table2_mitigation_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dos_attack-fb170169bbd38612.d: examples/dos_attack.rs
+
+/root/repo/target/debug/examples/dos_attack-fb170169bbd38612: examples/dos_attack.rs
+
+examples/dos_attack.rs:

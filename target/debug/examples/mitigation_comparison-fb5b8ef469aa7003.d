@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitigation_comparison-fb5b8ef469aa7003.d: examples/mitigation_comparison.rs
+
+/root/repo/target/debug/examples/mitigation_comparison-fb5b8ef469aa7003: examples/mitigation_comparison.rs
+
+examples/mitigation_comparison.rs:

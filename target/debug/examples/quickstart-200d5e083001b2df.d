@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-200d5e083001b2df.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-200d5e083001b2df: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replay_comparison-89d47893396626f4.d: examples/replay_comparison.rs
+
+/root/repo/target/debug/examples/replay_comparison-89d47893396626f4: examples/replay_comparison.rs
+
+examples/replay_comparison.rs:

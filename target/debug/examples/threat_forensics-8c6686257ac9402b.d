@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threat_forensics-8c6686257ac9402b.d: examples/threat_forensics.rs
+
+/root/repo/target/debug/examples/threat_forensics-8c6686257ac9402b: examples/threat_forensics.rs
+
+examples/threat_forensics.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/htnoc-22904ff0d3779544.d: src/lib.rs
+
+/root/repo/target/release/deps/libhtnoc-22904ff0d3779544.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhtnoc-22904ff0d3779544.rmeta: src/lib.rs
+
+src/lib.rs:

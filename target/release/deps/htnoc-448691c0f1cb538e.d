@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/htnoc-448691c0f1cb538e.d: src/bin/htnoc.rs
+
+/root/repo/target/release/deps/htnoc-448691c0f1cb538e: src/bin/htnoc.rs
+
+src/bin/htnoc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/noc_ecc-74dc6d465d619de6.d: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+/root/repo/target/release/deps/libnoc_ecc-74dc6d465d619de6.rlib: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+/root/repo/target/release/deps/libnoc_ecc-74dc6d465d619de6.rmeta: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/codeword.rs:
+crates/ecc/src/secded.rs:

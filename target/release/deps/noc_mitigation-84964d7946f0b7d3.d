@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/noc_mitigation-84964d7946f0b7d3.d: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+/root/repo/target/release/deps/libnoc_mitigation-84964d7946f0b7d3.rlib: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+/root/repo/target/release/deps/libnoc_mitigation-84964d7946f0b7d3.rmeta: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/bist.rs:
+crates/mitigation/src/detector.rs:
+crates/mitigation/src/lob.rs:

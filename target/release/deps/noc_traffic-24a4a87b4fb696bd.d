@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/noc_traffic-24a4a87b4fb696bd.d: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/release/deps/libnoc_traffic-24a4a87b4fb696bd.rlib: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+/root/repo/target/release/deps/libnoc_traffic-24a4a87b4fb696bd.rmeta: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/app.rs:
+crates/traffic/src/flood.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/trace.rs:

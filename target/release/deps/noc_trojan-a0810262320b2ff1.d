@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/noc_trojan-a0810262320b2ff1.d: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+/root/repo/target/release/deps/libnoc_trojan-a0810262320b2ff1.rlib: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+/root/repo/target/release/deps/libnoc_trojan-a0810262320b2ff1.rmeta: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs
+
+crates/trojan/src/lib.rs:
+crates/trojan/src/detection.rs:
+crates/trojan/src/payload.rs:
+crates/trojan/src/target.rs:
+crates/trojan/src/tasp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/noc_types-40ecd05f2d136b06.d: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+/root/repo/target/release/deps/libnoc_types-40ecd05f2d136b06.rlib: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+/root/repo/target/release/deps/libnoc_types-40ecd05f2d136b06.rmeta: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs
+
+crates/types/src/lib.rs:
+crates/types/src/flit.rs:
+crates/types/src/geometry.rs:
+crates/types/src/header.rs:
+crates/types/src/ids.rs:
+crates/types/src/packet.rs:

@@ -1,0 +1,167 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Keeps the source-level API (`Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `black_box`, the
+//! `criterion_group!`/`criterion_main!` macros) but measures with a
+//! plain wall-clock mean over a fixed iteration budget: good enough to
+//! spot coarse regressions offline, not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group (the shim only uses the name as a report prefix).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f` over an adaptively chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: run until ~50ms or 3 iterations.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_iters < 3 || calib_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed() / calib_iters as u32;
+        // Measurement budget: ~250ms, at least 5 iterations.
+        let target = (Duration::from_millis(250).as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters = target.clamp(5, 2_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no measurement)");
+        return;
+    }
+    let mean = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let (value, unit) = if mean >= 1e9 {
+        (mean / 1e9, "s")
+    } else if mean >= 1e6 {
+        (mean / 1e6, "ms")
+    } else if mean >= 1e3 {
+        (mean / 1e3, "µs")
+    } else {
+        (mean, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Group benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_accept_configuration_calls() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_millis(1));
+        g.bench_function("x", |b| b.iter(|| black_box(2) * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,356 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Provides the surface this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!` / `prop_assume!`, [`any`], integer-range
+//! strategies, and [`ProptestConfig::with_cases`].
+//!
+//! Semantics differences from upstream, by design:
+//!
+//! * **Deterministic**: case `i` of test `name` always sees the same
+//!   inputs (seeded from a hash of the test name and `i`), so failures
+//!   reproduce without a regression file.
+//! * **No shrinking**: a failing case panics with the generated inputs
+//!   printed; minimise by hand.
+//! * Default case count is 64 (upstream: 256) to keep offline CI fast.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Maximum rejected cases (via [`prop_assume!`]) before the property
+    /// errors out as vacuous.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this case out; try another.
+    Reject,
+    /// The property failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message (mirrors upstream's API shape).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Value generators. Implemented for [`Any`] and integer ranges.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// The `any::<T>()` strategy: the full value domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform over `T`'s entire domain.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types `any::<T>()` can generate.
+pub trait ArbitraryValue: std::fmt::Debug {
+    /// Draw one value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize);
+
+/// Drive `case` for every case index the config asks for. Called by the
+/// [`proptest!`] expansion; not part of the public API upstream, but
+/// harmless to expose.
+pub fn run_cases(
+    config: ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng, u32) -> Result<(), TestCaseError>,
+) {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        name_hash ^= b as u64;
+        name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rejects = 0u32;
+    let mut i = 0u32;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let mut rng = StdRng::seed_from_u64(name_hash ^ ((i as u64) << 32));
+        match case(&mut rng, i) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest '{test_name}': too many prop_assume! rejects \
+                     ({rejects}); property is vacuous"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{test_name}' failed at case {i}: {msg}");
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {} ({}:{})",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`: left = {:?}, right = {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`: left = {:?}, right = {:?}: {} ({}:{})",
+                stringify!($left), stringify!($right), l, r,
+                format!($($fmt)*), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`: both = {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Skip the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in any::<u64>(), y in 0u8..16) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_variables)]
+            $crate::run_cases(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng, __case| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    // Report inputs on failure without shrinking.
+                    let __inputs = || -> String {
+                        let mut s = String::new();
+                        $(s.push_str(&format!(
+                            "{} = {:?}, ", stringify!($arg), $arg
+                        ));)*
+                        s
+                    };
+                    let mut __case_fn = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    __case_fn().map_err(|e| match e {
+                        $crate::TestCaseError::Fail(msg) => $crate::TestCaseError::Fail(
+                            format!("[inputs: {}] {}", __inputs(), msg),
+                        ),
+                        r => r,
+                    })
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any_stay_in_domain(x in 0u8..16, y in 1u8..=10, z in any::<u64>()) {
+            prop_assert!(x < 16);
+            prop_assert!((1..=10).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn assume_filters_cases(a in any::<u8>()) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        super::run_cases(ProptestConfig::with_cases(10), "det", |rng, _| {
+            first.push(crate::any::<u64>().generate(rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        super::run_cases(ProptestConfig::with_cases(10), "det", |rng, _| {
+            second.push(crate::any::<u64>().generate(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuous")]
+    fn unsatisfiable_assume_is_flagged() {
+        super::run_cases(ProptestConfig::with_cases(1), "vac", |_, _| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        super::run_cases(ProptestConfig::with_cases(5), "boom", |_, _| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}
