@@ -22,7 +22,9 @@ fn bench_fig2(c: &mut Criterion) {
 }
 
 fn bench_fig8_9_tables(c: &mut Criterion) {
-    c.bench_function("fig8_router_pies", |b| b.iter(power_tables::fig8_router_pies));
+    c.bench_function("fig8_router_pies", |b| {
+        b.iter(power_tables::fig8_router_pies)
+    });
     c.bench_function("fig9_target_areas", |b| b.iter(power_tables::fig9_areas));
     c.bench_function("table1_model", |b| b.iter(power_tables::table1_model));
     c.bench_function("table2_model", |b| b.iter(power_tables::table2_model));

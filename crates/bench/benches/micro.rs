@@ -14,7 +14,9 @@ fn bench_secded(c: &mut Criterion) {
     g.bench_function("encode", |b| b.iter(|| Secded::encode(black_box(data))));
     g.bench_function("decode_clean", |b| b.iter(|| Secded::decode(black_box(cw))));
     let one = flip_bit(cw, 17);
-    g.bench_function("decode_corrected", |b| b.iter(|| Secded::decode(black_box(one))));
+    g.bench_function("decode_corrected", |b| {
+        b.iter(|| Secded::decode(black_box(one)))
+    });
     let two = flip_bits(cw, (1 << 3) | (1 << 40));
     g.bench_function("decode_uncorrectable", |b| {
         b.iter(|| Secded::decode(black_box(two)))
@@ -64,7 +66,7 @@ fn bench_lob(c: &mut Criterion) {
     let mut g = c.benchmark_group("lob");
     let word = 0xFEED_FACE_CAFE_F00Du64;
     for (i, plan) in LobPlan::LADDER.iter().enumerate() {
-        g.bench_function(format!("apply_undo_rung{i}"), |b| {
+        g.bench_function(&format!("apply_undo_rung{i}"), |b| {
             b.iter(|| {
                 let obf = plan.apply(black_box(word), 0x1234);
                 plan.undo(obf, 0x1234)
@@ -86,5 +88,11 @@ fn bench_sim_cycle(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_secded, bench_tasp, bench_lob, bench_sim_cycle);
+criterion_group!(
+    benches,
+    bench_secded,
+    bench_tasp,
+    bench_lob,
+    bench_sim_cycle
+);
 criterion_main!(benches);

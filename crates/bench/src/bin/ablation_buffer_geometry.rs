@@ -55,7 +55,11 @@ fn run(vcs: u8, vc_depth: u8, mitigation: bool) -> (f64, u64, bool) {
     sim.run(200, &mut src);
     sim.arm_trojans(true);
     let drained = sim.run_to_quiescence(20_000, &mut src);
-    (sim.stats().avg_latency(), sim.stats().retransmissions, drained)
+    (
+        sim.stats().avg_latency(),
+        sim.stats().retransmissions,
+        drained,
+    )
 }
 
 fn main() {

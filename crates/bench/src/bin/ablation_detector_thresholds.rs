@@ -55,7 +55,9 @@ fn run(lob_threshold: u32, bist_threshold: u32, transients: bool) -> (u64, u64, 
 }
 
 fn main() {
-    println!("=== Ablation — detector escalation thresholds (single TASP + background transients) ===\n");
+    println!(
+        "=== Ablation — detector escalation thresholds (single TASP + background transients) ===\n"
+    );
     let mut rows = Vec::new();
     for lob in [1u32, 2, 3, 4] {
         for bist in [2u32, 3] {

@@ -6,8 +6,8 @@
 
 use noc_bench::table::print_table;
 use noc_mitigation::LobPlan;
-use noc_types::{Header, NodeId, VcId};
 use noc_trojan::{TargetKind, TargetSpec};
+use noc_types::{Header, NodeId, VcId};
 
 fn spec_for(kind: TargetKind, h: &Header) -> TargetSpec {
     use noc_trojan::FieldMatch::Exact;

@@ -31,7 +31,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["Y bits", "states", "distinct wire pairs", "area µm²", "idle leak nW"],
+        &[
+            "Y bits",
+            "states",
+            "distinct wire pairs",
+            "area µm²",
+            "idle leak nW",
+        ],
         &rows,
     );
     println!(

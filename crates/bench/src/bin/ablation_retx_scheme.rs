@@ -43,7 +43,10 @@ fn run(scheme: RetxScheme, strategy: Strategy) -> (u64, bool) {
 fn main() {
     println!("=== Ablation — retransmission buffer placement ===\n");
     let mut rows = Vec::new();
-    for (scheme, name) in [(RetxScheme::Output, "output (shared)"), (RetxScheme::PerVc, "per-VC")] {
+    for (scheme, name) in [
+        (RetxScheme::Output, "output (shared)"),
+        (RetxScheme::PerVc, "per-VC"),
+    ] {
         for (strategy, sname) in [
             (Strategy::S2sLob, "s2s L-Ob"),
             (Strategy::Unprotected, "unprotected"),

@@ -37,10 +37,7 @@ fn main() {
             kind.name().to_string(),
             format!("{:.2e}", p),
             vectors,
-            format!(
-                "{:.0}",
-                expected_triggers(kind, 1_000_000_000, false)
-            ),
+            format!("{:.0}", expected_triggers(kind, 1_000_000_000, false)),
             f(sc.snr(tasp.leakage_nw, router_leak), 2),
             f(tight.snr(tasp.leakage_nw, router_leak), 1),
         ]);

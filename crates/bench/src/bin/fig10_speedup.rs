@@ -33,7 +33,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["app", "infected", "lat(L-Ob)", "lat(reroute)", "t(L-Ob)", "t(reroute)", "speedup"],
+        &[
+            "app",
+            "infected",
+            "lat(L-Ob)",
+            "lat(reroute)",
+            "t(L-Ob)",
+            "t(reroute)",
+            "speedup",
+        ],
         &rows,
     );
     println!(

@@ -22,7 +22,10 @@ fn main() {
     let data = fig1::compute(app, cycles, 7);
     let mesh = Mesh::paper();
 
-    println!("=== Fig. 1 — {} traffic distributions ({} sampled cycles) ===\n", data.app, cycles);
+    println!(
+        "=== Fig. 1 — {} traffic distributions ({} sampled cycles) ===\n",
+        data.app, cycles
+    );
 
     println!("(a) source × destination request packets:");
     let headers: Vec<String> = std::iter::once("src\\dst".to_string())

@@ -9,7 +9,9 @@ use noc_bench::table::{pct, print_table};
 fn main() {
     println!("=== Fig. 8 — power and area breakdowns ===\n");
 
-    println!("Router power shares (paper: buffer 71/88, crossbar 18/9, SA 4/3, clock 6/~0, TASP 1/~0):");
+    println!(
+        "Router power shares (paper: buffer 71/88, crossbar 18/9, SA 4/3, clock 6/~0, TASP 1/~0):"
+    );
     let rows: Vec<Vec<String>> = fig8_router_pies()
         .into_iter()
         .map(|(name, d, l)| vec![name.to_string(), pct(d), pct(l)])

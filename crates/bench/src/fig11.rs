@@ -160,7 +160,12 @@ mod tests {
         // Exact peaks are RNG-stream sensitive (the traffic model draws
         // from the seeded generator); what matters is the contrast with
         // the attacked run's ≥ 10.
-        let dead_clean = clean.samples.iter().map(|s| s.half_cores_full).max().unwrap();
+        let dead_clean = clean
+            .samples
+            .iter()
+            .map(|s| s.half_cores_full)
+            .max()
+            .unwrap();
         assert!(dead_clean <= 4, "clean dead {dead_clean}");
         assert!(dead_clean * 2 < dead, "no contrast: {dead_clean} vs {dead}");
     }

@@ -231,7 +231,11 @@ mod tests {
             peak(&clean)
         );
         let worst = |d: &crate::fig11::Fig11Data| {
-            d.samples.iter().map(|s| s.all_cores_full).max().unwrap_or(0)
+            d.samples
+                .iter()
+                .map(|s| s.all_cores_full)
+                .max()
+                .unwrap_or(0)
         };
         assert!(
             worst(&mitigated) <= worst(&clean) + 1,

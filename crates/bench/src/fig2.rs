@@ -6,8 +6,8 @@
 
 use htnoc_core::prelude::*;
 use noc_sim::fault::StuckWires;
-use noc_types::PacketId;
 use noc_sim::routing::{RouteTables, Routing};
+use noc_types::PacketId;
 
 /// Fault condition applied to the first hop's link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +83,10 @@ pub fn measure(distance: u32, kind: FaultKind, cap: u64) -> LatencyPoint {
     };
     let mut sim = Simulator::new(cfg);
     let first_link = mesh
-        .link_out(NodeId(0), noc_sim::routing::xy_direction(&mesh, NodeId(0), dest))
+        .link_out(
+            NodeId(0),
+            noc_sim::routing::xy_direction(&mesh, NodeId(0), dest),
+        )
         .expect("first hop exists");
     match kind {
         FaultKind::None => {}
@@ -96,9 +99,7 @@ pub fn measure(distance: u32, kind: FaultKind, cap: u64) -> LatencyPoint {
             // cleared after the first NACK via transient probability:
             // simplest deterministic equivalent is a TargetSpec matching the
             // flow with a large cooldown so exactly the first head is hit.
-            let ht = TaspHt::new(
-                TaspConfig::new(TargetSpec::dest(dest.0)).with_cooldown(u32::MAX),
-            );
+            let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest.0)).with_cooldown(u32::MAX));
             let faults = std::mem::replace(
                 sim.link_faults_mut(first_link),
                 noc_sim::fault::LinkFaults::healthy(0),

@@ -45,18 +45,24 @@ pub fn run_cell(adaptive: bool, flooded: bool, rate: f64, cycles: u64, seed: u64
     let flood = FloodAttack::new(
         mesh,
         vec![
-            CoreId(12), CoreId(13), CoreId(14), CoreId(15), // router 3
-            CoreId(48), CoreId(49), CoreId(50), CoreId(51), // router 12
+            CoreId(12),
+            CoreId(13),
+            CoreId(14),
+            CoreId(15), // router 3
+            CoreId(48),
+            CoreId(49),
+            CoreId(50),
+            CoreId(51), // router 12
         ],
         vec![NodeId(6), NodeId(9)],
         seed + 1,
     )
     .with_rate(flood_rate.max(1e-9))
-    .window(if flooded { 0 } else { u64::MAX - 1 }, if flooded { cycles } else { u64::MAX });
-    let mut src = WithFlood {
-        background,
-        flood,
-    };
+    .window(
+        if flooded { 0 } else { u64::MAX - 1 },
+        if flooded { cycles } else { u64::MAX },
+    );
+    let mut src = WithFlood { background, flood };
     sim.run(cycles + 600, &mut src);
     // Background packets have ids < 2^48 (the flood offsets its own).
     let mut lat_sum = 0u64;

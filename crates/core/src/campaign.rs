@@ -1,0 +1,494 @@
+//! Deterministic fault-injection campaigns.
+//!
+//! Each scenario replays one seeded failure mode against the resilience
+//! layer — transient storms, stuck-at bursts, trojan kill-switch toggling
+//! mid-run, multi-trojan placements, link death and revival — and asserts
+//! the two properties the layer exists to provide:
+//!
+//! * **conservation** — every injected flit/packet is either delivered or
+//!   explicitly dropped by a quarantine purge
+//!   (`delivered + dropped == injected` at quiescence, never a silent
+//!   loss);
+//! * **integrity** — [`noc_sim::Simulator::check_invariants`] finds zero
+//!   micro-architectural violations after the dust settles (and the
+//!   guarded step audits periodically along the way).
+//!
+//! Scenarios run through the guarded APIs, so a deadlock surfaces as a
+//! structured [`StallReport`] the driver acts on (quarantine the culprit
+//! and resume) instead of a silent spin to the cycle cap. The
+//! [`trojan_flood`] scenario is the acceptance case: an unmitigated
+//! trojan DoS that previously spun forever now terminates with a
+//! watchdog diagnosis, a quarantined link, and a full drain.
+//!
+//! Everything is seeded: same seed, same run, bit for bit.
+
+use noc_sim::fault::StuckWires;
+use noc_sim::routing::{xy_direction, xy_path, Routing};
+use noc_sim::{SimConfig, SimError, Simulator, StallReport, TrafficSource, WatchdogConfig};
+use noc_traffic::{Pattern, SyntheticTraffic};
+use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
+use noc_types::{LinkId, NodeId};
+
+/// Default campaign seed (any seed works; this one is the published run).
+pub const CAMPAIGN_SEED: u64 = 0xD15EA5E;
+
+/// What one campaign scenario did, after its assertions passed.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name (one of the `campaign` module's scenario functions).
+    pub name: &'static str,
+    /// Seed the scenario ran with.
+    pub seed: u64,
+    /// Cycle the run ended at (quiescent).
+    pub cycles: u64,
+    /// Flits injected over the run.
+    pub injected_flits: u64,
+    /// Flits delivered to their destination cores.
+    pub delivered_flits: u64,
+    /// Flits explicitly dropped by quarantine purges.
+    pub dropped_flits: u64,
+    /// Links quarantined (budget exhaustion, watchdog, or scripted death).
+    pub quarantined_links: u64,
+    /// Retry-budget escalations that forced L-Ob on a stuck entry.
+    pub budget_escalations: u64,
+    /// Every watchdog diagnosis raised (and acted on) during the run.
+    pub stalls: Vec<StallReport>,
+}
+
+impl std::fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<20} cycles={:<6} flits {}/{} delivered, {} dropped, \
+             {} quarantined link(s), {} escalation(s), {} stall(s)",
+            self.name,
+            self.cycles,
+            self.delivered_flits,
+            self.injected_flits,
+            self.dropped_flits,
+            self.quarantined_links,
+            self.budget_escalations,
+            self.stalls.len()
+        )?;
+        for s in &self.stalls {
+            write!(f, "\n    watchdog: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How a scenario responds to a watchdog diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallPolicy {
+    /// No stall is expected; one is a scenario failure.
+    Fatal,
+    /// Quarantine the blamed link and resume (graceful degradation).
+    QuarantineCulprit,
+}
+
+fn handle_stall(sim: &mut Simulator, report: &StallReport, policy: StallPolicy) {
+    match policy {
+        StallPolicy::Fatal => panic!("unexpected stall: {report}"),
+        StallPolicy::QuarantineCulprit => {
+            let (router, dir) = report
+                .culprit()
+                .unwrap_or_else(|| panic!("stall names no culprit to quarantine: {report}"));
+            let link = sim
+                .mesh()
+                .link_out(router, dir)
+                .expect("a blamed output port always has a link");
+            if !sim.dead_links().contains(&link) {
+                sim.quarantine_link(link)
+                    .unwrap_or_else(|e| panic!("quarantine of {link:?} failed: {e}"));
+            }
+        }
+    }
+}
+
+/// Step guarded until `until_cycle`, applying `policy` to any stall.
+fn drive_until(
+    sim: &mut Simulator,
+    traffic: &mut dyn TrafficSource,
+    until_cycle: u64,
+    policy: StallPolicy,
+    stalls: &mut Vec<StallReport>,
+) {
+    while sim.cycle() < until_cycle {
+        match sim.try_step(traffic) {
+            Ok(()) => {}
+            Err(SimError::Stalled(report)) => {
+                stalls.push(report);
+                handle_stall(sim, &report, policy);
+            }
+            Err(err) => panic!("fatal simulator error at cycle {}: {err}", sim.cycle()),
+        }
+    }
+}
+
+/// Step guarded until the schedule is exhausted and the network drains.
+fn drain(
+    sim: &mut Simulator,
+    traffic: &mut dyn TrafficSource,
+    max_cycles: u64,
+    policy: StallPolicy,
+    stalls: &mut Vec<StallReport>,
+) -> bool {
+    while sim.cycle() < max_cycles {
+        if traffic.done() && sim.is_quiescent() {
+            return true;
+        }
+        match sim.try_step(traffic) {
+            Ok(()) => {}
+            Err(SimError::Stalled(report)) => {
+                stalls.push(report);
+                handle_stall(sim, &report, policy);
+            }
+            Err(err) => panic!("fatal simulator error at cycle {}: {err}", sim.cycle()),
+        }
+    }
+    traffic.done() && sim.is_quiescent()
+}
+
+/// Final audit: drained, conserved, and invariant-clean — then report.
+fn finish(
+    name: &'static str,
+    seed: u64,
+    sim: &Simulator,
+    drained: bool,
+    stalls: Vec<StallReport>,
+) -> ScenarioReport {
+    assert!(
+        drained,
+        "{name}: failed to drain by cycle {} ({} resident, {} queued)",
+        sim.cycle(),
+        sim.resident_flits(),
+        sim.queued_flits()
+    );
+    let violations = sim.check_invariants();
+    assert!(
+        violations.is_empty(),
+        "{name}: {} invariant violation(s) at cycle {}: {violations:?}",
+        violations.len(),
+        sim.cycle()
+    );
+    let s = sim.stats();
+    assert!(
+        s.flits_conserved(),
+        "{name}: flit conservation broken: injected={} delivered={} dropped={}",
+        s.injected_flits,
+        s.delivered_flits,
+        s.dropped_flits
+    );
+    assert!(
+        s.packets_conserved(),
+        "{name}: packet conservation broken: injected={} delivered={} dropped={}",
+        s.injected_packets,
+        s.delivered_packets,
+        s.dropped_packets
+    );
+    ScenarioReport {
+        name,
+        seed,
+        cycles: sim.cycle(),
+        injected_flits: s.injected_flits,
+        delivered_flits: s.delivered_flits,
+        dropped_flits: s.dropped_flits,
+        quarantined_links: s.quarantined_links,
+        budget_escalations: s.budget_escalations,
+        stalls,
+    }
+}
+
+/// Mount an (unarmed) TASP trojan hunting `dest` on `link`.
+fn mount_trojan(sim: &mut Simulator, link: LinkId, dest: NodeId) {
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest.0)));
+    let faults = std::mem::replace(
+        sim.link_faults_mut(link),
+        noc_sim::LinkFaults::healthy(link.0 as u64),
+    );
+    *sim.link_faults_mut(link) = faults.with_trojan(ht);
+}
+
+/// The XY link between two adjacent routers.
+fn hop(sim: &Simulator, from: NodeId, to: NodeId) -> LinkId {
+    let dir = xy_direction(sim.mesh(), from, to);
+    sim.mesh()
+        .link_out(from, dir)
+        .expect("adjacent routers share a link")
+}
+
+/// **Transient storm** — a burst window where four central links flip
+/// bits at high probability. SECDED corrects the singles, NACK/replay
+/// absorbs the doubles; everything still arrives, nothing is dropped.
+pub fn transient_storm(seed: u64) -> ScenarioReport {
+    let mut sim = Simulator::new(SimConfig::paper_resilient());
+    let mesh = sim.mesh().clone();
+    let mut traffic =
+        SyntheticTraffic::new(mesh.clone(), Pattern::UniformRandom, 0.05, seed).until(1200);
+    let mut stalls = Vec::new();
+    drive_until(&mut sim, &mut traffic, 200, StallPolicy::Fatal, &mut stalls);
+    // The storm strikes the four busiest central links for 300 cycles.
+    let storm: Vec<LinkId> = [(5, 6), (6, 5), (9, 10), (10, 9)]
+        .iter()
+        .map(|&(a, b)| hop(&sim, NodeId(a), NodeId(b)))
+        .collect();
+    for l in &storm {
+        sim.link_faults_mut(*l).transient_bit_prob = 1e-3;
+    }
+    drive_until(&mut sim, &mut traffic, 500, StallPolicy::Fatal, &mut stalls);
+    for l in &storm {
+        sim.link_faults_mut(*l).transient_bit_prob = 0.0;
+    }
+    let drained = drain(
+        &mut sim,
+        &mut traffic,
+        8_000,
+        StallPolicy::Fatal,
+        &mut stalls,
+    );
+    let rep = finish("transient_storm", seed, &sim, drained, stalls);
+    assert!(
+        sim.stats().corrected_faults > 0,
+        "the storm must exercise SECDED correction"
+    );
+    assert_eq!(rep.dropped_flits, 0, "transients never cost a flit");
+    rep
+}
+
+/// **Stuck-at burst** — two wires of one central link fail hard mid-run.
+/// Flits whose codewords disagree with both stuck values see a 2-bit
+/// (uncorrectable) error on every traversal; with no mitigation rung the
+/// retry budget escalates straight to quarantine, traffic reroutes, and
+/// the run drains with the purge accounted for.
+pub fn stuck_at_burst(seed: u64) -> ScenarioReport {
+    let mut cfg = SimConfig::paper_resilient();
+    cfg.mitigation = false; // no L-Ob rung: budget exhaustion goes straight to quarantine
+    let mut sim = Simulator::new(cfg);
+    let mesh = sim.mesh().clone();
+    let mut traffic =
+        SyntheticTraffic::new(mesh.clone(), Pattern::UniformRandom, 0.04, seed).until(1000);
+    let mut stalls = Vec::new();
+    drive_until(&mut sim, &mut traffic, 300, StallPolicy::Fatal, &mut stalls);
+    let victim = hop(&sim, NodeId(5), NodeId(6));
+    sim.link_faults_mut(victim).stuck = StuckWires::new((1 << 10) | (1 << 21), 0);
+    let drained = drain(
+        &mut sim,
+        &mut traffic,
+        15_000,
+        StallPolicy::QuarantineCulprit,
+        &mut stalls,
+    );
+    let rep = finish("stuck_at_burst", seed, &sim, drained, stalls);
+    assert!(
+        rep.quarantined_links >= 1,
+        "stuck wires must exhaust the retry budget and quarantine the link"
+    );
+    rep
+}
+
+/// **Trojan toggle** — an attacker flips the kill switch up, down, and up
+/// again mid-run while the mitigation ladder is active. L-Ob defeats each
+/// armed window; every flit is delivered and the topology is untouched.
+pub fn trojan_toggle(seed: u64) -> ScenarioReport {
+    let mut sim = Simulator::new(SimConfig::paper_resilient());
+    let mesh = sim.mesh().clone();
+    let victim_dest = NodeId(9);
+    let hot = hop(&sim, NodeId(5), victim_dest);
+    mount_trojan(&mut sim, hot, victim_dest);
+    let mut traffic = SyntheticTraffic::new(
+        mesh.clone(),
+        Pattern::Hotspot(vec![victim_dest]),
+        0.03,
+        seed,
+    )
+    .until(1400);
+    let mut stalls = Vec::new();
+    drive_until(&mut sim, &mut traffic, 200, StallPolicy::Fatal, &mut stalls);
+    sim.arm_trojans(true);
+    drive_until(&mut sim, &mut traffic, 600, StallPolicy::Fatal, &mut stalls);
+    sim.arm_trojans(false);
+    drive_until(&mut sim, &mut traffic, 900, StallPolicy::Fatal, &mut stalls);
+    sim.arm_trojans(true);
+    let drained = drain(
+        &mut sim,
+        &mut traffic,
+        10_000,
+        StallPolicy::Fatal,
+        &mut stalls,
+    );
+    let rep = finish("trojan_toggle", seed, &sim, drained, stalls);
+    assert_eq!(rep.dropped_flits, 0, "L-Ob delivers everything");
+    assert_eq!(
+        rep.quarantined_links, 0,
+        "mitigation absorbs the attack without degrading the topology"
+    );
+    rep
+}
+
+/// **Multi-trojan placement** — three trojans hunting three different
+/// destinations, all armed for the whole attack window, with the full
+/// mitigation ladder up. All traffic is delivered.
+pub fn multi_trojan(seed: u64) -> ScenarioReport {
+    let mut sim = Simulator::new(SimConfig::paper_resilient());
+    let mesh = sim.mesh().clone();
+    let dests = [NodeId(3), NodeId(9), NodeId(12)];
+    for d in dests {
+        // Mount each trojan on the last XY hop of the 0→dest path: a link
+        // every west/north flow to that destination must cross.
+        let path = xy_path(&mesh, NodeId(0), d);
+        let last = *path.last().expect("0 and dest are distinct");
+        mount_trojan(&mut sim, last, d);
+    }
+    let mut traffic =
+        SyntheticTraffic::new(mesh.clone(), Pattern::Hotspot(dests.to_vec()), 0.03, seed)
+            .until(1200);
+    let mut stalls = Vec::new();
+    drive_until(&mut sim, &mut traffic, 200, StallPolicy::Fatal, &mut stalls);
+    sim.arm_trojans(true);
+    let drained = drain(
+        &mut sim,
+        &mut traffic,
+        10_000,
+        StallPolicy::Fatal,
+        &mut stalls,
+    );
+    let rep = finish("multi_trojan", seed, &sim, drained, stalls);
+    assert_eq!(rep.dropped_flits, 0, "L-Ob delivers everything");
+    rep
+}
+
+/// **Link death and revival** — a healthy link dies without warning
+/// (scripted quarantine: victims purged, traffic rerouted over up*/down*
+/// tables), then comes back after field replacement and XY routing is
+/// restored over the full mesh. Conservation holds across both
+/// transitions.
+pub fn link_death_revival(seed: u64) -> ScenarioReport {
+    let mut sim = Simulator::new(SimConfig::paper_resilient());
+    let mesh = sim.mesh().clone();
+    let mut traffic =
+        SyntheticTraffic::new(mesh.clone(), Pattern::UniformRandom, 0.04, seed).until(1300);
+    let mut stalls = Vec::new();
+    drive_until(&mut sim, &mut traffic, 300, StallPolicy::Fatal, &mut stalls);
+    let victim = hop(&sim, NodeId(6), NodeId(7));
+    sim.quarantine_link(victim)
+        .expect("one dead link keeps the paper mesh connected");
+    drive_until(&mut sim, &mut traffic, 800, StallPolicy::Fatal, &mut stalls);
+    // Field replacement: the link comes back, XY resumes over the mesh.
+    sim.set_dead_links(Vec::new());
+    sim.set_routing(Routing::Xy);
+    let drained = drain(
+        &mut sim,
+        &mut traffic,
+        10_000,
+        StallPolicy::Fatal,
+        &mut stalls,
+    );
+    assert!(sim.dead_links().is_empty(), "revival clears the dead set");
+    let rep = finish("link_death_revival", seed, &sim, drained, stalls);
+    assert_eq!(rep.quarantined_links, 1);
+    rep
+}
+
+/// **Trojan flood (acceptance)** — an armed trojan on the hotspot's
+/// last-hop link with the mitigation ladder *disabled*: the exact run
+/// that used to spin to the cycle cap as a silent deadlock. Now the
+/// watchdog diagnoses the retransmission livelock, the driver
+/// quarantines the blamed link, traffic reroutes, and the run drains
+/// with every flit accounted for.
+pub fn trojan_flood(seed: u64) -> ScenarioReport {
+    let mut cfg = SimConfig::paper_unprotected();
+    cfg.watchdog = Some(WatchdogConfig {
+        retx_attempt_limit: 24,
+        credit_stall_cycles: 600,
+        global_stall_cycles: 1500,
+    });
+    cfg.check_invariants_every = Some(64);
+    let mut sim = Simulator::new(cfg);
+    let mesh = sim.mesh().clone();
+    let victim_dest = NodeId(9);
+    let hot = hop(&sim, NodeId(5), victim_dest);
+    mount_trojan(&mut sim, hot, victim_dest);
+    let mut traffic = SyntheticTraffic::new(
+        mesh.clone(),
+        Pattern::Hotspot(vec![victim_dest]),
+        0.05,
+        seed,
+    )
+    .until(1200);
+    let mut stalls = Vec::new();
+    drive_until(&mut sim, &mut traffic, 200, StallPolicy::Fatal, &mut stalls);
+    sim.arm_trojans(true);
+    let drained = drain(
+        &mut sim,
+        &mut traffic,
+        20_000,
+        StallPolicy::QuarantineCulprit,
+        &mut stalls,
+    );
+    let rep = finish("trojan_flood", seed, &sim, drained, stalls);
+    assert!(
+        !rep.stalls.is_empty(),
+        "the unmitigated flood must trip the watchdog"
+    );
+    assert!(
+        rep.quarantined_links >= 1,
+        "the diagnosis must lead to a quarantine"
+    );
+    rep
+}
+
+/// Run every scenario on seeds derived from `seed`. Each scenario panics
+/// on any conservation or invariant failure, so a returned vector means
+/// the whole campaign passed.
+pub fn run_campaign(seed: u64) -> Vec<ScenarioReport> {
+    vec![
+        transient_storm(seed),
+        stuck_at_burst(seed.wrapping_add(1)),
+        trojan_toggle(seed.wrapping_add(2)),
+        multi_trojan(seed.wrapping_add(3)),
+        link_death_revival(seed.wrapping_add(4)),
+        trojan_flood(seed.wrapping_add(5)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trojan_flood_recovers_via_watchdog_and_quarantine() {
+        // The acceptance scenario: previously a silent deadlock, now a
+        // diagnosed stall, a quarantine, and a conserved drain.
+        let rep = trojan_flood(CAMPAIGN_SEED.wrapping_add(5));
+        assert!(rep.stalls.iter().any(|s| s.culprit().is_some()));
+        assert!(
+            rep.dropped_flits > 0,
+            "quarantine purges are explicit drops"
+        );
+        assert_eq!(rep.injected_flits, rep.delivered_flits + rep.dropped_flits);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = transient_storm(7);
+        let b = transient_storm(7);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.injected_flits, b.injected_flits);
+        assert_eq!(a.delivered_flits, b.delivered_flits);
+    }
+
+    #[test]
+    fn full_campaign_passes_every_scenario() {
+        let reports = run_campaign(CAMPAIGN_SEED);
+        assert_eq!(reports.len(), 6);
+        for rep in &reports {
+            // `finish` already asserted conservation; spot-check the sums.
+            assert_eq!(
+                rep.injected_flits,
+                rep.delivered_flits + rep.dropped_flits,
+                "{}",
+                rep.name
+            );
+        }
+    }
+}

@@ -88,9 +88,9 @@ impl<S: TrafficSource> TrafficSource for E2eObfuscation<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_types::{Mesh, NodeId};
     use noc_traffic::{Pattern, SyntheticTraffic};
     use noc_trojan::TargetSpec;
+    use noc_types::{Mesh, NodeId};
 
     #[test]
     fn scramble_is_bijective() {
@@ -133,9 +133,7 @@ mod tests {
         e2e.poll(0, &mut out);
         let target = TargetSpec::dest(3);
         assert!(!out.is_empty());
-        assert!(out
-            .iter()
-            .all(|p| target.matches_header(&p.header())));
+        assert!(out.iter().all(|p| target.matches_header(&p.header())));
     }
 
     #[test]

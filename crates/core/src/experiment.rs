@@ -104,12 +104,7 @@ mod tests {
         let mesh = Mesh::paper();
         let mut m = AppModel::new(AppSpec::blackscholes(), mesh.clone(), 3);
         let shares = TrafficMatrix::sample(&mut m, 1500).link_shares_xy(&mesh);
-        select_infected(
-            &mesh,
-            &shares,
-            frac,
-            Some(AppSpec::blackscholes().primary),
-        )
+        select_infected(&mesh, &shares, frac, Some(AppSpec::blackscholes().primary))
     }
 
     #[test]
@@ -141,8 +136,11 @@ mod tests {
     #[test]
     fn reroute_finishes_but_slower_than_lob() {
         let links = infected(0.1);
-        let lob = run_scenario(&short(AppSpec::blackscholes(), Strategy::S2sLob).with_infected(links.clone()));
-        let rr = run_scenario(&short(AppSpec::blackscholes(), Strategy::Reroute).with_infected(links));
+        let lob = run_scenario(
+            &short(AppSpec::blackscholes(), Strategy::S2sLob).with_infected(links.clone()),
+        );
+        let rr =
+            run_scenario(&short(AppSpec::blackscholes(), Strategy::Reroute).with_infected(links));
         assert!(lob.drained && rr.drained);
         let (t_lob, t_rr) = (lob.completion_or_cap(6000), rr.completion_or_cap(6000));
         assert!(

@@ -28,7 +28,12 @@ pub enum Json {
 impl Json {
     /// An object from `(key, value)` pairs.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// A number from anything convertible to f64.
@@ -40,13 +45,6 @@ impl Json {
     /// export; larger values are clamped (and none occur in practice).
     pub fn u64(n: u64) -> Json {
         Json::Num(n.min(1 << 53) as f64)
-    }
-
-    /// Serialise to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut s = String::new();
-        self.write(&mut s);
-        s
     }
 
     fn write(&self, out: &mut String) {
@@ -100,6 +98,15 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Compact JSON serialisation (`to_string` comes with it).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
     }
 }
 

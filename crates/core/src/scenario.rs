@@ -127,7 +127,19 @@ impl Scenario {
 
     /// Build the configured simulator (trojans mounted but **not armed**;
     /// the experiment loop asserts the kill switch after warm-up).
+    ///
+    /// Panics when the rerouting baseline cannot route around the
+    /// infected links; use [`Scenario::try_build_sim`] to handle that
+    /// case gracefully.
     pub fn build_sim(&self) -> Simulator {
+        self.try_build_sim()
+            .expect("infection fractions must not disconnect the mesh")
+    }
+
+    /// Fallible [`Scenario::build_sim`]: returns
+    /// [`noc_sim::SimError::MeshDisconnected`] when the rerouting
+    /// baseline's dead-link set leaves some router pair unroutable.
+    pub fn try_build_sim(&self) -> Result<Simulator, noc_sim::SimError> {
         let mut sim = Simulator::new(self.sim_config());
         for (i, link) in self.infected.iter().enumerate() {
             let cfg = TaspConfig::new(self.target.clone()).with_cooldown(self.cooldown);
@@ -142,9 +154,14 @@ impl Scenario {
         // up*/down* reconfiguration is only triggered by flagged links).
         if self.strategy == Strategy::Reroute && !self.infected.is_empty() {
             let ok = reroute::apply_reroute(&mut sim, &self.infected);
-            assert!(ok, "infection fractions must not disconnect the mesh");
+            if !ok {
+                return Err(noc_sim::SimError::MeshDisconnected {
+                    cycle: 0,
+                    dead: self.infected.clone(),
+                });
+            }
         }
-        sim
+        Ok(sim)
     }
 
     /// Build the traffic source (wrapped for e2e obfuscation if selected).
@@ -155,7 +172,9 @@ impl Scenario {
             model = model.with_vcs(self.vcs.clone());
         }
         match self.strategy {
-            Strategy::E2eObfuscation => Box::new(E2eObfuscation::new(model, 0x5EED ^ self.seed as u32)),
+            Strategy::E2eObfuscation => {
+                Box::new(E2eObfuscation::new(model, 0x5EED ^ self.seed as u32))
+            }
             _ => Box::new(model),
         }
     }

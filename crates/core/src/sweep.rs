@@ -103,8 +103,8 @@ mod tests {
         use noc_traffic::AppSpec;
         let mut scenarios = Vec::new();
         for seed in 0..4u64 {
-            let mut sc = Scenario::paper_default(AppSpec::ferret(), Strategy::Unprotected)
-                .with_seed(seed);
+            let mut sc =
+                Scenario::paper_default(AppSpec::ferret(), Strategy::Unprotected).with_seed(seed);
             sc.warmup = 50;
             sc.inject_until = 150;
             sc.max_cycles = 3000;

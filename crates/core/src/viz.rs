@@ -42,7 +42,10 @@ pub fn link_grid(mesh: &Mesh, shares: &[f64]) -> String {
     let peak = shares.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
     let pair_heat = |a: NodeId, dir: Direction| {
         // Combine both directions of the physical pair for the glyph.
-        let fwd = mesh.link_out(a, dir).map(|l| shares[l.index()]).unwrap_or(0.0);
+        let fwd = mesh
+            .link_out(a, dir)
+            .map(|l| shares[l.index()])
+            .unwrap_or(0.0);
         let rev = mesh
             .neighbor(a, dir)
             .and_then(|nb| mesh.link_out(nb, dir.opposite()))

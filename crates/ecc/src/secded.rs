@@ -233,9 +233,7 @@ mod tests {
         let cw = Secded::encode(data);
         for i in 0..CODEWORD_BITS {
             match Secded::decode(flip_bit(cw, i)) {
-                Decode::Corrected {
-                    data: d, bit, ..
-                } => {
+                Decode::Corrected { data: d, bit, .. } => {
                     assert_eq!(d, data, "flip at {i} not corrected");
                     assert_eq!(bit as usize, i);
                 }

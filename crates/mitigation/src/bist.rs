@@ -138,7 +138,7 @@ mod tests {
     impl LinkUnderTest for Intermittent {
         fn transmit(&mut self, cw: Codeword) -> Codeword {
             self.n += 1;
-            if self.n % 2 == 0 {
+            if self.n.is_multiple_of(2) {
                 Codeword(cw.0 ^ (1 << 17))
             } else {
                 cw

@@ -162,7 +162,12 @@ fn rotate_window(value: u64, off: u32, width: u32, k: u32, inverse: bool) -> u64
     };
     let win = (value & mask) >> off;
     let k = if inverse { width - k } else { k };
-    let rotated = ((win << k) | (win >> (width - k))) & (if width == 64 { u64::MAX } else { (1u64 << width) - 1 });
+    let rotated = ((win << k) | (win >> (width - k)))
+        & (if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        });
     (value & !mask) | (rotated << off)
 }
 

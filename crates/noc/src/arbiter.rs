@@ -1,6 +1,5 @@
 //! Round-robin arbitration (the paper's allocator discipline).
 
-
 /// A round-robin arbiter over `n` requesters. The grant pointer advances
 /// past the winner so every requester is served within `n` grants — the
 /// starvation-freedom property the tests pin down.

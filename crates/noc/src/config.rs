@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::watchdog::WatchdogConfig;
 use noc_mitigation::DetectorConfig;
 use noc_types::Mesh;
 
@@ -60,6 +61,21 @@ pub struct SimConfig {
     pub blocked_threshold: u64,
     /// Record a [`crate::message::TraceEvent`] trail for this packet.
     pub trace_packet: Option<noc_types::PacketId>,
+    /// Per-entry retransmission budget. `None` reproduces the paper's
+    /// unbounded replay (Fig. 11(a) requires it: the DoS *is* the endless
+    /// retransmission). `Some(n)`: once an entry has been launched `n`
+    /// times, the simulator escalates — force L-Ob if mitigation is on and
+    /// the entry is not yet obfuscated, else quarantine the link and
+    /// reroute around it (graceful degradation).
+    pub retry_budget: Option<u32>,
+    /// Audit every router against the wormhole/flow-control invariants
+    /// every this many cycles during guarded runs
+    /// ([`crate::Simulator::try_step`] and friends). `None` disables the
+    /// audit (the default: it is O(routers × ports × vcs) per check).
+    pub check_invariants_every: Option<u64>,
+    /// Arm the deadlock/livelock watchdog for guarded runs. `None` keeps
+    /// the legacy spin-until-budget behaviour.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl SimConfig {
@@ -79,6 +95,21 @@ impl SimConfig {
             snapshot_interval: 1,
             blocked_threshold: 32,
             trace_packet: None,
+            retry_budget: None,
+            check_invariants_every: None,
+            watchdog: None,
+        }
+    }
+
+    /// The paper platform hardened with the resilience layer: watchdog
+    /// armed, bounded retransmission, and periodic invariant audits. This
+    /// is what fault-injection campaigns run under.
+    pub fn paper_resilient() -> Self {
+        Self {
+            retry_budget: Some(32),
+            check_invariants_every: Some(64),
+            watchdog: Some(WatchdogConfig::default()),
+            ..Self::paper()
         }
     }
 
@@ -127,6 +158,22 @@ mod tests {
         assert_eq!(c.ports(), 8);
         assert!(c.mitigation);
         assert!(!SimConfig::paper_unprotected().mitigation);
+        // The resilience features are strictly opt-in: the paper config
+        // must reproduce the unbounded-retransmission DoS untouched.
+        assert_eq!(c.retry_budget, None);
+        assert_eq!(c.check_invariants_every, None);
+        assert_eq!(c.watchdog, None);
+    }
+
+    #[test]
+    fn resilient_config_arms_every_guard() {
+        let c = SimConfig::paper_resilient();
+        assert!(c.retry_budget.is_some());
+        assert!(c.check_invariants_every.is_some());
+        assert!(c.watchdog.is_some());
+        // Everything else stays the paper platform.
+        assert_eq!(c.vcs, SimConfig::paper().vcs);
+        assert_eq!(c.retx_scheme, SimConfig::paper().retx_scheme);
     }
 
     #[test]

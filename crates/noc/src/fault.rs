@@ -27,13 +27,27 @@ impl StuckWires {
         Self::default()
     }
 
+    /// A stuck-wire set with overlapping masks normalised: a wire listed
+    /// in both sets reads as stuck-at-0, matching [`StuckWires::apply`]'s
+    /// order of operations. (Physically a wire has exactly one defect;
+    /// the overlap only arises from composing fault descriptions.)
+    pub fn new(stuck_one: u128, stuck_zero: u128) -> Self {
+        Self {
+            stuck_one: stuck_one & !stuck_zero,
+            stuck_zero,
+        }
+    }
+
     /// Whether no wire is stuck.
     pub fn is_clean(&self) -> bool {
         self.stuck_one == 0 && self.stuck_zero == 0
     }
 
     #[inline]
-    /// Force the stuck wires onto a codeword.
+    /// Force the stuck wires onto a codeword: first OR in the stuck-at-1
+    /// wires, then clear the stuck-at-0 wires. `stuck_zero` therefore
+    /// wins wherever the two masks overlap — the same precedence
+    /// [`StuckWires::new`] normalises to.
     pub fn apply(&self, cw: Codeword) -> Codeword {
         Codeword((cw.0 | self.stuck_one) & !self.stuck_zero)
     }
@@ -158,6 +172,28 @@ mod tests {
         let mut f = LinkFaults::healthy(1);
         let cw = Secded::encode(0x1234);
         assert_eq!(f.traverse(0, 0x1234, true, cw), cw);
+    }
+
+    #[test]
+    fn stuck_zero_wins_where_masks_overlap() {
+        let bit = 1u128 << 17;
+        let overlapping = StuckWires {
+            stuck_one: bit,
+            stuck_zero: bit,
+        };
+        // Raw apply: the AND-with-!stuck_zero runs last, so the wire
+        // reads 0 whatever was driven.
+        assert_eq!(overlapping.apply(Codeword(bit)).0 & bit, 0);
+        assert_eq!(overlapping.apply(Codeword(0)).0 & bit, 0);
+        // The normalising constructor encodes the same precedence.
+        let normal = StuckWires::new(bit, bit);
+        assert_eq!(normal.stuck_one, 0);
+        assert_eq!(normal.stuck_zero, bit);
+        assert_eq!(
+            normal.apply(Codeword(bit)),
+            overlapping.apply(Codeword(bit))
+        );
+        assert!(!normal.is_clean());
     }
 
     #[test]

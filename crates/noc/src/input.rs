@@ -168,11 +168,7 @@ impl InputUnit {
     pub fn free_slots(&self, vc: VcId, depth: usize) -> usize {
         let committed = self.vcs[vc.index()].occupancy()
             + self.delayed.iter().filter(|d| d.vc == vc).count()
-            + self
-                .pending_scrambles
-                .iter()
-                .filter(|p| p.vc == vc)
-                .count();
+            + self.pending_scrambles.iter().filter(|p| p.vc == vc).count();
         depth.saturating_sub(committed)
     }
 
@@ -310,7 +306,10 @@ mod tests {
             u.remember_word(FlitId(i), i);
         }
         assert!(u.lookup_word(FlitId(0)).is_none(), "oldest evicted");
-        assert_eq!(u.lookup_word(FlitId(SEEN_WORDS_CAP as u64 + 9)), Some(SEEN_WORDS_CAP as u64 + 9));
+        assert_eq!(
+            u.lookup_word(FlitId(SEEN_WORDS_CAP as u64 + 9)),
+            Some(SEEN_WORDS_CAP as u64 + 9)
+        );
     }
 
     #[test]

@@ -66,9 +66,7 @@ pub fn check_router(router: &Router, cfg: &SimConfig) -> Vec<Violation> {
                     Some(&last) if last == f.packet => {}
                     _ => {
                         if seen_packets.contains(&f.packet) {
-                            violate(format!(
-                                "input {p} vc {v}: interleaved packets in FIFO"
-                            ));
+                            violate(format!("input {p} vc {v}: interleaved packets in FIFO"));
                         }
                         seen_packets.push(f.packet);
                     }

@@ -33,6 +33,7 @@
 
 pub mod arbiter;
 pub mod config;
+pub mod error;
 pub mod fault;
 pub mod input;
 pub mod invariants;
@@ -43,9 +44,12 @@ pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod stats;
+pub mod watchdog;
 
 pub use config::{QosMode, RetxScheme, SimConfig};
+pub use error::SimError;
 pub use fault::LinkFaults;
 pub use message::SimEvent;
 pub use sim::{Simulator, TrafficSource};
 pub use stats::{SimStats, Snapshot};
+pub use watchdog::{StallKind, StallReport, WatchdogConfig};

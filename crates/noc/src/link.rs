@@ -44,6 +44,20 @@ impl LinkWire {
         self.in_flight.is_none()
     }
 
+    /// The flit currently crossing, if any (quarantine victim scan).
+    pub fn in_flight(&self) -> Option<&LinkFlit> {
+        self.in_flight.as_ref().map(|(_, lf)| lf)
+    }
+
+    /// Drop the in-flight flit when `victim` says so (link quarantine:
+    /// the copy's retransmission entry is purged with it, so delivery
+    /// would resurrect a packet the network already wrote off).
+    pub fn purge_in_flight(&mut self, victim: impl Fn(&LinkFlit) -> bool) {
+        if self.in_flight.as_ref().is_some_and(|(_, lf)| victim(lf)) {
+            self.in_flight = None;
+        }
+    }
+
     /// Launch a flit; it arrives after [`LT_CYCLES`].
     pub fn launch(&mut self, now: u64, lf: LinkFlit) {
         debug_assert!(self.idle(), "link is a single-flit pipeline");

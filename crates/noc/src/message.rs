@@ -166,6 +166,35 @@ pub enum SimEvent {
         /// Cycle of the clean crossing.
         cycle: u64,
     },
+    /// A retransmission entry exhausted its retry budget and was escalated
+    /// to forced obfuscation (mitigation available, not yet obfuscated).
+    RetryBudgetEscalated {
+        /// Link whose entry blew its budget.
+        link: LinkId,
+        /// The flit being escalated.
+        flit: FlitId,
+        /// Launch attempts at escalation time.
+        attempts: u32,
+        /// Cycle of the escalation.
+        cycle: u64,
+    },
+    /// A link was quarantined: declared dead, its victim packets purged
+    /// network-wide, and routing rebuilt around it.
+    LinkQuarantined {
+        /// The quarantined link.
+        link: LinkId,
+        /// Packets purged with it.
+        dropped_packets: u64,
+        /// Flits purged with it.
+        dropped_flits: u64,
+        /// Cycle of the quarantine.
+        cycle: u64,
+    },
+    /// The deadlock/livelock watchdog tripped during a guarded run.
+    WatchdogTripped {
+        /// The structured stall diagnosis.
+        report: crate::watchdog::StallReport,
+    },
 }
 
 #[cfg(test)]

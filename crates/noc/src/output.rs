@@ -95,9 +95,7 @@ impl OutputUnit {
     pub fn has_slot(&self, vc: VcId) -> bool {
         match self.scheme {
             RetxScheme::Output => self.entries.len() < self.capacity,
-            RetxScheme::PerVc => {
-                self.entries.iter().filter(|e| e.vc == vc).count() < self.capacity
-            }
+            RetxScheme::PerVc => self.entries.iter().filter(|e| e.vc == vc).count() < self.capacity,
         }
     }
 
@@ -147,16 +145,14 @@ impl OutputUnit {
         }
         // Candidates: NeedSend entries whose VC isn't blocked by an older
         // troubled entry, on an open TDM slot for their packet's class.
-        let mut eligible = vec![false; n];
-        for i in 0..n {
-            let e = &self.entries[i];
-            if e.state == SlotState::NeedSend
-                && tdm_open(e.flit.header.vc.0)
-                && !self.vc_send_blocked_before(i)
-            {
-                eligible[i] = true;
-            }
-        }
+        let eligible: Vec<bool> = (0..n)
+            .map(|i| {
+                let e = &self.entries[i];
+                e.state == SlotState::NeedSend
+                    && tdm_open(e.flit.header.vc.0)
+                    && !self.vc_send_blocked_before(i)
+            })
+            .collect();
         self.send_rr.grant(|i| i < n && eligible[i])
     }
 
@@ -220,6 +216,30 @@ impl OutputUnit {
                 self.protected_dests.push(dest);
             }
         }
+    }
+
+    /// Force obfuscation onto entry `idx` after its retry budget ran out
+    /// without the downstream detector ever requesting L-Ob (escalation
+    /// step of the bounded-retransmission ladder). Uses the link's logged
+    /// plan when one exists, else starts the ladder from the bottom.
+    /// Returns the attempt count at escalation, or `None` when the entry
+    /// is already obfuscated (nothing to escalate to).
+    pub fn force_obfuscate(&mut self, idx: usize) -> Option<u32> {
+        if self.entries[idx].obf.is_some() {
+            return None;
+        }
+        let plan = self
+            .lob
+            .logged_plan()
+            .unwrap_or_else(|| self.lob.plan_for_attempt(0));
+        let attempts = self.entries[idx].attempts;
+        self.entries[idx].obf = Some(ObfWire {
+            plan,
+            attempt: 0,
+            partner: None,
+        });
+        self.lob.log_attempt();
+        Some(attempts)
     }
 
     /// Proactively obfuscate a flit heading to a destination this link has
@@ -481,6 +501,28 @@ mod tests {
         let resolved = u.resolve_obf_for_send(0).unwrap();
         assert_eq!(resolved.plan.method, ObfuscationMethod::Scramble);
         assert_eq!(resolved.partner, Some(FlitId(32)));
+    }
+
+    #[test]
+    fn force_obfuscate_escalates_unobfuscated_entries_once() {
+        let mut u = unit();
+        let (f, vc) = flit(16, 0, FlitKind::Head, 0);
+        u.push(f, vc, 0);
+        let idx = u.select_send(|_| true).unwrap();
+        u.mark_sent(idx, 1);
+        u.nack(FlitId(16), None); // plain NACK: the detector offered no plan
+        assert!(u.entries[0].obf.is_none());
+        assert_eq!(
+            u.force_obfuscate(0),
+            Some(1),
+            "reports attempts at escalation"
+        );
+        assert!(u.entries[0].obf.is_some());
+        assert_eq!(
+            u.force_obfuscate(0),
+            None,
+            "already obfuscated: no rung left"
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::input::{InputUnit, VcState};
 use crate::output::OutputUnit;
 use crate::routing::Routing;
 use noc_mitigation::ThreatDetector;
-use noc_types::{Direction, Flit, Mesh, NodeId, Port, VcId};
+use noc_types::{Direction, Flit, FlitId, Mesh, NodeId, PacketId, Port, VcId};
+use std::collections::HashSet;
 
 /// A crossbar traversal in progress: granted at SA in cycle `granted_at`,
 /// committed to the output stage at ST in the next cycle.
@@ -43,6 +44,36 @@ pub struct CreditReturn {
     pub in_dir: Direction,
     /// The VC whose buffer slot freed.
     pub vc: VcId,
+}
+
+/// Where the flow-control credit held by a purged flit copy lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditSite {
+    /// This router's own output: the credit was consumed at SA (crossbar
+    /// moves in `st_pending` and retransmission entries).
+    SelfOutput(Direction, VcId),
+    /// The upstream router feeding network input `in_dir`: the copy still
+    /// occupied (or was committed to) a downstream buffer slot whose
+    /// credit had not yet been returned.
+    Upstream(Direction, VcId),
+}
+
+/// One flit copy removed by [`Router::purge_packets`].
+///
+/// A flit can transiently have two live copies (a retransmission entry
+/// upstream plus the delivered copy downstream while the ACK is on the
+/// reverse wire), but at most one flow-control credit: the simulator
+/// deduplicates restorations by flit id, preferring non-`from_retx`
+/// records — a retransmission entry's reservation is already released
+/// (credit in flight back) once its downstream copy advanced past SA.
+#[derive(Debug, Clone, Copy)]
+pub struct PurgedCopy {
+    /// The purged flit.
+    pub flit: FlitId,
+    /// Credit to restore, when this copy held one.
+    pub site: Option<CreditSite>,
+    /// Whether the copy was a retransmission entry (see above).
+    pub from_retx: bool,
 }
 
 /// One router.
@@ -77,7 +108,12 @@ impl Router {
         let outputs = std::array::from_fn(|d| {
             let dir = Direction::ALL[d];
             mesh.neighbor(node, dir).map(|_| {
-                OutputUnit::new(cfg.vcs, cfg.vc_depth, cfg.retx_depth as usize, cfg.retx_scheme)
+                OutputUnit::new(
+                    cfg.vcs,
+                    cfg.vc_depth,
+                    cfg.retx_depth as usize,
+                    cfg.retx_scheme,
+                )
             })
         });
         Self {
@@ -121,7 +157,13 @@ impl Router {
                 if ivc.state == VcState::Routing && ivc.since < cycle {
                     let head = ivc.fifo.front().expect("Routing VC holds its head");
                     let candidates = routing.route_candidates(mesh, self.node, &head.header);
-                    assert!(!candidates.is_empty(), "destination reachable");
+                    if candidates.is_empty() {
+                        // Unroutable under the current tables (possible
+                        // mid-degradation, between a link death and the
+                        // reroute): hold the head and retry next cycle;
+                        // the watchdog reports it if no route ever comes.
+                        continue;
+                    }
                     updates.push((p, v, self.pick_candidate(&candidates)));
                 }
             }
@@ -388,14 +430,128 @@ impl Router {
         false
     }
 
+    /// Remove every flit belonging to a victim packet from this router's
+    /// buffers (link quarantine / graceful degradation). Input FIFOs,
+    /// descramble holds, crossbar moves, and retransmission entries are
+    /// all swept; wormhole state machines forwarding a victim are reset
+    /// exactly like a tail departure (re-arming on any queued survivor),
+    /// and victim-owned output VCs are released. Returns one record per
+    /// removed copy so the simulator can settle the credit books.
+    pub fn purge_packets(&mut self, victims: &HashSet<PacketId>, cycle: u64) -> Vec<PurgedCopy> {
+        let mut purged = Vec::new();
+        for p in 0..self.inputs.len() {
+            // Network inputs hold link-level credits; local (injection)
+            // inputs do not.
+            let in_dir = if p < 4 { Some(Direction::ALL[p]) } else { None };
+            let site = |vc: VcId| in_dir.map(|d| CreditSite::Upstream(d, vc));
+            let unit = &mut self.inputs[p];
+            unit.delayed.retain(|d| {
+                if victims.contains(&d.flit.packet) {
+                    purged.push(PurgedCopy {
+                        flit: d.flit.id,
+                        site: site(d.vc),
+                        from_retx: false,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            unit.pending_scrambles.retain(|s| {
+                if victims.contains(&s.flit.packet) {
+                    purged.push(PurgedCopy {
+                        flit: s.flit.id,
+                        site: site(s.vc),
+                        from_retx: false,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            for v in 0..unit.vcs.len() {
+                let vc = VcId(v as u8);
+                let ivc = &mut unit.vcs[v];
+                ivc.fifo.retain(|f| {
+                    if victims.contains(&f.packet) {
+                        purged.push(PurgedCopy {
+                            flit: f.id,
+                            site: site(vc),
+                            from_retx: false,
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if ivc.packet.is_some_and(|pk| victims.contains(&pk)) {
+                    ivc.release(cycle);
+                }
+                if ivc.wire_packet.is_some_and(|pk| victims.contains(&pk)) {
+                    // The rest of the victim's wire stream will never
+                    // arrive; unblock the VC for the next packet's head.
+                    ivc.wire_packet = None;
+                    ivc.expected_seq = 0;
+                }
+            }
+        }
+        // Crossbar moves granted at SA: the credit was consumed at this
+        // router's target output.
+        let mut i = 0;
+        while i < self.st_pending.len() {
+            let mv = self.st_pending[i];
+            if victims.contains(&mv.flit.packet) {
+                let site = match (mv.out_port, mv.out_vc) {
+                    (Port::Net(dir), Some(w)) => {
+                        self.pending_to_output[dir.index()] -= 1;
+                        Some(CreditSite::SelfOutput(dir, w))
+                    }
+                    _ => None,
+                };
+                purged.push(PurgedCopy {
+                    flit: mv.flit.id,
+                    site,
+                    from_retx: false,
+                });
+                self.st_pending.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Retransmission entries toward any direction, plus output-VC
+        // ownership held by victims.
+        for d in 0..4 {
+            let dir = Direction::ALL[d];
+            let Some(out) = self.outputs[d].as_mut() else {
+                continue;
+            };
+            out.entries.retain(|e| {
+                if victims.contains(&e.flit.packet) {
+                    purged.push(PurgedCopy {
+                        flit: e.flit.id,
+                        site: Some(CreditSite::SelfOutput(dir, e.vc)),
+                        from_retx: true,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            for owner in out.vc_owner.iter_mut() {
+                if owner.is_some_and(|pk| victims.contains(&pk)) {
+                    *owner = None;
+                }
+            }
+        }
+        purged
+    }
+
     /// Flits resident in this router (conservation checks).
     pub fn resident_flits(&self) -> usize {
         let inputs: usize = self
             .inputs
             .iter()
-            .map(|u| {
-                u.occupancy() + u.delayed.len() + u.pending_scrambles.len()
-            })
+            .map(|u| u.occupancy() + u.delayed.len() + u.pending_scrambles.len())
             .sum();
         let outputs: usize = self.outputs.iter().flatten().map(|o| o.occupancy()).sum();
         inputs + outputs + self.st_pending.len()
@@ -474,7 +630,10 @@ mod tests {
         assert_eq!(r.inputs[4].vcs[0].state, VcState::Active);
         let w = r.inputs[4].vcs[0].out_vc.expect("granted");
         assert_eq!(
-            r.outputs[Direction::East.index()].as_ref().unwrap().vc_owner[w.index()],
+            r.outputs[Direction::East.index()]
+                .as_ref()
+                .unwrap()
+                .vc_owner[w.index()],
             Some(PacketId(1))
         );
         // Cycle 3: SA.

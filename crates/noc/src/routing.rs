@@ -75,7 +75,13 @@ pub fn odd_even_candidates(mesh: &Mesh, node: NodeId, src: NodeId, dest: NodeId)
     let s = mesh.coord_of(src);
     let dx = d.x as i16 - cur.x as i16;
     let dy = d.y as i16 - cur.y as i16;
-    let vertical = |dy: i16| if dy > 0 { Direction::North } else { Direction::South };
+    let vertical = |dy: i16| {
+        if dy > 0 {
+            Direction::North
+        } else {
+            Direction::South
+        }
+    };
     let mut out = Vec::with_capacity(2);
     if dx == 0 {
         // Same column: straight vertical is always legal.
@@ -134,11 +140,7 @@ pub fn xy_path(mesh: &Mesh, src: NodeId, dest: NodeId) -> Vec<LinkId> {
     let mut path = Vec::new();
     let mut at = src;
     while at != dest {
-        let dir = xy_direction(
-            mesh,
-            at,
-            dest,
-        );
+        let dir = xy_direction(mesh, at, dest);
         path.push(mesh.link_out(at, dir).expect("XY step exists on a mesh"));
         at = mesh.neighbor(at, dir).expect("XY step exists on a mesh");
     }
@@ -219,7 +221,10 @@ impl RouteTables {
                         (0..mesh.routers() as u8)
                             .filter_map(move |d| Some((s, d)).filter(|(s, d)| s != d))
                     })
-                    .map(|(s, d)| t.path_len(mesh, NodeId(s), NodeId(d)).unwrap_or(u32::MAX / 256))
+                    .map(|(s, d)| {
+                        t.path_len(mesh, NodeId(s), NodeId(d))
+                            .unwrap_or(u32::MAX / 256)
+                    })
                     .sum();
                 Some((total, t))
             })
@@ -244,7 +249,9 @@ impl RouteTables {
         q.push_back(root);
         while let Some(at) = q.pop_front() {
             for dir in Direction::ALL {
-                let Some(nb) = mesh.neighbor(at, dir) else { continue };
+                let Some(nb) = mesh.neighbor(at, dir) else {
+                    continue;
+                };
                 let fwd = alive(at, dir).is_some();
                 let rev = alive(nb, dir.opposite()).is_some();
                 if (fwd || rev) && level[nb.index()] == u32::MAX {
@@ -274,7 +281,9 @@ impl RouteTables {
             while let Some(at) = q.pop_front() {
                 for dir in Direction::ALL {
                     // Predecessor r with a down-link r→at.
-                    let Some(r) = mesh.neighbor(at, dir) else { continue };
+                    let Some(r) = mesh.neighbor(at, dir) else {
+                        continue;
+                    };
                     if alive(r, dir.opposite()) != Some(at) {
                         continue;
                     }
@@ -443,10 +452,7 @@ mod tests {
     fn local_delivery_picks_thread_port() {
         let m = Mesh::paper();
         let r = Routing::Xy;
-        assert_eq!(
-            r.route(&m, NodeId(5), &hdr(5, 6)),
-            Some(Port::Local(6 % 4))
-        );
+        assert_eq!(r.route(&m, NodeId(5), &hdr(5, 6)), Some(Port::Local(6 % 4)));
     }
 
     #[test]
@@ -557,7 +563,11 @@ mod tests {
         let mut routable = 0;
         let mut tried = 0;
         for stride in [5u16, 9, 11, 13, 17] {
-            let dead: Vec<LinkId> = m.all_links().filter(|l| l.0 % stride == 1).take(7).collect();
+            let dead: Vec<LinkId> = m
+                .all_links()
+                .filter(|l| l.0 % stride == 1)
+                .take(7)
+                .collect();
             tried += 1;
             if let Some(t) = RouteTables::build_updown(&m, &dead) {
                 routable += 1;
@@ -595,7 +605,9 @@ mod tests {
         q.push_back(root);
         while let Some(at) = q.pop_front() {
             for dir in Direction::ALL {
-                let Some(nb) = m.neighbor(at, dir) else { continue };
+                let Some(nb) = m.neighbor(at, dir) else {
+                    continue;
+                };
                 let usable = alive(at, dir).is_some() || alive(nb, dir.opposite()).is_some();
                 if usable && level[nb.index()] == u32::MAX {
                     level[nb.index()] = level[at.index()] + 1;
@@ -677,7 +689,10 @@ mod tests {
                             && (dir == Direction::North || dir == Direction::South);
                         let nw_sw = (p == Direction::North || p == Direction::South)
                             && dir == Direction::West;
-                        assert!(!(en_es && col % 2 == 0), "EN/ES in even column {col}");
+                        assert!(
+                            !(en_es && col.is_multiple_of(2)),
+                            "EN/ES in even column {col}"
+                        );
                         assert!(!(nw_sw && col % 2 == 1), "NW/SW in odd column {col}");
                     }
                     prev = Some(dir);

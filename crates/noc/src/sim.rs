@@ -1,16 +1,18 @@
 //! The top-level cycle-accurate simulator.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::fault::LinkFaults;
 use crate::link::LinkWire;
 use crate::message::{AckKind, AckMsg, LinkFlit, SimEvent, TraceEvent, TraceOutcome};
-use crate::router::Router;
+use crate::router::{CreditSite, Router};
 use crate::routing::Routing;
 use crate::stats::{SimStats, Snapshot};
+use crate::watchdog::{StallKind, StallReport};
 use noc_ecc::{Decode, Secded};
 use noc_mitigation::{Bist, DetectorAction};
-use noc_types::{Flit, LinkId, Mesh, NodeId, Packet, Port};
-use std::collections::VecDeque;
+use noc_types::{Direction, Flit, FlitId, LinkId, Mesh, NodeId, Packet, PacketId, Port, VcId};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Anything that injects packets into the network.
 pub trait TrafficSource {
@@ -82,6 +84,21 @@ pub struct Simulator {
     /// Journey of the traced packet (when `cfg.trace_packet` is set).
     trace: Vec<TraceEvent>,
     poll_buf: Vec<Packet>,
+    /// Cycle of the last network progress event (an ejection anywhere, or
+    /// an injection-queue flit admitted into a router) — the global
+    /// watchdog's heartbeat.
+    last_progress_cycle: u64,
+    /// Links the retry-budget escalation condemned this cycle; quarantined
+    /// at the end of `step` so phase ordering stays undisturbed.
+    pending_quarantine: Vec<LinkId>,
+    /// Fatal error raised inside `step` (a quarantine disconnected the
+    /// mesh); surfaced by the next `try_step`.
+    poisoned: Option<SimError>,
+    /// Watchdog grace baseline: stall ages are measured from the later of
+    /// this and the event's own timestamp, so each intervention
+    /// (quarantine, trip) re-arms the detectors instead of re-tripping on
+    /// survivors that inherited old timestamps.
+    watchdog_armed_at: u64,
 }
 
 impl Simulator {
@@ -113,6 +130,10 @@ impl Simulator {
             events: Vec::new(),
             trace: Vec::new(),
             poll_buf: Vec::new(),
+            last_progress_cycle: 0,
+            pending_quarantine: Vec::new(),
+            poisoned: None,
+            watchdog_armed_at: 0,
         }
     }
 
@@ -163,6 +184,11 @@ impl Simulator {
     /// [`Simulator::set_routing`] so traffic avoids them.
     pub fn set_dead_links(&mut self, dead: Vec<LinkId>) {
         self.dead_links = dead;
+    }
+
+    /// Links currently declared dead (killed or quarantined).
+    pub fn dead_links(&self) -> &[LinkId] {
+        &self.dead_links
     }
 
     // ------------------------------------------------------------------
@@ -265,7 +291,79 @@ impl Simulator {
         if now.is_multiple_of(self.cfg.snapshot_interval) {
             self.record_snapshot(now);
         }
+        // Links condemned by the retry-budget escalation are quarantined
+        // between cycles, where no phase holds partial state.
+        if !self.pending_quarantine.is_empty() {
+            let pending = std::mem::take(&mut self.pending_quarantine);
+            for link in pending {
+                if self.dead_links.contains(&link) {
+                    continue;
+                }
+                if let Err(err) = self.quarantine_link(link) {
+                    self.poisoned.get_or_insert(err);
+                }
+            }
+        }
         self.cycle = now + 1;
+    }
+
+    /// Advance one cycle under the resilience guards: surfaces quarantine
+    /// failures, runs the periodic invariant audit
+    /// (`cfg.check_invariants_every`), and consults the watchdog
+    /// (`cfg.watchdog`). On `Err` the simulator remains usable — a
+    /// [`SimError::Stalled`] caller can quarantine the culprit and resume.
+    pub fn try_step(&mut self, source: &mut dyn TrafficSource) -> Result<(), SimError> {
+        self.step(source);
+        if let Some(err) = self.poisoned.take() {
+            return Err(err);
+        }
+        if let Some(every) = self.cfg.check_invariants_every {
+            if self.cycle.is_multiple_of(every.max(1)) {
+                let violations = self.check_invariants();
+                if !violations.is_empty() {
+                    return Err(SimError::InvariantViolations {
+                        cycle: self.cycle,
+                        violations,
+                    });
+                }
+            }
+        }
+        if let Some(report) = self.check_watchdog() {
+            self.watchdog_armed_at = self.cycle;
+            self.events.push(SimEvent::WatchdogTripped { report });
+            return Err(SimError::Stalled(report));
+        }
+        Ok(())
+    }
+
+    /// Guarded version of [`Simulator::run`].
+    pub fn run_guarded(
+        &mut self,
+        cycles: u64,
+        source: &mut dyn TrafficSource,
+    ) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.try_step(source)?;
+        }
+        Ok(())
+    }
+
+    /// Guarded version of [`Simulator::run_to_quiescence`]: instead of
+    /// silently spinning through a deadlock until the cycle budget dies,
+    /// the watchdog converts the stall into a structured error.
+    pub fn run_to_quiescence_guarded(
+        &mut self,
+        max_cycles: u64,
+        source: &mut dyn TrafficSource,
+    ) -> Result<bool, SimError> {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            self.try_step(source)?;
+            if source.done() && self.is_quiescent() {
+                return Ok(true);
+            }
+        }
+        Ok(source.done() && self.is_quiescent())
     }
 
     // Phase 1: flits completing link traversal are decoded and judged.
@@ -290,9 +388,7 @@ impl Simulator {
             Decode::Clean { .. } => {}
         }
         let key = (lf.flit.packet, lf.flit.seq);
-        let obf_info = lf
-            .obf
-            .map(|o| (o.attempt, o.plan.method.undo_penalty()));
+        let obf_info = lf.obf.map(|o| (o.attempt, o.plan.method.undo_penalty()));
         let mitigation = self.cfg.mitigation;
         let traced = self.cfg.trace_packet == Some(lf.flit.packet);
         let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
@@ -472,14 +568,18 @@ impl Simulator {
 
     // Phase 3: ACK/NACK and credit returns reach the upstream output units.
     fn phase_acks_and_credits(&mut self, now: u64) {
+        let budget = self.cfg.retry_budget;
+        let mitigation = self.cfg.mitigation;
         for li in 0..self.links.len() {
             let link = LinkId(li as u16);
             let (src, dir) = self.mesh.link_source(link);
             let acks = self.links[li].take_acks(now);
             let credits = self.links[li].take_credits(now);
-            let out = self.routers[src.index()].outputs[dir.index()]
-                .as_mut()
-                .expect("link implies output unit");
+            // A link with no output unit cannot have carried traffic;
+            // stray reverse-channel messages are dropped, not panicked on.
+            let Some(out) = self.routers[src.index()].outputs[dir.index()].as_mut() else {
+                continue;
+            };
             for ack in acks {
                 match ack.kind {
                     AckKind::Ack { obf_success } => {
@@ -488,6 +588,42 @@ impl Simulator {
                     AckKind::Nack { lob_attempt } => {
                         out.nack(ack.flit, lob_attempt);
                         self.stats.retransmissions += 1;
+                        let Some(budget) = budget else {
+                            continue;
+                        };
+                        // Bounded retransmission: one budget of retries
+                        // earns forced obfuscation (when mitigation has
+                        // something to offer), a second exhausted budget
+                        // condemns the link to quarantine. Without
+                        // mitigation there is no middle rung.
+                        let Some(idx) = out.entries.iter().position(|e| e.flit.id == ack.flit)
+                        else {
+                            continue;
+                        };
+                        let attempts = out.entries[idx].attempts;
+                        let quarantine_at = if mitigation {
+                            budget.saturating_mul(2)
+                        } else {
+                            budget
+                        };
+                        if attempts >= quarantine_at.max(1) {
+                            if !self.dead_links.contains(&link)
+                                && !self.pending_quarantine.contains(&link)
+                            {
+                                self.pending_quarantine.push(link);
+                            }
+                        } else if mitigation
+                            && attempts >= budget
+                            && out.force_obfuscate(idx).is_some()
+                        {
+                            self.stats.budget_escalations += 1;
+                            self.events.push(SimEvent::RetryBudgetEscalated {
+                                link,
+                                flit: ack.flit,
+                                attempts,
+                                cycle: now,
+                            });
+                        }
                     }
                 }
             }
@@ -525,7 +661,10 @@ impl Simulator {
                     let key = ow
                         .partner
                         .and_then(|pid| {
-                            out.entries.iter().find(|e| e.flit.id == pid).map(|e| e.flit.word)
+                            out.entries
+                                .iter()
+                                .find(|e| e.flit.id == pid)
+                                .map(|e| e.flit.word)
                         })
                         .unwrap_or(0);
                     ow.plan.apply(entry_flit.word, key)
@@ -558,6 +697,9 @@ impl Simulator {
     fn phase_st(&mut self, now: u64) {
         for r in 0..self.routers.len() {
             let ejections = self.routers[r].st_stage(now);
+            if !ejections.is_empty() {
+                self.last_progress_cycle = now;
+            }
             for ej in ejections {
                 if self.cfg.trace_packet == Some(ej.flit.packet) {
                     self.trace.push(TraceEvent::Ejected {
@@ -595,11 +737,11 @@ impl Simulator {
             for cr in credits {
                 // Input port Net(d) at `node` is fed by neighbour(node, d)
                 // over that neighbour's link in direction opposite(d).
-                if let Some(nb) = self.mesh.neighbor(node, cr.in_dir) {
-                    let feeding = self
-                        .mesh
-                        .link_out(nb, cr.in_dir.opposite())
-                        .expect("feeding link exists");
+                if let Some(feeding) = self
+                    .mesh
+                    .neighbor(node, cr.in_dir)
+                    .and_then(|nb| self.mesh.link_out(nb, cr.in_dir.opposite()))
+                {
                     self.links[feeding.index()].send_credit(now, cr.vc);
                 }
             }
@@ -670,16 +812,236 @@ impl Simulator {
                     self.inj_queues[q].pop_front();
                     self.routers[router].buffer_write(port, vc, f, now);
                     self.inj_rr[core] = ((v + 1) % vcs) as u8;
+                    self.last_progress_cycle = now;
                     break;
                 }
             }
         }
     }
 
+    // ------------------------------------------------------------------
+    // Resilience: watchdog, quarantine, purge
+    // ------------------------------------------------------------------
+
+    /// Run the stall detectors (no-op unless `cfg.watchdog` is set).
+    /// Most specific first: a retransmission livelock names the exact
+    /// flit, a credit stall names the port, a global deadlock only states
+    /// that nothing moves.
+    pub fn check_watchdog(&self) -> Option<StallReport> {
+        let wd = self.cfg.watchdog?;
+        let now = self.cycle;
+        let armed = self.watchdog_armed_at;
+        let resident = self.resident_flits();
+        let queued = self.queued_flits();
+        if resident == 0 && queued == 0 {
+            return None;
+        }
+        let report = |kind| StallReport {
+            cycle: now,
+            kind,
+            resident_flits: resident,
+            queued_flits: queued,
+            delivered_flits: self.stats.delivered_flits,
+        };
+        for r in &self.routers {
+            for d in 0..4 {
+                let Some(out) = r.outputs[d].as_ref() else {
+                    continue;
+                };
+                for e in &out.entries {
+                    // `sent_at > armed`: only entries retried since the
+                    // last intervention count, so a quarantine's grace
+                    // period is honoured while an ignored livelock keeps
+                    // re-reporting.
+                    if e.attempts >= wd.retx_attempt_limit && e.sent_at > armed {
+                        return Some(report(StallKind::RetxLivelock {
+                            router: r.node,
+                            dir: Direction::ALL[d],
+                            flit: e.flit.id,
+                            attempts: e.attempts,
+                        }));
+                    }
+                }
+            }
+        }
+        for r in &self.routers {
+            for d in 0..4 {
+                let Some(out) = r.outputs[d].as_ref() else {
+                    continue;
+                };
+                if out.entries.is_empty()
+                    || now.saturating_sub(out.last_progress.max(armed)) < wd.credit_stall_cycles
+                {
+                    continue;
+                }
+                let oldest = out
+                    .entries
+                    .iter()
+                    .map(|e| now.saturating_sub(e.entered_at.max(armed)))
+                    .max()
+                    .unwrap_or(0);
+                if oldest >= wd.credit_stall_cycles {
+                    return Some(report(StallKind::CreditStall {
+                        router: r.node,
+                        dir: Direction::ALL[d],
+                        oldest_age: oldest,
+                    }));
+                }
+            }
+        }
+        let idle = now.saturating_sub(self.last_progress_cycle.max(armed));
+        if idle >= wd.global_stall_cycles {
+            return Some(report(StallKind::GlobalDeadlock { idle_cycles: idle }));
+        }
+        None
+    }
+
+    /// Quarantine a link: declare it dead, purge every packet with state
+    /// committed to it (network-wide, with exact credit restoration), and
+    /// rebuild deadlock-free up*/down* routes around the enlarged dead
+    /// set. Campaign drivers call this directly with the culprit from a
+    /// [`StallReport`]; the retry-budget escalation calls it automatically.
+    ///
+    /// Errors with [`SimError::MeshDisconnected`] when no route table can
+    /// connect all routers any more — the mesh cannot degrade further.
+    pub fn quarantine_link(&mut self, link: LinkId) -> Result<(), SimError> {
+        let now = self.cycle;
+        let (src, dir) = self.mesh.link_source(link);
+        let dst = self.mesh.link_dest(link);
+        let in_port = Port::Net(dir.opposite());
+        // Victims: every packet with state committed to the dying link —
+        // retransmission entries, the in-flight wire copy, crossbar moves
+        // granted toward it, input VCs routed at it, and unresolved
+        // scrambles at the far end whose XOR key dies with the link.
+        let mut victims: HashSet<PacketId> = HashSet::new();
+        if let Some(out) = self.routers[src.index()].outputs[dir.index()].as_ref() {
+            victims.extend(out.entries.iter().map(|e| e.flit.packet));
+        }
+        if let Some(lf) = self.links[link.index()].in_flight() {
+            victims.insert(lf.flit.packet);
+        }
+        for mv in &self.routers[src.index()].st_pending {
+            if mv.out_port == Port::Net(dir) {
+                victims.insert(mv.flit.packet);
+            }
+        }
+        for unit in &self.routers[src.index()].inputs {
+            for ivc in &unit.vcs {
+                if ivc.route == Some(Port::Net(dir)) {
+                    victims.extend(ivc.packet);
+                }
+            }
+        }
+        let far = &self.routers[dst.index()].inputs[in_port.index()];
+        for s in &far.pending_scrambles {
+            if far.lookup_word(s.partner).is_none() {
+                victims.insert(s.flit.packet);
+            }
+        }
+        // Kill the link first so nothing launches onto it mid-purge.
+        self.dead_links.push(link);
+        let (flits, packets) = self.purge_packets(&victims);
+        self.stats.quarantined_links += 1;
+        self.events.push(SimEvent::LinkQuarantined {
+            link,
+            dropped_packets: packets,
+            dropped_flits: flits,
+            cycle: now,
+        });
+        // Survivors inherit old timestamps yet need time to drain through
+        // the rerouted mesh: give the watchdog a fresh grace period.
+        self.watchdog_armed_at = now;
+        match crate::routing::RouteTables::build_updown(&self.mesh, &self.dead_links) {
+            Some(tables) if tables.fully_connected() => {
+                self.routing = Routing::Table(tables);
+                Ok(())
+            }
+            _ => Err(SimError::MeshDisconnected {
+                cycle: now,
+                dead: self.dead_links.clone(),
+            }),
+        }
+    }
+
+    /// Remove every flit of the victim packets from the whole network —
+    /// router buffers, link wires, injection queues — and settle the
+    /// credit books so the flow-control invariants still hold afterwards.
+    /// Returns `(flits, packets)` explicitly dropped (counted once per
+    /// unique flit; an in-flight wire copy duplicates its retransmission
+    /// entry and is not double-counted).
+    fn purge_packets(&mut self, victims: &HashSet<PacketId>) -> (u64, u64) {
+        if victims.is_empty() {
+            return (0, 0);
+        }
+        let now = self.cycle;
+        let mut unique: HashSet<FlitId> = HashSet::new();
+        // A flit can be purged twice (retransmission slot upstream + the
+        // delivered copy downstream while its ACK rides the reverse wire)
+        // but holds at most one live credit. Buffer-side records are
+        // authoritative; a retransmission entry's record only counts when
+        // nothing else claims the flit (once the downstream copy advances
+        // past SA, the entry's reservation is already travelling back as
+        // an ordinary credit return).
+        let mut strong: HashMap<FlitId, (usize, Direction, VcId)> = HashMap::new();
+        let mut weak: HashMap<FlitId, (usize, Direction, VcId)> = HashMap::new();
+        for r in 0..self.routers.len() {
+            let node = NodeId(r as u8);
+            for copy in self.routers[r].purge_packets(victims, now) {
+                unique.insert(copy.flit);
+                let resolved = match copy.site {
+                    Some(CreditSite::SelfOutput(dir, vc)) => Some((r, dir, vc)),
+                    Some(CreditSite::Upstream(in_dir, vc)) => self
+                        .mesh
+                        .neighbor(node, in_dir)
+                        .map(|nb| (nb.index(), in_dir.opposite(), vc)),
+                    None => None,
+                };
+                if let Some(site) = resolved {
+                    if copy.from_retx {
+                        weak.entry(copy.flit).or_insert(site);
+                    } else {
+                        strong.entry(copy.flit).or_insert(site);
+                    }
+                }
+            }
+        }
+        for (flit, site) in weak {
+            strong.entry(flit).or_insert(site);
+        }
+        for (_, (r, dir, vc)) in strong {
+            if let Some(out) = self.routers[r].outputs[dir.index()].as_mut() {
+                out.credits[vc.index()] += 1;
+                debug_assert!(out.credits[vc.index()] <= self.cfg.vc_depth);
+            }
+        }
+        // Wire copies always duplicate a live retransmission entry: they
+        // are neither counted nor credited, but must never deliver.
+        for l in &mut self.links {
+            l.purge_in_flight(|lf| victims.contains(&lf.flit.packet));
+        }
+        let mut flits = unique.len() as u64;
+        for q in &mut self.inj_queues {
+            let before = q.len();
+            q.retain(|f| !victims.contains(&f.packet));
+            flits += (before - q.len()) as u64;
+        }
+        let mut packets = 0u64;
+        for pid in victims {
+            if self.birth.remove(pid).is_some() {
+                packets += 1;
+            }
+        }
+        self.stats.dropped_flits += flits;
+        self.stats.dropped_packets += packets;
+        (flits, packets)
+    }
+
     /// Total flits queued at one core's injection port (over VC classes).
     fn core_queue_len(&self, core: usize) -> usize {
         let vcs = self.cfg.vcs as usize;
-        (0..vcs).map(|v| self.inj_queues[core * vcs + v].len()).sum()
+        (0..vcs)
+            .map(|v| self.inj_queues[core * vcs + v].len())
+            .sum()
     }
 
     fn record_snapshot(&mut self, now: u64) {
@@ -689,9 +1051,7 @@ impl Simulator {
         let mut blocked = 0;
         for r in 0..self.routers.len() {
             let full_cores = (0..conc)
-                .filter(|c| {
-                    self.core_queue_len(r * conc + c) >= self.cfg.injection_full_threshold
-                })
+                .filter(|c| self.core_queue_len(r * conc + c) >= self.cfg.injection_full_threshold)
                 .count();
             if full_cores == conc {
                 all_full += 1;
@@ -825,13 +1185,13 @@ mod tests {
         // The XY route 0→1 uses the eastward link out of router 0.
         let link = sim
             .mesh()
-            .link_out(NodeId(0), crate::routing::xy_direction(sim.mesh(), NodeId(0), NodeId(dest)))
+            .link_out(
+                NodeId(0),
+                crate::routing::xy_direction(sim.mesh(), NodeId(0), NodeId(dest)),
+            )
             .unwrap();
         let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest)));
-        let faults = std::mem::replace(
-            sim.link_faults_mut(link),
-            LinkFaults::healthy(0),
-        );
+        let faults = std::mem::replace(sim.link_faults_mut(link), LinkFaults::healthy(0));
         *sim.link_faults_mut(link) = faults.with_trojan(ht);
         link
     }
@@ -877,7 +1237,9 @@ mod tests {
         mount_dest_trojan(&mut sim, 1);
         sim.arm_trojans(true);
         let mut packets: Vec<Packet> = (0..6u64).map(|i| pkt(i + 1, i * 3, 0, 1, 4)).collect();
-        packets.iter_mut().for_each(|p| p.vc = VcId((p.id.0 % 4) as u8));
+        packets
+            .iter_mut()
+            .for_each(|p| p.vc = VcId((p.id.0 % 4) as u8));
         let mut src = ListSource { packets };
         assert!(sim.run_to_quiescence(4000, &mut src));
         assert_eq!(sim.stats().delivered_packets, 6);
@@ -906,7 +1268,10 @@ mod tests {
             packets.push(pkt(i + 1, i * 2, 0, 1, 4));
         }
         let mut src = ListSource { packets };
-        assert!(sim.run_to_quiescence(8000, &mut src), "transients must not kill the flow");
+        assert!(
+            sim.run_to_quiescence(8000, &mut src),
+            "transients must not kill the flow"
+        );
         assert_eq!(sim.stats().delivered_packets, 20);
         assert!(
             sim.stats().corrected_faults + sim.stats().uncorrectable_faults > 0,
@@ -952,6 +1317,149 @@ mod tests {
         assert_eq!(sim.stats().delivered_packets, 1);
         // Detour 0→4→5→1 (3 hops instead of 1): latency grows accordingly.
         assert!(sim.stats().avg_latency() > 15.0);
+    }
+
+    #[test]
+    fn retry_budget_quarantines_unmitigated_trojan_link() {
+        let mut cfg = SimConfig::paper_unprotected();
+        cfg.retry_budget = Some(4);
+        cfg.check_invariants_every = Some(16);
+        let mut sim = Simulator::new(cfg);
+        let link = mount_dest_trojan(&mut sim, 1);
+        sim.arm_trojans(true);
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 2), pkt(2, 4, 0, 1, 2)],
+        };
+        let drained = sim
+            .run_to_quiescence_guarded(4000, &mut src)
+            .expect("no fatal error");
+        assert!(sim.dead_links().contains(&link), "trojan link quarantined");
+        assert_eq!(sim.stats().quarantined_links, 1);
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::LinkQuarantined { .. })));
+        // Victims are written off, survivors reroute: either way the
+        // network drains and the books balance.
+        assert!(drained, "network must drain after degradation");
+        assert!(sim.stats().flits_conserved());
+        assert!(sim.stats().packets_conserved());
+    }
+
+    #[test]
+    fn watchdog_diagnoses_livelock_and_quarantine_recovers() {
+        use crate::error::SimError;
+        use crate::watchdog::WatchdogConfig;
+        let mut cfg = SimConfig::paper_unprotected();
+        cfg.watchdog = Some(WatchdogConfig {
+            global_stall_cycles: 2000,
+            credit_stall_cycles: 1000,
+            retx_attempt_limit: 8,
+        });
+        let mut sim = Simulator::new(cfg);
+        let link = mount_dest_trojan(&mut sim, 1);
+        sim.arm_trojans(true);
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 2)],
+        };
+        let err = sim
+            .run_to_quiescence_guarded(4000, &mut src)
+            .expect_err("livelock must be diagnosed, not spun through");
+        let SimError::Stalled(report) = err else {
+            panic!("expected a stall, got {err:?}");
+        };
+        let (router, dir) = report.culprit().expect("livelock names its port");
+        let culprit = sim.mesh().link_out(router, dir).expect("port has a link");
+        assert_eq!(culprit, link, "watchdog must blame the trojan link");
+        sim.quarantine_link(culprit)
+            .expect("one quarantine cannot disconnect the paper mesh");
+        let drained = sim
+            .run_to_quiescence_guarded(4000, &mut src)
+            .expect("clean after quarantine");
+        assert!(drained);
+        assert!(sim.stats().flits_conserved());
+        assert!(sim.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn watchdog_global_backstop_fires_without_a_culprit() {
+        use crate::error::SimError;
+        use crate::watchdog::{StallKind, WatchdogConfig};
+        let mut cfg = SimConfig::paper_unprotected();
+        cfg.watchdog = Some(WatchdogConfig {
+            global_stall_cycles: 200,
+            credit_stall_cycles: u64::MAX,
+            retx_attempt_limit: u32::MAX,
+        });
+        let mut sim = Simulator::new(cfg);
+        mount_dest_trojan(&mut sim, 1);
+        sim.arm_trojans(true);
+        let mut src = ListSource {
+            packets: vec![pkt(1, 0, 0, 1, 2)],
+        };
+        let err = sim
+            .run_to_quiescence_guarded(4000, &mut src)
+            .expect_err("the backstop must fire");
+        let SimError::Stalled(report) = err else {
+            panic!("expected a stall, got {err:?}");
+        };
+        assert!(matches!(report.kind, StallKind::GlobalDeadlock { .. }));
+        assert_eq!(report.culprit(), None);
+    }
+
+    #[test]
+    fn resilient_config_runs_clean_traffic_without_tripping() {
+        let mut sim = Simulator::new(SimConfig::paper_resilient());
+        let mut packets = Vec::new();
+        for i in 0..30u64 {
+            packets.push(pkt(i + 1, i, (i % 16) as u8, ((i * 5 + 2) % 16) as u8, 4));
+        }
+        let mut src = ListSource { packets };
+        let drained = sim
+            .run_to_quiescence_guarded(4000, &mut src)
+            .expect("a healthy mesh must not trip any guard");
+        assert!(drained);
+        assert_eq!(sim.stats().delivered_packets, 30);
+        assert_eq!(sim.stats().dropped_flits, 0);
+        assert!(sim.stats().flits_conserved());
+    }
+
+    #[test]
+    fn quarantine_purge_keeps_invariants_and_conservation_under_load() {
+        use crate::watchdog::WatchdogConfig;
+        let mut cfg = SimConfig::paper_unprotected();
+        cfg.retry_budget = Some(4);
+        cfg.check_invariants_every = Some(8);
+        cfg.watchdog = Some(WatchdogConfig::default());
+        let mut sim = Simulator::new(cfg);
+        let link = mount_dest_trojan(&mut sim, 1);
+        sim.arm_trojans(true);
+        // Cross-traffic shares the condemned link while victims' flits
+        // spread over several routers — the interesting purge paths.
+        let mut packets = Vec::new();
+        for i in 0..40u64 {
+            let src_r = [0u8, 4, 8, 2, 12][(i % 5) as usize];
+            let dest = [1u8, 1, 5, 1, 3][(i % 5) as usize];
+            let mut p = pkt(i + 1, i, src_r, dest, 4);
+            p.vc = VcId((i % 4) as u8);
+            packets.push(p);
+        }
+        let mut src = ListSource { packets };
+        let drained = sim
+            .run_to_quiescence_guarded(20_000, &mut src)
+            .expect("credit books must stay sound through the purge");
+        assert!(drained, "mesh must drain after quarantine");
+        assert!(sim.dead_links().contains(&link));
+        let s = sim.stats();
+        assert!(
+            s.flits_conserved(),
+            "delivered {} + dropped {} != injected {}",
+            s.delivered_flits,
+            s.dropped_flits,
+            s.injected_flits
+        );
+        assert!(s.packets_conserved());
+        assert!(sim.check_invariants().is_empty());
     }
 
     #[test]

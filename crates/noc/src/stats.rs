@@ -1,7 +1,6 @@
 //! Simulation statistics: the time series behind Figs. 11/12 and the
 //! aggregate counters behind Figs. 1, 2, and 10.
 
-
 /// One per-interval sample of network pressure (Figs. 11/12 series).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
@@ -53,6 +52,15 @@ pub struct SimStats {
     pub bist_scans: u64,
     /// Flits carried per link (Fig. 1(c) traffic shares).
     pub link_flits: Vec<u64>,
+    /// Flits explicitly discarded by link quarantine (graceful
+    /// degradation accounts for every victim instead of leaking it).
+    pub dropped_flits: u64,
+    /// Packets explicitly discarded by link quarantine.
+    pub dropped_packets: u64,
+    /// Links quarantined after exhausting their escalation ladder.
+    pub quarantined_links: u64,
+    /// Retry-budget exhaustions that escalated to forced obfuscation.
+    pub budget_escalations: u64,
 }
 
 impl SimStats {
@@ -108,6 +116,27 @@ impl SimStats {
             }
         }
         self.latency_max
+    }
+
+    /// Flit conservation at quiescence: every injected flit was either
+    /// delivered or explicitly dropped by a quarantine. Only meaningful
+    /// when the network is drained (no resident or queued flits) — while
+    /// flits are in flight the books are legitimately open.
+    pub fn flits_conserved(&self) -> bool {
+        self.delivered_flits + self.dropped_flits == self.injected_flits
+    }
+
+    /// Packet conservation at quiescence: delivered + dropped == injected.
+    pub fn packets_conserved(&self) -> bool {
+        self.delivered_packets + self.dropped_packets == self.injected_packets
+    }
+
+    /// Flits the simulation has fully accounted for so far (delivered or
+    /// explicitly dropped). With `resident + queued` from the simulator,
+    /// `accounted + resident + queued == injected` holds at any cycle
+    /// boundary where no ACK is in flight, and exactly at quiescence.
+    pub fn accounted_flits(&self) -> u64 {
+        self.delivered_flits + self.dropped_flits
     }
 
     /// Clear the measurement counters while keeping the configuration-free
@@ -199,5 +228,23 @@ mod tests {
     #[test]
     fn percentile_of_empty_stats_is_zero() {
         assert_eq!(SimStats::default().latency_percentile(0.99), 0);
+    }
+
+    #[test]
+    fn conservation_accounts_for_explicit_drops() {
+        let mut s = SimStats {
+            injected_flits: 10,
+            delivered_flits: 7,
+            injected_packets: 3,
+            delivered_packets: 2,
+            ..SimStats::default()
+        };
+        assert!(!s.flits_conserved());
+        assert!(!s.packets_conserved());
+        s.dropped_flits = 3;
+        s.dropped_packets = 1;
+        assert!(s.flits_conserved());
+        assert!(s.packets_conserved());
+        assert_eq!(s.accounted_flits(), 10);
     }
 }

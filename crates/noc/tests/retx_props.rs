@@ -1,0 +1,133 @@
+//! Property tests for the retransmission buffer under both organisations
+//! ([`RetxScheme::Output`] shared pool and [`RetxScheme::PerVc`] per-VC
+//! buffers): random push/launch/ACK/NACK interleavings must never
+//! overflow the slot budget, never silently lose a buffered flit, and
+//! only ever consume retry attempts monotonically.
+
+use noc_sim::config::RetxScheme;
+use noc_sim::output::{OutputUnit, SlotState};
+use noc_types::{Flit, FlitId, FlitKind, Header, NodeId, PacketId, VcId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const VCS: u8 = 4;
+const CAPACITY: usize = 2;
+
+fn flit(n: u64, vc: VcId) -> Flit {
+    let h = Header {
+        src: NodeId(0),
+        dest: NodeId((n % 16) as u8),
+        vc,
+        mem_addr: n as u32,
+        thread: 0,
+        len: 1,
+    };
+    Flit::head(FlitId(n), PacketId(n), FlitKind::Single, h)
+}
+
+/// Ids of entries currently awaiting an ACK (NACK/ACK candidates).
+fn awaiting(out: &OutputUnit) -> Vec<u64> {
+    out.entries
+        .iter()
+        .filter(|e| e.state == SlotState::AwaitAck)
+        .map(|e| e.flit.id.0)
+        .collect()
+}
+
+fn drive(scheme: RetxScheme, seed: u64, steps: usize) -> Result<(), TestCaseError> {
+    let mut out = OutputUnit::new(VCS, 4, CAPACITY, scheme);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Model: flit id → highest attempt count observed so far.
+    let mut live: HashMap<u64, u32> = HashMap::new();
+    let mut next_id = 1u64;
+    for cycle in 1..=steps as u64 {
+        match rng.gen_range(0u8..4) {
+            // Push: admission honours the slot budget, never drops.
+            0 => {
+                let vc = VcId(rng.gen_range(0u8..VCS));
+                if out.has_slot(vc) {
+                    out.push(flit(next_id, vc), vc, cycle);
+                    live.insert(next_id, 0);
+                    next_id += 1;
+                } else {
+                    // A full buffer refuses admission (back-pressure),
+                    // it does not overwrite or drop.
+                    let in_vc = out.entries.iter().filter(|e| e.vc == vc).count();
+                    prop_assert!(match scheme {
+                        RetxScheme::Output => out.occupancy() == out.total_capacity(),
+                        RetxScheme::PerVc => in_vc == CAPACITY,
+                    });
+                }
+            }
+            // Launch: one attempt is consumed, exactly.
+            1 => {
+                if let Some(idx) = out.select_send(|_| true) {
+                    let before = out.entries[idx].attempts;
+                    out.mark_sent(idx, cycle);
+                    prop_assert_eq!(out.entries[idx].attempts, before + 1);
+                }
+            }
+            // ACK: the delivered entry existed, and leaves exactly once.
+            2 => {
+                let ids = awaiting(&out);
+                if !ids.is_empty() {
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    prop_assert!(out.ack(FlitId(id), None, cycle).is_some());
+                    live.remove(&id);
+                }
+            }
+            // NACK: the entry stays buffered and goes back to NeedSend
+            // without its attempt count moving backwards.
+            _ => {
+                let ids = awaiting(&out);
+                if !ids.is_empty() {
+                    let id = ids[rng.gen_range(0..ids.len())];
+                    out.nack(FlitId(id), None);
+                    let e = out.entries.iter().find(|e| e.flit.id.0 == id);
+                    prop_assert!(e.is_some(), "a NACKed flit must stay buffered");
+                    prop_assert_eq!(e.unwrap().state, SlotState::NeedSend);
+                }
+            }
+        }
+        // Global properties, after every operation.
+        prop_assert!(out.occupancy() <= out.total_capacity());
+        prop_assert_eq!(
+            out.occupancy(),
+            live.len(),
+            "buffered set must match the model: no silent drop, no duplicate"
+        );
+        for e in &out.entries {
+            let seen = live
+                .get_mut(&e.flit.id.0)
+                .expect("buffered flit unknown to the model");
+            prop_assert!(
+                e.attempts >= *seen,
+                "retry budget must be consumed monotonically"
+            );
+            *seen = e.attempts;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn output_scheme_never_leaks_overflows_or_rewinds(
+        seed in any::<u64>(),
+        steps in 32usize..160,
+    ) {
+        drive(RetxScheme::Output, seed, steps)?;
+    }
+
+    #[test]
+    fn per_vc_scheme_never_leaks_overflows_or_rewinds(
+        seed in any::<u64>(),
+        steps in 32usize..160,
+    ) {
+        drive(RetxScheme::PerVc, seed, steps)?;
+    }
+}

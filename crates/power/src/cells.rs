@@ -1,6 +1,5 @@
 //! Per-cell constants for the calibrated TSMC-40 nm model.
 
-
 /// Cell library constants at 1.0 V / 2 GHz. The values are calibrated so
 /// that structural gate counts of the paper's blocks reproduce its
 /// synthesis results; see the crate docs.

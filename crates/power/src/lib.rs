@@ -18,14 +18,14 @@ pub mod cells;
 pub mod component;
 pub mod mitigation;
 pub mod noc;
-pub mod side_channel;
 pub mod router;
+pub mod side_channel;
 pub mod tasp;
 
 pub use cells::CellLibrary;
 pub use component::Power;
 pub use mitigation::MitigationPower;
 pub use noc::NocPower;
-pub use side_channel::SideChannelModel;
 pub use router::RouterPower;
+pub use side_channel::SideChannelModel;
 pub use tasp::TaspPower;

@@ -80,10 +80,7 @@ impl MitigationPower {
     pub fn overhead(&self, router: &RouterPower) -> (f64, f64) {
         let t = self.total();
         let r = router.total();
-        (
-            t.area_um2 / r.area_um2,
-            t.dynamic_uw / r.dynamic_uw,
-        )
+        (t.area_um2 / r.area_um2, t.dynamic_uw / r.dynamic_uw)
     }
 }
 

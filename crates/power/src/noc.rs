@@ -112,8 +112,14 @@ mod tests {
         let noc = NocPower::paper();
         let (routers, tasp_all) = noc.dynamic_shares();
         // Paper: routers 99.44 %, TASP on all 48 links 0.56 %.
-        assert!((routers - 0.9944).abs() < 0.002, "router share {routers:.4}");
-        assert!((tasp_all - 0.0056).abs() < 0.002, "tasp share {tasp_all:.4}");
+        assert!(
+            (routers - 0.9944).abs() < 0.002,
+            "router share {routers:.4}"
+        );
+        assert!(
+            (tasp_all - 0.0056).abs() < 0.002,
+            "tasp share {tasp_all:.4}"
+        );
     }
 
     #[test]

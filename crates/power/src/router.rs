@@ -165,7 +165,11 @@ mod tests {
         let t = r.total();
         assert!(r.buffers.area_um2 / t.area_um2 > 0.6);
         // Router active area in a plausible 40 nm band (tens of kµm²).
-        assert!(t.area_um2 > 15_000.0 && t.area_um2 < 80_000.0, "{}", t.area_um2);
+        assert!(
+            t.area_um2 > 15_000.0 && t.area_um2 < 80_000.0,
+            "{}",
+            t.area_um2
+        );
     }
 
     #[test]

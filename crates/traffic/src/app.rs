@@ -324,11 +324,8 @@ mod tests {
         for spec in AppSpec::all() {
             let primary = spec.primary;
             let m = model(spec.clone());
-            let col = |d: NodeId| -> f64 {
-                (0..16u8)
-                    .map(|s| m.dest_probability(NodeId(s), d))
-                    .sum()
-            };
+            let col =
+                |d: NodeId| -> f64 { (0..16u8).map(|s| m.dest_probability(NodeId(s), d)).sum() };
             let p_primary = col(primary);
             for d in 0..16u8 {
                 let d = NodeId(d);

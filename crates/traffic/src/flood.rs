@@ -144,7 +144,10 @@ mod tests {
         }
         assert_eq!(out.len(), 100, "2 attackers × 50 cycles at line rate");
         assert!(out.iter().all(|p| p.dest == NodeId(0)));
-        assert!(out.iter().all(|p| p.src == NodeId(5)), "cores 20/21 sit on router 5");
+        assert!(
+            out.iter().all(|p| p.src == NodeId(5)),
+            "cores 20/21 sit on router 5"
+        );
     }
 
     #[test]

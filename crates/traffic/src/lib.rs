@@ -20,5 +20,5 @@ pub mod trace;
 pub use app::{AppModel, AppSpec};
 pub use flood::FloodAttack;
 pub use matrix::TrafficMatrix;
-pub use trace::{Recorder, Replay, Trace};
 pub use synthetic::{Pattern, SyntheticTraffic};
+pub use trace::{Recorder, Replay, Trace};

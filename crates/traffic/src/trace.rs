@@ -174,8 +174,8 @@ mod tests {
     #[test]
     fn flit_count_sums_packet_lengths() {
         let mesh = Mesh::paper();
-        let mut src = SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.3, 2)
-            .with_packet_len(3);
+        let mut src =
+            SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.3, 2).with_packet_len(3);
         let trace = Trace::capture(&mut src, 20);
         assert_eq!(trace.flits(), trace.len() as u64 * 3);
     }

@@ -14,7 +14,6 @@
 //! injection, which both saves power and spreads the reuse of any one wire
 //! pair over a longer window.
 
-
 /// Sequential payload-state counter. Each state deterministically maps to a
 /// pair of distinct codeword wire positions for the XOR tree.
 #[derive(Debug, Clone, PartialEq, Eq)]

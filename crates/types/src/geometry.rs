@@ -160,7 +160,7 @@ impl Mesh {
         let routers = width as usize * height as usize;
         let mut link_ids = vec![[None; 4]; routers];
         let mut link_ends = Vec::new();
-        for r in 0..routers {
+        for (r, ids) in link_ids.iter_mut().enumerate() {
             let node = NodeId(r as u8);
             for dir in Direction::ALL {
                 let here = Self::coord_of_raw(width, r);
@@ -171,7 +171,7 @@ impl Mesh {
                     continue;
                 }
                 let id = LinkId(link_ends.len() as u16);
-                link_ids[r][dir.index()] = Some(id);
+                ids[dir.index()] = Some(id);
                 link_ends.push((node, dir));
             }
         }
@@ -226,7 +226,10 @@ impl Mesh {
     }
 
     fn coord_of_raw(width: u8, index: usize) -> Coord {
-        Coord::new((index % width as usize) as u8, (index / width as usize) as u8)
+        Coord::new(
+            (index % width as usize) as u8,
+            (index / width as usize) as u8,
+        )
     }
 
     /// Position of a router.

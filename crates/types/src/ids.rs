@@ -4,7 +4,6 @@
 //! hot simulator structures (see the type-size guidance in the Rust
 //! Performance Book) while remaining impossible to confuse with one another.
 
-
 /// Identifies a router in the network. For the paper's 4×4 mesh this is
 /// `0..16`; the header encodes it in 4 bits, so at most 16 routers are
 /// addressable on the wire.

@@ -92,7 +92,5 @@ fn main() {
          with most injection ports dead",
         worst_blocked, worst_dead
     );
-    println!(
-        "(paper: 68% of routers within 50–100 cycles, 81% of injection ports by 1500)"
-    );
+    println!("(paper: 68% of routers within 50–100 cycles, 81% of injection ports by 1500)");
 }

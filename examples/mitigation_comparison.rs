@@ -11,8 +11,7 @@ fn main() {
     let mesh = Mesh::paper();
     let mut model = AppModel::new(app.clone(), mesh.clone(), 7);
     let shares = TrafficMatrix::sample(&mut model, 1500).link_shares_xy(&mesh);
-    let infected: Vec<LinkId> =
-        select_infected(&mesh, &shares, 0.10, Some(app.primary));
+    let infected: Vec<LinkId> = select_infected(&mesh, &shares, 0.10, Some(app.primary));
     println!(
         "workload: {} | {} infected links | trojan target: dest {:?}\n",
         app.name,

@@ -49,9 +49,7 @@ fn main() {
     let (inj, del, retx, drained) = run(false);
     println!("without mitigation:");
     println!("  injected {inj} packets, delivered {del}, {retx} retransmissions");
-    println!(
-        "  network drained: {drained}  ← the targeted flow is starved forever\n"
-    );
+    println!("  network drained: {drained}  ← the targeted flow is starved forever\n");
 
     let (inj, del, retx, drained) = run(true);
     println!("with threat detector + s2s L-Ob:");

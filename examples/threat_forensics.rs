@@ -19,7 +19,10 @@ fn main() {
     det.on_flit(key, &hit, None);
     let clean = Secded::decode(cw);
     det.on_flit(key, &clean, None);
-    println!("one fault, then clean retransmission  → {:?}", det.classify(&key));
+    println!(
+        "one fault, then clean retransmission  → {:?}",
+        det.classify(&key)
+    );
 
     // --- Case 2: a stuck-at wire ---------------------------------------
     let mut det = ThreatDetector::new(DetectorConfig::default());

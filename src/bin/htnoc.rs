@@ -56,7 +56,11 @@ fn report(r: &htnoc::core::RunResult) {
     println!("BIST scans           {}", r.stats.bist_scans);
     println!(
         "workload finished    {}",
-        if r.drained { "yes" } else { "NO (starved/deadlocked)" }
+        if r.drained {
+            "yes"
+        } else {
+            "NO (starved/deadlocked)"
+        }
     );
     let obf = r
         .events
@@ -118,7 +122,10 @@ fn cmd_clean(flags: &HashMap<String, String>) {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1500);
     let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(7);
-    println!("workload {} | no trojans | {} injection cycles\n", app.name, cycles);
+    println!(
+        "workload {} | no trojans | {} injection cycles\n",
+        app.name, cycles
+    );
     let mut sc = Scenario::paper_default(app, Strategy::Unprotected);
     sc.seed = seed;
     sc.warmup = 0;
@@ -132,8 +139,11 @@ fn cmd_power() {
     let router = RouterPower::paper();
     let mit = MitigationPower::paper();
     let (area, power) = mit.overhead(&router);
-    println!("router: {:.0} µm², {:.1} mW dynamic", router.total().area_um2,
-             router.total().dynamic_uw / 1000.0);
+    println!(
+        "router: {:.0} µm², {:.1} mW dynamic",
+        router.total().area_um2,
+        router.total().dynamic_uw / 1000.0
+    );
     println!(
         "mitigation: {:.0} µm² (+{:.1}%), {:.0} µW (+{:.1}%)",
         mit.total().area_um2,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_buffer_geometry-c05e26b69887432f.d: crates/bench/src/bin/ablation_buffer_geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_buffer_geometry-c05e26b69887432f.rmeta: crates/bench/src/bin/ablation_buffer_geometry.rs Cargo.toml
+
+crates/bench/src/bin/ablation_buffer_geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_detector_thresholds-26ff14f28e420766.d: crates/bench/src/bin/ablation_detector_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_detector_thresholds-26ff14f28e420766.rmeta: crates/bench/src/bin/ablation_detector_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/ablation_detector_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lob_methods-41a02e71fb3d5ea1.d: crates/bench/src/bin/ablation_lob_methods.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lob_methods-41a02e71fb3d5ea1.rmeta: crates/bench/src/bin/ablation_lob_methods.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lob_methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_payload_fsm-e3707d3752137c3a.d: crates/bench/src/bin/ablation_payload_fsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_payload_fsm-e3707d3752137c3a.rmeta: crates/bench/src/bin/ablation_payload_fsm.rs Cargo.toml
+
+crates/bench/src/bin/ablation_payload_fsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_retx_scheme-07ee3ad3c6c45d34.d: crates/bench/src/bin/ablation_retx_scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_retx_scheme-07ee3ad3c6c45d34.rmeta: crates/bench/src/bin/ablation_retx_scheme.rs Cargo.toml
+
+crates/bench/src/bin/ablation_retx_scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

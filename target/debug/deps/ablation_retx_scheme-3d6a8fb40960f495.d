@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_retx_scheme-3d6a8fb40960f495.d: crates/bench/src/bin/ablation_retx_scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_retx_scheme-3d6a8fb40960f495.rmeta: crates/bench/src/bin/ablation_retx_scheme.rs Cargo.toml
+
+crates/bench/src/bin/ablation_retx_scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_pipeline-1400b2d458c2d936.d: tests/attack_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_pipeline-1400b2d458c2d936.rmeta: tests/attack_pipeline.rs Cargo.toml
+
+tests/attack_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

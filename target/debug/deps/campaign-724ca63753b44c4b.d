@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign-724ca63753b44c4b.d: crates/core/src/bin/campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign-724ca63753b44c4b.rmeta: crates/core/src/bin/campaign.rs Cargo.toml
+
+crates/core/src/bin/campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

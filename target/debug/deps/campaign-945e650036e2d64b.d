@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign-945e650036e2d64b.d: crates/core/src/bin/campaign.rs
+
+/root/repo/target/debug/deps/campaign-945e650036e2d64b: crates/core/src/bin/campaign.rs
+
+crates/core/src/bin/campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/campaign-c0c11eb25c3a25c4.d: crates/core/src/bin/campaign.rs
+
+/root/repo/target/debug/deps/campaign-c0c11eb25c3a25c4: crates/core/src/bin/campaign.rs
+
+crates/core/src/bin/campaign.rs:

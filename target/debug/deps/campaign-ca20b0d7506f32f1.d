@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign-ca20b0d7506f32f1.d: crates/core/src/bin/campaign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign-ca20b0d7506f32f1.rmeta: crates/core/src/bin/campaign.rs Cargo.toml
+
+crates/core/src/bin/campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

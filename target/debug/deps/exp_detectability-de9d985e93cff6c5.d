@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_detectability-de9d985e93cff6c5.d: crates/bench/src/bin/exp_detectability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_detectability-de9d985e93cff6c5.rmeta: crates/bench/src/bin/exp_detectability.rs Cargo.toml
+
+crates/bench/src/bin/exp_detectability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_flood_routing-4b4e83cffad4a924.d: crates/bench/src/bin/exp_flood_routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_flood_routing-4b4e83cffad4a924.rmeta: crates/bench/src/bin/exp_flood_routing.rs Cargo.toml
+
+crates/bench/src/bin/exp_flood_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_multi_trojan-c45deacce58b46c1.d: crates/bench/src/bin/exp_multi_trojan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_multi_trojan-c45deacce58b46c1.rmeta: crates/bench/src/bin/exp_multi_trojan.rs Cargo.toml
+
+crates/bench/src/bin/exp_multi_trojan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_migration-b0efedbc733fd401.d: crates/bench/src/bin/ext_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_migration-b0efedbc733fd401.rmeta: crates/bench/src/bin/ext_migration.rs Cargo.toml
+
+crates/bench/src/bin/ext_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

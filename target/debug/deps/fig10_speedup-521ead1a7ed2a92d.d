@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_speedup-521ead1a7ed2a92d.d: crates/bench/src/bin/fig10_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_speedup-521ead1a7ed2a92d.rmeta: crates/bench/src/bin/fig10_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig10_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_backpressure-cfaf1688ab2d276c.d: crates/bench/src/bin/fig11_backpressure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_backpressure-cfaf1688ab2d276c.rmeta: crates/bench/src/bin/fig11_backpressure.rs Cargo.toml
+
+crates/bench/src/bin/fig11_backpressure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_mitigation-ef46d3d772f599fd.d: crates/bench/src/bin/fig12_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_mitigation-ef46d3d772f599fd.rmeta: crates/bench/src/bin/fig12_mitigation.rs Cargo.toml
+
+crates/bench/src/bin/fig12_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

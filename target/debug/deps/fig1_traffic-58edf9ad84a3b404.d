@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_traffic-58edf9ad84a3b404.d: crates/bench/src/bin/fig1_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_traffic-58edf9ad84a3b404.rmeta: crates/bench/src/bin/fig1_traffic.rs Cargo.toml
+
+crates/bench/src/bin/fig1_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_fault_latency-939239c2b1cd5acb.d: crates/bench/src/bin/fig2_fault_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_fault_latency-939239c2b1cd5acb.rmeta: crates/bench/src/bin/fig2_fault_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig2_fault_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_fault_latency-99ff6fe8876c8c28.d: crates/bench/src/bin/fig2_fault_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_fault_latency-99ff6fe8876c8c28.rmeta: crates/bench/src/bin/fig2_fault_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig2_fault_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_walkthrough-119442dbec91a388.d: tests/fig7_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_walkthrough-119442dbec91a388.rmeta: tests/fig7_walkthrough.rs Cargo.toml
+
+tests/fig7_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_power_pies-575f19c02dd9aef1.d: crates/bench/src/bin/fig8_power_pies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_power_pies-575f19c02dd9aef1.rmeta: crates/bench/src/bin/fig8_power_pies.rs Cargo.toml
+
+crates/bench/src/bin/fig8_power_pies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_target_area-3125dd199f24c809.d: crates/bench/src/bin/fig9_target_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_target_area-3125dd199f24c809.rmeta: crates/bench/src/bin/fig9_target_area.rs Cargo.toml
+
+crates/bench/src/bin/fig9_target_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htnoc-0160ee0f12543696.d: src/bin/htnoc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtnoc-0160ee0f12543696.rmeta: src/bin/htnoc.rs Cargo.toml
+
+src/bin/htnoc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

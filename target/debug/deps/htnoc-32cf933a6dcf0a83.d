@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htnoc-32cf933a6dcf0a83.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtnoc-32cf933a6dcf0a83.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/htnoc-dfe70cec659d9778.d: src/bin/htnoc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtnoc-dfe70cec659d9778.rmeta: src/bin/htnoc.rs Cargo.toml
+
+src/bin/htnoc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/htnoc_core-9d537f537eb06052.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhtnoc_core-9d537f537eb06052.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/e2e.rs:
+crates/core/src/experiment.rs:
+crates/core/src/infection.rs:
+crates/core/src/report.rs:
+crates/core/src/reroute.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:
+crates/core/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

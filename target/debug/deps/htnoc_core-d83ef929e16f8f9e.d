@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/htnoc_core-d83ef929e16f8f9e.d: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/debug/deps/htnoc_core-d83ef929e16f8f9e.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
-/root/repo/target/debug/deps/htnoc_core-d83ef929e16f8f9e: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/debug/deps/htnoc_core-d83ef929e16f8f9e: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
 crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
 crates/core/src/e2e.rs:
 crates/core/src/experiment.rs:
 crates/core/src/infection.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/htnoc_core-dfc79e71d10830f4.d: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/debug/deps/htnoc_core-dfc79e71d10830f4.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
-/root/repo/target/debug/deps/libhtnoc_core-dfc79e71d10830f4.rlib: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/debug/deps/libhtnoc_core-dfc79e71d10830f4.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
-/root/repo/target/debug/deps/libhtnoc_core-dfc79e71d10830f4.rmeta: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/debug/deps/libhtnoc_core-dfc79e71d10830f4.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
 crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
 crates/core/src/e2e.rs:
 crates/core/src/experiment.rs:
 crates/core/src/infection.rs:

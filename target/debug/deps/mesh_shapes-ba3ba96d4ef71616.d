@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mesh_shapes-ba3ba96d4ef71616.d: tests/mesh_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmesh_shapes-ba3ba96d4ef71616.rmeta: tests/mesh_shapes.rs Cargo.toml
+
+tests/mesh_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

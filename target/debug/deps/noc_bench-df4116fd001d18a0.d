@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/noc_bench-df4116fd001d18a0.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig2.rs crates/bench/src/flood.rs crates/bench/src/migration.rs crates/bench/src/power_tables.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_bench-df4116fd001d18a0.rmeta: crates/bench/src/lib.rs crates/bench/src/fig1.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig2.rs crates/bench/src/flood.rs crates/bench/src/migration.rs crates/bench/src/power_tables.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/flood.rs:
+crates/bench/src/migration.rs:
+crates/bench/src/power_tables.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

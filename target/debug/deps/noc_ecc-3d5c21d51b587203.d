@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/noc_ecc-3d5c21d51b587203.d: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_ecc-3d5c21d51b587203.rmeta: crates/ecc/src/lib.rs crates/ecc/src/codeword.rs crates/ecc/src/secded.rs Cargo.toml
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/codeword.rs:
+crates/ecc/src/secded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

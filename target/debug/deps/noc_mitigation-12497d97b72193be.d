@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/noc_mitigation-12497d97b72193be.d: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_mitigation-12497d97b72193be.rmeta: crates/mitigation/src/lib.rs crates/mitigation/src/bist.rs crates/mitigation/src/detector.rs crates/mitigation/src/lob.rs Cargo.toml
+
+crates/mitigation/src/lib.rs:
+crates/mitigation/src/bist.rs:
+crates/mitigation/src/detector.rs:
+crates/mitigation/src/lob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

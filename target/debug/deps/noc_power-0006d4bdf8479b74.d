@@ -1,12 +1,12 @@
-/root/repo/target/debug/deps/noc_power-0006d4bdf8479b74.d: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/debug/deps/noc_power-0006d4bdf8479b74.d: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
-/root/repo/target/debug/deps/noc_power-0006d4bdf8479b74: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/debug/deps/noc_power-0006d4bdf8479b74: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
 crates/power/src/lib.rs:
 crates/power/src/cells.rs:
 crates/power/src/component.rs:
 crates/power/src/mitigation.rs:
 crates/power/src/noc.rs:
-crates/power/src/side_channel.rs:
 crates/power/src/router.rs:
+crates/power/src/side_channel.rs:
 crates/power/src/tasp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/noc_power-95e8a63ee8825cfc.d: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_power-95e8a63ee8825cfc.rmeta: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/cells.rs:
+crates/power/src/component.rs:
+crates/power/src/mitigation.rs:
+crates/power/src/noc.rs:
+crates/power/src/router.rs:
+crates/power/src/side_channel.rs:
+crates/power/src/tasp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,14 +1,14 @@
-/root/repo/target/debug/deps/noc_power-bec8ffa8c6b6613f.d: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/debug/deps/noc_power-bec8ffa8c6b6613f.d: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
-/root/repo/target/debug/deps/libnoc_power-bec8ffa8c6b6613f.rlib: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/debug/deps/libnoc_power-bec8ffa8c6b6613f.rlib: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
-/root/repo/target/debug/deps/libnoc_power-bec8ffa8c6b6613f.rmeta: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/debug/deps/libnoc_power-bec8ffa8c6b6613f.rmeta: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
 crates/power/src/lib.rs:
 crates/power/src/cells.rs:
 crates/power/src/component.rs:
 crates/power/src/mitigation.rs:
 crates/power/src/noc.rs:
-crates/power/src/side_channel.rs:
 crates/power/src/router.rs:
+crates/power/src/side_channel.rs:
 crates/power/src/tasp.rs:

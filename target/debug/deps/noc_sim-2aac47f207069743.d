@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/noc_sim-2aac47f207069743.d: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/error.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_sim-2aac47f207069743.rmeta: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/error.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/watchdog.rs Cargo.toml
+
+crates/noc/src/lib.rs:
+crates/noc/src/arbiter.rs:
+crates/noc/src/config.rs:
+crates/noc/src/error.rs:
+crates/noc/src/fault.rs:
+crates/noc/src/input.rs:
+crates/noc/src/invariants.rs:
+crates/noc/src/link.rs:
+crates/noc/src/message.rs:
+crates/noc/src/output.rs:
+crates/noc/src/router.rs:
+crates/noc/src/routing.rs:
+crates/noc/src/sim.rs:
+crates/noc/src/stats.rs:
+crates/noc/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/noc_sim-4d4cb42756483970.d: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs
+/root/repo/target/debug/deps/noc_sim-4d4cb42756483970.d: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/error.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/watchdog.rs
 
-/root/repo/target/debug/deps/noc_sim-4d4cb42756483970: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs
+/root/repo/target/debug/deps/noc_sim-4d4cb42756483970: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/error.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/watchdog.rs
 
 crates/noc/src/lib.rs:
 crates/noc/src/arbiter.rs:
 crates/noc/src/config.rs:
+crates/noc/src/error.rs:
 crates/noc/src/fault.rs:
 crates/noc/src/input.rs:
 crates/noc/src/invariants.rs:
@@ -15,3 +16,4 @@ crates/noc/src/router.rs:
 crates/noc/src/routing.rs:
 crates/noc/src/sim.rs:
 crates/noc/src/stats.rs:
+crates/noc/src/watchdog.rs:

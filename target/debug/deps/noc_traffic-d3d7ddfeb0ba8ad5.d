@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/noc_traffic-d3d7ddfeb0ba8ad5.d: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_traffic-d3d7ddfeb0ba8ad5.rmeta: crates/traffic/src/lib.rs crates/traffic/src/app.rs crates/traffic/src/flood.rs crates/traffic/src/matrix.rs crates/traffic/src/synthetic.rs crates/traffic/src/trace.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/app.rs:
+crates/traffic/src/flood.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/synthetic.rs:
+crates/traffic/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

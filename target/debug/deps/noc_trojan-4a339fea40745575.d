@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/noc_trojan-4a339fea40745575.d: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_trojan-4a339fea40745575.rmeta: crates/trojan/src/lib.rs crates/trojan/src/detection.rs crates/trojan/src/payload.rs crates/trojan/src/target.rs crates/trojan/src/tasp.rs Cargo.toml
+
+crates/trojan/src/lib.rs:
+crates/trojan/src/detection.rs:
+crates/trojan/src/payload.rs:
+crates/trojan/src/target.rs:
+crates/trojan/src/tasp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

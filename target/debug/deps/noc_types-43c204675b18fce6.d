@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/noc_types-43c204675b18fce6.d: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_types-43c204675b18fce6.rmeta: crates/types/src/lib.rs crates/types/src/flit.rs crates/types/src/geometry.rs crates/types/src/header.rs crates/types/src/ids.rs crates/types/src/packet.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/flit.rs:
+crates/types/src/geometry.rs:
+crates/types/src/header.rs:
+crates/types/src/ids.rs:
+crates/types/src/packet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

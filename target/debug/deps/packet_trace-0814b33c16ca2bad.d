@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packet_trace-0814b33c16ca2bad.d: tests/packet_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacket_trace-0814b33c16ca2bad.rmeta: tests/packet_trace.rs Cargo.toml
+
+tests/packet_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/retx_props-3b806c89afe4c650.d: crates/noc/tests/retx_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libretx_props-3b806c89afe4c650.rmeta: crates/noc/tests/retx_props.rs Cargo.toml
+
+crates/noc/tests/retx_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

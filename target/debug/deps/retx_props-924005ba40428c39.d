@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retx_props-924005ba40428c39.d: crates/noc/tests/retx_props.rs
+
+/root/repo/target/debug/deps/retx_props-924005ba40428c39: crates/noc/tests/retx_props.rs
+
+crates/noc/tests/retx_props.rs:

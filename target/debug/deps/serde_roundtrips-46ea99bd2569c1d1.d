@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrips-46ea99bd2569c1d1.d: tests/serde_roundtrips.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrips-46ea99bd2569c1d1.rmeta: tests/serde_roundtrips.rs Cargo.toml
+
+tests/serde_roundtrips.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_tasp_overhead-66db499831f11233.d: crates/bench/src/bin/table1_tasp_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_tasp_overhead-66db499831f11233.rmeta: crates/bench/src/bin/table1_tasp_overhead.rs Cargo.toml
+
+crates/bench/src/bin/table1_tasp_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_tasp_overhead-a4f641455e338650.d: crates/bench/src/bin/table1_tasp_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_tasp_overhead-a4f641455e338650.rmeta: crates/bench/src/bin/table1_tasp_overhead.rs Cargo.toml
+
+crates/bench/src/bin/table1_tasp_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

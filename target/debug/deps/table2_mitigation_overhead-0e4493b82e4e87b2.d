@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_mitigation_overhead-0e4493b82e4e87b2.d: crates/bench/src/bin/table2_mitigation_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_mitigation_overhead-0e4493b82e4e87b2.rmeta: crates/bench/src/bin/table2_mitigation_overhead.rs Cargo.toml
+
+crates/bench/src/bin/table2_mitigation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

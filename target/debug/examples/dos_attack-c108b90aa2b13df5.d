@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dos_attack-c108b90aa2b13df5.d: examples/dos_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdos_attack-c108b90aa2b13df5.rmeta: examples/dos_attack.rs Cargo.toml
+
+examples/dos_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mitigation_comparison-ede7bd62a33ab8bd.d: examples/mitigation_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmitigation_comparison-ede7bd62a33ab8bd.rmeta: examples/mitigation_comparison.rs Cargo.toml
+
+examples/mitigation_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replay_comparison-cf91108b236c8e49.d: examples/replay_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplay_comparison-cf91108b236c8e49.rmeta: examples/replay_comparison.rs Cargo.toml
+
+examples/replay_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

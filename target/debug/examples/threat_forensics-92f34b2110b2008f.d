@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threat_forensics-92f34b2110b2008f.d: examples/threat_forensics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreat_forensics-92f34b2110b2008f.rmeta: examples/threat_forensics.rs Cargo.toml
+
+examples/threat_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign-9f3fb60446390d67.d: crates/core/src/bin/campaign.rs
+
+/root/repo/target/release/deps/campaign-9f3fb60446390d67: crates/core/src/bin/campaign.rs
+
+crates/core/src/bin/campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign-c13d1146e6474ed6.d: crates/core/src/bin/campaign.rs
+
+/root/repo/target/release/deps/campaign-c13d1146e6474ed6: crates/core/src/bin/campaign.rs
+
+crates/core/src/bin/campaign.rs:

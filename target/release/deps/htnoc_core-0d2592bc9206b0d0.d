@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/htnoc_core-0d2592bc9206b0d0.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/htnoc_core-0d2592bc9206b0d0: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/e2e.rs:
+crates/core/src/experiment.rs:
+crates/core/src/infection.rs:
+crates/core/src/report.rs:
+crates/core/src/reroute.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sweep.rs:
+crates/core/src/viz.rs:

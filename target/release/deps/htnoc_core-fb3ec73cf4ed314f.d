@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/htnoc_core-fb3ec73cf4ed314f.d: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/release/deps/htnoc_core-fb3ec73cf4ed314f.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
-/root/repo/target/release/deps/libhtnoc_core-fb3ec73cf4ed314f.rlib: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/release/deps/libhtnoc_core-fb3ec73cf4ed314f.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
-/root/repo/target/release/deps/libhtnoc_core-fb3ec73cf4ed314f.rmeta: crates/core/src/lib.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
+/root/repo/target/release/deps/libhtnoc_core-fb3ec73cf4ed314f.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/e2e.rs crates/core/src/experiment.rs crates/core/src/infection.rs crates/core/src/report.rs crates/core/src/reroute.rs crates/core/src/scenario.rs crates/core/src/sweep.rs crates/core/src/viz.rs
 
 crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
 crates/core/src/e2e.rs:
 crates/core/src/experiment.rs:
 crates/core/src/infection.rs:

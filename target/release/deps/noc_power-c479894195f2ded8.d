@@ -1,14 +1,14 @@
-/root/repo/target/release/deps/noc_power-c479894195f2ded8.d: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/release/deps/noc_power-c479894195f2ded8.d: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
-/root/repo/target/release/deps/libnoc_power-c479894195f2ded8.rlib: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/release/deps/libnoc_power-c479894195f2ded8.rlib: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
-/root/repo/target/release/deps/libnoc_power-c479894195f2ded8.rmeta: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/side_channel.rs crates/power/src/router.rs crates/power/src/tasp.rs
+/root/repo/target/release/deps/libnoc_power-c479894195f2ded8.rmeta: crates/power/src/lib.rs crates/power/src/cells.rs crates/power/src/component.rs crates/power/src/mitigation.rs crates/power/src/noc.rs crates/power/src/router.rs crates/power/src/side_channel.rs crates/power/src/tasp.rs
 
 crates/power/src/lib.rs:
 crates/power/src/cells.rs:
 crates/power/src/component.rs:
 crates/power/src/mitigation.rs:
 crates/power/src/noc.rs:
-crates/power/src/side_channel.rs:
 crates/power/src/router.rs:
+crates/power/src/side_channel.rs:
 crates/power/src/tasp.rs:

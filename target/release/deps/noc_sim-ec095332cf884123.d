@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/noc_sim-ec095332cf884123.d: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs
+/root/repo/target/release/deps/noc_sim-ec095332cf884123.d: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/error.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/watchdog.rs
 
-/root/repo/target/release/deps/libnoc_sim-ec095332cf884123.rlib: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs
+/root/repo/target/release/deps/libnoc_sim-ec095332cf884123.rlib: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/error.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/watchdog.rs
 
-/root/repo/target/release/deps/libnoc_sim-ec095332cf884123.rmeta: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs
+/root/repo/target/release/deps/libnoc_sim-ec095332cf884123.rmeta: crates/noc/src/lib.rs crates/noc/src/arbiter.rs crates/noc/src/config.rs crates/noc/src/error.rs crates/noc/src/fault.rs crates/noc/src/input.rs crates/noc/src/invariants.rs crates/noc/src/link.rs crates/noc/src/message.rs crates/noc/src/output.rs crates/noc/src/router.rs crates/noc/src/routing.rs crates/noc/src/sim.rs crates/noc/src/stats.rs crates/noc/src/watchdog.rs
 
 crates/noc/src/lib.rs:
 crates/noc/src/arbiter.rs:
 crates/noc/src/config.rs:
+crates/noc/src/error.rs:
 crates/noc/src/fault.rs:
 crates/noc/src/input.rs:
 crates/noc/src/invariants.rs:
@@ -17,3 +18,4 @@ crates/noc/src/router.rs:
 crates/noc/src/routing.rs:
 crates/noc/src/sim.rs:
 crates/noc/src/stats.rs:
+crates/noc/src/watchdog.rs:

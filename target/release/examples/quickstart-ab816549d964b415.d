@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ab816549d964b415.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ab816549d964b415: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -91,21 +91,13 @@ fn trojan_on_every_link_is_still_mitigated() {
         *sim.link_faults_mut(l) = faults.with_trojan(ht);
     }
     sim.arm_trojans(true);
-    let mut traffic = SyntheticTraffic::new(
-        mesh,
-        Pattern::Hotspot(vec![NodeId(0)]),
-        0.01,
-        11,
-    )
-    .until(400);
+    let mut traffic =
+        SyntheticTraffic::new(mesh, Pattern::Hotspot(vec![NodeId(0)]), 0.01, 11).until(400);
     assert!(
         sim.run_to_quiescence(20_000, &mut traffic),
         "mitigation must survive full-fabric infection"
     );
-    assert_eq!(
-        sim.stats().delivered_packets,
-        sim.stats().injected_packets
-    );
+    assert_eq!(sim.stats().delivered_packets, sim.stats().injected_packets);
 }
 
 #[test]
@@ -124,8 +116,7 @@ fn transients_and_trojans_coexist() {
     for l in mesh.all_links() {
         sim.link_faults_mut(l).transient_bit_prob = 0.0002;
     }
-    let mut traffic =
-        SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.015, 3).until(500);
+    let mut traffic = SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.015, 3).until(500);
     assert!(sim.run_to_quiescence(30_000, &mut traffic));
     assert_eq!(sim.stats().delivered_packets, sim.stats().injected_packets);
     assert!(sim.stats().corrected_faults > 0, "transients were live");

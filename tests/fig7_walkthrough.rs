@@ -81,14 +81,21 @@ fn fig7_walkthrough_on_a_compromised_link() {
     for _ in 0..25 {
         sim.step(&mut src);
     }
-    assert_eq!(sim.stats().delivered_packets, 1, "flit #1 ACKed and cleared");
+    assert_eq!(
+        sim.stats().delivered_packets,
+        1,
+        "flit #1 ACKed and cleared"
+    );
     assert_eq!(sim.stats().uncorrectable_faults, 0);
 
     // Step (d): the attacker enables TASP.
     sim.arm_trojans(true);
 
     // Steps (e)–(i) play out; run to quiescence.
-    assert!(sim.run_to_quiescence(3000, &mut src), "all flits must arrive");
+    assert!(
+        sim.run_to_quiescence(3000, &mut src),
+        "all flits must arrive"
+    );
     assert_eq!(sim.stats().delivered_packets, 4);
 
     // (e)+(g): the target was corrupted at least twice (initial + the

@@ -66,7 +66,7 @@ proptest! {
                 continue;
             }
             let k = if plan.method == htnoc::mitigation::ObfuscationMethod::Scramble
-                && key & 0x3_FFFF_FFFF_FF == 0
+                && key & 0x03FF_FFFF_FFFF == 0
             {
                 key | 1 // ensure the key actually flips header bits
             } else {
@@ -153,8 +153,7 @@ fn every_single_bit_upset_on_any_link_is_invisible_to_software() {
     for l in mesh.all_links() {
         sim.link_faults_mut(l).transient_bit_prob = 0.0001;
     }
-    let mut traffic =
-        SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.02, 9).until(500);
+    let mut traffic = SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.02, 9).until(500);
     assert!(sim.run_to_quiescence(20_000, &mut traffic));
     let s = sim.stats();
     assert_eq!(s.delivered_packets, s.injected_packets, "no silent loss");
@@ -174,8 +173,7 @@ fn dead_link_rerouting_preserves_delivery_for_every_single_link() {
         sim.set_routing(htnoc::sim::routing::Routing::Table(tables));
         sim.set_dead_links(dead);
         let mut traffic =
-            SyntheticTraffic::new(mesh.clone(), Pattern::UniformRandom, 0.01, li as u64)
-                .until(200);
+            SyntheticTraffic::new(mesh.clone(), Pattern::UniformRandom, 0.01, li as u64).until(200);
         assert!(
             sim.run_to_quiescence(20_000, &mut traffic),
             "link {li} reroute failed"

@@ -129,7 +129,9 @@ fn unprotected_trace_shows_endless_nacks_and_no_ejection() {
     assert!(!sim.run_to_quiescence(600, &mut src), "must starve");
     let trace = sim.trace();
     assert!(
-        !trace.iter().any(|e| matches!(e, TraceEvent::Ejected { .. })),
+        !trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Ejected { .. })),
         "the victim never arrives"
     );
     let nacks = trace
@@ -146,9 +148,13 @@ fn unprotected_trace_shows_endless_nacks_and_no_ejection() {
         .count();
     assert!(nacks > 20, "NACK livelock expected, saw {nacks}");
     // No launch ever carried an obfuscation plan (mitigation off).
-    assert!(trace
-        .iter()
-        .all(|e| !matches!(e, TraceEvent::Launched { obfuscated: Some(_), .. })));
+    assert!(trace.iter().all(|e| !matches!(
+        e,
+        TraceEvent::Launched {
+            obfuscated: Some(_),
+            ..
+        }
+    )));
 }
 
 #[test]

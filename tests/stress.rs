@@ -18,13 +18,13 @@ fn mix(seed: u64, n: u64) -> u64 {
 fn stress_one(seed: u64) {
     let mesh = Mesh::paper();
     let mut cfg = SimConfig::paper();
-    cfg.mitigation = mix(seed, 1) % 2 == 0;
-    cfg.retx_scheme = if mix(seed, 2) % 2 == 0 {
+    cfg.mitigation = mix(seed, 1).is_multiple_of(2);
+    cfg.retx_scheme = if mix(seed, 2).is_multiple_of(2) {
         RetxScheme::Output
     } else {
         RetxScheme::PerVc
     };
-    if mix(seed, 3) % 4 == 0 {
+    if mix(seed, 3).is_multiple_of(4) {
         cfg.qos = QosMode::Tdm { domains: 2 };
         cfg.retx_scheme = RetxScheme::PerVc;
     }
@@ -44,11 +44,11 @@ fn stress_one(seed: u64) {
         htnoc::sim::fault::LinkFaults::healthy(seed),
     );
     *sim.link_faults_mut(trojan_link) = faults.with_trojan(ht);
-    if mix(seed, 7) % 2 == 0 {
+    if mix(seed, 7).is_multiple_of(2) {
         sim.arm_trojans(true);
     }
     let stuck_link = LinkId((mix(seed, 8) % 48) as u16);
-    if stuck_link != trojan_link && mix(seed, 9) % 3 == 0 {
+    if stuck_link != trojan_link && mix(seed, 9).is_multiple_of(3) {
         sim.link_faults_mut(stuck_link).stuck = StuckWires {
             stuck_one: 1 << (mix(seed, 10) % 72),
             stuck_zero: 0,
@@ -109,13 +109,8 @@ fn invariants_hold_through_a_full_dos_collapse() {
     );
     *sim.link_faults_mut(link) = faults.with_trojan(ht);
     sim.arm_trojans(true);
-    let mut traffic = SyntheticTraffic::new(
-        mesh,
-        Pattern::Hotspot(vec![NodeId(0)]),
-        0.03,
-        5,
-    )
-    .until(1500);
+    let mut traffic =
+        SyntheticTraffic::new(mesh, Pattern::Hotspot(vec![NodeId(0)]), 0.03, 5).until(1500);
     for _ in 0..30 {
         sim.run(50, &mut traffic);
         let violations = sim.check_invariants();

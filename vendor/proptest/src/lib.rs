@@ -218,7 +218,11 @@ macro_rules! prop_assert_ne {
         if l == r {
             return Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: `{} != {}`: both = {:?} ({}:{})",
-                stringify!($left), stringify!($right), l, file!(), line!()
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
             )));
         }
     }};
