@@ -3,10 +3,19 @@
 //! operation, on the Blackscholes workload.
 //!
 //! Run: `cargo run --release -p noc-bench --bin fig11_backpressure`
+//!
+//! With `--trace out.json`, the attacked run is re-executed with the
+//! structured tracer armed: the bounded ring is dumped as JSONL
+//! (`<stem>.jsonl`) and as a Chrome `trace_event` file (`out.json`,
+//! loadable in Perfetto), and the per-link metrics table prints with
+//! the infected link's retransmission storm at the top.
 
 use htnoc_core::prelude::*;
-use noc_bench::fig11::{compute, milestones, Fig11Data};
+use htnoc_core::viz;
+use noc_bench::fig11::{compute, milestones, scenario, Fig11Data};
 use noc_bench::table::print_table;
+use noc_sim::TraceConfig;
+use std::io::Write;
 
 fn print_series(data: &Fig11Data) {
     println!("--- {} ---", data.label);
@@ -23,6 +32,9 @@ fn print_series(data: &Fig11Data) {
                 s.all_cores_full.to_string(),
                 s.half_cores_full.to_string(),
                 s.blocked_port_routers.to_string(),
+                s.delivered_delta.to_string(),
+                s.retx_delta.to_string(),
+                s.uncorrectable_delta.to_string(),
             ]
         })
         .collect();
@@ -35,6 +47,9 @@ fn print_series(data: &Fig11Data) {
             "all cores full",
             ">50% full",
             "≥1 port blocked",
+            "Δdelivered",
+            "Δretx",
+            "Δuncorrectable",
         ],
         &rows,
     );
@@ -56,4 +71,47 @@ fn main() {
     print_series(&clean);
     println!("\n(e2e obfuscation produces a series identical to the unprotected run —");
     println!(" the header-targeting trojan sees through it; see fig11 tests.)");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let Some(path) = args.next() else {
+                eprintln!("usage: fig11_backpressure [--trace out.json]");
+                std::process::exit(2);
+            };
+            dump_trace(path.into());
+        }
+    }
+}
+
+fn dump_trace(path: std::path::PathBuf) {
+    println!("\nre-running the attacked scenario with the tracer armed...");
+    let sc = scenario(Strategy::Unprotected, 1, 1500).with_trace(TraceConfig::default());
+    let result = htnoc_core::run_scenario(&sc);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create trace output directory");
+        }
+    }
+    let jsonl_path = path.with_extension("jsonl");
+    let mut jsonl = std::fs::File::create(&jsonl_path).expect("create jsonl trace");
+    for rec in &result.trace {
+        writeln!(jsonl, "{}", rec.to_jsonl()).expect("write jsonl trace");
+    }
+    std::fs::write(&path, noc_sim::trace::chrome_trace(result.trace.iter()))
+        .expect("write chrome trace");
+    println!(
+        "  {} events: {} / {}",
+        result.trace.len(),
+        jsonl_path.display(),
+        path.display()
+    );
+    println!(
+        "\nper-link metrics, hottest first (cycles={}):",
+        result.cycles
+    );
+    print!(
+        "{}",
+        viz::link_metrics_table(&result.metrics, result.cycles, 12)
+    );
 }

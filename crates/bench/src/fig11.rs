@@ -23,6 +23,12 @@ pub struct UtilSample {
     pub half_cores_full: usize,
     /// Routers with more than half their cores full.
     pub blocked_port_routers: usize,
+    /// Flits delivered during this snapshot interval.
+    pub delivered_delta: u64,
+    /// Retransmissions issued during this snapshot interval.
+    pub retx_delta: u64,
+    /// Uncorrectable faults seen during this snapshot interval.
+    pub uncorrectable_delta: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -81,6 +87,9 @@ pub fn compute(strategy: Strategy, infected_links: usize, horizon: u64) -> Fig11
             all_cores_full: s.routers_all_cores_full,
             half_cores_full: s.routers_half_cores_full,
             blocked_port_routers: s.routers_blocked_port,
+            delivered_delta: s.delivered_flits,
+            retx_delta: s.retransmissions,
+            uncorrectable_delta: s.uncorrectable_faults,
         })
         .collect();
     Fig11Data { label, samples }
@@ -168,6 +177,21 @@ mod tests {
             .unwrap();
         assert!(dead_clean <= 4, "clean dead {dead_clean}");
         assert!(dead_clean * 2 < dead, "no contrast: {dead_clean} vs {dead}");
+    }
+
+    #[test]
+    fn interval_deltas_expose_the_attack_signature() {
+        let attacked = compute(Strategy::Unprotected, 1, 800);
+        let clean = compute(Strategy::Unprotected, 0, 800);
+        // The clean run delivers steadily with no faults at all.
+        assert!(clean.samples.iter().map(|s| s.delivered_delta).sum::<u64>() > 0);
+        assert!(clean.samples.iter().all(|s| s.uncorrectable_delta == 0));
+        assert!(clean.samples.iter().all(|s| s.retx_delta == 0));
+        // The attack window shows the retransmission storm interval by
+        // interval — the per-interval forensic series Fig. 11 needs.
+        let post: Vec<&UtilSample> = attacked.samples.iter().filter(|s| s.t >= 0).collect();
+        assert!(post.iter().any(|s| s.retx_delta > 0));
+        assert!(post.iter().any(|s| s.uncorrectable_delta > 0));
     }
 
     #[test]

@@ -164,6 +164,9 @@ fn run_tdm(armed: bool, horizon: u64) -> (Vec<UtilSample>, [DomainOutcome; 2]) {
             all_cores_full: s.routers_all_cores_full,
             half_cores_full: s.routers_half_cores_full,
             blocked_port_routers: s.routers_blocked_port,
+            delivered_delta: s.delivered_flits,
+            retx_delta: s.retransmissions,
+            uncorrectable_delta: s.uncorrectable_faults,
         })
         .collect();
     (samples, [outcome(0), outcome(1)])

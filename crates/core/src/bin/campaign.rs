@@ -1,7 +1,7 @@
 //! Run the deterministic fault-injection campaign from the command line:
 //!
 //! ```text
-//! cargo run -p htnoc-core --bin campaign [seed]
+//! cargo run -p htnoc-core --bin campaign [seed] [--trace out.json]
 //! ```
 //!
 //! Replays every seeded failure scenario (transient storm, stuck-at
@@ -10,17 +10,39 @@
 //! resilience layer. Each scenario asserts packet/flit conservation and
 //! a clean invariant audit, so the process exits non-zero on any
 //! violation.
+//!
+//! With `--trace PATH`, the trojan-flood scenario is re-run with the
+//! structured tracer armed: the full event stream lands next to `PATH`
+//! as JSONL (`<stem>.jsonl`, one canonical event per line — the file
+//! `trace_validate` checks), the bounded ring is exported as a Chrome
+//! `trace_event` file at `PATH` (load it in Perfetto or
+//! `chrome://tracing`), and the per-link metrics table prints with the
+//! infected link at the top.
 
-use htnoc_core::campaign::{run_campaign, CAMPAIGN_SEED};
+use htnoc_core::campaign::{run_campaign, trojan_flood_traced_with_sink, CAMPAIGN_SEED};
+use htnoc_core::viz;
+use noc_sim::{JsonlSink, TraceConfig};
+use std::io::Write;
 
 fn main() {
-    let seed = match std::env::args().nth(1) {
-        None => CAMPAIGN_SEED,
-        Some(s) => s.parse::<u64>().unwrap_or_else(|_| {
-            eprintln!("usage: campaign [seed]   (seed must be an unsigned integer, got {s:?})");
-            std::process::exit(2);
-        }),
-    };
+    let mut seed = CAMPAIGN_SEED;
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let Some(p) = args.next() else {
+                eprintln!("usage: campaign [seed] [--trace out.json]");
+                std::process::exit(2);
+            };
+            trace_path = Some(p.into());
+        } else {
+            seed = arg.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("usage: campaign [seed] [--trace out.json]   (got {arg:?})");
+                std::process::exit(2);
+            });
+        }
+    }
+
     println!("fault-injection campaign, seed {seed:#x}");
     println!();
     let reports = run_campaign(seed);
@@ -35,4 +57,48 @@ fn main() {
          ({stalls} watchdog trip(s), {quarantines} quarantined link(s))",
         reports.len()
     );
+
+    let Some(path) = trace_path else { return };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                eprintln!("campaign: cannot create {}: {e}", parent.display());
+                std::process::exit(2);
+            });
+        }
+    }
+    let jsonl_path = path.with_extension("jsonl");
+    let file = std::fs::File::create(&jsonl_path).unwrap_or_else(|e| {
+        eprintln!("campaign: cannot create {}: {e}", jsonl_path.display());
+        std::process::exit(2);
+    });
+    println!();
+    println!("re-running trojan_flood with the tracer armed...");
+    let (rep, sim) = trojan_flood_traced_with_sink(
+        seed.wrapping_add(5),
+        TraceConfig::default(),
+        Box::new(JsonlSink::new(file)),
+    );
+    let tracer = sim.tracer().expect("the traced run keeps its recorder");
+    println!(
+        "  {} events emitted ({} retained in the ring, {} evicted)",
+        tracer.emitted(),
+        tracer.len(),
+        tracer.dropped()
+    );
+    println!("  full stream: {}", jsonl_path.display());
+    let chrome = tracer.to_chrome_trace();
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(chrome.as_bytes()))
+        .unwrap_or_else(|e| {
+            eprintln!("campaign: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        });
+    println!("  chrome trace: {} (open in Perfetto)", path.display());
+    println!();
+    println!("per-link metrics, hottest first (cycles={}):", rep.cycles);
+    print!("{}", viz::link_metrics_table(sim.metrics(), rep.cycles, 12));
+    println!();
+    println!("retransmission heatmap (trojan on the 5->9 hop):");
+    print!("{}", viz::retx_heatmap(sim.mesh(), sim.metrics()));
 }

@@ -24,7 +24,10 @@
 
 use noc_sim::fault::StuckWires;
 use noc_sim::routing::{xy_direction, xy_path, Routing};
-use noc_sim::{SimConfig, SimError, Simulator, StallReport, TrafficSource, WatchdogConfig};
+use noc_sim::{
+    SimConfig, SimError, Simulator, StallReport, TraceConfig, TraceSink, TrafficSource,
+    WatchdogConfig,
+};
 use noc_traffic::{Pattern, SyntheticTraffic};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
 use noc_types::{LinkId, NodeId};
@@ -396,6 +399,33 @@ pub fn link_death_revival(seed: u64) -> ScenarioReport {
 /// quarantines the blamed link, traffic reroutes, and the run drains
 /// with every flit accounted for.
 pub fn trojan_flood(seed: u64) -> ScenarioReport {
+    trojan_flood_run(seed, None, None).0
+}
+
+/// [`trojan_flood`] with the structured tracer armed: returns the report
+/// plus the drained simulator so callers can query forensics
+/// ([`Simulator::packet_history`], [`Simulator::link_timeline`]), read
+/// the [`noc_sim::MetricsRegistry`], and export the trace.
+pub fn trojan_flood_traced(seed: u64, trace: TraceConfig) -> (ScenarioReport, Simulator) {
+    trojan_flood_run(seed, Some(trace), None)
+}
+
+/// [`trojan_flood_traced`] streaming every event through `sink` as it is
+/// emitted (so a file sink sees the full history even after the bounded
+/// ring wraps). The sink is flushed/closed before this returns.
+pub fn trojan_flood_traced_with_sink(
+    seed: u64,
+    trace: TraceConfig,
+    sink: Box<dyn TraceSink>,
+) -> (ScenarioReport, Simulator) {
+    trojan_flood_run(seed, Some(trace), Some(sink))
+}
+
+fn trojan_flood_run(
+    seed: u64,
+    trace: Option<TraceConfig>,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (ScenarioReport, Simulator) {
     let mut cfg = SimConfig::paper_unprotected();
     cfg.watchdog = Some(WatchdogConfig {
         retx_attempt_limit: 24,
@@ -403,7 +433,11 @@ pub fn trojan_flood(seed: u64) -> ScenarioReport {
         global_stall_cycles: 1500,
     });
     cfg.check_invariants_every = Some(64);
+    cfg.trace = trace;
     let mut sim = Simulator::new(cfg);
+    if let Some(sink) = sink {
+        sim.set_trace_sink(sink);
+    }
     let mesh = sim.mesh().clone();
     let victim_dest = NodeId(9);
     let hot = hop(&sim, NodeId(5), victim_dest);
@@ -434,7 +468,10 @@ pub fn trojan_flood(seed: u64) -> ScenarioReport {
         rep.quarantined_links >= 1,
         "the diagnosis must lead to a quarantine"
     );
-    rep
+    if let Some(t) = sim.tracer_mut() {
+        t.close_sink();
+    }
+    (rep, sim)
 }
 
 /// Run every scenario on seeds derived from `seed`. Each scenario panics
@@ -466,6 +503,34 @@ mod tests {
             "quarantine purges are explicit drops"
         );
         assert_eq!(rep.injected_flits, rep.delivered_flits + rep.dropped_flits);
+    }
+
+    #[test]
+    fn traced_flood_matches_untraced_and_blames_the_trojan_link() {
+        let seed = CAMPAIGN_SEED.wrapping_add(5);
+        let plain = trojan_flood(seed);
+        // A flood-to-quiescence run emits more than the default 64k ring
+        // holds; size the ring to keep the whole history for forensics.
+        let (traced, sim) = trojan_flood_traced(seed, TraceConfig { capacity: 1 << 21 });
+        // Tracing is observation-only: the report is bit-identical.
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.injected_flits, traced.injected_flits);
+        assert_eq!(plain.delivered_flits, traced.delivered_flits);
+        assert_eq!(plain.dropped_flits, traced.dropped_flits);
+        assert_eq!(plain.stalls, traced.stalls);
+        // The metrics registry names the infected link as the retx leader.
+        let hot = hop(&sim, NodeId(5), NodeId(9));
+        let (leader, retx) = sim.metrics().max_retx_link().unwrap();
+        assert_eq!(leader, hot, "trojan link must top the retx table");
+        assert!(retx > 0);
+        // The forensic timeline of that link saw faults and a quarantine.
+        let timeline = sim.link_timeline(hot);
+        assert!(timeline
+            .iter()
+            .any(|r| matches!(r.kind, noc_sim::TraceKind::EccDetected { .. })));
+        assert!(timeline
+            .iter()
+            .any(|r| matches!(r.kind, noc_sim::TraceKind::LinkQuarantined { .. })));
     }
 
     #[test]

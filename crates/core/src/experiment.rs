@@ -2,7 +2,7 @@
 //! collect the numbers the figures need.
 
 use crate::scenario::Scenario;
-use noc_sim::{SimEvent, SimStats, Simulator};
+use noc_sim::{MetricsRegistry, Record, SimEvent, SimStats, Simulator};
 
 /// Everything a figure harness needs from one run.
 #[derive(Debug, Clone)]
@@ -18,6 +18,11 @@ pub struct RunResult {
     pub drained: bool,
     /// Events the run emitted.
     pub events: Vec<SimEvent>,
+    /// Per-link / per-router metrics (always collected).
+    pub metrics: MetricsRegistry,
+    /// Structured trace records (empty unless the scenario armed
+    /// [`Scenario::trace`]; bounded by the configured ring capacity).
+    pub trace: Vec<Record>,
 }
 
 impl RunResult {
@@ -75,12 +80,21 @@ fn finish(mut sim: Simulator) -> RunResult {
             _ => None,
         })
         .max();
+    let trace = sim
+        .tracer_mut()
+        .map(|t| {
+            t.close_sink();
+            t.take_records()
+        })
+        .unwrap_or_default();
     RunResult {
         stats: sim.stats().clone(),
         cycles,
         completion,
         drained,
         events,
+        metrics: sim.metrics().clone(),
+        trace,
     }
 }
 
@@ -157,6 +171,8 @@ mod tests {
             completion: Some(50),
             drained: false,
             events: Vec::new(),
+            metrics: MetricsRegistry::default(),
+            trace: Vec::new(),
         };
         assert_eq!(r.completion_or_cap(999), 999);
     }

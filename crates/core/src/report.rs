@@ -128,6 +128,27 @@ pub fn run_result_json(label: &str, r: &RunResult) -> String {
                         Json::u64(s.routers_half_cores_full as u64),
                     ),
                     ("blocked", Json::u64(s.routers_blocked_port as u64)),
+                    ("delivered_delta", Json::u64(s.delivered_flits)),
+                    ("retx_delta", Json::u64(s.retransmissions)),
+                    ("uncorrectable_delta", Json::u64(s.uncorrectable_faults)),
+                ])
+            })
+            .collect(),
+    );
+    let links = Json::Arr(
+        r.metrics
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                Json::obj(vec![
+                    ("link", Json::u64(i as u64)),
+                    ("flits", Json::u64(l.flits.get())),
+                    ("retx", Json::u64(l.retransmissions.get())),
+                    ("ecc_corrected", Json::u64(l.ecc_corrected.get())),
+                    ("ecc_uncorrectable", Json::u64(l.ecc_uncorrectable.get())),
+                    ("nacks", Json::u64(l.nacks.get())),
+                    ("lob_selections", Json::u64(l.lob_selections.get())),
                 ])
             })
             .collect(),
@@ -146,6 +167,8 @@ pub fn run_result_json(label: &str, r: &RunResult) -> String {
             Json::u64(r.stats.uncorrectable_faults),
         ),
         ("bist_scans", Json::u64(r.stats.bist_scans)),
+        ("trace_events", Json::u64(r.trace.len() as u64)),
+        ("links", links),
         ("snapshots", snapshots),
     ])
     .to_string()
@@ -154,7 +177,7 @@ pub fn run_result_json(label: &str, r: &RunResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_sim::SimStats;
+    use noc_sim::{MetricsRegistry, SimStats};
 
     #[test]
     fn json_escaping_and_shapes() {
@@ -186,12 +209,16 @@ mod tests {
             completion: None,
             drained: true,
             events: Vec::new(),
+            metrics: MetricsRegistry::new(2, 1),
+            trace: Vec::new(),
         };
         let s = run_result_json("smoke", &r);
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains(r#""label":"smoke""#));
         assert!(s.contains(r#""drained":true"#));
         assert!(s.contains(r#""snapshots":[]"#));
+        assert!(s.contains(r#""trace_events":0"#));
+        assert!(s.contains(r#""link":1"#), "per-link table exported: {s}");
         // Balanced braces/brackets (cheap well-formedness check).
         let depth = s.chars().fold(0i32, |d, c| match c {
             '{' | '[' => d + 1,

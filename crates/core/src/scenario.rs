@@ -3,7 +3,7 @@
 
 use crate::e2e::E2eObfuscation;
 use crate::reroute;
-use noc_sim::{QosMode, RetxScheme, SimConfig, Simulator, TrafficSource};
+use noc_sim::{QosMode, RetxScheme, SimConfig, Simulator, TraceConfig, TrafficSource};
 use noc_traffic::{AppModel, AppSpec};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
 use noc_types::{LinkId, Mesh};
@@ -68,6 +68,8 @@ pub struct Scenario {
     pub snapshot_interval: u64,
     /// Restrict the workload's packets to these VCs (TDM domain pinning).
     pub vcs: Vec<u8>,
+    /// Arm the structured event tracer (`None`: zero-cost disabled).
+    pub trace: Option<TraceConfig>,
 }
 
 impl Scenario {
@@ -88,6 +90,7 @@ impl Scenario {
             max_cycles: 20_000,
             snapshot_interval: 10,
             vcs: Vec::new(),
+            trace: None,
         }
     }
 
@@ -103,10 +106,17 @@ impl Scenario {
         self
     }
 
+    /// Arm structured tracing for the run (forensics / export).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// The simulator configuration this strategy implies.
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::paper();
         cfg.snapshot_interval = self.snapshot_interval;
+        cfg.trace = self.trace;
         match &self.strategy {
             Strategy::Unprotected | Strategy::E2eObfuscation | Strategy::Reroute => {
                 cfg.mitigation = false;

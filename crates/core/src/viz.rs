@@ -2,7 +2,7 @@
 //! link-utilisation picture of Fig. 1(b)/(c), rendered as text grids so
 //! examples and the CLI can show *where* an attack is biting.
 
-use noc_sim::Snapshot;
+use noc_sim::{MetricsRegistry, Snapshot};
 use noc_types::{Coord, Direction, Mesh, NodeId};
 
 /// Map an intensity in `[0, 1]` to a heat glyph.
@@ -87,6 +87,58 @@ pub fn link_grid(mesh: &Mesh, shares: &[f64]) -> String {
     out
 }
 
+/// Render the per-link retransmission picture from the metrics registry
+/// as a mesh diagram — the forensic "where is the trojan" view.
+pub fn retx_heatmap(mesh: &Mesh, metrics: &MetricsRegistry) -> String {
+    let shares: Vec<f64> = metrics
+        .links()
+        .iter()
+        .map(|l| l.retransmissions.get() as f64)
+        .collect();
+    link_grid(mesh, &shares)
+}
+
+/// Render per-router ejected-flit load from the metrics registry.
+pub fn ejection_heatmap(mesh: &Mesh, metrics: &MetricsRegistry) -> String {
+    let values: Vec<f64> = metrics
+        .routers()
+        .iter()
+        .map(|r| r.ejected_flits.get() as f64)
+        .collect();
+    let peak = values.iter().cloned().fold(0.0f64, f64::max);
+    router_grid(mesh, &values, peak)
+}
+
+/// Human-readable per-link metrics table, hottest (most retransmitted)
+/// links first; links with no traffic are omitted. `top` caps the rows.
+pub fn link_metrics_table(metrics: &MetricsRegistry, elapsed: u64, top: usize) -> String {
+    let mut rows: Vec<(usize, u64)> = metrics
+        .links()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.flits.get() > 0)
+        .map(|(i, l)| (i, l.retransmissions.get()))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut out =
+        String::from("  link   flits    util    retx  ecc_cor  ecc_unc   nacks     lob\n");
+    for (i, _) in rows.into_iter().take(top) {
+        let l = metrics.link(noc_types::LinkId(i as u16));
+        out.push_str(&format!(
+            "  {:>4}  {:>6}  {:>5.1}%  {:>6}  {:>7}  {:>7}  {:>6}  {:>6}\n",
+            i,
+            l.flits.get(),
+            l.utilization(elapsed) * 100.0,
+            l.retransmissions.get(),
+            l.ecc_corrected.get(),
+            l.ecc_uncorrectable.get(),
+            l.nacks.get(),
+            l.lob_selections.get(),
+        ));
+    }
+    out
+}
+
 /// Summarise one snapshot as a one-line status string.
 pub fn snapshot_line(s: &Snapshot) -> String {
     format!(
@@ -143,6 +195,27 @@ mod tests {
     }
 
     #[test]
+    fn metrics_renderers_show_the_hot_link() {
+        use noc_sim::MetricsRegistry;
+        use noc_types::LinkId;
+        let mesh = Mesh::paper();
+        let mut m = MetricsRegistry::new(mesh.links(), mesh.routers());
+        m.link_mut(LinkId(0)).flits.add(100);
+        m.link_mut(LinkId(0)).retransmissions.add(40);
+        m.link_mut(LinkId(5)).flits.add(10);
+        let table = link_metrics_table(&m, 1000, 8);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + the two active links:\n{table}");
+        assert!(lines[1].trim_start().starts_with('0'), "hottest first");
+        // One direction of the pair is hot, so the pair glyph sits at
+        // half intensity ('='), every other link stays blank.
+        let map = retx_heatmap(&mesh, &m);
+        assert!(map.contains("(0)==(1)"), "hot link rendered:\n{map}");
+        let ej = ejection_heatmap(&mesh, &m);
+        assert_eq!(ej.lines().count(), 4);
+    }
+
+    #[test]
     fn snapshot_line_contains_all_series() {
         let s = Snapshot {
             cycle: 42,
@@ -152,6 +225,9 @@ mod tests {
             routers_all_cores_full: 0,
             routers_half_cores_full: 5,
             routers_blocked_port: 6,
+            delivered_flits: 0,
+            retransmissions: 0,
+            uncorrectable_faults: 0,
         };
         let line = snapshot_line(&s);
         for needle in ["42", "blocked  6/16", "dead  5/16"] {

@@ -136,6 +136,44 @@ impl LobPlan {
         },
     ];
 
+    /// Stable machine-readable label, `method:granularity` (e.g.
+    /// `rotate13:header`) — used by the trace JSONL schema.
+    pub fn label(self) -> String {
+        let method = match self.method {
+            ObfuscationMethod::Invert => "invert".to_string(),
+            ObfuscationMethod::Rotate(k) => format!("rotate{k}"),
+            ObfuscationMethod::Scramble => "scramble".to_string(),
+            ObfuscationMethod::Reorder => "reorder".to_string(),
+        };
+        let gran = match self.granularity {
+            Granularity::Full => "full",
+            Granularity::Header => "header",
+            Granularity::Payload => "payload",
+        };
+        format!("{method}:{gran}")
+    }
+
+    /// Parse a [`LobPlan::label`] back.
+    pub fn from_label(s: &str) -> Option<LobPlan> {
+        let (method, gran) = s.split_once(':')?;
+        let method = match method {
+            "invert" => ObfuscationMethod::Invert,
+            "scramble" => ObfuscationMethod::Scramble,
+            "reorder" => ObfuscationMethod::Reorder,
+            _ => ObfuscationMethod::Rotate(method.strip_prefix("rotate")?.parse().ok()?),
+        };
+        let granularity = match gran {
+            "full" => Granularity::Full,
+            "header" => Granularity::Header,
+            "payload" => Granularity::Payload,
+            _ => return None,
+        };
+        Some(LobPlan {
+            method,
+            granularity,
+        })
+    }
+
     /// Apply the transform. `key` is the partner word for `Scramble` and is
     /// ignored otherwise.
     pub fn apply(self, word: u64, key: u64) -> u64 {

@@ -28,6 +28,23 @@ pub enum QosMode {
     },
 }
 
+/// Structured-tracing configuration (see [`crate::trace`]). Absent from
+/// the config (`SimConfig::trace = None`), the simulator holds no
+/// recorder and every emission site reduces to one `Option` test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in records; the oldest record is evicted
+    /// (and counted) once the buffer is full. Sinks attached via
+    /// [`crate::Simulator::set_trace_sink`] still see the full stream.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { capacity: 65536 }
+    }
+}
+
 /// Full simulator configuration. `SimConfig::paper()` reproduces the
 /// evaluation platform of the paper exactly.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +93,9 @@ pub struct SimConfig {
     /// Arm the deadlock/livelock watchdog for guarded runs. `None` keeps
     /// the legacy spin-until-budget behaviour.
     pub watchdog: Option<WatchdogConfig>,
+    /// Arm the structured event tracer ([`crate::trace`]). `None` (the
+    /// default) records nothing and perturbs nothing.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimConfig {
@@ -98,6 +118,7 @@ impl SimConfig {
             retry_budget: None,
             check_invariants_every: None,
             watchdog: None,
+            trace: None,
         }
     }
 

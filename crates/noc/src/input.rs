@@ -131,6 +131,9 @@ pub struct InputUnit {
     /// Last fault classification reported for the guarded link (event
     /// deduplication).
     pub reported_class: noc_mitigation::FaultClass,
+    /// Deepest total buffer occupancy this unit ever reached (flits),
+    /// maintained by `Router::buffer_write` for the metrics registry.
+    pub occupancy_high_water: u64,
 }
 
 /// How many partner words to remember for descrambling.
@@ -148,6 +151,7 @@ impl InputUnit {
             seen_order: VecDeque::new(),
             next_order: 0,
             reported_class: noc_mitigation::FaultClass::None,
+            occupancy_high_water: 0,
         }
     }
 

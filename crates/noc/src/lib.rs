@@ -39,17 +39,21 @@ pub mod input;
 pub mod invariants;
 pub mod link;
 pub mod message;
+pub mod metrics;
 pub mod output;
 pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod stats;
+pub mod trace;
 pub mod watchdog;
 
-pub use config::{QosMode, RetxScheme, SimConfig};
+pub use config::{QosMode, RetxScheme, SimConfig, TraceConfig};
 pub use error::SimError;
 pub use fault::LinkFaults;
 pub use message::SimEvent;
+pub use metrics::{LinkMetrics, MetricsRegistry, RouterMetrics};
 pub use sim::{Simulator, TrafficSource};
 pub use stats::{SimStats, Snapshot};
+pub use trace::{ChannelSink, JsonlSink, Record, TraceKind, TraceRecorder, TraceSink};
 pub use watchdog::{StallKind, StallReport, WatchdogConfig};

@@ -44,6 +44,16 @@ impl LinkWire {
         self.in_flight.is_none()
     }
 
+    /// Fraction of `elapsed` cycles the wire spent occupied: each carried
+    /// flit holds it for [`LT_CYCLES`].
+    pub fn utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            (self.flits_carried * LT_CYCLES) as f64 / elapsed as f64
+        }
+    }
+
     /// The flit currently crossing, if any (quarantine victim scan).
     pub fn in_flight(&self) -> Option<&LinkFlit> {
         self.in_flight.as_ref().map(|(_, lf)| lf)

@@ -141,6 +141,8 @@ impl Router {
             ivc.since = cycle;
         }
         ivc.fifo.push_back(flit);
+        let occ = unit.occupancy() as u64;
+        unit.occupancy_high_water = unit.occupancy_high_water.max(occ);
     }
 
     /// RC: compute routes for VCs that buffered a head last cycle. With an
@@ -384,6 +386,17 @@ impl Router {
     /// Total network-input buffer occupancy (Fig. 11 input utilisation).
     pub fn network_input_occupancy(&self) -> usize {
         (0..4).map(|d| self.inputs[d].occupancy()).sum()
+    }
+
+    /// Deepest any single input unit (network or local) has ever been,
+    /// in flits — the buffer-occupancy high-water mark for the metrics
+    /// registry.
+    pub fn input_high_water(&self) -> u64 {
+        self.inputs
+            .iter()
+            .map(|u| u.occupancy_high_water)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total retransmission-buffer occupancy (output utilisation).

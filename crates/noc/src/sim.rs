@@ -5,14 +5,28 @@ use crate::error::SimError;
 use crate::fault::LinkFaults;
 use crate::link::LinkWire;
 use crate::message::{AckKind, AckMsg, LinkFlit, SimEvent, TraceEvent, TraceOutcome};
+use crate::metrics::MetricsRegistry;
 use crate::router::{CreditSite, Router};
 use crate::routing::Routing;
 use crate::stats::{SimStats, Snapshot};
+use crate::trace::{Record, TraceKind, TraceRecorder, TraceSink};
 use crate::watchdog::{StallKind, StallReport};
 use noc_ecc::{Decode, Secded};
 use noc_mitigation::{Bist, DetectorAction};
 use noc_types::{Direction, Flit, FlitId, LinkId, Mesh, NodeId, Packet, PacketId, Port, VcId};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Record a structured trace event iff tracing is armed. Expands to a
+/// single `Option` test on the disabled path and borrows only the
+/// `tracer` field, so it is legal while `routers`/`links`/`metrics` are
+/// mutably borrowed.
+macro_rules! emit {
+    ($sim:expr, $cycle:expr, $kind:expr) => {
+        if let Some(t) = $sim.tracer.as_mut() {
+            t.record($cycle, $kind);
+        }
+    };
+}
 
 /// Anything that injects packets into the network.
 pub trait TrafficSource {
@@ -99,6 +113,15 @@ pub struct Simulator {
     /// (quarantine, trip) re-arms the detectors instead of re-tripping on
     /// survivors that inherited old timestamps.
     watchdog_armed_at: u64,
+    /// Per-link / per-router counters, gauges, and histograms.
+    metrics: MetricsRegistry,
+    /// Structured event recorder, armed by `cfg.trace`. `None` when
+    /// tracing is disabled — the zero-cost path.
+    tracer: Option<TraceRecorder>,
+    /// Aggregate counter values at the previous snapshot (delivered
+    /// flits, retransmissions, uncorrectable faults), for the per-interval
+    /// deltas in [`Snapshot`].
+    snap_base: (u64, u64, u64),
 }
 
 impl Simulator {
@@ -114,6 +137,8 @@ impl Simulator {
             .collect();
         let cores = mesh.cores();
         let vcs = cfg.vcs as usize;
+        let metrics = MetricsRegistry::new(mesh.links(), mesh.routers());
+        let tracer = cfg.trace.map(TraceRecorder::new);
         Self {
             cfg,
             mesh,
@@ -134,6 +159,9 @@ impl Simulator {
             pending_quarantine: Vec::new(),
             poisoned: None,
             watchdog_armed_at: 0,
+            metrics,
+            tracer,
+            snap_base: (0, 0, 0),
         }
     }
 
@@ -210,15 +238,62 @@ impl Simulator {
         std::mem::take(&mut self.events)
     }
 
-    /// Clear measurement counters (keep time series and link counts): call
-    /// after a warm-up phase so averages reflect only the steady state.
+    /// Clear measurement counters (keep the time series): call after a
+    /// warm-up phase so averages reflect only the steady state.
     pub fn reset_measurement(&mut self) {
         self.stats.reset_measurement();
+        self.snap_base = (0, 0, 0);
     }
 
     /// The traced packet's journey so far (`cfg.trace_packet`).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
+    }
+
+    /// The per-link / per-router metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The structured event recorder, when tracing is armed (`cfg.trace`).
+    pub fn tracer(&self) -> Option<&TraceRecorder> {
+        self.tracer.as_ref()
+    }
+
+    /// Mutable access to the recorder (drain records, close sinks).
+    pub fn tracer_mut(&mut self) -> Option<&mut TraceRecorder> {
+        self.tracer.as_mut()
+    }
+
+    /// Attach a sink that receives every future trace record as it is
+    /// emitted. Returns false (and drops the sink) when tracing is
+    /// disabled.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> bool {
+        match self.tracer.as_mut() {
+            Some(t) => {
+                t.set_sink(sink);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Forensics: every buffered trace record about `packet`, in order
+    /// (empty when tracing is disabled).
+    pub fn packet_history(&self, packet: PacketId) -> Vec<Record> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.packet_history(packet))
+            .unwrap_or_default()
+    }
+
+    /// Forensics: every buffered trace record about `link`, in order
+    /// (empty when tracing is disabled).
+    pub fn link_timeline(&self, link: LinkId) -> Vec<Record> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.link_timeline(link))
+            .unwrap_or_default()
     }
 
     /// Audit every router against the flow-control/wormhole invariants
@@ -330,6 +405,20 @@ impl Simulator {
         }
         if let Some(report) = self.check_watchdog() {
             self.watchdog_armed_at = self.cycle;
+            let (router, dir) = match report.culprit() {
+                Some((r, d)) => (Some(r), Some(d)),
+                None => (None, None),
+            };
+            let cycle = self.cycle;
+            emit!(
+                self,
+                cycle,
+                TraceKind::WatchdogTripped {
+                    class: report.kind.into(),
+                    router,
+                    dir,
+                }
+            );
             self.events.push(SimEvent::WatchdogTripped { report });
             return Err(SimError::Stalled(report));
         }
@@ -383,8 +472,32 @@ impl Simulator {
     fn handle_arrival(&mut self, now: u64, link: LinkId, dst: NodeId, in_port: Port, lf: LinkFlit) {
         let decode = Secded::decode(lf.codeword);
         match decode {
-            Decode::Corrected { .. } => self.stats.corrected_faults += 1,
-            Decode::Uncorrectable { .. } => self.stats.uncorrectable_faults += 1,
+            Decode::Corrected { .. } => {
+                self.stats.corrected_faults += 1;
+                self.metrics.link_mut(link).ecc_corrected.inc();
+                emit!(
+                    self,
+                    now,
+                    TraceKind::EccCorrected {
+                        flit: lf.flit.id,
+                        packet: lf.flit.packet,
+                        link,
+                    }
+                );
+            }
+            Decode::Uncorrectable { .. } => {
+                self.stats.uncorrectable_faults += 1;
+                self.metrics.link_mut(link).ecc_uncorrectable.inc();
+                emit!(
+                    self,
+                    now,
+                    TraceKind::EccDetected {
+                        flit: lf.flit.id,
+                        packet: lf.flit.packet,
+                        link,
+                    }
+                );
+            }
             Decode::Clean { .. } => {}
         }
         let key = (lf.flit.packet, lf.flit.seq);
@@ -465,6 +578,16 @@ impl Simulator {
                     outcome,
                 });
             }
+            emit!(
+                self,
+                now,
+                TraceKind::FlitAccepted {
+                    flit: lf.flit.id,
+                    packet: lf.flit.packet,
+                    link,
+                    obfuscated: lf.obf.is_some(),
+                }
+            );
             let obf_success = lf.obf.map(|o| o.plan);
             self.links[link.index()].send_ack(
                 now,
@@ -488,6 +611,17 @@ impl Simulator {
                     },
                 });
             }
+            self.metrics.link_mut(link).nacks.inc();
+            emit!(
+                self,
+                now,
+                TraceKind::FlitNacked {
+                    flit: lf.flit.id,
+                    packet: lf.flit.packet,
+                    link,
+                    lob_requested: lob_attempt.is_some(),
+                }
+            );
             self.links[link.index()].send_ack(
                 now,
                 AckMsg {
@@ -500,6 +634,15 @@ impl Simulator {
         if verdict.run_bist && mitigation {
             let report = Bist::scan(&mut self.links[link.index()].faults);
             self.stats.bist_scans += 1;
+            self.metrics.link_mut(link).bist_scans.inc();
+            emit!(
+                self,
+                now,
+                TraceKind::BistScan {
+                    link,
+                    passed: report.passed(),
+                }
+            );
             let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
             unit.detector.on_bist_result(report.passed());
             self.events.push(SimEvent::BistRan {
@@ -515,6 +658,7 @@ impl Simulator {
             let class = unit.detector.link_class();
             if class != unit.reported_class {
                 unit.reported_class = class;
+                emit!(self, now, TraceKind::LinkClassified { link, class });
                 self.events.push(SimEvent::LinkClassified {
                     link,
                     class,
@@ -583,11 +727,38 @@ impl Simulator {
             for ack in acks {
                 match ack.kind {
                     AckKind::Ack { obf_success } => {
-                        out.ack(ack.flit, obf_success, now);
+                        if let Some(entry) = out.ack(ack.flit, obf_success, now) {
+                            self.metrics
+                                .link_mut(link)
+                                .delivery_attempts
+                                .record(entry.attempts as u64);
+                        }
                     }
                     AckKind::Nack { lob_attempt } => {
                         out.nack(ack.flit, lob_attempt);
                         self.stats.retransmissions += 1;
+                        // A replay that just had an L-Ob plan attached is a
+                        // method selection: record it for the forensics
+                        // timeline and the per-link counters.
+                        if lob_attempt.is_some() {
+                            if let Some(e) = out.entries.iter().find(|e| e.flit.id == ack.flit) {
+                                if let Some(ow) = e.obf {
+                                    let (flit, packet) = (e.flit.id, e.flit.packet);
+                                    self.metrics.link_mut(link).lob_selections.inc();
+                                    emit!(
+                                        self,
+                                        now,
+                                        TraceKind::LobSelected {
+                                            flit,
+                                            packet,
+                                            link,
+                                            plan: ow.plan,
+                                            attempt: ow.attempt,
+                                        }
+                                    );
+                                }
+                            }
+                        }
                         let Some(budget) = budget else {
                             continue;
                         };
@@ -617,6 +788,16 @@ impl Simulator {
                             && out.force_obfuscate(idx).is_some()
                         {
                             self.stats.budget_escalations += 1;
+                            self.metrics.link_mut(link).lob_selections.inc();
+                            emit!(
+                                self,
+                                now,
+                                TraceKind::LobEscalated {
+                                    flit: ack.flit,
+                                    link,
+                                    attempts,
+                                }
+                            );
                             self.events.push(SimEvent::RetryBudgetEscalated {
                                 link,
                                 flit: ack.flit,
@@ -671,6 +852,22 @@ impl Simulator {
                 }
             };
             out.mark_sent(idx, now);
+            let attempt = out.entries[idx].attempts;
+            self.metrics.link_mut(link).flits.inc();
+            if attempt > 1 {
+                self.metrics.link_mut(link).retransmissions.inc();
+            }
+            emit!(
+                self,
+                now,
+                TraceKind::FlitLaunched {
+                    flit: entry_flit.id,
+                    packet: entry_flit.packet,
+                    link,
+                    attempt,
+                    obf: obf.map(|o| o.plan),
+                }
+            );
             if self.cfg.trace_packet == Some(entry_flit.packet) {
                 self.trace.push(TraceEvent::Launched {
                     cycle: now,
@@ -708,6 +905,16 @@ impl Simulator {
                         router: NodeId(r as u8),
                     });
                 }
+                self.metrics.router_mut(NodeId(r as u8)).ejected_flits.inc();
+                emit!(
+                    self,
+                    now,
+                    TraceKind::FlitEjected {
+                        flit: ej.flit.id,
+                        packet: ej.flit.packet,
+                        router: NodeId(r as u8),
+                    }
+                );
                 self.stats.delivered_flits += 1;
                 if ej.flit.kind.closes_packet() {
                     self.stats.delivered_packets += 1;
@@ -779,6 +986,20 @@ impl Simulator {
                     });
                 }
             }
+            if self.tracer.is_some() {
+                for f in &flits {
+                    let (flit, packet) = (f.id, f.packet);
+                    emit!(
+                        self,
+                        now,
+                        TraceKind::FlitInjected {
+                            flit,
+                            packet,
+                            core: core as u16,
+                        }
+                    );
+                }
+            }
             self.inj_queues[core * vcs + pkt.vc.index()].extend(flits);
         }
         self.poll_buf = packets;
@@ -788,12 +1009,15 @@ impl Simulator {
             let router = core / conc as usize;
             let port = Port::Local((core % conc as usize) as u8);
             let start = self.inj_rr[core] as usize;
+            let mut admitted = false;
+            let mut waiting = false;
             for off in 0..vcs {
                 let v = (start + off) % vcs;
                 let q = core * vcs + v;
                 let Some(f) = self.inj_queues[q].front().copied() else {
                     continue;
                 };
+                waiting = true;
                 let vc = f.header.vc;
                 debug_assert_eq!(vc.index(), v);
                 let unit = &self.routers[router].inputs[port.index()];
@@ -813,8 +1037,17 @@ impl Simulator {
                     self.routers[router].buffer_write(port, vc, f, now);
                     self.inj_rr[core] = ((v + 1) % vcs) as u8;
                     self.last_progress_cycle = now;
+                    admitted = true;
                     break;
                 }
+            }
+            // A core with a flit waiting and no VC able to admit it spent
+            // this cycle stalled at the injection port.
+            if waiting && !admitted {
+                self.metrics
+                    .router_mut(NodeId(router as u8))
+                    .injection_stalls
+                    .inc();
             }
         }
     }
@@ -940,8 +1173,17 @@ impl Simulator {
         }
         // Kill the link first so nothing launches onto it mid-purge.
         self.dead_links.push(link);
-        let (flits, packets) = self.purge_packets(&victims);
+        let (flits, packets) = self.purge_packets(&victims, link);
         self.stats.quarantined_links += 1;
+        emit!(
+            self,
+            now,
+            TraceKind::LinkQuarantined {
+                link,
+                dropped_flits: flits,
+                dropped_packets: packets,
+            }
+        );
         self.events.push(SimEvent::LinkQuarantined {
             link,
             dropped_packets: packets,
@@ -968,8 +1210,9 @@ impl Simulator {
     /// credit books so the flow-control invariants still hold afterwards.
     /// Returns `(flits, packets)` explicitly dropped (counted once per
     /// unique flit; an in-flight wire copy duplicates its retransmission
-    /// entry and is not double-counted).
-    fn purge_packets(&mut self, victims: &HashSet<PacketId>) -> (u64, u64) {
+    /// entry and is not double-counted). `link` names the quarantined
+    /// link for the trace records.
+    fn purge_packets(&mut self, victims: &HashSet<PacketId>, link: LinkId) -> (u64, u64) {
         if victims.is_empty() {
             return (0, 0);
         }
@@ -1029,6 +1272,7 @@ impl Simulator {
         for pid in victims {
             if self.birth.remove(pid).is_some() {
                 packets += 1;
+                emit!(self, now, TraceKind::PacketDropped { packet: *pid, link });
             }
         }
         self.stats.dropped_flits += flits;
@@ -1063,6 +1307,22 @@ impl Simulator {
                 blocked += 1;
             }
         }
+        // Sample the per-router occupancy gauges alongside the snapshot.
+        for r in 0..self.routers.len() {
+            let input = self.routers[r].network_input_occupancy() as u64;
+            let output = self.routers[r].output_occupancy() as u64;
+            let deepest = self.routers[r].input_high_water();
+            let rm = self.metrics.router_mut(NodeId(r as u8));
+            rm.input_occupancy.observe(input);
+            rm.retx_occupancy.observe(output);
+            rm.buffer_high_water = deepest;
+        }
+        let (d0, r0, u0) = self.snap_base;
+        self.snap_base = (
+            self.stats.delivered_flits,
+            self.stats.retransmissions,
+            self.stats.uncorrectable_faults,
+        );
         self.stats.snapshots.push(Snapshot {
             cycle: now,
             input_util: self
@@ -1075,8 +1335,10 @@ impl Simulator {
             routers_all_cores_full: all_full,
             routers_half_cores_full: half_full,
             routers_blocked_port: blocked,
+            delivered_flits: self.stats.delivered_flits - d0,
+            retransmissions: self.stats.retransmissions - r0,
+            uncorrectable_faults: self.stats.uncorrectable_faults - u0,
         });
-        self.stats.link_flits = self.links.iter().map(|l| l.flits_carried).collect();
     }
 }
 

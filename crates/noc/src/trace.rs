@@ -1,0 +1,1015 @@
+//! Structured event tracing: a zero-cost-when-disabled event bus over the
+//! whole flit lifecycle, with a bounded ring-buffer recorder, pluggable
+//! sinks, and the forensics queries the paper's threat analysis reasons
+//! over.
+//!
+//! # Event taxonomy
+//!
+//! [`TraceKind`] covers three layers of the stack:
+//!
+//! * **flit lifecycle** — inject, link launch (with any L-Ob plan on the
+//!   wire), ECC correct/detect at ingress, accept/NACK verdicts,
+//!   ejection, and explicit quarantine drops;
+//! * **mitigation** — detector classification changes, L-Ob method
+//!   selections and retry-budget escalations, BIST scans;
+//! * **resilience** — watchdog verdicts and link quarantines.
+//!
+//! # Recording discipline
+//!
+//! Tracing is armed by [`TraceConfig`] on the simulator configuration.
+//! When disarmed the simulator holds no recorder and every emission site
+//! is a single `Option` test — no event is constructed, so statistics are
+//! bit-identical with tracing on or off. When armed, records land in a
+//! bounded ring buffer (oldest evicted first, evictions counted) and are
+//! optionally forwarded to a [`TraceSink`] *before* buffering, so a JSONL
+//! file sink sees the complete stream even when the ring wraps.
+//!
+//! # Sinks and formats
+//!
+//! * in-memory: the ring buffer itself (tests, forensics queries), or a
+//!   [`ChannelSink`] for streaming assertions;
+//! * [`JsonlSink`]: one flat JSON object per line, schema-stable
+//!   (validated by the `trace_validate` binary);
+//! * [`chrome_trace`]: the Chrome `trace_event` JSON array format, so a
+//!   run opens directly in `chrome://tracing` or Perfetto.
+
+use crate::config::TraceConfig;
+use crate::watchdog::StallKind;
+use noc_mitigation::{FaultClass, LobPlan};
+use noc_types::{Direction, FlitId, LinkId, NodeId, PacketId};
+use std::collections::VecDeque;
+
+/// Which watchdog detector fired (the trace-side mirror of
+/// [`StallKind`], without the per-kind evidence payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallClass {
+    /// Nothing ejected network-wide while flits are resident.
+    GlobalDeadlock,
+    /// One output port aged out without delivery progress.
+    CreditStall,
+    /// One flit replayed past the attempt limit without an ACK.
+    RetxLivelock,
+}
+
+impl StallClass {
+    /// Stable machine-readable label (JSONL `kind` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            StallClass::GlobalDeadlock => "global_deadlock",
+            StallClass::CreditStall => "credit_stall",
+            StallClass::RetxLivelock => "retx_livelock",
+        }
+    }
+
+    /// Parse a [`StallClass::label`] back.
+    pub fn from_label(s: &str) -> Option<StallClass> {
+        match s {
+            "global_deadlock" => Some(StallClass::GlobalDeadlock),
+            "credit_stall" => Some(StallClass::CreditStall),
+            "retx_livelock" => Some(StallClass::RetxLivelock),
+            _ => None,
+        }
+    }
+}
+
+impl From<StallKind> for StallClass {
+    fn from(k: StallKind) -> Self {
+        match k {
+            StallKind::GlobalDeadlock { .. } => StallClass::GlobalDeadlock,
+            StallKind::CreditStall { .. } => StallClass::CreditStall,
+            StallKind::RetxLivelock { .. } => StallClass::RetxLivelock,
+        }
+    }
+}
+
+/// One structured simulator event (the payload of a [`Record`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A flit entered a core's injection queue.
+    FlitInjected {
+        /// The flit.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// Injecting core (global core index).
+        core: u16,
+    },
+    /// A flit was driven onto a link (first send or retransmission).
+    FlitLaunched {
+        /// The flit.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// The link it crossed.
+        link: LinkId,
+        /// Launch attempts so far, including this one (1 = first send).
+        attempt: u32,
+        /// L-Ob plan applied to the wire word, when obfuscated.
+        obf: Option<LobPlan>,
+    },
+    /// SECDED corrected a single-bit error at link ingress.
+    EccCorrected {
+        /// The flit.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// The faulty link.
+        link: LinkId,
+    },
+    /// SECDED detected an uncorrectable (multi-bit) error at ingress.
+    EccDetected {
+        /// The flit.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// The faulty link.
+        link: LinkId,
+    },
+    /// The receiver NACKed a flit (uncorrectable fault or ordering gap).
+    FlitNacked {
+        /// The flit.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// The link whose upstream must replay.
+        link: LinkId,
+        /// Whether the detector asked the upstream to obfuscate the replay.
+        lob_requested: bool,
+    },
+    /// The receiver accepted a flit into its input buffers.
+    FlitAccepted {
+        /// The flit.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// The link it arrived on.
+        link: LinkId,
+        /// Whether the flit crossed obfuscated (undo penalty applies).
+        obfuscated: bool,
+    },
+    /// A flit ejected to its destination core.
+    FlitEjected {
+        /// The flit.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// The delivering router.
+        router: NodeId,
+    },
+    /// A packet was explicitly dropped by a link quarantine purge.
+    PacketDropped {
+        /// The purged packet.
+        packet: PacketId,
+        /// The quarantined link it was committed to.
+        link: LinkId,
+    },
+    /// The threat detector changed its belief about a link.
+    LinkClassified {
+        /// The classified link.
+        link: LinkId,
+        /// The new fault class.
+        class: FaultClass,
+    },
+    /// The upstream L-Ob attached a plan to a NACKed flit's next send.
+    LobSelected {
+        /// The flit to be obfuscated.
+        flit: FlitId,
+        /// Its packet.
+        packet: PacketId,
+        /// The link the plan defends.
+        link: LinkId,
+        /// The selected method/granularity.
+        plan: LobPlan,
+        /// Position on the escalation ladder.
+        attempt: u32,
+    },
+    /// Retry-budget exhaustion forced obfuscation onto a stuck entry.
+    LobEscalated {
+        /// The stuck flit.
+        flit: FlitId,
+        /// The link it is stuck on.
+        link: LinkId,
+        /// Launch attempts at escalation time.
+        attempts: u32,
+    },
+    /// A BIST scan ran on a link.
+    BistScan {
+        /// The scanned link.
+        link: LinkId,
+        /// Whether the link passed (no stuck wires found).
+        passed: bool,
+    },
+    /// A watchdog detector fired.
+    WatchdogTripped {
+        /// Which detector fired.
+        class: StallClass,
+        /// Blamed router, when the stall names one.
+        router: Option<NodeId>,
+        /// Blamed output direction, when the stall names one.
+        dir: Option<Direction>,
+    },
+    /// A link was quarantined and its committed packets purged.
+    LinkQuarantined {
+        /// The quarantined link.
+        link: LinkId,
+        /// Flits explicitly dropped by the purge.
+        dropped_flits: u64,
+        /// Packets explicitly dropped by the purge.
+        dropped_packets: u64,
+    },
+}
+
+impl TraceKind {
+    /// Stable machine-readable event name (JSONL `event` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::FlitInjected { .. } => "flit_injected",
+            TraceKind::FlitLaunched { .. } => "flit_launched",
+            TraceKind::EccCorrected { .. } => "ecc_corrected",
+            TraceKind::EccDetected { .. } => "ecc_detected",
+            TraceKind::FlitNacked { .. } => "flit_nacked",
+            TraceKind::FlitAccepted { .. } => "flit_accepted",
+            TraceKind::FlitEjected { .. } => "flit_ejected",
+            TraceKind::PacketDropped { .. } => "packet_dropped",
+            TraceKind::LinkClassified { .. } => "link_classified",
+            TraceKind::LobSelected { .. } => "lob_selected",
+            TraceKind::LobEscalated { .. } => "lob_escalated",
+            TraceKind::BistScan { .. } => "bist_scan",
+            TraceKind::WatchdogTripped { .. } => "watchdog_tripped",
+            TraceKind::LinkQuarantined { .. } => "link_quarantined",
+        }
+    }
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Simulation cycle the event happened on.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+fn dir_label(d: Direction) -> &'static str {
+    match d {
+        Direction::East => "east",
+        Direction::West => "west",
+        Direction::North => "north",
+        Direction::South => "south",
+    }
+}
+
+fn dir_from_label(s: &str) -> Option<Direction> {
+    match s {
+        "east" => Some(Direction::East),
+        "west" => Some(Direction::West),
+        "north" => Some(Direction::North),
+        "south" => Some(Direction::South),
+        _ => None,
+    }
+}
+
+impl Record {
+    /// The packet this record concerns, when it names one.
+    pub fn packet(&self) -> Option<PacketId> {
+        match self.kind {
+            TraceKind::FlitInjected { packet, .. }
+            | TraceKind::FlitLaunched { packet, .. }
+            | TraceKind::EccCorrected { packet, .. }
+            | TraceKind::EccDetected { packet, .. }
+            | TraceKind::FlitNacked { packet, .. }
+            | TraceKind::FlitAccepted { packet, .. }
+            | TraceKind::FlitEjected { packet, .. }
+            | TraceKind::PacketDropped { packet, .. }
+            | TraceKind::LobSelected { packet, .. } => Some(packet),
+            _ => None,
+        }
+    }
+
+    /// The link this record concerns, when it names one.
+    pub fn link(&self) -> Option<LinkId> {
+        match self.kind {
+            TraceKind::FlitLaunched { link, .. }
+            | TraceKind::EccCorrected { link, .. }
+            | TraceKind::EccDetected { link, .. }
+            | TraceKind::FlitNacked { link, .. }
+            | TraceKind::FlitAccepted { link, .. }
+            | TraceKind::PacketDropped { link, .. }
+            | TraceKind::LinkClassified { link, .. }
+            | TraceKind::LobSelected { link, .. }
+            | TraceKind::LobEscalated { link, .. }
+            | TraceKind::BistScan { link, .. }
+            | TraceKind::LinkQuarantined { link, .. } => Some(link),
+            _ => None,
+        }
+    }
+
+    /// Serialise as one flat JSON object (the JSONL schema). Field order
+    /// is canonical: `cycle`, `event`, then event fields in declaration
+    /// order — [`Record::from_jsonl`] round-trips byte-identically.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!(
+            "{{\"cycle\":{},\"event\":\"{}\"",
+            self.cycle,
+            self.kind.label()
+        );
+        match self.kind {
+            TraceKind::FlitInjected { flit, packet, core } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"packet\":{},\"core\":{}",
+                    flit.0, packet.0, core
+                );
+            }
+            TraceKind::FlitLaunched {
+                flit,
+                packet,
+                link,
+                attempt,
+                obf,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"packet\":{},\"link\":{},\"attempt\":{attempt},\"obf\":",
+                    flit.0, packet.0, link.0
+                );
+                match obf {
+                    Some(plan) => {
+                        let _ = write!(s, "\"{}\"", plan.label());
+                    }
+                    None => s.push_str("null"),
+                }
+            }
+            TraceKind::EccCorrected { flit, packet, link }
+            | TraceKind::EccDetected { flit, packet, link } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"packet\":{},\"link\":{}",
+                    flit.0, packet.0, link.0
+                );
+            }
+            TraceKind::FlitNacked {
+                flit,
+                packet,
+                link,
+                lob_requested,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"packet\":{},\"link\":{},\"lob_requested\":{lob_requested}",
+                    flit.0, packet.0, link.0
+                );
+            }
+            TraceKind::FlitAccepted {
+                flit,
+                packet,
+                link,
+                obfuscated,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"packet\":{},\"link\":{},\"obfuscated\":{obfuscated}",
+                    flit.0, packet.0, link.0
+                );
+            }
+            TraceKind::FlitEjected {
+                flit,
+                packet,
+                router,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"packet\":{},\"router\":{}",
+                    flit.0, packet.0, router.0
+                );
+            }
+            TraceKind::PacketDropped { packet, link } => {
+                let _ = write!(s, ",\"packet\":{},\"link\":{}", packet.0, link.0);
+            }
+            TraceKind::LinkClassified { link, class } => {
+                let _ = write!(s, ",\"link\":{},\"class\":\"{}\"", link.0, class.label());
+            }
+            TraceKind::LobSelected {
+                flit,
+                packet,
+                link,
+                plan,
+                attempt,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"packet\":{},\"link\":{},\"plan\":\"{}\",\"attempt\":{attempt}",
+                    flit.0,
+                    packet.0,
+                    link.0,
+                    plan.label()
+                );
+            }
+            TraceKind::LobEscalated {
+                flit,
+                link,
+                attempts,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"flit\":{},\"link\":{},\"attempts\":{attempts}",
+                    flit.0, link.0
+                );
+            }
+            TraceKind::BistScan { link, passed } => {
+                let _ = write!(s, ",\"link\":{},\"passed\":{passed}", link.0);
+            }
+            TraceKind::WatchdogTripped { class, router, dir } => {
+                let _ = write!(s, ",\"kind\":\"{}\",\"router\":", class.label());
+                match router {
+                    Some(r) => {
+                        let _ = write!(s, "{}", r.0);
+                    }
+                    None => s.push_str("null"),
+                }
+                s.push_str(",\"dir\":");
+                match dir {
+                    Some(d) => {
+                        let _ = write!(s, "\"{}\"", dir_label(d));
+                    }
+                    None => s.push_str("null"),
+                }
+            }
+            TraceKind::LinkQuarantined {
+                link,
+                dropped_flits,
+                dropped_packets,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"link\":{},\"dropped_flits\":{dropped_flits},\"dropped_packets\":{dropped_packets}",
+                    link.0
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line back into a record. Returns `None` on any
+    /// schema violation (unknown event, missing field, malformed JSON).
+    pub fn from_jsonl(line: &str) -> Option<Record> {
+        let fields = parse_flat_object(line)?;
+        let cycle = get_num(&fields, "cycle")?;
+        let event = get_str(&fields, "event")?;
+        let flit = || get_num(&fields, "flit").map(FlitId);
+        let packet = || get_num(&fields, "packet").map(PacketId);
+        let link = || get_num(&fields, "link").map(|n| LinkId(n as u16));
+        let kind = match event {
+            "flit_injected" => TraceKind::FlitInjected {
+                flit: flit()?,
+                packet: packet()?,
+                core: get_num(&fields, "core")? as u16,
+            },
+            "flit_launched" => TraceKind::FlitLaunched {
+                flit: flit()?,
+                packet: packet()?,
+                link: link()?,
+                attempt: get_num(&fields, "attempt")? as u32,
+                obf: match lookup(&fields, "obf")? {
+                    Val::Null => None,
+                    Val::Str(s) => Some(LobPlan::from_label(s)?),
+                    _ => return None,
+                },
+            },
+            "ecc_corrected" => TraceKind::EccCorrected {
+                flit: flit()?,
+                packet: packet()?,
+                link: link()?,
+            },
+            "ecc_detected" => TraceKind::EccDetected {
+                flit: flit()?,
+                packet: packet()?,
+                link: link()?,
+            },
+            "flit_nacked" => TraceKind::FlitNacked {
+                flit: flit()?,
+                packet: packet()?,
+                link: link()?,
+                lob_requested: get_bool(&fields, "lob_requested")?,
+            },
+            "flit_accepted" => TraceKind::FlitAccepted {
+                flit: flit()?,
+                packet: packet()?,
+                link: link()?,
+                obfuscated: get_bool(&fields, "obfuscated")?,
+            },
+            "flit_ejected" => TraceKind::FlitEjected {
+                flit: flit()?,
+                packet: packet()?,
+                router: NodeId(get_num(&fields, "router")? as u8),
+            },
+            "packet_dropped" => TraceKind::PacketDropped {
+                packet: packet()?,
+                link: link()?,
+            },
+            "link_classified" => TraceKind::LinkClassified {
+                link: link()?,
+                class: FaultClass::from_label(get_str(&fields, "class")?)?,
+            },
+            "lob_selected" => TraceKind::LobSelected {
+                flit: flit()?,
+                packet: packet()?,
+                link: link()?,
+                plan: LobPlan::from_label(get_str(&fields, "plan")?)?,
+                attempt: get_num(&fields, "attempt")? as u32,
+            },
+            "lob_escalated" => TraceKind::LobEscalated {
+                flit: flit()?,
+                link: link()?,
+                attempts: get_num(&fields, "attempts")? as u32,
+            },
+            "bist_scan" => TraceKind::BistScan {
+                link: link()?,
+                passed: get_bool(&fields, "passed")?,
+            },
+            "watchdog_tripped" => TraceKind::WatchdogTripped {
+                class: StallClass::from_label(get_str(&fields, "kind")?)?,
+                router: match lookup(&fields, "router")? {
+                    Val::Null => None,
+                    Val::Num(n) => Some(NodeId(*n as u8)),
+                    _ => return None,
+                },
+                dir: match lookup(&fields, "dir")? {
+                    Val::Null => None,
+                    Val::Str(s) => Some(dir_from_label(s)?),
+                    _ => return None,
+                },
+            },
+            "link_quarantined" => TraceKind::LinkQuarantined {
+                link: link()?,
+                dropped_flits: get_num(&fields, "dropped_flits")?,
+                dropped_packets: get_num(&fields, "dropped_packets")?,
+            },
+            _ => return None,
+        };
+        Some(Record { cycle, kind })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal flat-JSON reader (objects of numbers/strings/bools/null only;
+// exactly what the schema above emits — no dependency required).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+fn parse_flat_object(line: &str) -> Option<Vec<(String, Val)>> {
+    let s = line.trim();
+    let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Key.
+        while chars.peek() == Some(&' ') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '"' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next()? != ':' {
+            return None;
+        }
+        // Value.
+        let val = match chars.peek()? {
+            '"' => {
+                chars.next();
+                let mut v = String::new();
+                loop {
+                    match chars.next()? {
+                        '\\' => v.push(chars.next()?),
+                        '"' => break,
+                        c => v.push(c),
+                    }
+                }
+                Val::Str(v)
+            }
+            't' | 'f' | 'n' => {
+                let mut word = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    word.push(chars.next()?);
+                }
+                match word.as_str() {
+                    "true" => Val::Bool(true),
+                    "false" => Val::Bool(false),
+                    "null" => Val::Null,
+                    _ => return None,
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    num.push(chars.next()?);
+                }
+                Val::Num(num.parse().ok()?)
+            }
+            _ => return None,
+        };
+        fields.push((key, val));
+        match chars.next() {
+            None => break,
+            Some(',') => {}
+            Some(_) => return None,
+        }
+    }
+    Some(fields)
+}
+
+fn lookup<'a>(fields: &'a [(String, Val)], key: &str) -> Option<&'a Val> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_num(fields: &[(String, Val)], key: &str) -> Option<u64> {
+    match lookup(fields, key)? {
+        Val::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(fields: &'a [(String, Val)], key: &str) -> Option<&'a str> {
+    match lookup(fields, key)? {
+        Val::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_bool(fields: &[(String, Val)], key: &str) -> Option<bool> {
+    match lookup(fields, key)? {
+        Val::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+/// A destination records are forwarded to as they are emitted (before the
+/// ring buffer, so a sink sees the complete stream even when the ring
+/// wraps). Sinks must never fail the simulation: I/O errors are swallowed
+/// by the implementations here.
+pub trait TraceSink {
+    /// Receive one record.
+    fn emit(&mut self, rec: &Record);
+    /// Flush any buffered output (called when the recorder is torn down).
+    fn flush(&mut self) {}
+}
+
+/// Streams records as JSONL to any [`std::io::Write`] (a file, a pipe, a
+/// `Vec<u8>` in tests).
+pub struct JsonlSink<W: std::io::Write> {
+    out: std::io::BufWriter<W>,
+}
+
+impl<W: std::io::Write> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> Self {
+        Self {
+            out: std::io::BufWriter::new(out),
+        }
+    }
+}
+
+impl<W: std::io::Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, rec: &Record) {
+        use std::io::Write;
+        let _ = writeln!(self.out, "{}", rec.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        use std::io::Write;
+        let _ = self.out.flush();
+    }
+}
+
+/// Forwards records over an mpsc channel — the in-memory sink for tests
+/// that want to observe the full stream without touching the ring buffer.
+pub struct ChannelSink(pub std::sync::mpsc::Sender<Record>);
+
+impl TraceSink for ChannelSink {
+    fn emit(&mut self, rec: &Record) {
+        let _ = self.0.send(*rec);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------
+
+/// Bounded ring-buffer recorder with an optional forwarding sink and the
+/// packet/link forensics queries.
+pub struct TraceRecorder {
+    capacity: usize,
+    buf: VecDeque<Record>,
+    emitted: u64,
+    dropped: u64,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl TraceRecorder {
+    /// A recorder with the configured ring capacity and no sink.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Self {
+            capacity: cfg.capacity.max(1),
+            buf: VecDeque::with_capacity(cfg.capacity.clamp(1, 4096)),
+            emitted: 0,
+            dropped: 0,
+            sink: None,
+        }
+    }
+
+    /// Record one event: forward to the sink, then ring-buffer it
+    /// (evicting the oldest record when full).
+    pub fn record(&mut self, cycle: u64, kind: TraceKind) {
+        let rec = Record { cycle, kind };
+        self.emitted += 1;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.emit(&rec);
+        }
+        if self.buf.len() >= self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Attach (or replace) the forwarding sink.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Flush and drop the sink, if any.
+    pub fn close_sink(&mut self) {
+        if let Some(mut sink) = self.sink.take() {
+            sink.flush();
+        }
+    }
+
+    /// Records currently held (oldest first).
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.buf.iter()
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records emitted over the recorder's lifetime.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Records evicted from the ring to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Take all buffered records (oldest first), leaving the ring empty.
+    pub fn take_records(&mut self) -> Vec<Record> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Every buffered record naming `packet`, in order — a packet's full
+    /// journey: inject → launches (with faults/NACKs/L-Ob between) →
+    /// ejection or quarantine drop.
+    pub fn packet_history(&self, packet: PacketId) -> Vec<Record> {
+        self.buf
+            .iter()
+            .filter(|r| r.packet() == Some(packet))
+            .copied()
+            .collect()
+    }
+
+    /// Every buffered record naming `link`, in order — the fault / retx /
+    /// classification / obfuscation sequence the paper's threat detector
+    /// reasons over.
+    pub fn link_timeline(&self, link: LinkId) -> Vec<Record> {
+        self.buf
+            .iter()
+            .filter(|r| r.link() == Some(link))
+            .copied()
+            .collect()
+    }
+
+    /// Serialise the buffered records as JSONL (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.buf {
+            out.push_str(&r.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialise the buffered records in Chrome `trace_event` format.
+    pub fn to_chrome_trace(&self) -> String {
+        chrome_trace(self.buf.iter())
+    }
+}
+
+/// Render records in the Chrome `trace_event` JSON format (open the
+/// output in `chrome://tracing` or <https://ui.perfetto.dev>). Links and
+/// routers are presented as two "processes" with one "thread" per link /
+/// per router; one cycle maps to one microsecond of trace time.
+pub fn chrome_trace<'a>(records: impl Iterator<Item = &'a Record>) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"links\"}},",
+    );
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+         \"args\":{\"name\":\"routers\"}}",
+    );
+    for r in records {
+        let (pid, tid) = match (r.link(), r.kind) {
+            (Some(l), _) => (1, l.0 as u64),
+            (None, TraceKind::FlitEjected { router, .. }) => (2, router.0 as u64),
+            (None, TraceKind::FlitInjected { core, .. }) => (2, (core / 4) as u64),
+            _ => (2, 0),
+        };
+        let _ = write!(
+            out,
+            ",{{\"name\":\"{}\",\"cat\":\"noc\",\"ph\":\"X\",\"ts\":{},\"dur\":1,\
+             \"pid\":{pid},\"tid\":{tid},\"args\":{{",
+            r.kind.label(),
+            r.cycle
+        );
+        if let Some(p) = r.packet() {
+            let _ = write!(out, "\"packet\":{}", p.0);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_mitigation::{Granularity, ObfuscationMethod};
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts() {
+        let mut rec = TraceRecorder::new(TraceConfig { capacity: 3 });
+        for c in 0..5 {
+            rec.record(
+                c,
+                TraceKind::BistScan {
+                    link: LinkId(0),
+                    passed: true,
+                },
+            );
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.emitted(), 5);
+        assert_eq!(rec.dropped(), 2);
+        let cycles: Vec<u64> = rec.records().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "newest records survive");
+    }
+
+    #[test]
+    fn sink_sees_records_the_ring_evicts() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut rec = TraceRecorder::new(TraceConfig { capacity: 1 });
+        rec.set_sink(Box::new(ChannelSink(tx)));
+        for c in 0..4 {
+            rec.record(
+                c,
+                TraceKind::BistScan {
+                    link: LinkId(7),
+                    passed: false,
+                },
+            );
+        }
+        rec.close_sink();
+        assert_eq!(rx.iter().count(), 4, "the sink saw the full stream");
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn forensics_queries_filter_by_packet_and_link() {
+        let mut rec = TraceRecorder::new(TraceConfig::default());
+        rec.record(
+            1,
+            TraceKind::FlitInjected {
+                flit: FlitId(1),
+                packet: PacketId(9),
+                core: 0,
+            },
+        );
+        rec.record(
+            2,
+            TraceKind::FlitLaunched {
+                flit: FlitId(1),
+                packet: PacketId(9),
+                link: LinkId(4),
+                attempt: 1,
+                obf: None,
+            },
+        );
+        rec.record(
+            3,
+            TraceKind::BistScan {
+                link: LinkId(4),
+                passed: true,
+            },
+        );
+        assert_eq!(rec.packet_history(PacketId(9)).len(), 2);
+        assert_eq!(rec.packet_history(PacketId(8)).len(), 0);
+        assert_eq!(rec.link_timeline(LinkId(4)).len(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips_a_plan_bearing_launch() {
+        let rec = Record {
+            cycle: 77,
+            kind: TraceKind::FlitLaunched {
+                flit: FlitId(3),
+                packet: PacketId(1),
+                link: LinkId(12),
+                attempt: 4,
+                obf: Some(LobPlan {
+                    method: ObfuscationMethod::Rotate(13),
+                    granularity: Granularity::Header,
+                }),
+            },
+        };
+        let line = rec.to_jsonl();
+        assert_eq!(Record::from_jsonl(&line), Some(rec));
+        assert!(line.contains("\"obf\":\"rotate13:header\""), "{line}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "not json",
+            "{\"cycle\":1}",
+            "{\"cycle\":1,\"event\":\"no_such_event\"}",
+            "{\"cycle\":1,\"event\":\"bist_scan\",\"link\":2}", // missing field
+        ] {
+            assert_eq!(Record::from_jsonl(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_json() {
+        let recs = [
+            Record {
+                cycle: 0,
+                kind: TraceKind::FlitInjected {
+                    flit: FlitId(0),
+                    packet: PacketId(0),
+                    core: 5,
+                },
+            },
+            Record {
+                cycle: 1,
+                kind: TraceKind::BistScan {
+                    link: LinkId(3),
+                    passed: true,
+                },
+            },
+        ];
+        let s = chrome_trace(recs.iter());
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        let depth = s.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+        assert!(s.contains("\"tid\":3"));
+    }
+}
