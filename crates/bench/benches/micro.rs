@@ -21,6 +21,24 @@ fn bench_secded(c: &mut Criterion) {
     g.bench_function("decode_uncorrectable", |b| {
         b.iter(|| Secded::decode(black_box(two)))
     });
+    // Streaming shape of the table-driven kernel: 64 distinct words per
+    // iteration, the per-flit pattern the link layer actually drives
+    // (encode at launch, decode at delivery).
+    let words: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    g.bench_function("encode_decode_stream64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &w in &words {
+                let cw = Secded::encode(black_box(w));
+                if let noc_ecc::Decode::Clean { data } = Secded::decode(cw) {
+                    acc ^= data;
+                }
+            }
+            acc
+        })
+    });
     g.finish();
 }
 
@@ -84,6 +102,19 @@ fn bench_sim_cycle(c: &mut Criterion) {
         let mut traffic = AppModel::new(AppSpec::blackscholes(), Mesh::paper(), 7);
         sim.run(500, &mut traffic); // warm the network
         b.iter(|| sim.step(&mut traffic));
+    });
+    // The active-set fast path: a fully drained network where every
+    // router is quiescent. Measures the per-cycle floor (activity
+    // refresh + link scans), which the loaded case pays on top of.
+    g.bench_function("step_idle_64core", |b| {
+        let mut cfg = SimConfig::paper();
+        // The paper config snapshots every cycle; park that so the
+        // measurement isolates the cycle loop itself.
+        cfg.snapshot_interval = u64::MAX;
+        let mut sim = Simulator::new(cfg);
+        let mut idle = noc_sim::sim::NoTraffic;
+        sim.run_to_quiescence(100, &mut idle);
+        b.iter(|| sim.step(&mut idle));
     });
     g.finish();
 }

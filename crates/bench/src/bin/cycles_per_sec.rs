@@ -1,0 +1,230 @@
+//! End-to-end simulator throughput harness: cycles/sec on the paper's
+//! baseline and trojan-flood scenarios for a fixed cycle budget.
+//!
+//! Writes `BENCH_throughput.json` (cycles/sec, flit-hops/sec, peak RSS)
+//! and, when `--gate` is passed, exits non-zero if cycles/sec falls more
+//! than 30% below the committed `crates/bench/baseline_throughput.json`.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin cycles_per_sec -- \
+//!     [--quick] [--gate] [--out PATH]`
+
+use noc_sim::routing::xy_direction;
+use noc_sim::{LinkFaults, SimConfig, Simulator, TrafficSource};
+use noc_traffic::{AppModel, AppSpec, Pattern, SyntheticTraffic};
+use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
+use noc_types::NodeId;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One scenario's measured numbers.
+struct Measurement {
+    name: &'static str,
+    cycles: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+    flit_hops: u64,
+    flit_hops_per_sec: f64,
+    peak_rss_kb: u64,
+}
+
+/// Peak resident set size (VmHWM) of this process, in kB.
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Drive `sim` for exactly `budget` cycles, draining events as we go so
+/// the event queue cannot grow without bound.
+fn drive(sim: &mut Simulator, traffic: &mut dyn TrafficSource, budget: u64) -> f64 {
+    let t0 = Instant::now();
+    while sim.cycle() < budget {
+        sim.step(traffic);
+        sim.drain_events();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn measure(
+    name: &'static str,
+    mut sim: Simulator,
+    mut traffic: Box<dyn TrafficSource>,
+    budget: u64,
+) -> Measurement {
+    let wall_s = drive(&mut sim, traffic.as_mut(), budget);
+    let flit_hops: u64 = sim.metrics().link_flits().iter().sum();
+    Measurement {
+        name,
+        cycles: budget,
+        wall_s,
+        cycles_per_sec: budget as f64 / wall_s,
+        flit_hops,
+        flit_hops_per_sec: flit_hops as f64 / wall_s,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// The paper's baseline: clean blackscholes traffic, mitigation on,
+/// no trojans — exercises the steady-state hot loop and the idle tail.
+fn baseline(budget: u64) -> Measurement {
+    let mut cfg = SimConfig::paper();
+    cfg.snapshot_interval = 1_000;
+    let sim = Simulator::new(cfg);
+    let mesh = sim.mesh().clone();
+    let traffic = AppModel::new(AppSpec::blackscholes(), mesh, 7).until(budget * 2 / 3);
+    measure("baseline", sim, Box::new(traffic), budget)
+}
+
+/// The trojan-flood storm: an unmitigated hotspot flood through an
+/// infected link — every hop retransmits, so the SECDED codec and the
+/// retransmission machinery dominate.
+fn trojan_flood(budget: u64) -> Measurement {
+    let mut cfg = SimConfig::paper_unprotected();
+    cfg.snapshot_interval = 1_000;
+    let mut sim = Simulator::new(cfg);
+    let victim = NodeId(9);
+    let hot = {
+        let dir = xy_direction(sim.mesh(), NodeId(5), victim);
+        sim.mesh()
+            .link_out(NodeId(5), dir)
+            .expect("adjacent routers share a link")
+    };
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(victim.0)));
+    let faults = std::mem::replace(sim.link_faults_mut(hot), LinkFaults::healthy(hot.0 as u64));
+    *sim.link_faults_mut(hot) = faults.with_trojan(ht);
+    sim.arm_trojans(true);
+    let mesh = sim.mesh().clone();
+    let traffic = SyntheticTraffic::new(mesh, Pattern::Hotspot(vec![victim]), 0.05, 0x0D15_EA5E)
+        .until(budget * 3 / 5);
+    measure("trojan_flood", sim, Box::new(traffic), budget)
+}
+
+fn json_scenario(out: &mut String, m: &Measurement, last: bool) {
+    writeln!(out, "    \"{}\": {{", m.name).unwrap();
+    writeln!(out, "      \"cycles\": {},", m.cycles).unwrap();
+    writeln!(out, "      \"wall_s\": {:.6},", m.wall_s).unwrap();
+    writeln!(out, "      \"cycles_per_sec\": {:.1},", m.cycles_per_sec).unwrap();
+    writeln!(out, "      \"flit_hops\": {},", m.flit_hops).unwrap();
+    writeln!(
+        out,
+        "      \"flit_hops_per_sec\": {:.1},",
+        m.flit_hops_per_sec
+    )
+    .unwrap();
+    writeln!(out, "      \"peak_rss_kb\": {}", m.peak_rss_kb).unwrap();
+    writeln!(out, "    }}{}", if last { "" } else { "," }).unwrap();
+}
+
+/// Extract `"key": <number>` from a flat JSON document. Good enough for
+/// the committed baseline file, whose shape this repo controls.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    let (base_budget, flood_budget) = if quick {
+        (3_000, 1_500)
+    } else {
+        (20_000, 6_000)
+    };
+
+    eprintln!("cycles_per_sec: baseline ({base_budget} cycles)...");
+    let base = baseline(base_budget);
+    eprintln!(
+        "  {:>12.0} cycles/s  {:>12.0} flit-hops/s  {} kB peak RSS",
+        base.cycles_per_sec, base.flit_hops_per_sec, base.peak_rss_kb
+    );
+    eprintln!("cycles_per_sec: trojan_flood ({flood_budget} cycles)...");
+    let flood = trojan_flood(flood_budget);
+    eprintln!(
+        "  {:>12.0} cycles/s  {:>12.0} flit-hops/s  {} kB peak RSS",
+        flood.cycles_per_sec, flood.flit_hops_per_sec, flood.peak_rss_kb
+    );
+
+    let baseline_doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baseline_throughput.json"
+    ))
+    .ok();
+    let before = baseline_doc.as_deref().map(|doc| {
+        (
+            json_number(doc, "before_baseline_cps"),
+            json_number(doc, "before_trojan_flood_cps"),
+        )
+    });
+
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    writeln!(out, "  \"scenarios\": {{").unwrap();
+    json_scenario(&mut out, &base, false);
+    json_scenario(&mut out, &flood, true);
+    writeln!(out, "  }},").unwrap();
+    if let Some((Some(b), Some(f))) = before {
+        writeln!(out, "  \"before\": {{").unwrap();
+        writeln!(out, "    \"baseline_cps\": {b:.1},").unwrap();
+        writeln!(out, "    \"trojan_flood_cps\": {f:.1}").unwrap();
+        writeln!(out, "  }},").unwrap();
+        writeln!(out, "  \"speedup\": {{").unwrap();
+        writeln!(out, "    \"baseline\": {:.2},", base.cycles_per_sec / b).unwrap();
+        writeln!(out, "    \"trojan_flood\": {:.2}", flood.cycles_per_sec / f).unwrap();
+        writeln!(out, "  }},").unwrap();
+    }
+    writeln!(out, "  \"peak_rss_kb\": {}", peak_rss_kb()).unwrap();
+    writeln!(out, "}}").unwrap();
+    std::fs::write(&out_path, &out).expect("write throughput report");
+    eprintln!("cycles_per_sec: wrote {out_path}");
+
+    if gate {
+        let doc = baseline_doc.expect("--gate needs crates/bench/baseline_throughput.json");
+        let mut failed = false;
+        for (m, key) in [
+            (&base, "gate_baseline_cps"),
+            (&flood, "gate_trojan_flood_cps"),
+        ] {
+            let floor = json_number(&doc, key).expect("gate value in baseline JSON");
+            let min = floor * 0.7;
+            if m.cycles_per_sec < min {
+                eprintln!(
+                    "GATE FAIL: {} at {:.0} cycles/s is more than 30% below the \
+                     committed baseline of {:.0}",
+                    m.name, m.cycles_per_sec, floor
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "gate ok: {} at {:.0} cycles/s (floor {:.0})",
+                    m.name, m.cycles_per_sec, min
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

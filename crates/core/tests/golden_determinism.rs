@@ -1,0 +1,119 @@
+//! Golden determinism tests: fixed-seed runs of the baseline and
+//! trojan-flood scenarios must produce byte-identical `SimStats` (and,
+//! with tracing armed, byte-identical canonical JSONL) across runs —
+//! and across hot-path rewrites such as the active-set optimisation.
+//!
+//! The golden files under `tests/golden/` were recorded against the
+//! pre-optimisation simulator; any divergence means a behavioural (not
+//! just performance) change. Regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p htnoc-core --test golden_determinism`.
+
+use htnoc_core::campaign::trojan_flood_traced;
+use htnoc_core::prelude::*;
+use noc_sim::TraceConfig;
+use noc_traffic::AppSpec;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// FNV-1a 64-bit: a stable, dependency-free content fingerprint.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `got` against the committed golden file, or rewrite it when
+/// `UPDATE_GOLDEN` is set.
+fn compare_or_update(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "golden file missing: {} (record it with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, got,
+        "{name}: output diverged from the committed golden; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The baseline scenario: clean blackscholes traffic on the paper mesh,
+/// no trojans armed, fixed seed — a pure hot-loop workout.
+fn baseline_digest() -> String {
+    let mut sc = Scenario::paper_default(AppSpec::blackscholes(), Strategy::Unprotected);
+    sc.warmup = 200;
+    sc.inject_until = 800;
+    sc.max_cycles = 4_000;
+    sc.snapshot_interval = 50;
+    let result = run_scenario(&sc);
+    let stats = format!("{:?}", result.stats);
+    let mut out = String::new();
+    writeln!(out, "cycles: {}", result.cycles).unwrap();
+    writeln!(out, "drained: {}", result.drained).unwrap();
+    writeln!(out, "stats_fnv64: {:016x}", fnv64(stats.as_bytes())).unwrap();
+    writeln!(out, "stats: {stats}").unwrap();
+    out
+}
+
+/// The trojan-flood scenario with the structured tracer armed: the
+/// watchdog-guarded retransmission storm from the resilience campaign.
+fn trojan_flood_digest() -> String {
+    let (report, sim) = trojan_flood_traced(0x0D15_EA5E, TraceConfig::default());
+    let stats = format!("{:?}", sim.stats());
+    let tracer = sim.tracer().expect("tracing was armed");
+    let mut jsonl = String::new();
+    let mut lines = 0usize;
+    for rec in tracer.records() {
+        jsonl.push_str(&rec.to_jsonl());
+        jsonl.push('\n');
+        lines += 1;
+    }
+    let mut out = String::new();
+    writeln!(out, "cycles: {}", sim.cycle()).unwrap();
+    writeln!(out, "stalls: {}", report.stalls.len()).unwrap();
+    writeln!(out, "quarantined_links: {}", report.quarantined_links).unwrap();
+    writeln!(out, "trace_lines: {lines}").unwrap();
+    writeln!(out, "trace_fnv64: {:016x}", fnv64(jsonl.as_bytes())).unwrap();
+    writeln!(out, "stats_bytes: {}", stats.len()).unwrap();
+    writeln!(out, "stats_fnv64: {:016x}", fnv64(stats.as_bytes())).unwrap();
+    // The full stats Debug string runs to megabytes (one snapshot per
+    // cycle); the fingerprint above pins it, the head keeps diffs legible.
+    let head_end = stats
+        .char_indices()
+        .nth(400)
+        .map_or(stats.len(), |(i, _)| i);
+    writeln!(out, "stats_head: {}", &stats[..head_end]).unwrap();
+    out
+}
+
+#[test]
+fn baseline_fixed_seed_is_golden() {
+    let first = baseline_digest();
+    let second = baseline_digest();
+    assert_eq!(first, second, "two in-process runs must be byte-identical");
+    compare_or_update("baseline_stats.txt", &first);
+}
+
+#[test]
+fn trojan_flood_fixed_seed_is_golden() {
+    let first = trojan_flood_digest();
+    let second = trojan_flood_digest();
+    assert_eq!(first, second, "two in-process runs must be byte-identical");
+    compare_or_update("trojan_flood.txt", &first);
+}

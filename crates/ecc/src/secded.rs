@@ -16,6 +16,14 @@
 //!
 //! A syndrome pointing outside the 72-bit word with odd parity means ≥3
 //! errors; we conservatively report it as uncorrectable too.
+//!
+//! The kernel is table-driven: the codec runs once per flit per hop, so
+//! instead of scattering/gathering bits one at a time it processes a byte
+//! per step through `const fn`-built lookup tables (scatter masks and
+//! syndrome contributions per data byte, gather masks and syndrome
+//! contributions per codeword byte) plus a popcount for the overall
+//! parity. The bit-serial construction survives as the `#[cfg(test)]`
+//! reference implementation the differential tests check against.
 
 use crate::codeword::{Codeword, CODEWORD_BITS, DATA_BITS};
 
@@ -84,6 +92,155 @@ const fn build_data_positions() -> [u8; DATA_BITS] {
     out
 }
 
+/// Codeword bytes covering positions 0..72.
+const CW_BYTES: usize = CODEWORD_BITS.div_ceil(8);
+
+/// Inverse of [`DATA_POSITIONS`]: codeword position → data-bit index, or
+/// `0xFF` for parity positions.
+const POS_TO_DATA: [u8; CODEWORD_BITS] = build_pos_to_data();
+
+const fn build_pos_to_data() -> [u8; CODEWORD_BITS] {
+    let mut out = [0xFFu8; CODEWORD_BITS];
+    let mut i = 0;
+    while i < DATA_BITS {
+        out[DATA_POSITIONS[i] as usize] = i as u8;
+        i += 1;
+    }
+    out
+}
+
+/// `SCATTER[k][b]`: the codeword bits holding data byte `k` with value `b`.
+static SCATTER: [[u128; 256]; 8] = build_scatter();
+
+const fn build_scatter() -> [[u128; 256]; 8] {
+    let mut out = [[0u128; 256]; 8];
+    let mut k = 0;
+    while k < 8 {
+        let mut b = 0usize;
+        while b < 256 {
+            let mut mask = 0u128;
+            let mut j = 0;
+            while j < 8 {
+                if (b >> j) & 1 == 1 {
+                    mask |= 1u128 << DATA_POSITIONS[8 * k + j];
+                }
+                j += 1;
+            }
+            out[k][b] = mask;
+            b += 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// `ENC_SYN[k][b]`: XOR of the codeword positions of data byte `k`'s set
+/// bits — that byte's contribution to the Hamming syndrome.
+const ENC_SYN: [[u8; 256]; 8] = build_enc_syn();
+
+const fn build_enc_syn() -> [[u8; 256]; 8] {
+    let mut out = [[0u8; 256]; 8];
+    let mut k = 0;
+    while k < 8 {
+        let mut b = 0usize;
+        while b < 256 {
+            let mut s = 0u8;
+            let mut j = 0;
+            while j < 8 {
+                if (b >> j) & 1 == 1 {
+                    s ^= DATA_POSITIONS[8 * k + j];
+                }
+                j += 1;
+            }
+            out[k][b] = s;
+            b += 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// `PARITY_SPREAD[s]`: the parity bits (at power-of-two positions) that
+/// zero a Hamming syndrome of `s`. Positions are < 128, so any XOR of
+/// them fits the 128 entries.
+const PARITY_SPREAD: [u128; 128] = build_parity_spread();
+
+const fn build_parity_spread() -> [u128; 128] {
+    let mut out = [0u128; 128];
+    let mut s = 0usize;
+    while s < 128 {
+        let mut mask = 0u128;
+        let mut j = 0;
+        while j < 7 {
+            if (s >> j) & 1 == 1 {
+                mask |= 1u128 << (1usize << j);
+            }
+            j += 1;
+        }
+        out[s] = mask;
+        s += 1;
+    }
+    out
+}
+
+/// `SYN_BYTE[k][b]`: XOR of the positions of the set bits of codeword
+/// byte `k` — the received word's syndrome, one byte at a time. Position
+/// 0 (the overall-parity bit) XORs in `0`, so it needs no special case.
+const SYN_BYTE: [[u8; 256]; CW_BYTES] = build_syn_byte();
+
+const fn build_syn_byte() -> [[u8; 256]; CW_BYTES] {
+    let mut out = [[0u8; 256]; CW_BYTES];
+    let mut k = 0;
+    while k < CW_BYTES {
+        let mut b = 0usize;
+        while b < 256 {
+            let mut s = 0u8;
+            let mut j = 0;
+            while j < 8 {
+                let pos = 8 * k + j;
+                if (b >> j) & 1 == 1 && pos < CODEWORD_BITS {
+                    s ^= pos as u8;
+                }
+                j += 1;
+            }
+            out[k][b] = s;
+            b += 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// `GATHER[k][b]`: the data bits held by codeword byte `k` with value `b`
+/// (parity positions contribute nothing).
+static GATHER: [[u64; 256]; CW_BYTES] = build_gather();
+
+const fn build_gather() -> [[u64; 256]; CW_BYTES] {
+    let mut out = [[0u64; 256]; CW_BYTES];
+    let mut k = 0;
+    while k < CW_BYTES {
+        let mut b = 0usize;
+        while b < 256 {
+            let mut word = 0u64;
+            let mut j = 0;
+            while j < 8 {
+                let pos = 8 * k + j;
+                if (b >> j) & 1 == 1 && pos < CODEWORD_BITS {
+                    let idx = POS_TO_DATA[pos];
+                    if idx != 0xFF {
+                        word |= 1u64 << idx;
+                    }
+                }
+                j += 1;
+            }
+            out[k][b] = word;
+            b += 1;
+        }
+        k += 1;
+    }
+    out
+}
+
 /// The Hamming(72,64) SECDED codec. Stateless; all methods are associated
 /// functions on a unit struct so call sites read `Secded::encode(..)`.
 ///
@@ -106,69 +263,54 @@ pub struct Secded;
 
 impl Secded {
     /// Encode 64 data bits into a 72-bit codeword.
+    #[inline]
     pub fn encode(data: u64) -> Codeword {
         let mut cw: u128 = 0;
-        // Scatter data bits into their Hamming positions.
-        let mut i = 0;
-        while i < DATA_BITS {
-            if (data >> i) & 1 == 1 {
-                cw |= 1u128 << DATA_POSITIONS[i];
-            }
-            i += 1;
+        let mut syndrome = 0u8;
+        let mut k = 0;
+        while k < 8 {
+            let b = ((data >> (8 * k)) & 0xFF) as usize;
+            cw |= SCATTER[k][b];
+            syndrome ^= ENC_SYN[k][b];
+            k += 1;
         }
-        // Hamming parity bits: parity bit at power-of-two position `p`
-        // covers every position with that bit set in its index. Choosing it
-        // equal to the XOR of the covered data bits zeroes the syndrome.
-        let syndrome = Self::positional_xor(cw);
-        let mut p = 1usize;
-        while p < CODEWORD_BITS {
-            if (syndrome as usize) & p != 0 {
-                cw |= 1u128 << p;
-            }
-            p <<= 1;
-        }
+        cw |= PARITY_SPREAD[syndrome as usize];
         // Overall parity (even) over all 72 bits.
-        if (cw.count_ones() & 1) == 1 {
-            cw |= 1;
-        }
-        debug_assert_eq!(Self::positional_xor(cw), 0);
+        cw |= (cw.count_ones() & 1) as u128;
+        debug_assert_eq!(Self::syndrome(cw), 0);
         debug_assert_eq!(cw.count_ones() & 1, 0);
         Codeword(cw)
     }
 
     /// XOR of the positions (1..72) of all set bits — the Hamming syndrome.
     #[inline]
-    fn positional_xor(cw: u128) -> u8 {
+    fn syndrome(cw: u128) -> u8 {
         let mut s = 0u8;
-        let mut bits = cw >> 1; // skip overall-parity bit 0
-        let mut base = 1u8;
-        while bits != 0 {
-            let tz = bits.trailing_zeros() as u8;
-            let pos = base + tz;
-            s ^= pos;
-            bits >>= tz + 1;
-            base += tz + 1;
+        let mut k = 0;
+        while k < CW_BYTES {
+            s ^= SYN_BYTE[k][((cw >> (8 * k)) & 0xFF) as usize];
+            k += 1;
         }
         s
     }
 
     /// Extract the 64 data bits from (a possibly corrected) codeword.
+    #[inline]
     fn extract(cw: u128) -> u64 {
         let mut data = 0u64;
-        let mut i = 0;
-        while i < DATA_BITS {
-            if (cw >> DATA_POSITIONS[i]) & 1 == 1 {
-                data |= 1u64 << i;
-            }
-            i += 1;
+        let mut k = 0;
+        while k < CW_BYTES {
+            data |= GATHER[k][((cw >> (8 * k)) & 0xFF) as usize];
+            k += 1;
         }
         data
     }
 
     /// Decode a received codeword, correcting a single-bit error if present.
+    #[inline]
     pub fn decode(received: Codeword) -> Decode {
         let cw = received.0 & Codeword::MASK;
-        let syndrome = Self::positional_xor(cw);
+        let syndrome = Self::syndrome(cw);
         let parity_odd = cw.count_ones() & 1 == 1;
         match (syndrome, parity_odd) {
             (0, false) => Decode::Clean {
@@ -203,6 +345,88 @@ mod tests {
     use super::*;
     use crate::codeword::{flip_bit, flip_bits};
     use proptest::prelude::*;
+
+    /// The original bit-serial construction, kept verbatim as the
+    /// reference the table-driven kernel is differentially tested against.
+    mod reference {
+        use super::*;
+
+        /// XOR of the positions (1..72) of all set bits.
+        pub fn positional_xor(cw: u128) -> u8 {
+            let mut s = 0u8;
+            let mut bits = cw >> 1; // skip overall-parity bit 0
+            let mut base = 1u8;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as u8;
+                let pos = base + tz;
+                s ^= pos;
+                bits >>= tz + 1;
+                base += tz + 1;
+            }
+            s
+        }
+
+        pub fn extract(cw: u128) -> u64 {
+            let mut data = 0u64;
+            let mut i = 0;
+            while i < DATA_BITS {
+                if (cw >> DATA_POSITIONS[i]) & 1 == 1 {
+                    data |= 1u64 << i;
+                }
+                i += 1;
+            }
+            data
+        }
+
+        pub fn encode(data: u64) -> Codeword {
+            let mut cw: u128 = 0;
+            let mut i = 0;
+            while i < DATA_BITS {
+                if (data >> i) & 1 == 1 {
+                    cw |= 1u128 << DATA_POSITIONS[i];
+                }
+                i += 1;
+            }
+            let syndrome = positional_xor(cw);
+            let mut p = 1usize;
+            while p < CODEWORD_BITS {
+                if (syndrome as usize) & p != 0 {
+                    cw |= 1u128 << p;
+                }
+                p <<= 1;
+            }
+            if (cw.count_ones() & 1) == 1 {
+                cw |= 1;
+            }
+            Codeword(cw)
+        }
+
+        pub fn decode(received: Codeword) -> Decode {
+            let cw = received.0 & Codeword::MASK;
+            let syndrome = positional_xor(cw);
+            let parity_odd = cw.count_ones() & 1 == 1;
+            match (syndrome, parity_odd) {
+                (0, false) => Decode::Clean { data: extract(cw) },
+                (s, true) => {
+                    let pos = s as usize;
+                    if pos >= CODEWORD_BITS {
+                        return Decode::Uncorrectable {
+                            syndrome: Syndrome(s),
+                        };
+                    }
+                    let fixed = cw ^ (1u128 << pos);
+                    Decode::Corrected {
+                        data: extract(fixed),
+                        bit: s,
+                        syndrome: Syndrome(s),
+                    }
+                }
+                (s, false) => Decode::Uncorrectable {
+                    syndrome: Syndrome(s),
+                },
+            }
+        }
+    }
 
     #[test]
     fn data_positions_are_the_64_non_powers_of_two_below_72() {
@@ -268,6 +492,26 @@ mod tests {
         assert!(Secded::decode(bad).needs_retransmission());
     }
 
+    #[test]
+    fn table_kernel_matches_reference_exhaustively_on_flips() {
+        // Every 0-, 1-, and 2-bit corruption of one codeword, including
+        // the parity positions and the overall-parity bit.
+        let cw = Secded::encode(0xA5A5_5A5A_0F0F_F0F0);
+        assert_eq!(Secded::decode(cw), reference::decode(cw));
+        for i in 0..CODEWORD_BITS {
+            let one = flip_bit(cw, i);
+            assert_eq!(Secded::decode(one), reference::decode(one), "flip {i}");
+            for j in (i + 1)..CODEWORD_BITS {
+                let two = flip_bits(cw, (1u128 << i) | (1u128 << j));
+                assert_eq!(
+                    Secded::decode(two),
+                    reference::decode(two),
+                    "flips ({i},{j})"
+                );
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn roundtrip(data in any::<u64>()) {
@@ -292,6 +536,41 @@ mod tests {
         fn encoded_words_have_even_weight_and_zero_syndrome(data in any::<u64>()) {
             let cw = Secded::encode(data);
             prop_assert_eq!(cw.0.count_ones() % 2, 0);
+        }
+
+        #[test]
+        fn encode_matches_bit_serial_reference(data in any::<u64>()) {
+            prop_assert_eq!(Secded::encode(data), reference::encode(data));
+        }
+
+        #[test]
+        fn decode_matches_reference_with_zero_flips(data in any::<u64>()) {
+            let cw = Secded::encode(data);
+            prop_assert_eq!(Secded::decode(cw), reference::decode(cw));
+        }
+
+        #[test]
+        fn decode_matches_reference_with_one_flip(data in any::<u64>(),
+                                                  a in 0usize..CODEWORD_BITS) {
+            let bad = flip_bit(Secded::encode(data), a);
+            prop_assert_eq!(Secded::decode(bad), reference::decode(bad));
+        }
+
+        #[test]
+        fn decode_matches_reference_with_two_flips(data in any::<u64>(),
+                                                   a in 0usize..CODEWORD_BITS,
+                                                   b in 0usize..CODEWORD_BITS) {
+            // a == b allowed: that degenerates to an interesting 0-flip case.
+            let bad = flip_bits(Secded::encode(data), (1u128 << a) | (1u128 << b));
+            prop_assert_eq!(Secded::decode(bad), reference::decode(bad));
+        }
+
+        #[test]
+        fn decode_matches_reference_on_arbitrary_wire_garbage(hi in any::<u64>(),
+                                                              lo in any::<u64>()) {
+            let raw = ((hi as u128) << 64) | lo as u128;
+            let cw = Codeword(raw & Codeword::MASK);
+            prop_assert_eq!(Secded::decode(cw), reference::decode(cw));
         }
     }
 }

@@ -30,6 +30,26 @@ impl RoundRobin {
         None
     }
 
+    /// Grant among the requesters encoded as set bits of `mask` (bit `i`
+    /// ⇔ requester `i` is requesting) — behaviourally identical to
+    /// [`RoundRobin::grant`] with that predicate, but O(1) bit
+    /// arithmetic instead of a predicate scan. Requires `n ≤ 64`.
+    pub fn grant_masked(&mut self, mask: u64) -> Option<usize> {
+        debug_assert!(self.n <= 64);
+        debug_assert!(self.n == 64 || mask >> self.n == 0, "mask bits beyond n");
+        if mask == 0 {
+            return None;
+        }
+        let hi = mask >> self.next;
+        let i = if hi != 0 {
+            self.next + hi.trailing_zeros() as usize
+        } else {
+            (mask & ((1u64 << self.next) - 1)).trailing_zeros() as usize
+        };
+        self.next = (i + 1) % self.n;
+        Some(i)
+    }
+
     #[inline]
     /// Number of requesters.
     pub fn len(&self) -> usize {
@@ -67,6 +87,34 @@ mod tests {
         assert_eq!(a.grant(|_| false), None);
         // Pointer unchanged: next request at 0 wins.
         assert_eq!(a.grant(|_| true), Some(0));
+    }
+
+    #[test]
+    fn masked_grant_matches_predicate_grant() {
+        // Exhaustive over small masks: both arbiters, stepped in
+        // lockstep, must pick identical winners and keep identical
+        // pointers.
+        for n in 1..=8usize {
+            let mut a = RoundRobin::new(n);
+            let mut b = RoundRobin::new(n);
+            for round in 0u64..64 {
+                let mask = (round.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 8) & ((1 << n) - 1);
+                assert_eq!(
+                    a.grant_masked(mask),
+                    b.grant(|i| (mask >> i) & 1 == 1),
+                    "n={n} mask={mask:b}"
+                );
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_grant_full_width() {
+        let mut a = RoundRobin::new(64);
+        assert_eq!(a.grant_masked(1 << 63), Some(63));
+        assert_eq!(a.grant_masked(u64::MAX), Some(0));
+        assert_eq!(a.grant_masked(0), None);
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl Default for TraceConfig {
 /// evaluation platform of the paper exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
-    /// Full simulator configuration (see `SimConfig::paper`).
+    /// The mesh to simulate.
     pub mesh: Mesh,
     /// Virtual channels per port.
     pub vcs: u8,
@@ -58,14 +58,14 @@ pub struct SimConfig {
     /// Retransmission buffer slots per output port (or per VC under
     /// [`RetxScheme::PerVc`]).
     pub retx_depth: u8,
-    /// The mesh to simulate.
+    /// Retransmission scheme (output-shared or per-VC).
     pub retx_scheme: RetxScheme,
-    /// Virtual channels per port.
+    /// Quality-of-service mode (none, or SurfNoC-style TDM domains).
     pub qos: QosMode,
     /// Enable the threat detector + L-Ob mitigation path. When off, NACKs
     /// trigger plain retransmission forever (Fig. 11(a) behaviour).
     pub mitigation: bool,
-    /// Retransmission scheme (output-shared or per-VC).
+    /// Threat-detector thresholds (fault classification and escalation).
     pub detector: DetectorConfig,
     /// Injection-queue length (flits) past which a core counts as "full"
     /// for the Fig. 11/12 utilisation bins.

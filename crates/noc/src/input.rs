@@ -4,7 +4,7 @@
 
 use noc_mitigation::ThreatDetector;
 use noc_types::{Flit, FlitId, PacketId, Port, VcId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Wormhole state of one input VC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,9 +123,13 @@ pub struct InputUnit {
     pub delayed: Vec<DelayedEntry>,
     /// Scrambled flits waiting for their partner's word.
     pub pending_scrambles: Vec<PendingScramble>,
-    /// Recently seen wire words by flit id (XOR keys for descrambling).
-    seen_words: HashMap<FlitId, u64>,
-    seen_order: VecDeque<FlitId>,
+    /// Recently seen wire words by flit id (XOR keys for descrambling):
+    /// a fixed-capacity insertion-ordered ring. A hash map here would
+    /// re-table under constant fresh-key churn; at ≤ 64 entries a linear
+    /// scan is cheaper than hashing and never touches the allocator.
+    seen_words: Vec<(FlitId, u64)>,
+    /// Index of the oldest ring entry (the next eviction slot).
+    seen_head: usize,
     /// Monotonic wire-acceptance counter for order stamps.
     next_order: u64,
     /// Last fault classification reported for the guarded link (event
@@ -147,8 +151,8 @@ impl InputUnit {
             detector,
             delayed: Vec::new(),
             pending_scrambles: Vec::new(),
-            seen_words: HashMap::new(),
-            seen_order: VecDeque::new(),
+            seen_words: Vec::with_capacity(SEEN_WORDS_CAP),
+            seen_head: 0,
             next_order: 0,
             reported_class: noc_mitigation::FaultClass::None,
             occupancy_high_water: 0,
@@ -178,19 +182,19 @@ impl InputUnit {
 
     /// Record a delivered flit's word for later descrambling use.
     pub fn remember_word(&mut self, id: FlitId, word: u64) {
-        if self.seen_words.insert(id, word).is_none() {
-            self.seen_order.push_back(id);
-            if self.seen_order.len() > SEEN_WORDS_CAP {
-                if let Some(old) = self.seen_order.pop_front() {
-                    self.seen_words.remove(&old);
-                }
-            }
+        if let Some(e) = self.seen_words.iter_mut().find(|e| e.0 == id) {
+            e.1 = word;
+        } else if self.seen_words.len() < SEEN_WORDS_CAP {
+            self.seen_words.push((id, word));
+        } else {
+            self.seen_words[self.seen_head] = (id, word);
+            self.seen_head = (self.seen_head + 1) % SEEN_WORDS_CAP;
         }
     }
 
     /// Whether a word for `id` is remembered.
     pub fn lookup_word(&self, id: FlitId) -> Option<u64> {
-        self.seen_words.get(&id).copied()
+        self.seen_words.iter().find(|e| e.0 == id).map(|e| e.1)
     }
 
     /// Move descrambles whose partner has arrived into the delayed queue.
@@ -198,7 +202,7 @@ impl InputUnit {
         let mut i = 0;
         while i < self.pending_scrambles.len() {
             let p = self.pending_scrambles[i];
-            if self.seen_words.contains_key(&p.partner) {
+            if self.lookup_word(p.partner).is_some() {
                 self.pending_scrambles.swap_remove(i);
                 self.delayed.push(DelayedEntry {
                     ready: cycle + p.penalty as u64,
@@ -218,6 +222,13 @@ impl InputUnit {
     /// wire-acceptance order even when undo penalties differ.
     pub fn take_ready_delayed(&mut self, cycle: u64) -> Vec<(VcId, Flit)> {
         let mut out = Vec::new();
+        self.take_ready_delayed_into(cycle, &mut out);
+        out
+    }
+
+    /// Allocation-free [`InputUnit::take_ready_delayed`]: released flits
+    /// are appended to `out` (not cleared first).
+    pub fn take_ready_delayed_into(&mut self, cycle: u64, out: &mut Vec<(VcId, Flit)>) {
         loop {
             let mut candidate: Option<usize> = None;
             for (i, d) in self.delayed.iter().enumerate() {
@@ -251,7 +262,6 @@ impl InputUnit {
                 None => break,
             }
         }
-        out
     }
 }
 

@@ -105,9 +105,22 @@ impl LinkWire {
         self.credits.push_back((now + REVERSE_CYCLES, vc));
     }
 
+    /// Whether the reverse control wires carry nothing at all — lets the
+    /// per-cycle ACK/credit phase skip idle links without draining them.
+    pub fn reverse_idle(&self) -> bool {
+        self.acks.is_empty() && self.credits.is_empty()
+    }
+
     /// Drain ACKs that have arrived upstream.
+    /// (Test-friendly wrapper over [`LinkWire::take_acks_into`].)
     pub fn take_acks(&mut self, now: u64) -> Vec<AckMsg> {
         let mut out = Vec::new();
+        self.take_acks_into(now, &mut out);
+        out
+    }
+
+    /// Append ACKs that have arrived upstream to `out` (not cleared first).
+    pub fn take_acks_into(&mut self, now: u64, out: &mut Vec<AckMsg>) {
         while let Some((at, _)) = self.acks.front() {
             if *at <= now {
                 out.push(self.acks.pop_front().unwrap().1);
@@ -115,12 +128,19 @@ impl LinkWire {
                 break;
             }
         }
-        out
     }
 
     /// Drain credits that have arrived upstream.
+    /// (Test-friendly wrapper over [`LinkWire::take_credits_into`].)
     pub fn take_credits(&mut self, now: u64) -> Vec<VcId> {
         let mut out = Vec::new();
+        self.take_credits_into(now, &mut out);
+        out
+    }
+
+    /// Append credits that have arrived upstream to `out` (not cleared
+    /// first).
+    pub fn take_credits_into(&mut self, now: u64, out: &mut Vec<VcId>) {
         while let Some((at, _)) = self.credits.front() {
             if *at <= now {
                 out.push(self.credits.pop_front().unwrap().1);
@@ -128,7 +148,6 @@ impl LinkWire {
                 break;
             }
         }
-        out
     }
 }
 

@@ -122,18 +122,15 @@ impl OutputUnit {
         });
     }
 
-    /// A VC is send-blocked when an older entry of the same VC has been
-    /// NACKed and not yet delivered: younger flits must wait so the
-    /// downstream never sees a sequence gap twice (go-back-N ordering).
-    fn vc_send_blocked_before(&self, idx: usize) -> bool {
-        let vc = self.entries[idx].vc;
-        self.entries[..idx]
-            .iter()
-            .any(|e| e.vc == vc && (e.nacks > 0 || e.state == SlotState::NeedSend))
-    }
-
     /// Pick the next entry to drive onto the link, if any. Round-robin over
     /// slots, honouring per-VC ordering. Returns the entry index.
+    ///
+    /// Candidates: `NeedSend` entries whose VC isn't blocked by an older
+    /// troubled entry (a same-VC elder that was NACKed or still needs a
+    /// send — go-back-N ordering: the downstream must never see a sequence
+    /// gap twice), on an open TDM slot for their packet's class. The
+    /// predicate is evaluated lazily inside the arbiter scan, so the
+    /// per-launch eligibility vector is gone from the hot path.
     pub fn select_send(&mut self, tdm_open: impl Fn(u8) -> bool) -> Option<usize> {
         let n = self.entries.len();
         if n == 0 {
@@ -143,17 +140,17 @@ impl OutputUnit {
         if self.send_rr.len() != self.total_capacity().max(1) {
             self.send_rr = RoundRobin::new(self.total_capacity().max(1));
         }
-        // Candidates: NeedSend entries whose VC isn't blocked by an older
-        // troubled entry, on an open TDM slot for their packet's class.
-        let eligible: Vec<bool> = (0..n)
-            .map(|i| {
-                let e = &self.entries[i];
+        let entries = &self.entries;
+        self.send_rr.grant(|i| {
+            i < n && {
+                let e = &entries[i];
                 e.state == SlotState::NeedSend
                     && tdm_open(e.flit.header.vc.0)
-                    && !self.vc_send_blocked_before(i)
-            })
-            .collect();
-        self.send_rr.grant(|i| i < n && eligible[i])
+                    && !entries[..i]
+                        .iter()
+                        .any(|o| o.vc == e.vc && (o.nacks > 0 || o.state == SlotState::NeedSend))
+            }
+        })
     }
 
     /// Mark entry `idx` as launched.

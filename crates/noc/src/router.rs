@@ -89,8 +89,6 @@ pub struct Router {
     va_arb: [RoundRobin; 4],
     /// SA arbiter per output port (4 net + locals), same indexing.
     sa_arb: Vec<RoundRobin>,
-    /// Round-robin over output ports for SA fairness.
-    out_order: RoundRobin,
     /// Crossbar traversals granted last cycle.
     pub st_pending: Vec<StMove>,
     /// Slots already committed to each network output by pending STs.
@@ -122,7 +120,6 @@ impl Router {
             outputs,
             va_arb: std::array::from_fn(|_| RoundRobin::new(requesters)),
             sa_arb: (0..ports).map(|_| RoundRobin::new(requesters)).collect(),
-            out_order: RoundRobin::new(ports),
             st_pending: Vec::new(),
             pending_to_output: [0; 4],
         }
@@ -152,13 +149,12 @@ impl Router {
     pub fn rc_stage(&mut self, cycle: u64, mesh: &Mesh, routing: &Routing) {
         let ports = self.inputs.len();
         let vcs = self.inputs[0].vcs.len();
-        let mut updates: Vec<(usize, usize, Port)> = Vec::new();
         for p in 0..ports {
             for v in 0..vcs {
                 let ivc = &self.inputs[p].vcs[v];
                 if ivc.state == VcState::Routing && ivc.since < cycle {
-                    let head = ivc.fifo.front().expect("Routing VC holds its head");
-                    let candidates = routing.route_candidates(mesh, self.node, &head.header);
+                    let header = ivc.fifo.front().expect("Routing VC holds its head").header;
+                    let candidates = routing.route_set(mesh, self.node, &header);
                     if candidates.is_empty() {
                         // Unroutable under the current tables (possible
                         // mid-degradation, between a link death and the
@@ -166,15 +162,16 @@ impl Router {
                         // the watchdog reports it if no route ever comes.
                         continue;
                     }
-                    updates.push((p, v, self.pick_candidate(&candidates)));
+                    // Candidate scoring reads only the output units; the
+                    // commit touches only this input VC — safe to do
+                    // in-place with the copied header.
+                    let port = self.pick_candidate(candidates.as_slice());
+                    let ivc = &mut self.inputs[p].vcs[v];
+                    ivc.route = Some(port);
+                    ivc.state = VcState::VcAlloc;
+                    ivc.since = cycle;
                 }
             }
-        }
-        for (p, v, port) in updates {
-            let ivc = &mut self.inputs[p].vcs[v];
-            ivc.route = Some(port);
-            ivc.state = VcState::VcAlloc;
-            ivc.since = cycle;
         }
     }
 
@@ -203,7 +200,6 @@ impl Router {
     /// One grant per network output port per cycle; local ejection skips VA.
     pub fn va_stage(&mut self, cycle: u64, cfg: &SimConfig) {
         let vcs = cfg.vcs as usize;
-        let ports = cfg.ports();
         // Local-ejection VCs proceed straight to Active.
         for unit in &mut self.inputs {
             for ivc in &mut unit.vcs {
@@ -217,36 +213,47 @@ impl Router {
                 }
             }
         }
-        for d in 0..4 {
+        let ports = cfg.ports();
+        assert!(
+            ports * vcs <= 64,
+            "requester bitmasks hold 64 (port, VC) pairs"
+        );
+        // Requester masks, one per network direction: bit `p*vcs + v` is
+        // set when that input VC finished RC toward the direction and an
+        // output VC is free for it. Stable for the rest of the stage: a
+        // VA grant only claims a VC on the output it granted, each ivc
+        // routes to exactly one direction, and each direction is visited
+        // once.
+        let mut req = [0u64; 4];
+        for p in 0..ports {
+            for v in 0..vcs {
+                let ivc = &self.inputs[p].vcs[v];
+                if ivc.state != VcState::VcAlloc || ivc.since >= cycle {
+                    continue;
+                }
+                let Some(Port::Net(dir)) = ivc.route else {
+                    continue;
+                };
+                let Some(out) = self.outputs[dir.index()].as_ref() else {
+                    continue;
+                };
+                let h = ivc.fifo.front().expect("head").header;
+                // Strict TDM: the VC allocator is also time-multiplexed
+                // across domains.
+                if cfg.tdm_slot_open(h.vc.0, cycle) && candidate_out_vc(out, &h, cfg).is_some() {
+                    req[dir.index()] |= 1 << (p * vcs + v);
+                }
+            }
+        }
+        for (d, &mask) in req.iter().enumerate() {
             if self.outputs[d].is_none() {
                 continue;
             }
-            let dir = Direction::ALL[d];
-            // Gather requesters: (input port, vc) wanting this output with a
-            // free candidate VC.
-            let requesting: Vec<bool> = (0..ports * vcs)
-                .map(|r| {
-                    let (p, v) = (r / vcs, r % vcs);
-                    let ivc = &self.inputs[p].vcs[v];
-                    ivc.state == VcState::VcAlloc
-                        && ivc.since < cycle
-                        && ivc.route == Some(Port::Net(dir))
-                        && {
-                            let h = ivc.fifo.front().expect("head").header;
-                            // Strict TDM: the VC allocator is also
-                            // time-multiplexed across domains.
-                            cfg.tdm_slot_open(h.vc.0, cycle)
-                                && self.candidate_out_vc(d, &h, cfg).is_some()
-                        }
-                })
-                .collect();
-            if let Some(winner) = self.va_arb[d].grant(|r| requesting[r]) {
+            if let Some(winner) = self.va_arb[d].grant_masked(mask) {
                 let (p, v) = (winner / vcs, winner % vcs);
                 let header = self.inputs[p].vcs[v].fifo.front().expect("head").header;
-                let w = self
-                    .candidate_out_vc(d, &header, cfg)
-                    .expect("checked above");
                 let out = self.outputs[d].as_mut().expect("output exists");
+                let w = candidate_out_vc(out, &header, cfg).expect("checked above");
                 out.vc_owner[w.index()] = Some(header_packet(&self.inputs[p].vcs[v]));
                 let ivc = &mut self.inputs[p].vcs[v];
                 ivc.out_vc = Some(w);
@@ -256,70 +263,86 @@ impl Router {
         }
     }
 
-    /// First free output VC usable by a packet with header `h` (TDM keeps
-    /// packets inside their domain's VC partition).
-    fn candidate_out_vc(&self, d: usize, h: &noc_types::Header, cfg: &SimConfig) -> Option<VcId> {
-        let out = self.outputs[d].as_ref()?;
-        let my_domain = cfg.domain_of_vc(h.vc.0);
-        (0..cfg.vcs)
-            .map(VcId)
-            .find(|w| out.vc_owner[w.index()].is_none() && cfg.domain_of_vc(w.0) == my_domain)
-    }
-
     /// SA: pick at most one flit per output port and per input port,
     /// consume a credit and a retransmission slot, and queue the crossbar
     /// traversal for next cycle's ST. Returns credits to send upstream.
+    /// (Test-friendly wrapper over [`Router::sa_stage_into`].)
     pub fn sa_stage(&mut self, cycle: u64, cfg: &SimConfig) -> Vec<CreditReturn> {
+        let mut credits = Vec::new();
+        self.sa_stage_into(cycle, cfg, &mut credits);
+        credits
+    }
+
+    /// Allocation-free SA: credits to send upstream are appended to
+    /// `credits` (not cleared first). Output ports are visited starting at
+    /// `cycle % ports` — the same rotating-fairness order the old
+    /// unconditionally-advancing round-robin produced, but stateless, so
+    /// quiescent routers can skip the stage entirely without desyncing.
+    pub fn sa_stage_into(&mut self, cycle: u64, cfg: &SimConfig, credits: &mut Vec<CreditReturn>) {
         let vcs = cfg.vcs as usize;
         let ports = cfg.ports();
-        let mut credits = Vec::new();
-        let mut input_granted = vec![false; ports];
-        // Visit output ports in rotating order for fairness.
-        let first = self.out_order.grant(|_| true).unwrap_or(0);
-        for step in 0..ports {
-            let q = (first + step) % ports;
-            let out_port = Port::from_index(q);
-            // Determine eligibility per requester.
-            let eligible: Vec<bool> = (0..ports * vcs)
-                .map(|r| {
-                    let (p, v) = (r / vcs, r % vcs);
-                    if input_granted[p] {
-                        return false;
-                    }
-                    let ivc = &self.inputs[p].vcs[v];
-                    if ivc.state != VcState::Active || ivc.since >= cycle {
-                        return false;
-                    }
-                    let Some(flit) = ivc.fifo.front() else {
-                        return false;
-                    };
-                    if ivc.route != Some(out_port) {
-                        return false;
-                    }
-                    match out_port {
-                        // The whole crossbar is time-multiplexed: ejection
-                        // also happens on the packet's domain slots.
-                        Port::Local(_) => cfg.tdm_slot_open(flit.header.vc.0, cycle),
-                        Port::Net(dir) => {
-                            let d = dir.index();
-                            let Some(out) = self.outputs[d].as_ref() else {
-                                return false;
-                            };
-                            let w = ivc.out_vc.expect("network route holds an out VC");
-                            let slot_ok = out.has_slot(w)
-                                && (out.occupancy() + self.pending_to_output[d] as usize)
-                                    < out.total_capacity();
-                            slot_ok && out.credits[w.index()] > 0 && {
-                                // TDM: flits only move on their domain slots.
-                                cfg.tdm_slot_open(flit.header.vc.0, cycle)
+        assert!(
+            ports * vcs <= 64,
+            "requester bitmasks hold 64 (port, VC) pairs"
+        );
+        // Requester masks, one per output port: bit `p*vcs + v` is set
+        // when that input VC's head flit could cross to the port this
+        // cycle. Every predicate input is stable for the rest of the
+        // stage — an SA grant only mutates the books of the output it
+        // granted, and each output is visited exactly once — except the
+        // one-grant-per-input-port rule, enforced by clearing the
+        // winner's input-port bits from every mask.
+        let mut req = [0u64; 64];
+        for p in 0..ports {
+            for v in 0..vcs {
+                let ivc = &self.inputs[p].vcs[v];
+                if ivc.state != VcState::Active || ivc.since >= cycle {
+                    continue;
+                }
+                let Some(flit) = ivc.fifo.front() else {
+                    continue;
+                };
+                let Some(route) = ivc.route else {
+                    continue;
+                };
+                // The whole crossbar is time-multiplexed: ejection also
+                // happens on the packet's domain slots.
+                if !cfg.tdm_slot_open(flit.header.vc.0, cycle) {
+                    continue;
+                }
+                let eligible = match route {
+                    Port::Local(_) => true,
+                    Port::Net(dir) => {
+                        let d = dir.index();
+                        match self.outputs[d].as_ref() {
+                            None => false,
+                            Some(out) => {
+                                let w = ivc.out_vc.expect("network route holds an out VC");
+                                out.has_slot(w)
+                                    && (out.occupancy() + self.pending_to_output[d] as usize)
+                                        < out.total_capacity()
+                                    && out.credits[w.index()] > 0
                             }
                         }
                     }
-                })
-                .collect();
-            if let Some(winner) = self.sa_arb[q].grant(|r| eligible[r]) {
+                };
+                if eligible {
+                    req[route.index()] |= 1 << (p * vcs + v);
+                }
+            }
+        }
+        // Visit output ports in rotating order for fairness.
+        let first = (cycle as usize) % ports;
+        for step in 0..ports {
+            let q = (first + step) % ports;
+            let out_port = Port::from_index(q);
+            if let Some(winner) = self.sa_arb[q].grant_masked(req[q]) {
                 let (p, v) = (winner / vcs, winner % vcs);
-                input_granted[p] = true;
+                // One grant per input port: retire its other requesters.
+                let pmask = ((1u64 << vcs) - 1) << (p * vcs);
+                for m in req.iter_mut() {
+                    *m &= !pmask;
+                }
                 let out_vc = self.inputs[p].vcs[v].out_vc;
                 let flit = self.inputs[p].vcs[v]
                     .fifo
@@ -350,13 +373,20 @@ impl Router {
                 });
             }
         }
-        credits
     }
 
     /// ST: commit last cycle's SA winners to the output stage; local
     /// ejections are returned for delivery.
+    /// (Test-friendly wrapper over [`Router::st_stage_into`].)
     pub fn st_stage(&mut self, cycle: u64) -> Vec<Ejection> {
         let mut ejections = Vec::new();
+        self.st_stage_into(cycle, &mut ejections);
+        ejections
+    }
+
+    /// Allocation-free ST: local ejections are appended to `ejections`
+    /// (not cleared first).
+    pub fn st_stage_into(&mut self, cycle: u64, ejections: &mut Vec<Ejection>) {
         let mut i = 0;
         while i < self.st_pending.len() {
             if self.st_pending[i].granted_at < cycle {
@@ -380,7 +410,26 @@ impl Router {
                 i += 1;
             }
         }
-        ejections
+    }
+
+    /// Whether any per-cycle pipeline stage (hold resolution, ST, SA,
+    /// VA/RC) could act on this router: flits buffered in an input VC,
+    /// flits paying an obfuscation stall, scrambles awaiting a partner,
+    /// or crossbar moves in flight. Retransmission entries do *not* count:
+    /// the launch/ACK machinery is driven per-link, not per-router.
+    ///
+    /// The simulator's active-set uses this to skip quiescent routers.
+    /// Skipping is exact, not approximate: every stage's arbiters only
+    /// advance on a grant, and a grant requires one of the conditions
+    /// above, so a skipped router's state is bit-identical to having run
+    /// the stages against no work.
+    pub fn has_phase_work(&self) -> bool {
+        !self.st_pending.is_empty()
+            || self.inputs.iter().any(|u| {
+                !u.delayed.is_empty()
+                    || !u.pending_scrambles.is_empty()
+                    || u.vcs.iter().any(|v| !v.fifo.is_empty())
+            })
     }
 
     /// Total network-input buffer occupancy (Fig. 11 input utilisation).
@@ -573,6 +622,17 @@ impl Router {
 
 fn header_packet(ivc: &crate::input::InputVc) -> noc_types::PacketId {
     ivc.packet.expect("VC in VA holds a packet")
+}
+
+/// First free output VC usable by a packet with header `h` (TDM keeps
+/// packets inside their domain's VC partition). A free function over the
+/// output unit (rather than a `&self` method) so the VA grant predicate
+/// can call it while the arbiter itself is mutably borrowed.
+fn candidate_out_vc(out: &OutputUnit, h: &noc_types::Header, cfg: &SimConfig) -> Option<VcId> {
+    let my_domain = cfg.domain_of_vc(h.vc.0);
+    (0..cfg.vcs)
+        .map(VcId)
+        .find(|w| out.vc_owner[w.index()].is_none() && cfg.domain_of_vc(w.0) == my_domain)
 }
 
 #[cfg(test)]

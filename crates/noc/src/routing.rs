@@ -31,13 +31,47 @@ pub struct RouteTables {
     next: Vec<Vec<Option<Direction>>>,
 }
 
+/// A fixed-capacity set of legal output ports, best-default first — the
+/// allocation-free form of [`Routing::route_candidates`] used by the
+/// per-cycle RC stage. A mesh router never has more than 4 candidates
+/// (one local port, or up to the 4 network directions).
+#[derive(Debug, Clone, Copy)]
+pub struct RouteSet {
+    ports: [Port; 4],
+    len: u8,
+}
+
+impl RouteSet {
+    fn new() -> Self {
+        Self {
+            ports: [Port::Local(0); 4],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, p: Port) {
+        self.ports[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    /// The candidates, in the same order `route_candidates` returns them.
+    pub fn as_slice(&self) -> &[Port] {
+        &self.ports[..self.len as usize]
+    }
+
+    /// Whether no legal port exists.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 impl Routing {
     /// Output port for a flit with header `h` standing at `node`.
     /// Local delivery uses the destination thread's local port. Adaptive
     /// functions return their first legal candidate here; congestion-aware
     /// selection goes through [`Routing::route_candidates`].
     pub fn route(&self, mesh: &Mesh, node: NodeId, h: &Header) -> Option<Port> {
-        self.route_candidates(mesh, node, h).first().copied()
+        self.route_set(mesh, node, h).as_slice().first().copied()
     }
 
     /// All legal output ports for the flit, best-default first. XY and
@@ -45,20 +79,32 @@ impl Routing {
     /// every direction the turn model allows so the router can pick the
     /// least congested.
     pub fn route_candidates(&self, mesh: &Mesh, node: NodeId, h: &Header) -> Vec<Port> {
+        self.route_set(mesh, node, h).as_slice().to_vec()
+    }
+
+    /// Allocation-free [`Routing::route_candidates`]: same candidates in
+    /// the same order, in a fixed-size [`RouteSet`].
+    pub fn route_set(&self, mesh: &Mesh, node: NodeId, h: &Header) -> RouteSet {
+        let mut set = RouteSet::new();
         if node == h.dest {
-            return vec![Port::Local(h.thread % mesh.concentration())];
+            set.push(Port::Local(h.thread % mesh.concentration()));
+            return set;
         }
         match self {
-            Routing::Xy => vec![Port::Net(xy_direction(mesh, node, h.dest))],
-            Routing::Table(t) => t.next[node.index()][h.dest.index()]
-                .map(Port::Net)
-                .into_iter()
-                .collect(),
-            Routing::OddEven => odd_even_candidates(mesh, node, h.src, h.dest)
-                .into_iter()
-                .map(Port::Net)
-                .collect(),
+            Routing::Xy => set.push(Port::Net(xy_direction(mesh, node, h.dest))),
+            Routing::Table(t) => {
+                if let Some(dir) = t.next[node.index()][h.dest.index()] {
+                    set.push(Port::Net(dir));
+                }
+            }
+            Routing::OddEven => {
+                let (dirs, n) = odd_even_dirs(mesh, node, h.src, h.dest);
+                for dir in &dirs[..n] {
+                    set.push(Port::Net(*dir));
+                }
+            }
         }
+        set
     }
 }
 
@@ -70,6 +116,13 @@ impl Routing {
 /// only turn vertical in even columns (vertical-to-west turns are banned
 /// in odd columns).
 pub fn odd_even_candidates(mesh: &Mesh, node: NodeId, src: NodeId, dest: NodeId) -> Vec<Direction> {
+    let (dirs, n) = odd_even_dirs(mesh, node, src, dest);
+    dirs[..n].to_vec()
+}
+
+/// Allocation-free core of [`odd_even_candidates`]: at most two minimal
+/// directions are ever legal, returned as `(buffer, count)`.
+fn odd_even_dirs(mesh: &Mesh, node: NodeId, src: NodeId, dest: NodeId) -> ([Direction; 2], usize) {
     let cur = mesh.coord_of(node);
     let d = mesh.coord_of(dest);
     let s = mesh.coord_of(src);
@@ -82,40 +135,45 @@ pub fn odd_even_candidates(mesh: &Mesh, node: NodeId, src: NodeId, dest: NodeId)
             Direction::South
         }
     };
-    let mut out = Vec::with_capacity(2);
+    let mut out = [Direction::East; 2];
+    let mut n = 0;
+    let mut push = |dir: Direction| {
+        out[n] = dir;
+        n += 1;
+    };
     if dx == 0 {
         // Same column: straight vertical is always legal.
-        out.push(vertical(dy));
-        return out;
+        push(vertical(dy));
+        return (out, n);
     }
     if dx > 0 {
         // Eastbound.
         if dy == 0 {
-            out.push(Direction::East);
+            push(Direction::East);
         } else {
             // A vertical move now implies an east-to-vertical turn happened
             // or will happen; it is legal only in odd columns (or at the
             // source column, where no turn has been taken yet).
             if cur.x % 2 == 1 || cur.x == s.x {
-                out.push(vertical(dy));
+                push(vertical(dy));
             }
             // Going further east is legal unless the destination column is
             // even and exactly one hop away (the final EN/ES turn there
             // would be illegal).
             if d.x % 2 == 1 || dx != 1 {
-                out.push(Direction::East);
+                push(Direction::East);
             }
         }
     } else {
         // Westbound: west is always legal; verticals only in even columns
         // (NW/SW turns are banned in odd columns).
-        out.push(Direction::West);
+        push(Direction::West);
         if dy != 0 && cur.x.is_multiple_of(2) {
-            out.push(vertical(dy));
+            push(vertical(dy));
         }
     }
-    debug_assert!(!out.is_empty(), "odd-even must always offer a move");
-    out
+    debug_assert!(n > 0, "odd-even must always offer a move");
+    (out, n)
 }
 
 /// Classic XY: correct x first, then y.

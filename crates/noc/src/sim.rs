@@ -6,7 +6,7 @@ use crate::fault::LinkFaults;
 use crate::link::LinkWire;
 use crate::message::{AckKind, AckMsg, LinkFlit, SimEvent, TraceEvent, TraceOutcome};
 use crate::metrics::MetricsRegistry;
-use crate::router::{CreditSite, Router};
+use crate::router::{CreditReturn, CreditSite, Ejection, Router};
 use crate::routing::Routing;
 use crate::stats::{SimStats, Snapshot};
 use crate::trace::{Record, TraceKind, TraceRecorder, TraceSink};
@@ -122,6 +122,22 @@ pub struct Simulator {
     /// flits, retransmissions, uncorrectable faults), for the per-interval
     /// deltas in [`Snapshot`].
     snap_base: (u64, u64, u64),
+    /// Per-router activity bits, recomputed each cycle from
+    /// [`Router::has_phase_work`] and set eagerly when a phase hands a
+    /// router new work (arrival, injection admit): quiescent routers skip
+    /// the per-router pipeline phases entirely.
+    router_active: Vec<bool>,
+    /// `link_dead[i]` mirrors `dead_links` for O(1) hot-path lookup.
+    link_dead: Vec<bool>,
+    // Reusable scratch buffers so the steady-state cycle loop performs no
+    // heap allocation. Each phase takes its buffer, clears and fills it,
+    // and puts it back (capacity is retained across cycles).
+    ready_scratch: Vec<(VcId, Flit)>,
+    ack_scratch: Vec<AckMsg>,
+    credit_vc_scratch: Vec<VcId>,
+    eject_scratch: Vec<Ejection>,
+    credit_scratch: Vec<CreditReturn>,
+    flit_scratch: Vec<Flit>,
 }
 
 impl Simulator {
@@ -139,6 +155,7 @@ impl Simulator {
         let vcs = cfg.vcs as usize;
         let metrics = MetricsRegistry::new(mesh.links(), mesh.routers());
         let tracer = cfg.trace.map(TraceRecorder::new);
+        let (n_routers, n_links) = (mesh.routers(), mesh.links());
         Self {
             cfg,
             mesh,
@@ -162,6 +179,14 @@ impl Simulator {
             metrics,
             tracer,
             snap_base: (0, 0, 0),
+            router_active: vec![true; n_routers],
+            link_dead: vec![false; n_links],
+            ready_scratch: Vec::new(),
+            ack_scratch: Vec::new(),
+            credit_vc_scratch: Vec::new(),
+            eject_scratch: Vec::new(),
+            credit_scratch: Vec::new(),
+            flit_scratch: Vec::new(),
         }
     }
 
@@ -211,6 +236,10 @@ impl Simulator {
     /// Declare links dead: nothing launches on them any more. Combine with
     /// [`Simulator::set_routing`] so traffic avoids them.
     pub fn set_dead_links(&mut self, dead: Vec<LinkId>) {
+        self.link_dead.fill(false);
+        for l in &dead {
+            self.link_dead[l.index()] = true;
+        }
         self.dead_links = dead;
     }
 
@@ -236,6 +265,13 @@ impl Simulator {
     /// Take all pending events.
     pub fn drain_events(&mut self) -> Vec<SimEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Append all pending events to `out`, retaining the internal
+    /// buffer's capacity — the allocation-free alternative to
+    /// [`Simulator::drain_events`] for harnesses that drain every cycle.
+    pub fn drain_events_into(&mut self, out: &mut Vec<SimEvent>) {
+        out.append(&mut self.events);
     }
 
     /// Clear measurement counters (keep the time series): call after a
@@ -355,6 +391,14 @@ impl Simulator {
     /// Advance one cycle: the eight phases in reverse pipeline order.
     pub fn step(&mut self, source: &mut dyn TrafficSource) {
         let now = self.cycle;
+        // Refresh the active set: a router with no buffered, held, or
+        // crossbar-pending flit has nothing to do in phases 2/5/6/7 and
+        // is skipped. Phases that hand a router new work mid-cycle
+        // (arrival, injection admit) flip its bit back on immediately so
+        // the same cycle's later phases still see it.
+        for r in 0..self.routers.len() {
+            self.router_active[r] = self.routers[r].has_phase_work();
+        }
         self.phase_link_delivery(now);
         self.phase_resolve_holds(now);
         self.phase_acks_and_credits(now);
@@ -470,6 +514,9 @@ impl Simulator {
     }
 
     fn handle_arrival(&mut self, now: u64, link: LinkId, dst: NodeId, in_port: Port, lf: LinkFlit) {
+        // Whatever happens below (buffer write, delayed hold, pending
+        // scramble), the destination router now has phase work.
+        self.router_active[dst.index()] = true;
         let decode = Secded::decode(lf.codeword);
         match decode {
             Decode::Corrected { .. } => {
@@ -698,33 +745,52 @@ impl Simulator {
 
     // Phase 2: scrambles whose partner arrived + expired undo stalls.
     fn phase_resolve_holds(&mut self, now: u64) {
+        let mut ready = std::mem::take(&mut self.ready_scratch);
         for r in 0..self.routers.len() {
+            if !self.router_active[r] {
+                continue;
+            }
             for p in 0..self.routers[r].inputs.len() {
-                self.routers[r].inputs[p].resolve_scrambles(now);
-                let ready = self.routers[r].inputs[p].take_ready_delayed(now);
-                for (vc, flit) in ready {
+                {
+                    let unit = &mut self.routers[r].inputs[p];
+                    if unit.delayed.is_empty() && unit.pending_scrambles.is_empty() {
+                        continue;
+                    }
+                    unit.resolve_scrambles(now);
+                    ready.clear();
+                    unit.take_ready_delayed_into(now, &mut ready);
+                }
+                for &(vc, flit) in &ready {
                     let port = Port::from_index(p);
                     self.routers[r].buffer_write(port, vc, flit, now);
                 }
             }
         }
+        self.ready_scratch = ready;
     }
 
     // Phase 3: ACK/NACK and credit returns reach the upstream output units.
     fn phase_acks_and_credits(&mut self, now: u64) {
         let budget = self.cfg.retry_budget;
         let mitigation = self.cfg.mitigation;
+        let mut acks = std::mem::take(&mut self.ack_scratch);
+        let mut credits = std::mem::take(&mut self.credit_vc_scratch);
         for li in 0..self.links.len() {
+            if self.links[li].reverse_idle() {
+                continue;
+            }
             let link = LinkId(li as u16);
             let (src, dir) = self.mesh.link_source(link);
-            let acks = self.links[li].take_acks(now);
-            let credits = self.links[li].take_credits(now);
+            acks.clear();
+            credits.clear();
+            self.links[li].take_acks_into(now, &mut acks);
+            self.links[li].take_credits_into(now, &mut credits);
             // A link with no output unit cannot have carried traffic;
             // stray reverse-channel messages are dropped, not panicked on.
             let Some(out) = self.routers[src.index()].outputs[dir.index()].as_mut() else {
                 continue;
             };
-            for ack in acks {
+            for ack in acks.iter() {
                 match ack.kind {
                     AckKind::Ack { obf_success } => {
                         if let Some(entry) = out.ack(ack.flit, obf_success, now) {
@@ -808,25 +874,33 @@ impl Simulator {
                     }
                 }
             }
-            for vc in credits {
+            for &vc in credits.iter() {
                 out.credits[vc.index()] += 1;
                 debug_assert!(out.credits[vc.index()] <= self.cfg.vc_depth);
             }
         }
+        self.ack_scratch = acks;
+        self.credit_vc_scratch = credits;
     }
 
     // Phase 4: drive retransmission-buffer heads onto idle links.
     fn phase_launch(&mut self, now: u64) {
         for li in 0..self.links.len() {
-            let link = LinkId(li as u16);
-            if self.dead_links.contains(&link) || !self.links[li].idle() {
+            if self.link_dead[li] || !self.links[li].idle() {
                 continue;
             }
+            let link = LinkId(li as u16);
             let (src, dir) = self.mesh.link_source(link);
             let cfg = &self.cfg;
             let Some(out) = self.routers[src.index()].outputs[dir.index()].as_mut() else {
                 continue;
             };
+            // Nothing buffered for retransmission ⇒ nothing can launch.
+            // (Skipping is exact: the send arbiter never advances when
+            // every predicate is false.)
+            if out.entries.is_empty() {
+                continue;
+            }
             let Some(idx) = out.select_send(|vc| cfg.tdm_slot_open(vc, now)) else {
                 continue;
             };
@@ -892,12 +966,17 @@ impl Simulator {
 
     // Phase 5: crossbar traversals commit; local ejections deliver.
     fn phase_st(&mut self, now: u64) {
+        let mut ejections = std::mem::take(&mut self.eject_scratch);
         for r in 0..self.routers.len() {
-            let ejections = self.routers[r].st_stage(now);
+            if !self.router_active[r] {
+                continue;
+            }
+            ejections.clear();
+            self.routers[r].st_stage_into(now, &mut ejections);
             if !ejections.is_empty() {
                 self.last_progress_cycle = now;
             }
-            for ej in ejections {
+            for &ej in ejections.iter() {
                 if self.cfg.trace_packet == Some(ej.flit.packet) {
                     self.trace.push(TraceEvent::Ejected {
                         cycle: now,
@@ -931,17 +1010,20 @@ impl Simulator {
                 }
             }
         }
+        self.eject_scratch = ejections;
     }
 
     // Phase 6: switch allocation; credits return upstream.
     fn phase_sa(&mut self, now: u64) {
+        let mut credits = std::mem::take(&mut self.credit_scratch);
         for r in 0..self.routers.len() {
+            if !self.router_active[r] {
+                continue;
+            }
             let node = NodeId(r as u8);
-            let credits = {
-                let cfg = self.cfg.clone();
-                self.routers[r].sa_stage(now, &cfg)
-            };
-            for cr in credits {
+            credits.clear();
+            self.routers[r].sa_stage_into(now, &self.cfg, &mut credits);
+            for &cr in credits.iter() {
                 // Input port Net(d) at `node` is fed by neighbour(node, d)
                 // over that neighbour's link in direction opposite(d).
                 if let Some(feeding) = self
@@ -953,13 +1035,16 @@ impl Simulator {
                 }
             }
         }
+        self.credit_scratch = credits;
     }
 
     // Phase 7: VC allocation then route computation.
     fn phase_va_rc(&mut self, now: u64) {
-        let cfg = self.cfg.clone();
         for r in 0..self.routers.len() {
-            self.routers[r].va_stage(now, &cfg);
+            if !self.router_active[r] {
+                continue;
+            }
+            self.routers[r].va_stage(now, &self.cfg);
             self.routers[r].rc_stage(now, &self.mesh, &self.routing);
         }
     }
@@ -971,10 +1056,12 @@ impl Simulator {
         let conc = self.mesh.concentration();
         let vcs = self.cfg.vcs as usize;
         let packets = std::mem::take(&mut self.poll_buf);
+        let mut flits = std::mem::take(&mut self.flit_scratch);
         for pkt in &packets {
             self.stats.injected_packets += 1;
             self.birth.insert(pkt.id, pkt.created_at);
-            let flits = pkt.packetize(&mut self.next_flit_id);
+            flits.clear();
+            pkt.packetize_into(&mut self.next_flit_id, &mut flits);
             self.stats.injected_flits += flits.len() as u64;
             let core = pkt.src.index() * conc as usize + (pkt.thread % conc) as usize;
             if self.cfg.trace_packet == Some(pkt.id) {
@@ -1000,8 +1087,9 @@ impl Simulator {
                     );
                 }
             }
-            self.inj_queues[core * vcs + pkt.vc.index()].extend(flits);
+            self.inj_queues[core * vcs + pkt.vc.index()].extend(flits.iter().copied());
         }
+        self.flit_scratch = flits;
         self.poll_buf = packets;
         // One flit per injection port per cycle; round-robin over the
         // port's VC-class queues so no class starves another.
@@ -1035,6 +1123,7 @@ impl Simulator {
                 if has_room && (admit_head || admit_body) {
                     self.inj_queues[q].pop_front();
                     self.routers[router].buffer_write(port, vc, f, now);
+                    self.router_active[router] = true;
                     self.inj_rr[core] = ((v + 1) % vcs) as u8;
                     self.last_progress_cycle = now;
                     admitted = true;
@@ -1173,6 +1262,7 @@ impl Simulator {
         }
         // Kill the link first so nothing launches onto it mid-purge.
         self.dead_links.push(link);
+        self.link_dead[link.index()] = true;
         let (flits, packets) = self.purge_packets(&victims, link);
         self.stats.quarantined_links += 1;
         emit!(

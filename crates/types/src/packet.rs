@@ -70,8 +70,16 @@ impl Packet {
     /// Split the packet into flits. Flit ids are allocated from `next_flit`,
     /// which is advanced past the ids consumed.
     pub fn packetize(&self, next_flit: &mut u64) -> Vec<Flit> {
-        let header = self.header();
         let mut flits = Vec::with_capacity(self.len as usize);
+        self.packetize_into(next_flit, &mut flits);
+        flits
+    }
+
+    /// Allocation-free [`Packet::packetize`]: flits are appended to
+    /// `flits` (not cleared first), so the injection hot path can reuse
+    /// one scratch buffer across packets.
+    pub fn packetize_into(&self, next_flit: &mut u64, flits: &mut Vec<Flit>) {
+        let header = self.header();
         let mut take_id = || {
             let id = FlitId(*next_flit);
             *next_flit += 1;
@@ -79,7 +87,7 @@ impl Packet {
         };
         if self.len == 1 {
             flits.push(Flit::head(take_id(), self.id, FlitKind::Single, header));
-            return flits;
+            return;
         }
         flits.push(Flit::head(take_id(), self.id, FlitKind::Head, header));
         for seq in 1..self.len {
@@ -95,7 +103,6 @@ impl Packet {
                 .unwrap_or_else(|| synth_word(self.id, seq));
             flits.push(Flit::payload(take_id(), self.id, kind, seq, header, word));
         }
-        flits
     }
 }
 
