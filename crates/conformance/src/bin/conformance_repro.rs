@@ -1,0 +1,59 @@
+//! Replay a minimized failing scenario produced by the `fuzz` binary.
+//!
+//! ```text
+//! cargo run -p htnoc-conformance --bin conformance_repro -- failing.json
+//! ```
+//!
+//! Prints the scenario summary and every divergence, exiting nonzero if
+//! any remain (so a fixed bug turns the reproducer green).
+
+use htnoc_conformance::{run_differential, Scenario};
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: conformance_repro <scenario.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("conformance_repro: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scenario = match Scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("conformance_repro: {path} is not a scenario: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "scenario: {}x{} mesh (conc {}), {} vcs x depth {}, {} packets, {} trojans, {} stuck, mitigation={}, budget={:?}, sabotage={:?}",
+        scenario.width,
+        scenario.height,
+        scenario.concentration,
+        scenario.vcs,
+        scenario.vc_depth,
+        scenario.packets.len(),
+        scenario.trojans.len(),
+        scenario.stuck.len(),
+        scenario.mitigation,
+        scenario.retry_budget,
+        scenario.sabotage,
+    );
+    let report = run_differential(&scenario);
+    println!(
+        "ran {} cycles, quiesced={}, {} divergence(s)",
+        report.cycles,
+        report.quiesced,
+        report.divergences.len()
+    );
+    for d in &report.divergences {
+        println!("  {d}");
+    }
+    if !report.ok() {
+        std::process::exit(1);
+    }
+    println!("conformant: no divergences");
+}

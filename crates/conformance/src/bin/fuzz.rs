@@ -1,0 +1,143 @@
+//! Randomized conformance fuzzing.
+//!
+//! ```text
+//! cargo run -p htnoc-conformance --bin fuzz -- --seed 1 --cases 500
+//! cargo run -p htnoc-conformance --bin fuzz -- --seed 1 --budget-secs 120
+//! ```
+//!
+//! Runs `cases` scenarios generated from consecutive seeds (or as many
+//! as fit in `budget-secs`), each through the differential driver. On
+//! the first divergence the scenario is shrunk to a minimal reproducer,
+//! written as JSON under `--out` (default `target/conformance`), and the
+//! exact replay command is printed; the process then exits nonzero.
+
+use htnoc_conformance::{run_differential, shrink, Scenario};
+use noc_sim::config::Sabotage;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    budget_secs: Option<u64>,
+    out: String,
+    sabotage: Option<Sabotage>,
+}
+
+/// Parse `--sabotage` specs: `stall-sa:R`, `leak-credit:N`, `overcount:N`.
+fn parse_sabotage(spec: &str) -> Result<Sabotage, String> {
+    let (kind, arg) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("sabotage spec '{spec}' needs kind:value"))?;
+    let n: u32 = arg.parse().map_err(|e| format!("{e}"))?;
+    match kind {
+        "stall-sa" => Ok(Sabotage::StallSaRouter { router: n as u8 }),
+        "leak-credit" => Ok(Sabotage::LeakCredit { every: n }),
+        "overcount" => Ok(Sabotage::OvercountDelivered { every: n }),
+        other => Err(format!(
+            "unknown sabotage kind '{other}' (stall-sa, leak-credit, overcount)"
+        )),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        cases: 100,
+        budget_secs: None,
+        out: "target/conformance".into(),
+        sabotage: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--cases" => args.cases = value("--cases")?.parse().map_err(|e| format!("{e}"))?,
+            "--budget-secs" => {
+                args.budget_secs = Some(
+                    value("--budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--out" => args.out = value("--out")?,
+            "--sabotage" => args.sabotage = Some(parse_sabotage(&value("--sabotage")?)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            eprintln!(
+                "usage: fuzz [--seed N] [--cases K] [--budget-secs S] [--out DIR] \
+                 [--sabotage stall-sa:R|leak-credit:N|overcount:N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let start = Instant::now();
+    let mut ran = 0u64;
+    for seed in args.seed.. {
+        let time_up = args
+            .budget_secs
+            .is_some_and(|s| start.elapsed().as_secs() >= s);
+        let cases_done = args.budget_secs.is_none() && ran >= args.cases;
+        if time_up || cases_done {
+            break;
+        }
+        let mut scenario = Scenario::generate(seed);
+        if let Some(sabotage) = args.sabotage {
+            // Self-test mode: compile the defect into every scenario. A
+            // stalled router must exist in the sampled mesh to bite.
+            scenario.sabotage = Some(match sabotage {
+                Sabotage::StallSaRouter { router } => Sabotage::StallSaRouter {
+                    router: router % scenario.routers().max(1) as u8,
+                },
+                other => other,
+            });
+        }
+        let report = run_differential(&scenario);
+        ran += 1;
+        if report.ok() {
+            if ran.is_multiple_of(50) {
+                println!(
+                    "fuzz: {ran} scenarios conformant ({}s elapsed)",
+                    start.elapsed().as_secs()
+                );
+            }
+            continue;
+        }
+        println!("fuzz: seed {seed} diverged — shrinking");
+        for d in report.divergences.iter().take(8) {
+            println!("  {d}");
+        }
+        let minimal = shrink(&scenario, &|c| !run_differential(c).ok());
+        let final_report = run_differential(&minimal);
+        let path = format!("{}/failing-seed-{seed}.json", args.out);
+        std::fs::create_dir_all(&args.out).expect("create output directory");
+        std::fs::write(&path, minimal.to_json_string()).expect("write failing scenario");
+        println!(
+            "fuzz: minimized to {} routers / {} packets / {} trojans; divergences:",
+            minimal.routers(),
+            minimal.packets.len(),
+            minimal.trojans.len()
+        );
+        for d in final_report.divergences.iter().take(8) {
+            println!("  {d}");
+        }
+        println!("fuzz: wrote {path}");
+        println!(
+            "fuzz: replay with: cargo run -p htnoc-conformance --bin conformance_repro -- {path}"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz: {ran} scenarios, zero divergences ({}s)",
+        start.elapsed().as_secs()
+    );
+}

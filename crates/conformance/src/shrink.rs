@@ -1,0 +1,266 @@
+//! Greedy deterministic scenario shrinking.
+//!
+//! The vendored proptest shim has no shrinking, so the conformance
+//! fuzzer carries its own: a fixed sequence of reduction passes applied
+//! to a fixpoint, each accepted only if the candidate *still fails* the
+//! caller's predicate. The passes are ordered from coarse to fine —
+//! delete packets (ddmin-style chunks, then singletons), delete fault
+//! hardware, simplify packet fields, shrink the mesh, shrink buffer
+//! geometry, shorten the run — because deleting a packet usually removes
+//! more search space than tweaking one ever could. The whole process is
+//! deterministic and bounded by [`MAX_CHECKS`] predicate evaluations, so
+//! a shrink in CI cannot run away.
+
+use crate::scenario::Scenario;
+use noc_sim::config::Sabotage;
+
+/// Hard cap on predicate evaluations per shrink.
+pub const MAX_CHECKS: usize = 400;
+
+/// Shrink `start` to a (locally) minimal scenario that still satisfies
+/// `fails`. `start` itself is assumed to fail.
+pub fn shrink(start: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
+    let mut best = start.clone();
+    let mut checks = 0usize;
+    loop {
+        let before = fingerprint(&best);
+        packet_passes(&mut best, fails, &mut checks);
+        hardware_passes(&mut best, fails, &mut checks);
+        field_passes(&mut best, fails, &mut checks);
+        mesh_passes(&mut best, fails, &mut checks);
+        geometry_passes(&mut best, fails, &mut checks);
+        if checks >= MAX_CHECKS || fingerprint(&best) == before {
+            return best;
+        }
+    }
+}
+
+/// Cheap structural fingerprint to detect a fixpoint.
+fn fingerprint(sc: &Scenario) -> (usize, usize, usize, u8, u8, u8, u8, u64, bool) {
+    (
+        sc.packets.len(),
+        sc.trojans.len(),
+        sc.stuck.len(),
+        sc.width,
+        sc.height,
+        sc.vcs,
+        sc.vc_depth,
+        sc.max_cycles,
+        sc.sabotage.is_some(),
+    )
+}
+
+/// Accept `cand` into `best` iff it still fails (and budget remains).
+fn attempt(
+    cand: Scenario,
+    best: &mut Scenario,
+    fails: &dyn Fn(&Scenario) -> bool,
+    checks: &mut usize,
+) -> bool {
+    if *checks >= MAX_CHECKS || cand == *best {
+        return false;
+    }
+    *checks += 1;
+    if fails(&cand) {
+        *best = cand;
+        true
+    } else {
+        false
+    }
+}
+
+/// Delete packets: halves, then quarters, ... then singletons.
+fn packet_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
+    let mut chunk = best.packets.len().div_ceil(2).max(1);
+    loop {
+        let mut start = 0;
+        while start < best.packets.len() {
+            let end = (start + chunk).min(best.packets.len());
+            let mut cand = best.clone();
+            cand.packets.drain(start..end);
+            if cand.packets.is_empty() || !attempt(cand, best, fails, checks) {
+                start = end;
+            }
+            // On acceptance the window now holds fresh packets; retry it.
+        }
+        if chunk == 1 {
+            return;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+/// Delete trojans, stuck wires, and the sabotage (each auto-rejected
+/// when it is load-bearing for the failure).
+fn hardware_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
+    let mut i = 0;
+    while i < best.trojans.len() {
+        let mut cand = best.clone();
+        cand.trojans.remove(i);
+        if !attempt(cand, best, fails, checks) {
+            i += 1;
+        }
+    }
+    let mut i = 0;
+    while i < best.stuck.len() {
+        let mut cand = best.clone();
+        cand.stuck.remove(i);
+        if !attempt(cand, best, fails, checks) {
+            i += 1;
+        }
+    }
+    if best.sabotage.is_some() {
+        let mut cand = best.clone();
+        cand.sabotage = None;
+        attempt(cand, best, fails, checks);
+    }
+}
+
+/// Simplify per-packet fields and the run length.
+fn field_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
+    for i in 0..best.packets.len() {
+        if best.packets[i].len > 1 {
+            let mut cand = best.clone();
+            cand.packets[i].len = 1;
+            attempt(cand, best, fails, checks);
+        }
+        if best.packets[i].inject_at > 0 {
+            let mut cand = best.clone();
+            cand.packets[i].inject_at = 0;
+            attempt(cand, best, fails, checks);
+        }
+        if best.packets[i].vc > 0 {
+            let mut cand = best.clone();
+            cand.packets[i].vc = 0;
+            attempt(cand, best, fails, checks);
+        }
+        if best.packets[i].thread > 0 {
+            let mut cand = best.clone();
+            cand.packets[i].thread = 0;
+            attempt(cand, best, fails, checks);
+        }
+    }
+    while best.max_cycles > 256 {
+        let mut cand = best.clone();
+        cand.max_cycles = (best.max_cycles / 2).max(256);
+        if !attempt(cand, best, fails, checks) {
+            break;
+        }
+    }
+}
+
+/// Shrink the mesh one row/column at a time, remapping every router
+/// reference modulo the new dimensions. Link ids change meaning across
+/// mesh shapes, so this pass only runs once all link-addressed hardware
+/// (trojans, stuck wires) has been deleted.
+fn mesh_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
+    if !best.trojans.is_empty() || !best.stuck.is_empty() {
+        return;
+    }
+    loop {
+        let mut progressed = false;
+        for (dw, dh) in [(1u8, 0u8), (0, 1)] {
+            let (w, h) = (best.width, best.height);
+            if w <= dw || h <= dh {
+                continue;
+            }
+            let (nw, nh) = (w - dw, h - dh);
+            let remap = |router: u8| -> u8 {
+                let (x, y) = (router % w, router / w);
+                (y % nh) * nw + (x % nw)
+            };
+            let mut cand = best.clone();
+            cand.width = nw;
+            cand.height = nh;
+            for p in &mut cand.packets {
+                p.src = remap(p.src);
+                p.dest = remap(p.dest);
+            }
+            if let Some(Sabotage::StallSaRouter { router }) = &mut cand.sabotage {
+                *router = remap(*router);
+            }
+            if attempt(cand, best, fails, checks) {
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// Reduce buffer geometry: fewer VCs, shallower buffers.
+fn geometry_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
+    while best.vcs > 1 {
+        let mut cand = best.clone();
+        cand.vcs -= 1;
+        for p in &mut cand.packets {
+            p.vc = p.vc.min(cand.vcs - 1);
+        }
+        if !attempt(cand, best, fails, checks) {
+            break;
+        }
+    }
+    while best.concentration > 1 {
+        let mut cand = best.clone();
+        cand.concentration -= 1;
+        for p in &mut cand.packets {
+            p.thread = p.thread.min(cand.concentration - 1);
+        }
+        if !attempt(cand, best, fails, checks) {
+            break;
+        }
+    }
+    while best.vc_depth > 2 {
+        let mut cand = best.clone();
+        cand.vc_depth -= 1;
+        if !attempt(cand, best, fails, checks) {
+            break;
+        }
+    }
+    while best.retx_depth > 2 {
+        let mut cand = best.clone();
+        cand.retx_depth -= 1;
+        if !attempt(cand, best, fails, checks) {
+            break;
+        }
+    }
+    if best.retx_per_vc {
+        let mut cand = best.clone();
+        cand.retx_per_vc = false;
+        attempt(cand, best, fails, checks);
+    }
+    if best.watchdog {
+        let mut cand = best.clone();
+        cand.watchdog = false;
+        attempt(cand, best, fails, checks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_is_deterministic_and_bounded() {
+        let sc = Scenario::generate(11);
+        // A predicate that always fails shrinks to the global floor.
+        let a = shrink(&sc, &|_| true);
+        let b = shrink(&sc, &|_| true);
+        assert_eq!(a, b);
+        assert_eq!(a.packets.len(), 1, "cannot delete the last packet");
+        assert!(a.trojans.is_empty() && a.stuck.is_empty());
+        assert_eq!((a.width, a.height), (1, 1));
+        assert_eq!(a.max_cycles, 256);
+    }
+
+    #[test]
+    fn shrink_keeps_load_bearing_structure() {
+        let sc = Scenario::generate(12);
+        let keep = sc.packets.len().min(3);
+        // Failure requires at least `keep` packets: the shrinker must
+        // stop exactly there, not below.
+        let got = shrink(&sc, &|c| c.packets.len() >= keep);
+        assert_eq!(got.packets.len(), keep);
+    }
+}

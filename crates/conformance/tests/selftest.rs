@@ -1,0 +1,161 @@
+//! Conformance-subsystem self-tests: the differential driver must pass
+//! every scenario on a fixed seed set, and — the other half of the
+//! bargain — must *fail*, shrink small, and replay deterministically
+//! when a deliberate defect is compiled into the simulator's cycle loop.
+
+use htnoc_conformance::{run_differential, shrink, Scenario};
+use noc_sim::config::Sabotage;
+
+/// Fixed seed sweep: every generated scenario is conformant. This is the
+/// unit-test twin of `fuzz --seed 0 --cases 300` (CI runs the binary at
+/// larger budgets; this keeps `cargo test` self-contained).
+#[test]
+fn fixed_seed_set_is_conformant() {
+    for seed in 0..300 {
+        let sc = Scenario::generate(seed);
+        let report = run_differential(&sc);
+        assert!(
+            report.ok(),
+            "seed {seed} diverged: {:?}",
+            report.divergences
+        );
+    }
+}
+
+/// The minimized quarantine counterexample the fuzzer found while this
+/// subsystem was being built (seed 1454): purging a retransmission entry
+/// whose flit had already been accepted downstream restored a credit that
+/// was simultaneously riding the reverse wire, overflowing the upstream
+/// credit counter past the VC depth. Must stay green forever.
+#[test]
+fn quarantine_credit_double_return_regression() {
+    let text = include_str!("fixtures/quarantine_credit_regression.json");
+    let sc = Scenario::parse(text).expect("fixture parses");
+    let report = run_differential(&sc);
+    assert!(
+        report.ok(),
+        "quarantine credit regression resurfaced: {:?}",
+        report.divergences
+    );
+}
+
+/// Drive one sabotage through the full pipeline: find a diverging seed,
+/// shrink it, check the minimality bounds from the acceptance criteria
+/// (≤ 4 routers, ≤ 10 packets), and replay the minimized scenario through
+/// a JSON round-trip twice to prove determinism.
+fn sabotage_pipeline(make: impl Fn(&Scenario) -> Sabotage) -> Scenario {
+    let mut failing = None;
+    for seed in 0..200 {
+        let mut sc = Scenario::generate(seed);
+        sc.sabotage = Some(make(&sc));
+        if !run_differential(&sc).ok() {
+            failing = Some(sc);
+            break;
+        }
+    }
+    let sc = failing.expect("a sabotaged run must diverge within 200 seeds");
+    let minimal = shrink(&sc, &|c| !run_differential(c).ok());
+    assert!(
+        minimal.routers() <= 4,
+        "shrunk to {} routers (want <= 4)",
+        minimal.routers()
+    );
+    assert!(
+        minimal.packets.len() <= 10,
+        "shrunk to {} packets (want <= 10)",
+        minimal.packets.len()
+    );
+    // Deterministic replay through the serialization boundary.
+    let round = Scenario::parse(&minimal.to_json_string()).expect("round-trip");
+    assert_eq!(round, minimal, "JSON round-trip is lossless");
+    let a = run_differential(&round);
+    let b = run_differential(&round);
+    assert!(!a.ok(), "minimized scenario still fails");
+    assert_eq!(
+        a.divergences, b.divergences,
+        "replay is bit-identically deterministic"
+    );
+    minimal
+}
+
+#[test]
+fn stall_sa_sabotage_shrinks_to_minimal_reproducer() {
+    let minimal = sabotage_pipeline(|sc| {
+        // Stall a router on some packet's route so the defect bites.
+        Sabotage::StallSaRouter {
+            router: sc.packets[0].src % sc.routers().max(1) as u8,
+        }
+    });
+    assert!(
+        matches!(minimal.sabotage, Some(Sabotage::StallSaRouter { .. })),
+        "the sabotage itself is load-bearing and must survive shrinking"
+    );
+}
+
+#[test]
+fn leak_credit_sabotage_shrinks_to_minimal_reproducer() {
+    let minimal = sabotage_pipeline(|_| Sabotage::LeakCredit { every: 2 });
+    assert!(matches!(
+        minimal.sabotage,
+        Some(Sabotage::LeakCredit { .. })
+    ));
+}
+
+#[test]
+fn overcount_delivered_sabotage_shrinks_to_minimal_reproducer() {
+    let minimal = sabotage_pipeline(|_| Sabotage::OvercountDelivered { every: 2 });
+    assert!(matches!(
+        minimal.sabotage,
+        Some(Sabotage::OvercountDelivered { .. })
+    ));
+}
+
+/// The oracle is an independent reimplementation; sanity-check one
+/// crossing prediction against the real simulator on the paper's mesh:
+/// an armed trojan under mitigation classifies as HardwareTrojan and the
+/// victim packet still delivers (the L-Ob resolution from PAPER.md).
+#[test]
+fn oracle_and_simulator_agree_on_the_paper_attack() {
+    use htnoc_conformance::{PacketSpec, TrojanSpec};
+    let mut sc = Scenario {
+        seed: 0,
+        width: 4,
+        height: 4,
+        concentration: 1,
+        vcs: 2,
+        vc_depth: 4,
+        retx_depth: 4,
+        retx_per_vc: false,
+        mitigation: true,
+        retry_budget: None,
+        watchdog: false,
+        max_cycles: 2_000,
+        packets: vec![PacketSpec {
+            id: 1,
+            src: 0,
+            dest: 15,
+            vc: 0,
+            len: 4,
+            inject_at: 0,
+            thread: 0,
+        }],
+        trojans: Vec::new(),
+        stuck: Vec::new(),
+        sabotage: None,
+    };
+    let path =
+        htnoc_conformance::oracle::xy_walk(&sc.mesh(), noc_types::NodeId(0), noc_types::NodeId(15));
+    sc.trojans.push(TrojanSpec {
+        link: path[1],
+        target_dest: 15,
+        armed: true,
+        cooldown: 0,
+    });
+    let report = run_differential(&sc);
+    assert!(
+        report.ok(),
+        "paper attack diverged: {:?}",
+        report.divergences
+    );
+    assert!(report.quiesced, "mitigation resolves the DoS");
+}

@@ -12,6 +12,7 @@ use htnoc_core::campaign::trojan_flood_traced;
 use htnoc_core::prelude::*;
 use noc_sim::TraceConfig;
 use noc_traffic::AppSpec;
+use noc_types::Direction;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -102,6 +103,91 @@ fn trojan_flood_digest() -> String {
     out
 }
 
+/// The three busiest feeder links of the blackscholes primary (corner
+/// router 0): each carries a steady stream of target-dest headers, so a
+/// TASP comparator mounted there fires constantly.
+fn primary_feeder_links() -> Vec<LinkId> {
+    let mesh = Mesh::paper();
+    // XY routing funnels dest-0 traffic through 2→1→0 along row 0 and
+    // down the 4→0 column hop; every one of these hops sees the target
+    // header stream.
+    [
+        (NodeId(1), Direction::West),  // 1 → 0
+        (NodeId(4), Direction::South), // 4 → 0
+        (NodeId(2), Direction::West),  // 2 → 1
+    ]
+    .into_iter()
+    .map(|(n, d)| mesh.link_out(n, d).expect("paper-mesh feeder hop"))
+    .collect()
+}
+
+/// Three TASP trojans on distinct links under the paper's S2S L-Ob
+/// mitigation: the detectors must classify and obfuscate around all of
+/// them at once, and the whole dance must be fingerprint-stable.
+fn multi_trojan_digest() -> String {
+    let mut sc = Scenario::paper_default(AppSpec::blackscholes(), Strategy::S2sLob)
+        .with_infected(primary_feeder_links());
+    sc.warmup = 200;
+    sc.inject_until = 800;
+    sc.max_cycles = 6_000;
+    sc.snapshot_interval = 50;
+    let result = run_scenario(&sc);
+    let stats = format!("{:?}", result.stats);
+    let mut out = String::new();
+    writeln!(out, "cycles: {}", result.cycles).unwrap();
+    writeln!(out, "drained: {}", result.drained).unwrap();
+    writeln!(out, "injected: {}", result.stats.injected_packets).unwrap();
+    writeln!(out, "delivered: {}", result.stats.delivered_packets).unwrap();
+    writeln!(out, "stats_fnv64: {:016x}", fnv64(stats.as_bytes())).unwrap();
+    writeln!(out, "stats: {stats}").unwrap();
+    out
+}
+
+/// Mid-run link quarantine with the automatic up*/down* reroute: arm a
+/// trojan on a hot link, let the storm build, then kill the link and make
+/// the survivors finish over the rebuilt routes. Pins both the purge's
+/// credit settlement and the rerouted drain.
+fn quarantine_reroute_digest() -> String {
+    let infected = primary_feeder_links()[0];
+    let mut sc = Scenario::paper_default(AppSpec::blackscholes(), Strategy::S2sLob)
+        .with_infected(vec![infected]);
+    sc.warmup = 200;
+    sc.inject_until = 800;
+    sc.max_cycles = 6_000;
+    sc.snapshot_interval = 50;
+    let mut sim = sc.build_sim();
+    let mut traffic = sc.build_traffic(sim.mesh());
+    sim.run(sc.warmup, traffic.as_mut());
+    sim.arm_trojans(true);
+    // Let the attack play out, then kill the infected link mid-traffic:
+    // the purge settles whatever is committed to it and the rebuilt
+    // up*/down* routes must carry the rest of the workload.
+    while sim.cycle() < 400 {
+        sim.step(traffic.as_mut());
+    }
+    sim.quarantine_link(infected)
+        .expect("the paper mesh survives one dead link");
+    while sim.cycle() < sc.max_cycles {
+        sim.step(traffic.as_mut());
+        if traffic.done() && sim.is_quiescent() {
+            break;
+        }
+    }
+    // The conformance invariant oracles must hold after purge + reroute.
+    let violations = sim.check_network_invariants();
+    let stats = format!("{:?}", sim.stats());
+    let mut out = String::new();
+    writeln!(out, "cycles: {}", sim.cycle()).unwrap();
+    writeln!(out, "quiescent: {}", sim.is_quiescent()).unwrap();
+    writeln!(out, "invariant_violations: {}", violations.len()).unwrap();
+    writeln!(out, "injected: {}", sim.stats().injected_packets).unwrap();
+    writeln!(out, "delivered: {}", sim.stats().delivered_packets).unwrap();
+    writeln!(out, "quarantined_links: {}", sim.stats().quarantined_links).unwrap();
+    writeln!(out, "stats_fnv64: {:016x}", fnv64(stats.as_bytes())).unwrap();
+    writeln!(out, "stats: {stats}").unwrap();
+    out
+}
+
 #[test]
 fn baseline_fixed_seed_is_golden() {
     let first = baseline_digest();
@@ -116,4 +202,20 @@ fn trojan_flood_fixed_seed_is_golden() {
     let second = trojan_flood_digest();
     assert_eq!(first, second, "two in-process runs must be byte-identical");
     compare_or_update("trojan_flood.txt", &first);
+}
+
+#[test]
+fn multi_trojan_fixed_seed_is_golden() {
+    let first = multi_trojan_digest();
+    let second = multi_trojan_digest();
+    assert_eq!(first, second, "two in-process runs must be byte-identical");
+    compare_or_update("multi_trojan.txt", &first);
+}
+
+#[test]
+fn quarantine_reroute_fixed_seed_is_golden() {
+    let first = quarantine_reroute_digest();
+    let second = quarantine_reroute_digest();
+    assert_eq!(first, second, "two in-process runs must be byte-identical");
+    compare_or_update("quarantine_reroute.txt", &first);
 }

@@ -1,0 +1,169 @@
+//! Round-trip property tests over the complete L-Ob repertoire: every
+//! method × every granularity. The contract that keeps a DoS'd link
+//! usable is two-sided —
+//!
+//! 1. **identity**: `undo(apply(word)) == word` for any word and key, so
+//!    the receiver always recovers the flit the sender meant to send;
+//! 2. **difference**: the word on the wire differs from the original
+//!    (inside the window) whenever the method can change it at all, so
+//!    the trojan's comparator no longer sees its trigger. `Reorder` is
+//!    the deliberate exception — it shifts *when* the word crosses, not
+//!    *what* crosses — and is pinned to the identity transform instead.
+//!
+//! Both sides are checked for every plan in the cross-product, not just
+//! the escalation ladder, so adding a rung can never outrun the tests.
+
+use noc_mitigation::{Granularity, LobPlan, ObfuscationMethod};
+use proptest::prelude::*;
+
+const GRANULARITIES: [Granularity; 3] =
+    [Granularity::Full, Granularity::Header, Granularity::Payload];
+
+/// Every method the repertoire contains, with rotation sampled across
+/// small, window-sized, and wrapping shift amounts (k is reduced mod the
+/// window width, so k=64 exercises the wrap on sub-64-bit windows).
+fn methods() -> Vec<ObfuscationMethod> {
+    let mut m = vec![
+        ObfuscationMethod::Invert,
+        ObfuscationMethod::Scramble,
+        ObfuscationMethod::Reorder,
+    ];
+    for k in [1, 7, 13, 21, 29, 41, 63, 64, 255] {
+        m.push(ObfuscationMethod::Rotate(k));
+    }
+    m
+}
+
+fn plans() -> Vec<LobPlan> {
+    let mut out = Vec::new();
+    for method in methods() {
+        for granularity in GRANULARITIES {
+            out.push(LobPlan {
+                method,
+                granularity,
+            });
+        }
+    }
+    out
+}
+
+/// Whether `plan` is able to alter `word` at all: rotations of a
+/// rotation-symmetric window and scrambles with a zero key-window are
+/// no-ops by construction, and `Reorder` never edits bits.
+fn can_change(plan: LobPlan, word: u64, key: u64) -> bool {
+    let mask = plan.granularity.mask();
+    let (off, width) = plan.granularity.window();
+    match plan.method {
+        ObfuscationMethod::Invert => mask != 0,
+        ObfuscationMethod::Scramble => key & mask != 0,
+        ObfuscationMethod::Reorder => false,
+        ObfuscationMethod::Rotate(k) => {
+            let k = u32::from(k) % width;
+            if k == 0 {
+                return false;
+            }
+            let win = (word & mask) >> off;
+            let rotated = ((win << k) | (win >> (width - k))) & (mask >> off);
+            rotated != win
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Obfuscate → deobfuscate is the identity for every plan in the
+    /// method × granularity cross-product, any word, any key.
+    #[test]
+    fn every_plan_roundtrips(word in any::<u64>(), key in any::<u64>()) {
+        for plan in plans() {
+            prop_assert_eq!(
+                plan.undo(plan.apply(word, key), key),
+                word,
+                "round-trip broke for {}", plan.label()
+            );
+        }
+    }
+
+    /// The wire word differs from the original exactly when the method can
+    /// change it — and all movement stays inside the granularity window.
+    #[test]
+    fn every_plan_disguises_the_word_within_its_window(
+        word in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        for plan in plans() {
+            let obf = plan.apply(word, key);
+            let mask = plan.granularity.mask();
+            prop_assert_eq!(
+                obf & !mask, word & !mask,
+                "{} leaked outside its window", plan.label()
+            );
+            if can_change(plan, word, key) {
+                prop_assert_ne!(
+                    obf, word,
+                    "{} left the trojan's trigger intact", plan.label()
+                );
+            } else {
+                prop_assert_eq!(obf, word, "{} should be a no-op here", plan.label());
+            }
+        }
+    }
+
+    /// Applying with one key and undoing with another never silently
+    /// round-trips for scramble: the key is load-bearing.
+    #[test]
+    fn scramble_requires_the_matching_key(word in any::<u64>(), key in any::<u64>()) {
+        for granularity in GRANULARITIES {
+            let plan = LobPlan { method: ObfuscationMethod::Scramble, granularity };
+            let wrong = key ^ (1 << (plan.granularity.window().0 % 64));
+            let obf = plan.apply(word, key);
+            prop_assert_ne!(
+                plan.undo(obf, wrong), word,
+                "wrong partner word must not decode {}", plan.label()
+            );
+        }
+    }
+}
+
+/// Deterministic spot-check: every ladder rung disguises the exact header
+/// word a TASP comparator would be armed with (the paper's attack setup),
+/// except the temporal `Reorder` rung.
+#[test]
+fn every_ladder_rung_breaks_a_header_comparator_match() {
+    // A realistic header word: dense, asymmetric bit pattern.
+    let target = 0x0000_03A7_1C45_9E21u64;
+    for plan in LobPlan::LADDER {
+        let obf = plan.apply(target, 0x5A5A_5A5A_5A5A_5A5A);
+        assert_eq!(
+            plan.undo(obf, 0x5A5A_5A5A_5A5A_5A5A),
+            target,
+            "{} must stay reversible",
+            plan.label()
+        );
+        if matches!(plan.method, ObfuscationMethod::Reorder) {
+            assert_eq!(obf, target, "reorder is temporal, not bitwise");
+        } else {
+            assert_ne!(
+                obf & plan.granularity.mask(),
+                target & plan.granularity.mask(),
+                "{} failed to disguise the comparator target",
+                plan.label()
+            );
+        }
+    }
+}
+
+/// Labels round-trip for the full cross-product, so traces and replay
+/// tooling can name any plan, not just ladder rungs.
+#[test]
+fn plan_labels_roundtrip_for_the_full_cross_product() {
+    for plan in plans() {
+        let label = plan.label();
+        assert_eq!(
+            LobPlan::from_label(&label),
+            Some(plan),
+            "label {label} did not parse back"
+        );
+    }
+}

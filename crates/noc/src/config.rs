@@ -28,6 +28,37 @@ pub enum QosMode {
     },
 }
 
+/// A deliberate, opt-in defect compiled into the simulator's cycle loop.
+///
+/// Sabotage exists for one purpose: proving that the differential
+/// conformance oracle (`crates/conformance`) actually detects real bugs
+/// and shrinks them to small counterexamples. Each variant models a class
+/// of regression a performance rewrite could plausibly introduce. All
+/// production configurations leave `SimConfig::sabotage` at `None`, and
+/// the hooks reduce to a single `Option` test on that path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// The named router never performs switch allocation: every flit that
+    /// reaches one of its input VCs stalls forever (a dropped SA grant).
+    StallSaRouter {
+        /// Router whose SA stage is disabled.
+        router: u8,
+    },
+    /// Every `every`-th credit return arriving upstream evaporates
+    /// instead of replenishing the output's credit counter (a
+    /// flow-control leak that slowly strangles a VC).
+    LeakCredit {
+        /// Period of the leak (1 = drop every credit).
+        every: u32,
+    },
+    /// Every `every`-th ejected flit is counted twice in
+    /// `delivered_flits` (a statistics-accounting bug).
+    OvercountDelivered {
+        /// Period of the overcount (1 = double-count every ejection).
+        every: u32,
+    },
+}
+
 /// Structured-tracing configuration (see [`crate::trace`]). Absent from
 /// the config (`SimConfig::trace = None`), the simulator holds no
 /// recorder and every emission site reduces to one `Option` test.
@@ -96,6 +127,10 @@ pub struct SimConfig {
     /// Arm the structured event tracer ([`crate::trace`]). `None` (the
     /// default) records nothing and perturbs nothing.
     pub trace: Option<TraceConfig>,
+    /// Compile a deliberate defect into the cycle loop (conformance-oracle
+    /// self-test only — see [`Sabotage`]). `None` in every production
+    /// configuration.
+    pub sabotage: Option<Sabotage>,
 }
 
 impl SimConfig {
@@ -119,6 +154,7 @@ impl SimConfig {
             check_invariants_every: None,
             watchdog: None,
             trace: None,
+            sabotage: None,
         }
     }
 

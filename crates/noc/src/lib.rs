@@ -48,7 +48,7 @@ pub mod stats;
 pub mod trace;
 pub mod watchdog;
 
-pub use config::{QosMode, RetxScheme, SimConfig, TraceConfig};
+pub use config::{QosMode, RetxScheme, Sabotage, SimConfig, TraceConfig};
 pub use error::SimError;
 pub use fault::LinkFaults;
 pub use message::SimEvent;

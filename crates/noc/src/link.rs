@@ -111,6 +111,24 @@ impl LinkWire {
         self.acks.is_empty() && self.credits.is_empty()
     }
 
+    /// Credit returns currently riding the reverse wire for `vc`
+    /// (in-flight credits belong to the flow-control books audited by
+    /// [`crate::Simulator::check_network_invariants`]).
+    pub fn reverse_credits_for(&self, vc: VcId) -> usize {
+        self.credits.iter().filter(|(_, v)| *v == vc).count()
+    }
+
+    /// Whether a successful-delivery ACK for `flit` is riding the reverse
+    /// wire. Quarantine settlement consults this: a success ACK means the
+    /// downstream router accepted the flit, so the retransmission entry's
+    /// buffer-slot credit is already travelling back (or has arrived) as
+    /// an ordinary credit return and must not be restored again.
+    pub fn reverse_ack_success_for(&self, flit: noc_types::FlitId) -> bool {
+        self.acks
+            .iter()
+            .any(|(_, m)| m.flit == flit && matches!(m.kind, crate::message::AckKind::Ack { .. }))
+    }
+
     /// Drain ACKs that have arrived upstream.
     /// (Test-friendly wrapper over [`LinkWire::take_acks_into`].)
     pub fn take_acks(&mut self, now: u64) -> Vec<AckMsg> {

@@ -129,6 +129,10 @@ pub struct Simulator {
     router_active: Vec<bool>,
     /// `link_dead[i]` mirrors `dead_links` for O(1) hot-path lookup.
     link_dead: Vec<bool>,
+    /// Event counters for the periodic [`crate::config::Sabotage`] hooks
+    /// (only advanced while a sabotage is armed).
+    sabotage_credit_seen: u64,
+    sabotage_eject_seen: u64,
     // Reusable scratch buffers so the steady-state cycle loop performs no
     // heap allocation. Each phase takes its buffer, clears and fills it,
     // and puts it back (capacity is retained across cycles).
@@ -181,6 +185,8 @@ impl Simulator {
             snap_base: (0, 0, 0),
             router_active: vec![true; n_routers],
             link_dead: vec![false; n_links],
+            sabotage_credit_seen: 0,
+            sabotage_eject_seen: 0,
             ready_scratch: Vec::new(),
             ack_scratch: Vec::new(),
             credit_vc_scratch: Vec::new(),
@@ -342,6 +348,305 @@ impl Simulator {
             .collect()
     }
 
+    /// Network-level invariant oracle: audits the cross-router state the
+    /// per-router checks cannot see — per-(link, VC) credit conservation,
+    /// flit duplication/teleportation, SECDED soundness of in-flight
+    /// codewords, and watchdog-verdict consistency. Pure observation;
+    /// empty result means the books balance. The conformance fuzzer
+    /// (`crates/conformance`) runs this every epoch; long soaks can call
+    /// it directly.
+    pub fn check_network_invariants(&self) -> Vec<crate::invariants::Violation> {
+        let mut out = Vec::new();
+        self.check_credit_conservation(&mut out);
+        self.check_flit_uniqueness(&mut out);
+        self.check_ecc_soundness(&mut out);
+        self.check_watchdog_consistency(&mut out);
+        out
+    }
+
+    /// Every audit the simulator offers: the per-router wormhole checks
+    /// plus the network-level oracle. The periodic
+    /// `check_invariants_every` audit in [`Simulator::try_step`] runs
+    /// this.
+    pub fn check_all_invariants(&self) -> Vec<crate::invariants::Violation> {
+        let mut v = self.check_invariants();
+        v.extend(self.check_network_invariants());
+        v
+    }
+
+    /// Per-(link, VC) credit conservation. A downstream buffer slot is in
+    /// exactly one of four states: available upstream (`out.credits`),
+    /// riding the reverse wire home, or held by a flit that consumed it —
+    /// where "held" means the flit id appears in the upstream crossbar
+    /// moves toward this output, the retransmission entries, the forward
+    /// wire, or the downstream input unit (deduplicated by id: the
+    /// retransmission protocol legitimately keeps an entry alive while
+    /// its delivered copy's ACK rides home). The one-cycle window where a
+    /// freed slot's credit is on the reverse wire while the stale entry
+    /// still awaits its ACK can double-count, so the upper bound carries
+    /// that slack; the lower bound (no credit may vanish) is exact.
+    fn check_credit_conservation(&self, out: &mut Vec<crate::invariants::Violation>) {
+        let depth = self.cfg.vc_depth as usize;
+        let mut ids: HashSet<FlitId> = HashSet::new();
+        for li in 0..self.links.len() {
+            let link = LinkId(li as u16);
+            let (src, dir) = self.mesh.link_source(link);
+            let dst = self.mesh.link_dest(link);
+            let Some(o) = self.routers[src.index()].outputs[dir.index()].as_ref() else {
+                continue;
+            };
+            let down = &self.routers[dst.index()].inputs[Port::Net(dir.opposite()).index()];
+            for v in 0..self.cfg.vcs as usize {
+                let vc = VcId(v as u8);
+                ids.clear();
+                for mv in &self.routers[src.index()].st_pending {
+                    if mv.out_port == Port::Net(dir) && mv.out_vc == Some(vc) {
+                        ids.insert(mv.flit.id);
+                    }
+                }
+                for e in &o.entries {
+                    if e.vc == vc {
+                        ids.insert(e.flit.id);
+                    }
+                }
+                if let Some(lf) = self.links[li].in_flight() {
+                    if lf.vc == vc {
+                        ids.insert(lf.flit.id);
+                    }
+                }
+                for f in &down.vcs[v].fifo {
+                    ids.insert(f.id);
+                }
+                for d in &down.delayed {
+                    if d.vc == vc {
+                        ids.insert(d.flit.id);
+                    }
+                }
+                for s in &down.pending_scrambles {
+                    if s.vc == vc {
+                        ids.insert(s.flit.id);
+                    }
+                }
+                let credits = o.credits[v] as usize;
+                let wire = self.links[li].reverse_credits_for(vc);
+                if credits + wire + ids.len() < depth {
+                    out.push(crate::invariants::Violation {
+                        router: src.0,
+                        what: format!(
+                            "link {li} vc {v}: credit leak — {credits} upstream + {wire} \
+                             in flight + {} held < depth {depth}",
+                            ids.len()
+                        ),
+                    });
+                }
+                if credits + ids.len() > depth {
+                    out.push(crate::invariants::Violation {
+                        router: src.0,
+                        what: format!(
+                            "link {li} vc {v}: credit surplus — {credits} upstream + {} \
+                             held > depth {depth}",
+                            ids.len()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// No flit duplication or teleportation. Authoritative copies
+    /// (injection queues, input-unit holdings, crossbar moves) must be
+    /// globally unique; retransmission entries are the protocol's sole
+    /// sanctioned shadows, at most one per flit; an in-flight wire copy
+    /// must shadow its own link's entry; and a flit buffered at a link's
+    /// far end may only be shadowed by that same link's entry.
+    fn check_flit_uniqueness(&self, out: &mut Vec<crate::invariants::Violation>) {
+        let conc = self.mesh.concentration() as usize;
+        let vcs = self.cfg.vcs as usize;
+        // Authoritative sites.
+        let mut sites: Vec<(FlitId, u8, &'static str)> = Vec::new();
+        for (q, queue) in self.inj_queues.iter().enumerate() {
+            let router = (q / vcs / conc) as u8;
+            for f in queue {
+                sites.push((f.id, router, "injection queue"));
+            }
+        }
+        for r in 0..self.routers.len() {
+            for unit in &self.routers[r].inputs {
+                for ivc in &unit.vcs {
+                    for f in &ivc.fifo {
+                        sites.push((f.id, r as u8, "input FIFO"));
+                    }
+                }
+                for d in &unit.delayed {
+                    sites.push((d.flit.id, r as u8, "delayed hold"));
+                }
+                for s in &unit.pending_scrambles {
+                    sites.push((s.flit.id, r as u8, "pending scramble"));
+                }
+            }
+            for mv in &self.routers[r].st_pending {
+                sites.push((mv.flit.id, r as u8, "crossbar move"));
+            }
+        }
+        sites.sort_unstable_by_key(|s| s.0);
+        for w in sites.windows(2) {
+            if w[0].0 == w[1].0 {
+                out.push(crate::invariants::Violation {
+                    router: w[1].1,
+                    what: format!(
+                        "flit {:?} duplicated: {} at router {} and {} at router {}",
+                        w[0].0, w[0].2, w[0].1, w[1].2, w[1].1
+                    ),
+                });
+            }
+        }
+        // Shadows: at most one retransmission entry per flit.
+        let mut entry_at: HashMap<FlitId, LinkId> = HashMap::new();
+        for li in 0..self.links.len() {
+            let link = LinkId(li as u16);
+            let (src, dir) = self.mesh.link_source(link);
+            let Some(o) = self.routers[src.index()].outputs[dir.index()].as_ref() else {
+                continue;
+            };
+            for e in &o.entries {
+                if let Some(prev) = entry_at.insert(e.flit.id, link) {
+                    out.push(crate::invariants::Violation {
+                        router: src.0,
+                        what: format!(
+                            "flit {:?} has retransmission entries at links {} and {li}",
+                            e.flit.id,
+                            prev.index()
+                        ),
+                    });
+                }
+            }
+        }
+        // An in-flight copy always duplicates its own link's entry.
+        for li in 0..self.links.len() {
+            if let Some(lf) = self.links[li].in_flight() {
+                if entry_at.get(&lf.flit.id) != Some(&LinkId(li as u16)) {
+                    let (src, _) = self.mesh.link_source(LinkId(li as u16));
+                    out.push(crate::invariants::Violation {
+                        router: src.0,
+                        what: format!(
+                            "flit {:?} in flight on link {li} without a backing \
+                             retransmission entry there",
+                            lf.flit.id
+                        ),
+                    });
+                }
+            }
+        }
+        // Teleportation: a flit held at a network input may only be
+        // shadowed by the entry of the link that feeds that input.
+        for r in 0..self.routers.len() {
+            let node = NodeId(r as u8);
+            for (p, unit) in self.routers[r].inputs.iter().enumerate() {
+                let feeding = match Port::from_index(p) {
+                    Port::Net(d) => self
+                        .mesh
+                        .neighbor(node, d)
+                        .and_then(|nb| self.mesh.link_out(nb, d.opposite())),
+                    Port::Local(_) => None,
+                };
+                let audit = |id: FlitId, out: &mut Vec<crate::invariants::Violation>| {
+                    if let Some(&l) = entry_at.get(&id) {
+                        if Some(l) != feeding {
+                            out.push(crate::invariants::Violation {
+                                router: r as u8,
+                                what: format!(
+                                    "flit {id:?} teleported: held at router {r} input {p} \
+                                     but shadowed by link {}",
+                                    l.index()
+                                ),
+                            });
+                        }
+                    }
+                };
+                for ivc in &unit.vcs {
+                    for f in &ivc.fifo {
+                        audit(f.id, out);
+                    }
+                }
+                for d in &unit.delayed {
+                    audit(d.flit.id, out);
+                }
+                for s in &unit.pending_scrambles {
+                    audit(s.flit.id, out);
+                }
+            }
+        }
+    }
+
+    /// SECDED soundness on the wire: the fault layer strikes at delivery,
+    /// so an in-flight codeword must still be the exact encoding of its
+    /// wire word — and a sound encoding must decode clean.
+    fn check_ecc_soundness(&self, out: &mut Vec<crate::invariants::Violation>) {
+        for li in 0..self.links.len() {
+            let Some(lf) = self.links[li].in_flight() else {
+                continue;
+            };
+            let (src, _) = self.mesh.link_source(LinkId(li as u16));
+            if lf.codeword != Secded::encode(lf.wire_word) {
+                out.push(crate::invariants::Violation {
+                    router: src.0,
+                    what: format!(
+                        "link {li}: in-flight codeword is not the SECDED encoding of \
+                         its wire word"
+                    ),
+                });
+            } else if !matches!(Secded::decode(lf.codeword), Decode::Clean { .. }) {
+                out.push(crate::invariants::Violation {
+                    router: src.0,
+                    what: format!("link {li}: sound in-flight codeword does not decode clean"),
+                });
+            }
+        }
+    }
+
+    /// A watchdog verdict must describe the network it judged: occupancy
+    /// figures match a recomputation, and a retransmission-livelock
+    /// verdict names a real entry at the reported attempt count.
+    fn check_watchdog_consistency(&self, out: &mut Vec<crate::invariants::Violation>) {
+        let Some(report) = self.check_watchdog() else {
+            return;
+        };
+        let culprit = report.culprit().map(|(r, _)| r.0).unwrap_or(0);
+        if report.resident_flits != self.resident_flits()
+            || report.queued_flits != self.queued_flits()
+            || report.delivered_flits != self.stats.delivered_flits
+        {
+            out.push(crate::invariants::Violation {
+                router: culprit,
+                what: "watchdog report disagrees with recomputed network occupancy".into(),
+            });
+        }
+        if let StallKind::RetxLivelock {
+            router,
+            dir,
+            flit,
+            attempts,
+        } = report.kind
+        {
+            let named = self.routers[router.index()].outputs[dir.index()]
+                .as_ref()
+                .is_some_and(|o| {
+                    o.entries
+                        .iter()
+                        .any(|e| e.flit.id == flit && e.attempts == attempts)
+                });
+            if !named {
+                out.push(crate::invariants::Violation {
+                    router: router.0,
+                    what: format!(
+                        "watchdog livelock verdict names flit {flit:?} at {attempts} \
+                         attempts, but no such retransmission entry exists"
+                    ),
+                });
+            }
+        }
+    }
+
     /// Flits resident anywhere in the network (buffers, crossbars,
     /// retransmission slots, descramble holds) — link copies of un-ACKed
     /// retransmission entries are not double-counted.
@@ -438,7 +743,7 @@ impl Simulator {
         }
         if let Some(every) = self.cfg.check_invariants_every {
             if self.cycle.is_multiple_of(every.max(1)) {
-                let violations = self.check_invariants();
+                let violations = self.check_all_invariants();
                 if !violations.is_empty() {
                     return Err(SimError::InvariantViolations {
                         cycle: self.cycle,
@@ -875,6 +1180,16 @@ impl Simulator {
                 }
             }
             for &vc in credits.iter() {
+                // Conformance self-test hook: leak every Nth credit.
+                if let Some(crate::config::Sabotage::LeakCredit { every }) = self.cfg.sabotage {
+                    self.sabotage_credit_seen += 1;
+                    if self
+                        .sabotage_credit_seen
+                        .is_multiple_of(every.max(1) as u64)
+                    {
+                        continue;
+                    }
+                }
                 out.credits[vc.index()] += 1;
                 debug_assert!(out.credits[vc.index()] <= self.cfg.vc_depth);
             }
@@ -995,6 +1310,16 @@ impl Simulator {
                     }
                 );
                 self.stats.delivered_flits += 1;
+                // Conformance self-test hook: double-count every Nth
+                // ejection in the delivery statistics.
+                if let Some(crate::config::Sabotage::OvercountDelivered { every }) =
+                    self.cfg.sabotage
+                {
+                    self.sabotage_eject_seen += 1;
+                    if self.sabotage_eject_seen.is_multiple_of(every.max(1) as u64) {
+                        self.stats.delivered_flits += 1;
+                    }
+                }
                 if ej.flit.kind.closes_packet() {
                     self.stats.delivered_packets += 1;
                     let born = self.birth.remove(&ej.flit.packet).unwrap_or(now);
@@ -1019,6 +1344,13 @@ impl Simulator {
         for r in 0..self.routers.len() {
             if !self.router_active[r] {
                 continue;
+            }
+            // Conformance self-test hook: the sabotaged router never
+            // performs switch allocation (a dropped SA grant, forever).
+            if let Some(crate::config::Sabotage::StallSaRouter { router }) = self.cfg.sabotage {
+                if router as usize == r {
+                    continue;
+                }
             }
             let node = NodeId(r as u8);
             credits.clear();
@@ -1309,14 +1641,19 @@ impl Simulator {
         let now = self.cycle;
         let mut unique: HashSet<FlitId> = HashSet::new();
         // A flit can be purged twice (retransmission slot upstream + the
-        // delivered copy downstream while its ACK rides the reverse wire)
-        // but holds at most one live credit. Buffer-side records are
-        // authoritative; a retransmission entry's record only counts when
-        // nothing else claims the flit (once the downstream copy advances
-        // past SA, the entry's reservation is already travelling back as
-        // an ordinary credit return).
+        // downstream copy while its ACK rides the reverse wire) but holds
+        // at most one live credit. Buffer-side records are authoritative;
+        // a retransmission entry's record only counts when the flit never
+        // occupied the downstream router at all (faulted on the wire, or
+        // the wire copy is being purged with it). The moment a flit pops
+        // from the downstream FIFO at SA its slot credit is already
+        // travelling back as an ordinary credit return, so any non-retx
+        // copy — even one holding no credit itself, like a crossbar move
+        // to the local ejection port — disqualifies the entry's record,
+        // as does a success ACK still riding the entry's own link.
         let mut strong: HashMap<FlitId, (usize, Direction, VcId)> = HashMap::new();
         let mut weak: HashMap<FlitId, (usize, Direction, VcId)> = HashMap::new();
+        let mut covered: HashSet<FlitId> = HashSet::new();
         for r in 0..self.routers.len() {
             let node = NodeId(r as u8);
             for copy in self.routers[r].purge_packets(victims, now) {
@@ -1329,16 +1666,29 @@ impl Simulator {
                         .map(|nb| (nb.index(), in_dir.opposite(), vc)),
                     None => None,
                 };
-                if let Some(site) = resolved {
-                    if copy.from_retx {
+                if copy.from_retx {
+                    if let Some(site) = resolved {
                         weak.entry(copy.flit).or_insert(site);
-                    } else {
+                    }
+                } else {
+                    covered.insert(copy.flit);
+                    if let Some(site) = resolved {
                         strong.entry(copy.flit).or_insert(site);
                     }
                 }
             }
         }
-        for (flit, site) in weak {
+        for (flit, site @ (r, dir, _)) in weak {
+            if covered.contains(&flit) {
+                continue;
+            }
+            let acked = self
+                .mesh
+                .link_out(NodeId(r as u8), dir)
+                .is_some_and(|l| self.links[l.index()].reverse_ack_success_for(flit));
+            if acked {
+                continue;
+            }
             strong.entry(flit).or_insert(site);
         }
         for (_, (r, dir, vc)) in strong {

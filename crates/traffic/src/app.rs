@@ -260,6 +260,11 @@ impl TrafficSource for AppModel {
         }
         for core in 0..self.mesh.cores() {
             let src = self.mesh.router_of_core(CoreId(core as u8));
+            // A single-router mesh has no remote destination to sample
+            // (the CDF excludes src), so this core can never inject.
+            if self.dest_cdf[src.index()].is_empty() {
+                continue;
+            }
             let mut rate = self.spec.rate;
             if src == self.spec.primary {
                 rate *= self.spec.primary_boost;

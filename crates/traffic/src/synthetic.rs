@@ -21,12 +21,20 @@ pub enum Pattern {
 impl Pattern {
     fn dest(&self, mesh: &Mesh, src: NodeId, rng: &mut StdRng) -> NodeId {
         match self {
-            Pattern::UniformRandom => loop {
-                let d = NodeId(rng.gen_range(0..mesh.routers() as u8));
-                if d != src {
-                    return d;
+            Pattern::UniformRandom => {
+                // A single-router mesh has no destination ≠ src; return
+                // src and let the caller's self-traffic filter drop it
+                // (the rejection loop below would otherwise never exit).
+                if mesh.routers() <= 1 {
+                    return src;
                 }
-            },
+                loop {
+                    let d = NodeId(rng.gen_range(0..mesh.routers() as u8));
+                    if d != src {
+                        return d;
+                    }
+                }
+            }
             Pattern::Transpose => {
                 let c = mesh.coord_of(src);
                 mesh.node_at(noc_types::Coord::new(c.y, c.x))

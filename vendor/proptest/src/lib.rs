@@ -226,6 +226,16 @@ macro_rules! prop_assert_ne {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`: both = {:?}: {} ({}:{})",
+                stringify!($left), stringify!($right), l,
+                format!($($fmt)*), file!(), line!()
+            )));
+        }
+    }};
 }
 
 /// Skip the current case (does not count toward the case budget).
