@@ -29,7 +29,9 @@ fn run(vcs: u8, vc_depth: u8, mitigation: bool) -> (f64, u64, bool) {
     cfg.snapshot_interval = 100;
     let mut sim = Simulator::new(cfg);
     for l in &infected {
-        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(app.primary.0)));
+        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(
+            (app.primary.0 & 0xF) as u8,
+        )));
         let faults = std::mem::replace(
             sim.link_faults_mut(*l),
             noc_sim::fault::LinkFaults::healthy(0),

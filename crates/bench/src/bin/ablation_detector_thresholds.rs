@@ -29,7 +29,9 @@ fn run(lob_threshold: u32, bist_threshold: u32, transients: bool) -> (u64, u64, 
     cfg.snapshot_interval = 50;
     let mut sim = Simulator::new(cfg);
     for l in &infected {
-        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(app.primary.0)));
+        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(
+            (app.primary.0 & 0xF) as u8,
+        )));
         let faults = std::mem::replace(
             sim.link_faults_mut(*l),
             noc_sim::fault::LinkFaults::healthy(0),

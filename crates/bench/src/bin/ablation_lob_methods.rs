@@ -13,14 +13,14 @@ fn spec_for(kind: TargetKind, h: &Header) -> TargetSpec {
     use noc_trojan::FieldMatch::Exact;
     match kind {
         TargetKind::Full => TargetSpec {
-            src: Some(Exact(h.src.0)),
-            dest: Some(Exact(h.dest.0)),
+            src: Some(Exact((h.src.0 & 0xF) as u8)),
+            dest: Some(Exact((h.dest.0 & 0xF) as u8)),
             vc: Some(Exact(h.vc.0)),
             mem: Some(Exact(h.mem_addr)),
         },
-        TargetKind::Dest => TargetSpec::dest(h.dest.0),
-        TargetKind::Src => TargetSpec::src(h.src.0),
-        TargetKind::DestSrc => TargetSpec::flow(h.src.0, h.dest.0),
+        TargetKind::Dest => TargetSpec::dest((h.dest.0 & 0xF) as u8),
+        TargetKind::Src => TargetSpec::src((h.src.0 & 0xF) as u8),
+        TargetKind::DestSrc => TargetSpec::flow((h.src.0 & 0xF) as u8, (h.dest.0 & 0xF) as u8),
         TargetKind::Mem => TargetSpec {
             mem: Some(Exact(h.mem_addr)),
             ..TargetSpec::default()
@@ -37,8 +37,8 @@ fn main() {
     // A representative header population; a method must hide every one.
     let headers: Vec<Header> = (0..64u32)
         .map(|i| Header {
-            src: NodeId((i % 16) as u8),
-            dest: NodeId(((i * 7) % 16) as u8),
+            src: NodeId((i % 16) as u16),
+            dest: NodeId(((i * 7) % 16) as u16),
             vc: VcId((i % 4) as u8),
             mem_addr: 0x1000_0000 | (i * 0x91),
             thread: (i % 4) as u8,

@@ -1,30 +1,45 @@
 //! End-to-end simulator throughput harness: cycles/sec on the paper's
-//! baseline and trojan-flood scenarios for a fixed cycle budget.
+//! baseline and trojan-flood scenarios for a fixed cycle budget, plus a
+//! mesh-scaling sweep (16×16 and 32×32) across the sharded engine's
+//! thread axis.
 //!
-//! Writes `BENCH_throughput.json` (cycles/sec, flit-hops/sec, peak RSS)
-//! and, when `--gate` is passed, exits non-zero if cycles/sec falls more
-//! than 30% below the committed `crates/bench/baseline_throughput.json`.
+//! Writes `BENCH_throughput.json` (cycles/sec, flit-hops/sec, peak RSS,
+//! and a threads → speedup scaling curve) and, when `--gate` is passed,
+//! exits non-zero if:
+//!
+//! * cycles/sec on the 4×4 scenarios falls more than 30% below the
+//!   committed `crates/bench/baseline_throughput.json`;
+//! * any scenario's peak RSS exceeds 1.5× its committed ceiling (the
+//!   parallel engine's per-shard scratch must not balloon memory);
+//! * (machine-aware — only when `available_parallelism ≥ threads`) a
+//!   multi-threaded run is >30% slower than its own sequential run, or
+//!   the headline 16×16 trojan-flood run at 8 threads misses its 3×
+//!   speedup target minus the same 30% tolerance.
 //!
 //! Usage: `cargo run --release -p noc-bench --bin cycles_per_sec -- \
-//!     [--quick] [--gate] [--out PATH]`
+//!     [--quick] [--gate] [--threads 1,2,4,8] [--out PATH]`
 
 use noc_sim::routing::xy_direction;
 use noc_sim::{LinkFaults, SimConfig, Simulator, TrafficSource};
 use noc_traffic::{AppModel, AppSpec, Pattern, SyntheticTraffic};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
-use noc_types::NodeId;
+use noc_types::{Mesh, NodeId};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One scenario's measured numbers.
 struct Measurement {
-    name: &'static str,
+    name: String,
+    threads: usize,
     cycles: u64,
     wall_s: f64,
     cycles_per_sec: f64,
     flit_hops: u64,
     flit_hops_per_sec: f64,
     peak_rss_kb: u64,
+    /// Throughput relative to the same scenario at 1 thread (scaling
+    /// sweep entries only).
+    speedup_vs_t1: Option<f64>,
 }
 
 /// Peak resident set size (VmHWM) of this process, in kB.
@@ -50,7 +65,8 @@ fn drive(sim: &mut Simulator, traffic: &mut dyn TrafficSource, budget: u64) -> f
 }
 
 fn measure(
-    name: &'static str,
+    name: String,
+    threads: usize,
     mut sim: Simulator,
     mut traffic: Box<dyn TrafficSource>,
     budget: u64,
@@ -59,12 +75,14 @@ fn measure(
     let flit_hops: u64 = sim.metrics().link_flits().iter().sum();
     Measurement {
         name,
+        threads,
         cycles: budget,
         wall_s,
         cycles_per_sec: budget as f64 / wall_s,
         flit_hops,
         flit_hops_per_sec: flit_hops as f64 / wall_s,
         peak_rss_kb: peak_rss_kb(),
+        speedup_vs_t1: None,
     }
 }
 
@@ -76,7 +94,7 @@ fn baseline(budget: u64) -> Measurement {
     let sim = Simulator::new(cfg);
     let mesh = sim.mesh().clone();
     let traffic = AppModel::new(AppSpec::blackscholes(), mesh, 7).until(budget * 2 / 3);
-    measure("baseline", sim, Box::new(traffic), budget)
+    measure("baseline".into(), 1, sim, Box::new(traffic), budget)
 }
 
 /// The trojan-flood storm: an unmitigated hotspot flood through an
@@ -93,18 +111,65 @@ fn trojan_flood(budget: u64) -> Measurement {
             .link_out(NodeId(5), dir)
             .expect("adjacent routers share a link")
     };
-    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(victim.0)));
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest((victim.0 & 0xF) as u8)));
     let faults = std::mem::replace(sim.link_faults_mut(hot), LinkFaults::healthy(hot.0 as u64));
     *sim.link_faults_mut(hot) = faults.with_trojan(ht);
     sim.arm_trojans(true);
     let mesh = sim.mesh().clone();
     let traffic = SyntheticTraffic::new(mesh, Pattern::Hotspot(vec![victim]), 0.05, 0x0D15_EA5E)
         .until(budget * 3 / 5);
-    measure("trojan_flood", sim, Box::new(traffic), budget)
+    measure("trojan_flood".into(), 1, sim, Box::new(traffic), budget)
+}
+
+/// Research-scale baseline: uniform-random traffic on a `dim`×`dim`
+/// mesh (concentration 1), sharded over `threads` workers.
+fn scaling_baseline(dim: u8, threads: usize, budget: u64) -> Measurement {
+    let mut cfg = SimConfig::paper();
+    cfg.mesh = Mesh::new(dim, dim, 1);
+    cfg.snapshot_interval = 1_000;
+    cfg.threads = Some(threads);
+    let sim = Simulator::new(cfg);
+    let mesh = sim.mesh().clone();
+    let traffic =
+        SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.05, 0xBA5E).until(budget * 2 / 3);
+    let name = format!("baseline_{dim}x{dim}_t{threads}");
+    measure(name, threads, sim, Box::new(traffic), budget)
+}
+
+/// Research-scale trojan flood: a TASP comparator on a central feeder
+/// link under an unmitigated hotspot flood, `dim`×`dim`, sharded over
+/// `threads` workers.
+fn scaling_trojan_flood(dim: u8, threads: usize, budget: u64) -> Measurement {
+    let mut cfg = SimConfig::paper_unprotected();
+    cfg.mesh = Mesh::new(dim, dim, 1);
+    cfg.snapshot_interval = 1_000;
+    cfg.threads = Some(threads);
+    let mut sim = Simulator::new(cfg);
+    // Victim at the mesh centre; infect its western feeder link so the
+    // whole hotspot stream crosses the comparator.
+    let d = dim as u16;
+    let victim = NodeId((d / 2) * d + d / 2);
+    let feeder = NodeId(victim.0 - 1);
+    let hot = {
+        let dir = xy_direction(sim.mesh(), feeder, victim);
+        sim.mesh()
+            .link_out(feeder, dir)
+            .expect("adjacent routers share a link")
+    };
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest((victim.0 & 0xF) as u8)));
+    let faults = std::mem::replace(sim.link_faults_mut(hot), LinkFaults::healthy(hot.0 as u64));
+    *sim.link_faults_mut(hot) = faults.with_trojan(ht);
+    sim.arm_trojans(true);
+    let mesh = sim.mesh().clone();
+    let traffic = SyntheticTraffic::new(mesh, Pattern::Hotspot(vec![victim]), 0.02, 0x0D15_EA5E)
+        .until(budget * 3 / 5);
+    let name = format!("trojan_flood_{dim}x{dim}_t{threads}");
+    measure(name, threads, sim, Box::new(traffic), budget)
 }
 
 fn json_scenario(out: &mut String, m: &Measurement, last: bool) {
     writeln!(out, "    \"{}\": {{", m.name).unwrap();
+    writeln!(out, "      \"threads\": {},", m.threads).unwrap();
     writeln!(out, "      \"cycles\": {},", m.cycles).unwrap();
     writeln!(out, "      \"wall_s\": {:.6},", m.wall_s).unwrap();
     writeln!(out, "      \"cycles_per_sec\": {:.1},", m.cycles_per_sec).unwrap();
@@ -115,6 +180,9 @@ fn json_scenario(out: &mut String, m: &Measurement, last: bool) {
         m.flit_hops_per_sec
     )
     .unwrap();
+    if let Some(s) = m.speedup_vs_t1 {
+        writeln!(out, "      \"speedup_vs_t1\": {s:.2},").unwrap();
+    }
     writeln!(out, "      \"peak_rss_kb\": {}", m.peak_rss_kb).unwrap();
     writeln!(out, "    }}{}", if last { "" } else { "," }).unwrap();
 }
@@ -141,11 +209,39 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let threads_axis: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--threads takes e.g. 1,2,4,8"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    assert!(
+        threads_axis.contains(&1),
+        "--threads must include 1 (the sequential reference for speedups)"
+    );
+    let avail = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
 
     let (base_budget, flood_budget) = if quick {
         (3_000, 1_500)
     } else {
         (20_000, 6_000)
+    };
+    // Per-dim cycle budgets for the scaling sweep; large meshes pay per
+    // cycle, so the budget shrinks as the mesh grows.
+    let scaling_budget = |dim: u8| -> u64 {
+        match (dim, quick) {
+            (16, true) => 800,
+            (16, false) => 4_000,
+            (32, true) => 300,
+            (32, false) => 1_200,
+            _ => unreachable!("scaling dims are 16 and 32"),
+        }
     };
 
     eprintln!("cycles_per_sec: baseline ({base_budget} cycles)...");
@@ -160,6 +256,38 @@ fn main() {
         "  {:>12.0} cycles/s  {:>12.0} flit-hops/s  {} kB peak RSS",
         flood.cycles_per_sec, flood.flit_hops_per_sec, flood.peak_rss_kb
     );
+
+    // Mesh-scaling sweep: each scenario at every thread count on the
+    // axis, sequential (t1) first as the speedup reference.
+    let mut scaling: Vec<Measurement> = Vec::new();
+    for dim in [16u8, 32] {
+        let budget = scaling_budget(dim);
+        for kind in ["baseline", "trojan_flood"] {
+            let mut t1_cps = None;
+            for &t in &threads_axis {
+                eprintln!("cycles_per_sec: {kind}_{dim}x{dim}_t{t} ({budget} cycles)...");
+                let mut m = match kind {
+                    "baseline" => scaling_baseline(dim, t, budget),
+                    _ => scaling_trojan_flood(dim, t, budget),
+                };
+                if t == 1 {
+                    t1_cps = Some(m.cycles_per_sec);
+                } else if let Some(t1) = t1_cps {
+                    m.speedup_vs_t1 = Some(m.cycles_per_sec / t1);
+                }
+                eprintln!(
+                    "  {:>12.0} cycles/s  {:>12.0} flit-hops/s  {} kB peak RSS{}",
+                    m.cycles_per_sec,
+                    m.flit_hops_per_sec,
+                    m.peak_rss_kb,
+                    m.speedup_vs_t1
+                        .map(|s| format!("  {s:.2}x vs t1"))
+                        .unwrap_or_default()
+                );
+                scaling.push(m);
+            }
+        }
+    }
 
     let baseline_doc = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -181,9 +309,20 @@ fn main() {
         if quick { "quick" } else { "full" }
     )
     .unwrap();
+    let axis = threads_axis
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    writeln!(out, "  \"threads_axis\": [{axis}],").unwrap();
+    writeln!(out, "  \"available_parallelism\": {avail},").unwrap();
     writeln!(out, "  \"scenarios\": {{").unwrap();
     json_scenario(&mut out, &base, false);
-    json_scenario(&mut out, &flood, true);
+    let n = scaling.len();
+    json_scenario(&mut out, &flood, n == 0);
+    for (i, m) in scaling.iter().enumerate() {
+        json_scenario(&mut out, m, i + 1 == n);
+    }
     writeln!(out, "  }},").unwrap();
     if let Some((Some(b), Some(f))) = before {
         writeln!(out, "  \"before\": {{").unwrap();
@@ -203,6 +342,8 @@ fn main() {
     if gate {
         let doc = baseline_doc.expect("--gate needs crates/bench/baseline_throughput.json");
         let mut failed = false;
+
+        // Throughput floors: committed baseline minus 30% tolerance.
         for (m, key) in [
             (&base, "gate_baseline_cps"),
             (&flood, "gate_trojan_flood_cps"),
@@ -223,6 +364,74 @@ fn main() {
                 );
             }
         }
+
+        // Peak-RSS ceilings: each scenario must stay within 1.5x its
+        // committed high-water mark so the sharded engine's duplicated
+        // scratch buffers can't silently balloon memory. RSS is a
+        // process-wide high-water mark, so the committed values assume
+        // the fixed scenario order above.
+        let mut all: Vec<&Measurement> = vec![&base, &flood];
+        all.extend(scaling.iter());
+        for m in &all {
+            let key = format!("gate_rss_{}_kb", m.name);
+            let Some(ceiling) = json_number(&doc, &key) else {
+                eprintln!("gate note: no RSS ceiling committed for {}", m.name);
+                continue;
+            };
+            let max = ceiling * 1.5;
+            if m.peak_rss_kb as f64 > max {
+                eprintln!(
+                    "GATE FAIL: {} peaked at {} kB RSS, above the committed \
+                     ceiling {:.0} kB (+50% headroom = {:.0} kB)",
+                    m.name, m.peak_rss_kb, ceiling, max
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "gate ok: {} peak RSS {} kB (ceiling {:.0} kB)",
+                    m.name, m.peak_rss_kb, max
+                );
+            }
+        }
+
+        // Scaling floors, machine-aware: parallel throughput claims are
+        // only meaningful when the hardware can actually run that many
+        // workers, so each check is skipped when available_parallelism
+        // is below the run's thread count.
+        for m in &scaling {
+            let Some(speedup) = m.speedup_vs_t1 else {
+                continue;
+            };
+            if avail < m.threads {
+                eprintln!(
+                    "gate skip: {} needs {} hardware threads, machine has {avail}",
+                    m.name, m.threads
+                );
+                continue;
+            }
+            // Headline target: 16x16 trojan flood at 8 threads must hit
+            // 3x sequential; everything else must at least not regress
+            // below sequential minus the standard 30% tolerance.
+            let floor = if m.name == "trojan_flood_16x16_t8" {
+                3.0 * 0.7
+            } else {
+                0.7
+            };
+            if speedup < floor {
+                eprintln!(
+                    "GATE FAIL: {} speedup {speedup:.2}x vs sequential is below \
+                     the floor {floor:.2}x",
+                    m.name
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "gate ok: {} speedup {speedup:.2}x (floor {floor:.2}x)",
+                    m.name
+                );
+            }
+        }
+
         if failed {
             std::process::exit(1);
         }

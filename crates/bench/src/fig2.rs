@@ -99,7 +99,9 @@ pub fn measure(distance: u32, kind: FaultKind, cap: u64) -> LatencyPoint {
             // cleared after the first NACK via transient probability:
             // simplest deterministic equivalent is a TargetSpec matching the
             // flow with a large cooldown so exactly the first head is hit.
-            let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest.0)).with_cooldown(u32::MAX));
+            let ht = TaspHt::new(
+                TaspConfig::new(TargetSpec::dest((dest.0 & 0xF) as u8)).with_cooldown(u32::MAX),
+            );
             let faults = std::mem::replace(
                 sim.link_faults_mut(first_link),
                 noc_sim::fault::LinkFaults::healthy(0),
@@ -118,7 +120,7 @@ pub fn measure(distance: u32, kind: FaultKind, cap: u64) -> LatencyPoint {
             sim.set_dead_links(vec![first_link]);
         }
         FaultKind::TrojanMitigated | FaultKind::TrojanUnprotected => {
-            let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest.0)));
+            let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest((dest.0 & 0xF) as u8)));
             let faults = std::mem::replace(
                 sim.link_faults_mut(first_link),
                 noc_sim::fault::LinkFaults::healthy(0),

@@ -73,7 +73,7 @@ impl MigratableApp {
         }
         // Remainder: decay around the source.
         loop {
-            let d = NodeId(self.rng.gen_range(0..self.mesh.routers() as u8));
+            let d = NodeId(self.rng.gen_range(0..self.mesh.routers() as u16));
             if d == src {
                 continue;
             }
@@ -92,7 +92,7 @@ impl TrafficSource for MigratableApp {
             return;
         }
         for core in 0..self.mesh.cores() {
-            let src = self.mesh.router_of_core(noc_types::CoreId(core as u8));
+            let src = self.mesh.router_of_core(noc_types::CoreId(core as u16));
             let mut rate = self.spec.rate;
             let primary = self.new_primary.unwrap_or(self.spec.primary);
             if src == primary {
@@ -159,7 +159,9 @@ pub fn run_with_migration(migrate: bool, horizon: u64) -> MigrationOutcome {
     cfg.snapshot_interval = 10;
     let mut sim = Simulator::new(cfg);
     for l in &infected {
-        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(app.primary.0)));
+        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(
+            (app.primary.0 & 0xF) as u8,
+        )));
         let faults = std::mem::replace(
             sim.link_faults_mut(*l),
             noc_sim::fault::LinkFaults::healthy(0),

@@ -11,7 +11,7 @@
 //! written as JSON under `--out` (default `target/conformance`), and the
 //! exact replay command is printed; the process then exits nonzero.
 
-use htnoc_conformance::{run_differential, shrink, Scenario};
+use htnoc_conformance::{run_differential_threads, shrink, Scenario};
 use noc_sim::config::Sabotage;
 use std::time::Instant;
 
@@ -21,6 +21,7 @@ struct Args {
     budget_secs: Option<u64>,
     out: String,
     sabotage: Option<Sabotage>,
+    threads: usize,
 }
 
 /// Parse `--sabotage` specs: `stall-sa:R`, `leak-credit:N`, `overcount:N`.
@@ -30,7 +31,7 @@ fn parse_sabotage(spec: &str) -> Result<Sabotage, String> {
         .ok_or_else(|| format!("sabotage spec '{spec}' needs kind:value"))?;
     let n: u32 = arg.parse().map_err(|e| format!("{e}"))?;
     match kind {
-        "stall-sa" => Ok(Sabotage::StallSaRouter { router: n as u8 }),
+        "stall-sa" => Ok(Sabotage::StallSaRouter { router: n as u16 }),
         "leak-credit" => Ok(Sabotage::LeakCredit { every: n }),
         "overcount" => Ok(Sabotage::OvercountDelivered { every: n }),
         other => Err(format!(
@@ -46,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         budget_secs: None,
         out: "target/conformance".into(),
         sabotage: None,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,6 +64,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--sabotage" => args.sabotage = Some(parse_sabotage(&value("--sabotage")?)?),
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -75,7 +80,7 @@ fn main() {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--seed N] [--cases K] [--budget-secs S] [--out DIR] \
-                 [--sabotage stall-sa:R|leak-credit:N|overcount:N]"
+                 [--threads T] [--sabotage stall-sa:R|leak-credit:N|overcount:N]"
             );
             std::process::exit(2);
         }
@@ -96,12 +101,12 @@ fn main() {
             // stalled router must exist in the sampled mesh to bite.
             scenario.sabotage = Some(match sabotage {
                 Sabotage::StallSaRouter { router } => Sabotage::StallSaRouter {
-                    router: router % scenario.routers().max(1) as u8,
+                    router: router % scenario.routers().max(1) as u16,
                 },
                 other => other,
             });
         }
-        let report = run_differential(&scenario);
+        let report = run_differential_threads(&scenario, args.threads);
         ran += 1;
         if report.ok() {
             if ran.is_multiple_of(50) {
@@ -116,8 +121,10 @@ fn main() {
         for d in report.divergences.iter().take(8) {
             println!("  {d}");
         }
-        let minimal = shrink(&scenario, &|c| !run_differential(c).ok());
-        let final_report = run_differential(&minimal);
+        let minimal = shrink(&scenario, &|c| {
+            !run_differential_threads(c, args.threads).ok()
+        });
+        let final_report = run_differential_threads(&minimal, args.threads);
         let path = format!("{}/failing-seed-{seed}.json", args.out);
         std::fs::create_dir_all(&args.out).expect("create output directory");
         std::fs::write(&path, minimal.to_json_string()).expect("write failing scenario");

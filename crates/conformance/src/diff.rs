@@ -67,14 +67,23 @@ struct Watermark {
 /// Run `scenario` through the real simulator in lockstep with the
 /// reference oracle. Returns every divergence found.
 pub fn run_differential(scenario: &Scenario) -> DiffReport {
+    run_differential_threads(scenario, 1)
+}
+
+/// [`run_differential`] with the optimized simulator running on the
+/// sharded cycle engine at `threads` workers. The oracle is engine-blind,
+/// so any thread-dependent behaviour in the simulator surfaces as an
+/// ordinary divergence.
+pub fn run_differential_threads(scenario: &Scenario, threads: usize) -> DiffReport {
     let oracle = RefSim::new(scenario);
     let exp = oracle.expectation();
     let mut sim = scenario.build_sim();
+    sim.set_threads(threads);
     let mut source = scenario.source();
 
     let mut div: Vec<Divergence> = Vec::new();
     // Delivery map: packet id -> (times delivered, reported dest).
-    let mut delivered: BTreeMap<u64, (u64, u8)> = BTreeMap::new();
+    let mut delivered: BTreeMap<u64, (u64, u16)> = BTreeMap::new();
     // Last classification per link.
     let mut classified: BTreeMap<u16, FaultClass> = BTreeMap::new();
     let mut quarantine_events: Vec<u16> = Vec::new();
@@ -274,7 +283,7 @@ fn end_state_checks(
     sim: &Simulator,
     scenario: &Scenario,
     exp: &Expectation,
-    delivered: &BTreeMap<u64, (u64, u8)>,
+    delivered: &BTreeMap<u64, (u64, u16)>,
     classified: &BTreeMap<u16, FaultClass>,
     quiesced: bool,
     div: &mut Vec<Divergence>,

@@ -393,8 +393,8 @@ mod tests {
         // every pair — this is the whole point of having two of them.
         for (w, h) in [(1u8, 1u8), (2, 2), (4, 4), (3, 2), (1, 4)] {
             let mesh = Mesh::new(w, h, 1);
-            for s in 0..mesh.routers() as u8 {
-                for d in 0..mesh.routers() as u8 {
+            for s in 0..mesh.routers() as u16 {
+                for d in 0..mesh.routers() as u16 {
                     let ours = xy_walk(&mesh, NodeId(s), NodeId(d));
                     let theirs: Vec<u16> = noc_sim::routing::xy_path(&mesh, NodeId(s), NodeId(d))
                         .into_iter()

@@ -23,9 +23,9 @@ pub struct PacketSpec {
     /// Scenario-unique packet id.
     pub id: u64,
     /// Source router.
-    pub src: u8,
+    pub src: u16,
     /// Destination router.
-    pub dest: u8,
+    pub dest: u16,
     /// VC class at injection (`< Scenario::vcs`).
     pub vc: u8,
     /// Length in flits (≥ 1).
@@ -58,7 +58,7 @@ pub struct TrojanSpec {
     /// The compromised link.
     pub link: u16,
     /// Destination router the comparator triggers on.
-    pub target_dest: u8,
+    pub target_dest: u16,
     /// Whether the kill switch is up from cycle 0.
     pub armed: bool,
     /// Injection cooldown in cycles (the oracle's exact counts assume 0).
@@ -156,7 +156,8 @@ impl Scenario {
         let mut sim = Simulator::new(self.sim_config());
         for t in &self.trojans {
             let mut ht = TaspHt::new(
-                TaspConfig::new(TargetSpec::dest(t.target_dest)).with_cooldown(t.cooldown),
+                TaspConfig::new(TargetSpec::dest((t.target_dest & 0xF) as u8))
+                    .with_cooldown(t.cooldown),
             );
             ht.set_kill_switch(t.armed);
             let faults = sim.link_faults_mut(LinkId(t.link));
@@ -278,8 +279,8 @@ impl Scenario {
         {
             packets.push(PacketSpec {
                 id: req_u64(p, "id")?,
-                src: req_u64(p, "src")? as u8,
-                dest: req_u64(p, "dest")? as u8,
+                src: req_u64(p, "src")? as u16,
+                dest: req_u64(p, "dest")? as u16,
                 vc: req_u64(p, "vc")? as u8,
                 len: req_u64(p, "len")? as u8,
                 inject_at: req_u64(p, "at")?,
@@ -294,7 +295,7 @@ impl Scenario {
         {
             trojans.push(TrojanSpec {
                 link: req_u64(t, "link")? as u16,
-                target_dest: req_u64(t, "dest")? as u8,
+                target_dest: req_u64(t, "dest")? as u16,
                 armed: req_bool(t, "armed")?,
                 cooldown: req_u64(t, "cooldown")? as u32,
             });
@@ -314,7 +315,7 @@ impl Scenario {
             None | Some(Json::Null) => None,
             Some(s) => Some(match s.get("kind").and_then(Json::as_str) {
                 Some("stall_sa_router") => Sabotage::StallSaRouter {
-                    router: req_u64(s, "router")? as u8,
+                    router: req_u64(s, "router")? as u16,
                 },
                 Some("leak_credit") => Sabotage::LeakCredit {
                     every: req_u64(s, "every")? as u32,
@@ -508,8 +509,8 @@ impl Scenario {
             for i in 0..n {
                 out.push(PacketSpec {
                     id: i + 1,
-                    src: rng.below(routers) as u8,
-                    dest: rng.below(routers) as u8,
+                    src: rng.below(routers) as u16,
+                    dest: rng.below(routers) as u16,
                     vc: rng.below(vcs as u64) as u8,
                     len: 1 + rng.below(4) as u8,
                     inject_at: rng.below(horizon),
@@ -524,7 +525,7 @@ impl Scenario {
     /// targeting that packet's destination so the comparator fires.
     fn mount_trojans(rng: &mut Rng, sc: &mut Scenario, mesh: &Mesh, n: usize) {
         for _ in 0..n {
-            let candidates: Vec<(LinkId, u8)> = sc
+            let candidates: Vec<(LinkId, u16)> = sc
                 .packets
                 .iter()
                 .flat_map(|p| {

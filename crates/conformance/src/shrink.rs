@@ -165,9 +165,9 @@ fn mesh_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &
                 continue;
             }
             let (nw, nh) = (w - dw, h - dh);
-            let remap = |router: u8| -> u8 {
-                let (x, y) = (router % w, router / w);
-                (y % nh) * nw + (x % nw)
+            let remap = |router: u16| -> u16 {
+                let (x, y) = (router % w as u16, router / w as u16);
+                (y % nh as u16) * nw as u16 + (x % nw as u16)
             };
             let mut cand = best.clone();
             cand.width = nw;

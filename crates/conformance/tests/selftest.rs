@@ -83,7 +83,7 @@ fn stall_sa_sabotage_shrinks_to_minimal_reproducer() {
     let minimal = sabotage_pipeline(|sc| {
         // Stall a router on some packet's route so the defect bites.
         Sabotage::StallSaRouter {
-            router: sc.packets[0].src % sc.routers().max(1) as u8,
+            router: sc.packets[0].src % sc.routers().max(1) as u16,
         }
     });
     assert!(

@@ -204,7 +204,7 @@ fn finish(
 
 /// Mount an (unarmed) TASP trojan hunting `dest` on `link`.
 fn mount_trojan(sim: &mut Simulator, link: LinkId, dest: NodeId) {
-    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest.0)));
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest((dest.0 & 0xF) as u8)));
     let faults = std::mem::replace(
         sim.link_faults_mut(link),
         noc_sim::LinkFaults::healthy(link.0 as u64),
@@ -399,7 +399,7 @@ pub fn link_death_revival(seed: u64) -> ScenarioReport {
 /// quarantines the blamed link, traffic reroutes, and the run drains
 /// with every flit accounted for.
 pub fn trojan_flood(seed: u64) -> ScenarioReport {
-    trojan_flood_run(seed, None, None).0
+    trojan_flood_run(seed, None, None, 1).0
 }
 
 /// [`trojan_flood`] with the structured tracer armed: returns the report
@@ -407,7 +407,18 @@ pub fn trojan_flood(seed: u64) -> ScenarioReport {
 /// ([`Simulator::packet_history`], [`Simulator::link_timeline`]), read
 /// the [`noc_sim::MetricsRegistry`], and export the trace.
 pub fn trojan_flood_traced(seed: u64, trace: TraceConfig) -> (ScenarioReport, Simulator) {
-    trojan_flood_run(seed, Some(trace), None)
+    trojan_flood_run(seed, Some(trace), None, 1)
+}
+
+/// [`trojan_flood_traced`] on the sharded parallel engine: bit-identical
+/// to the sequential run at every `threads` value (the golden
+/// determinism suite pins this).
+pub fn trojan_flood_traced_threads(
+    seed: u64,
+    trace: TraceConfig,
+    threads: usize,
+) -> (ScenarioReport, Simulator) {
+    trojan_flood_run(seed, Some(trace), None, threads)
 }
 
 /// [`trojan_flood_traced`] streaming every event through `sink` as it is
@@ -418,15 +429,17 @@ pub fn trojan_flood_traced_with_sink(
     trace: TraceConfig,
     sink: Box<dyn TraceSink>,
 ) -> (ScenarioReport, Simulator) {
-    trojan_flood_run(seed, Some(trace), Some(sink))
+    trojan_flood_run(seed, Some(trace), Some(sink), 1)
 }
 
 fn trojan_flood_run(
     seed: u64,
     trace: Option<TraceConfig>,
     sink: Option<Box<dyn TraceSink>>,
+    threads: usize,
 ) -> (ScenarioReport, Simulator) {
     let mut cfg = SimConfig::paper_unprotected();
+    cfg.threads = Some(threads);
     cfg.watchdog = Some(WatchdogConfig {
         retx_attempt_limit: 24,
         credit_stall_cycles: 600,

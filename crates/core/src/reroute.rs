@@ -41,8 +41,8 @@ pub fn hop_inflation(mesh: &Mesh, dead: &[LinkId]) -> Option<f64> {
             if s == d {
                 continue;
             }
-            let s = noc_types::NodeId(s as u8);
-            let d = noc_types::NodeId(d as u8);
+            let s = noc_types::NodeId(s as u16);
+            let d = noc_types::NodeId(d as u16);
             base += mesh.hop_distance(s, d) as u64;
             detour += tables.path_len(mesh, s, d)? as u64;
         }

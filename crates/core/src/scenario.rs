@@ -70,6 +70,9 @@ pub struct Scenario {
     pub vcs: Vec<u8>,
     /// Arm the structured event tracer (`None`: zero-cost disabled).
     pub trace: Option<TraceConfig>,
+    /// Worker threads for the sharded cycle engine (`None`/`Some(1)`:
+    /// sequential). Bit-identical results at every setting.
+    pub threads: Option<usize>,
 }
 
 impl Scenario {
@@ -77,7 +80,7 @@ impl Scenario {
     /// then the kill switch goes up and the trojan hits every sighting of
     /// its target (which traffic makes happen "every 10 cycles or so").
     pub fn paper_default(app: AppSpec, strategy: Strategy) -> Self {
-        let target = TargetSpec::dest(app.primary.0);
+        let target = TargetSpec::dest((app.primary.0 & 0xF) as u8);
         Self {
             app,
             seed: 0xC0FFEE,
@@ -91,6 +94,7 @@ impl Scenario {
             snapshot_interval: 10,
             vcs: Vec::new(),
             trace: None,
+            threads: None,
         }
     }
 
@@ -112,11 +116,18 @@ impl Scenario {
         self
     }
 
+    /// Run the cycle engine sharded over `threads` worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// The simulator configuration this strategy implies.
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::paper();
         cfg.snapshot_interval = self.snapshot_interval;
         cfg.trace = self.trace;
+        cfg.threads = self.threads;
         match &self.strategy {
             Strategy::Unprotected | Strategy::E2eObfuscation | Strategy::Reroute => {
                 cfg.mitigation = false;
@@ -220,7 +231,10 @@ mod tests {
     #[test]
     fn target_defaults_to_the_apps_primary() {
         let sc = Scenario::paper_default(AppSpec::facesim(), Strategy::S2sLob);
-        assert_eq!(sc.target, TargetSpec::dest(AppSpec::facesim().primary.0));
+        assert_eq!(
+            sc.target,
+            TargetSpec::dest((AppSpec::facesim().primary.0 & 0xF) as u8)
+        );
     }
 
     #[test]

@@ -1,15 +1,29 @@
 //! Parallel parameter sweeps.
 //!
 //! Every simulation run is independent, so sweeps are embarrassingly
-//! parallel. We fan work out over `std::thread::scope` workers with a
-//! shared atomic work index (no unsafe, no channels needed) and collect
-//! results in input order.
+//! parallel. Items are pre-split into contiguous chunks; workers claim
+//! whole chunks through one shared atomic index and hand the produced
+//! results back through their scoped join handles, so the only
+//! synchronisation on the work path is a single `fetch_add` per chunk —
+//! no per-item locks, no channels.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// Chunk inbox for the workers. Each slot is taken exactly once, by
+/// whichever worker wins that index from the shared atomic counter.
+struct ChunkSlots<T>(Vec<UnsafeCell<Option<Vec<T>>>>);
+
+// SAFETY: slot `i` is touched only by the single worker that received
+// index `i` from the shared `fetch_add`, so no two threads ever access
+// the same `UnsafeCell` (see the claim loop in `par_map`).
+unsafe impl<T: Send> Sync for ChunkSlots<T> {}
 
 /// Map `f` over `items` in parallel, preserving order. Uses up to
 /// `threads` workers (defaults to the available parallelism).
+///
+/// A panic inside `f` is propagated to the caller after the remaining
+/// workers finish their in-flight chunks.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: Option<usize>, f: F) -> Vec<R>
 where
     T: Send,
@@ -30,34 +44,59 @@ where
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    // Move items behind Option slots so workers can take them by index.
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // More chunks than workers keeps one slow item from serialising the
+    // tail of the sweep, while claiming stays one fetch_add per chunk.
+    let chunk_count = (workers * 4).min(n);
+    let chunk_size = n.div_ceil(chunk_count);
+    let mut items = items;
+    let mut chunks = Vec::with_capacity(chunk_count);
+    while !items.is_empty() {
+        let rest = items.split_off(chunk_size.min(items.len()));
+        chunks.push(items);
+        items = rest;
+    }
+    let nchunks = chunks.len();
+    let slots = ChunkSlots(
+        chunks
+            .into_iter()
+            .map(|c| UnsafeCell::new(Some(c)))
+            .collect(),
+    );
     let next = AtomicUsize::new(0);
+    let (slots, next, f) = (&slots, &next, &f);
+    let mut out: Vec<Option<Vec<R>>> = (0..nchunks).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("slot lock never poisoned")
-                    .take()
-                    .expect("each slot taken once");
-                let r = f(item);
-                *results[i].lock().expect("result lock never poisoned") = Some(r);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= nchunks {
+                            break;
+                        }
+                        // SAFETY: the fetch_add above handed index `i` to
+                        // this worker alone; no other thread reads or
+                        // writes slot `i`.
+                        let chunk = unsafe { (*slots.0[i].get()).take() }
+                            .expect("each chunk claimed exactly once");
+                        produced.push((i, chunk.into_iter().map(f).collect()));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            let produced = h
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            for (i, rs) in produced {
+                out[i] = Some(rs);
+            }
         }
     });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result lock never poisoned")
-                .expect("all slots filled")
-        })
+    out.into_iter()
+        .flat_map(|c| c.expect("every chunk index was claimed"))
         .collect()
 }
 
@@ -72,6 +111,16 @@ mod tests {
     }
 
     #[test]
+    fn preserves_order_with_uneven_chunks() {
+        // 103 items over 8 workers: 32 chunk slots, ragged final chunk.
+        let out = par_map((0..103).collect(), Some(8), |x: i32| x - 7);
+        assert_eq!(out, (0..103).map(|x| x - 7).collect::<Vec<_>>());
+        // Fewer items than workers: every chunk is a single item.
+        let out = par_map((0..3).collect(), Some(8), |x: i32| x + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn empty_input() {
         let out: Vec<i32> = par_map(Vec::<i32>::new(), None, |x| x);
         assert!(out.is_empty());
@@ -81,6 +130,17 @@ mod tests {
     fn single_thread_fallback() {
         let out = par_map(vec![1, 2, 3], Some(1), |x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn propagates_worker_panics() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map((0..64).collect(), Some(4), |x: i32| {
+                assert_ne!(x, 13, "unlucky");
+                x
+            })
+        }));
+        assert!(result.is_err(), "a worker panic must reach the caller");
     }
 
     #[test]

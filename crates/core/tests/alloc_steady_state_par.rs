@@ -1,11 +1,14 @@
-//! Steady-state allocation gate: once warmed up, the cycle loop must not
-//! touch the heap at all. Every per-cycle buffer in the simulator is a
-//! reusable scratch; this test catches any regression that reintroduces a
-//! per-cycle `Vec`/`clone` on the hot path.
+//! Parallel steady-state allocation gate: the sharded cycle engine must
+//! be as heap-quiet as the sequential one. Shard planning, per-shard
+//! effect buffers, and the worker pool are one-time setup (the pool is
+//! created lazily on the first multi-shard step); after warm-up, a
+//! `step()` at `threads = 4` must perform zero heap allocations across
+//! every worker — the counting allocator is process-global, so worker
+//! threads are measured too.
 //!
 //! The counting allocator applies to this whole test binary, so the file
-//! holds exactly one test (no concurrent test threads to pollute the
-//! counter during the measurement window).
+//! holds exactly one test (the sequential gate lives in its own binary,
+//! `alloc_steady_state.rs`, for the same reason).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,9 +18,7 @@ use noc_sim::{SimConfig, Simulator};
 use noc_types::{NodeId, Packet, PacketId, VcId};
 
 /// Wraps the system allocator and counts every heap operation that can
-/// acquire memory (alloc, alloc_zeroed, realloc). Frees are not counted:
-/// returning memory is cheap and allocation-free steady state only
-/// requires that no *new* memory is requested.
+/// acquire memory (alloc, alloc_zeroed, realloc), on every thread.
 struct CountingAlloc;
 
 static ALLOC_OPS: AtomicU64 = AtomicU64::new(0);
@@ -43,10 +44,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Deterministic light uniform traffic: one 4-flit packet every 4 cycles,
-/// sources and destinations walking the mesh. `Packet::new` leaves the
-/// payload empty (a zero-capacity `Vec` does not allocate), so injection
-/// itself is heap-free.
+/// Deterministic light uniform traffic (same shape as the sequential
+/// gate's): one 4-flit packet every 4 cycles, heap-free injection.
 struct Uniform {
     next_id: u64,
 }
@@ -74,16 +73,19 @@ impl TrafficSource for Uniform {
 }
 
 #[test]
-fn steady_state_cycle_loop_is_allocation_free() {
+fn parallel_steady_state_cycle_loop_is_allocation_free() {
     let mut cfg = SimConfig::paper();
     // Snapshots append to a time series by design; park them outside the
     // measurement window (cycle 0 only).
     cfg.snapshot_interval = u64::MAX;
+    cfg.threads = Some(4);
     let mut sim = Simulator::new(cfg);
+    assert_eq!(sim.threads(), 4, "paper mesh shards four ways");
     let mut src = Uniform { next_id: 0 };
     let mut events = Vec::new();
 
-    // Warm up: grow every queue, map, and scratch buffer to its
+    // Warm up: spawn the worker pool (first multi-shard step) and grow
+    // every queue, per-shard effect list, and scratch buffer to its
     // high-water mark.
     for _ in 0..3000 {
         sim.step(&mut src);
@@ -106,6 +108,7 @@ fn steady_state_cycle_loop_is_allocation_free() {
     );
     assert_eq!(
         delta, 0,
-        "steady-state cycle loop performed {delta} heap allocations over 2000 cycles"
+        "parallel steady-state cycle loop performed {delta} heap allocations \
+         over 2000 cycles at 4 threads"
     );
 }

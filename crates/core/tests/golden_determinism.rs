@@ -7,8 +7,13 @@
 //! pre-optimisation simulator; any divergence means a behavioural (not
 //! just performance) change. Regenerate deliberately with
 //! `UPDATE_GOLDEN=1 cargo test -p htnoc-core --test golden_determinism`.
+//!
+//! The `*_parallel_matches_sequential_golden` tests re-run each scenario
+//! on the sharded cycle engine at 2, 4, and 8 worker threads and require
+//! byte-identity with the *committed sequential* golden — the parallel
+//! path can never regenerate a golden, only match one.
 
-use htnoc_core::campaign::trojan_flood_traced;
+use htnoc_core::campaign::trojan_flood_traced_threads;
 use htnoc_core::prelude::*;
 use noc_sim::TraceConfig;
 use noc_traffic::AppSpec;
@@ -54,10 +59,28 @@ fn compare_or_update(name: &str, got: &str) {
     );
 }
 
+/// Verify a thread-sweep digest against the committed sequential golden.
+/// Never rewrites the file: goldens are only ever recorded sequentially.
+fn assert_matches_sequential_golden(name: &str, threads: usize, got: &str) {
+    let path = golden_path(name);
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "golden file missing: {} (record it sequentially with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, got,
+        "{name}: {threads}-thread sharded run diverged from the committed \
+         sequential golden — the parallel engine must be bit-identical"
+    );
+}
+
 /// The baseline scenario: clean blackscholes traffic on the paper mesh,
 /// no trojans armed, fixed seed — a pure hot-loop workout.
-fn baseline_digest() -> String {
-    let mut sc = Scenario::paper_default(AppSpec::blackscholes(), Strategy::Unprotected);
+fn baseline_digest(threads: usize) -> String {
+    let mut sc = Scenario::paper_default(AppSpec::blackscholes(), Strategy::Unprotected)
+        .with_threads(threads);
     sc.warmup = 200;
     sc.inject_until = 800;
     sc.max_cycles = 4_000;
@@ -74,8 +97,8 @@ fn baseline_digest() -> String {
 
 /// The trojan-flood scenario with the structured tracer armed: the
 /// watchdog-guarded retransmission storm from the resilience campaign.
-fn trojan_flood_digest() -> String {
-    let (report, sim) = trojan_flood_traced(0x0D15_EA5E, TraceConfig::default());
+fn trojan_flood_digest(threads: usize) -> String {
+    let (report, sim) = trojan_flood_traced_threads(0x0D15_EA5E, TraceConfig::default(), threads);
     let stats = format!("{:?}", sim.stats());
     let tracer = sim.tracer().expect("tracing was armed");
     let mut jsonl = String::new();
@@ -124,9 +147,10 @@ fn primary_feeder_links() -> Vec<LinkId> {
 /// Three TASP trojans on distinct links under the paper's S2S L-Ob
 /// mitigation: the detectors must classify and obfuscate around all of
 /// them at once, and the whole dance must be fingerprint-stable.
-fn multi_trojan_digest() -> String {
+fn multi_trojan_digest(threads: usize) -> String {
     let mut sc = Scenario::paper_default(AppSpec::blackscholes(), Strategy::S2sLob)
-        .with_infected(primary_feeder_links());
+        .with_infected(primary_feeder_links())
+        .with_threads(threads);
     sc.warmup = 200;
     sc.inject_until = 800;
     sc.max_cycles = 6_000;
@@ -147,7 +171,7 @@ fn multi_trojan_digest() -> String {
 /// trojan on a hot link, let the storm build, then kill the link and make
 /// the survivors finish over the rebuilt routes. Pins both the purge's
 /// credit settlement and the rerouted drain.
-fn quarantine_reroute_digest() -> String {
+fn quarantine_reroute_digest(threads: usize) -> String {
     let infected = primary_feeder_links()[0];
     let mut sc = Scenario::paper_default(AppSpec::blackscholes(), Strategy::S2sLob)
         .with_infected(vec![infected]);
@@ -156,6 +180,8 @@ fn quarantine_reroute_digest() -> String {
     sc.max_cycles = 6_000;
     sc.snapshot_interval = 50;
     let mut sim = sc.build_sim();
+    // Exercises the runtime re-sharding path rather than the config knob.
+    sim.set_threads(threads);
     let mut traffic = sc.build_traffic(sim.mesh());
     sim.run(sc.warmup, traffic.as_mut());
     sim.arm_trojans(true);
@@ -188,34 +214,69 @@ fn quarantine_reroute_digest() -> String {
     out
 }
 
+/// Thread counts the sharded engine must reproduce bit-for-bit.
+const THREAD_SWEEP: [usize; 3] = [2, 4, 8];
+
 #[test]
 fn baseline_fixed_seed_is_golden() {
-    let first = baseline_digest();
-    let second = baseline_digest();
+    let first = baseline_digest(1);
+    let second = baseline_digest(1);
     assert_eq!(first, second, "two in-process runs must be byte-identical");
     compare_or_update("baseline_stats.txt", &first);
 }
 
 #[test]
+fn baseline_parallel_matches_sequential_golden() {
+    for t in THREAD_SWEEP {
+        assert_matches_sequential_golden("baseline_stats.txt", t, &baseline_digest(t));
+    }
+}
+
+#[test]
 fn trojan_flood_fixed_seed_is_golden() {
-    let first = trojan_flood_digest();
-    let second = trojan_flood_digest();
+    let first = trojan_flood_digest(1);
+    let second = trojan_flood_digest(1);
     assert_eq!(first, second, "two in-process runs must be byte-identical");
     compare_or_update("trojan_flood.txt", &first);
 }
 
 #[test]
+fn trojan_flood_parallel_matches_sequential_golden() {
+    for t in THREAD_SWEEP {
+        assert_matches_sequential_golden("trojan_flood.txt", t, &trojan_flood_digest(t));
+    }
+}
+
+#[test]
 fn multi_trojan_fixed_seed_is_golden() {
-    let first = multi_trojan_digest();
-    let second = multi_trojan_digest();
+    let first = multi_trojan_digest(1);
+    let second = multi_trojan_digest(1);
     assert_eq!(first, second, "two in-process runs must be byte-identical");
     compare_or_update("multi_trojan.txt", &first);
 }
 
 #[test]
+fn multi_trojan_parallel_matches_sequential_golden() {
+    for t in THREAD_SWEEP {
+        assert_matches_sequential_golden("multi_trojan.txt", t, &multi_trojan_digest(t));
+    }
+}
+
+#[test]
 fn quarantine_reroute_fixed_seed_is_golden() {
-    let first = quarantine_reroute_digest();
-    let second = quarantine_reroute_digest();
+    let first = quarantine_reroute_digest(1);
+    let second = quarantine_reroute_digest(1);
     assert_eq!(first, second, "two in-process runs must be byte-identical");
     compare_or_update("quarantine_reroute.txt", &first);
+}
+
+#[test]
+fn quarantine_reroute_parallel_matches_sequential_golden() {
+    for t in THREAD_SWEEP {
+        assert_matches_sequential_golden(
+            "quarantine_reroute.txt",
+            t,
+            &quarantine_reroute_digest(t),
+        );
+    }
 }

@@ -42,7 +42,7 @@ pub enum Sabotage {
     /// reaches one of its input VCs stalls forever (a dropped SA grant).
     StallSaRouter {
         /// Router whose SA stage is disabled.
-        router: u8,
+        router: u16,
     },
     /// Every `every`-th credit return arriving upstream evaporates
     /// instead of replenishing the output's credit counter (a
@@ -131,6 +131,13 @@ pub struct SimConfig {
     /// self-test only — see [`Sabotage`]). `None` in every production
     /// configuration.
     pub sabotage: Option<Sabotage>,
+    /// Worker threads for the sharded cycle engine. `None` or `Some(1)`
+    /// selects the sequential path (today's exact code, no pool, no
+    /// barriers). `Some(n)` splits the mesh into `n` contiguous router
+    /// bands executed in parallel — bit-identical to the sequential
+    /// engine at every thread count (see `crate::par`). Clamped to the
+    /// router count; most useful on research-scale meshes (16×16, 32×32).
+    pub threads: Option<usize>,
 }
 
 impl SimConfig {
@@ -155,6 +162,7 @@ impl SimConfig {
             watchdog: None,
             trace: None,
             sabotage: None,
+            threads: None,
         }
     }
 

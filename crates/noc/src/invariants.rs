@@ -15,7 +15,7 @@ use crate::router::Router;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Router where the violation was observed.
-    pub router: u8,
+    pub router: u16,
     /// Human-readable description of the violated invariant.
     pub what: String,
 }
@@ -152,7 +152,7 @@ mod tests {
         let cfg = SimConfig::paper();
         let mesh = Mesh::paper();
         for n in 0..16u8 {
-            let r = Router::new(NodeId(n), &mesh, &cfg);
+            let r = Router::new(NodeId(n as u16), &mesh, &cfg);
             assert!(check_router(&r, &cfg).is_empty());
         }
     }

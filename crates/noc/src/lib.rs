@@ -41,6 +41,7 @@ pub mod link;
 pub mod message;
 pub mod metrics;
 pub mod output;
+pub(crate) mod par;
 pub mod router;
 pub mod routing;
 pub mod sim;

@@ -151,6 +151,12 @@ impl MetricsRegistry {
         }
     }
 
+    /// Mutable slice over all link metrics, for the sharded cycle
+    /// engine's disjoint per-shard access (`crate::par`).
+    pub(crate) fn link_slice_mut(&mut self) -> &mut [LinkMetrics] {
+        &mut self.links
+    }
+
     /// Metrics for one link.
     pub fn link(&self, id: LinkId) -> &LinkMetrics {
         &self.links[id.index()]

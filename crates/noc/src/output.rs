@@ -63,7 +63,7 @@ pub struct OutputUnit {
     /// once a method is logged, "similar flits" are obfuscated proactively
     /// on their first traversal (the paper's method log speeding up "the
     /// selection process for similar flits having the same problem").
-    protected_dests: Vec<u8>,
+    protected_dests: Vec<u16>,
     /// Flits driven onto the link (including retries).
     pub flits_sent: u64,
     /// Launches that were retries (attempt ≥ 2).

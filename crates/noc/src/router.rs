@@ -649,7 +649,7 @@ mod tests {
         Router::new(NodeId(5), &c.mesh.clone(), &c)
     }
 
-    fn head(dest: u8) -> Flit {
+    fn head(dest: u16) -> Flit {
         Flit::head(
             FlitId(1),
             PacketId(1),

@@ -218,7 +218,7 @@ impl RouteTables {
         let mut next = vec![vec![None; n]; n];
         // BFS from each destination over *reverse* usable links.
         for dest in 0..n {
-            let dest_node = NodeId(dest as u8);
+            let dest_node = NodeId(dest as u16);
             let mut dist = vec![u32::MAX; n];
             let mut q = VecDeque::new();
             dist[dest] = 0;
@@ -271,12 +271,12 @@ impl RouteTables {
         // another one routes it (a node whose only alive exits point
         // "down" can never climb). Try every root and keep the feasible
         // orientation with the smallest total path length.
-        (0..mesh.routers() as u8)
+        (0..mesh.routers() as u16)
             .filter_map(|root| {
                 let t = Self::build_updown_rooted(mesh, dead, NodeId(root))?;
-                let total: u32 = (0..mesh.routers() as u8)
+                let total: u32 = (0..mesh.routers() as u16)
                     .flat_map(|s| {
-                        (0..mesh.routers() as u8)
+                        (0..mesh.routers() as u16)
                             .filter_map(move |d| Some((s, d)).filter(|(s, d)| s != d))
                     })
                     .map(|(s, d)| {
@@ -324,12 +324,12 @@ impl RouteTables {
         let order = |r: NodeId| (level[r.index()], r.0);
         // Process nodes in ascending order so `f` of up-neighbours (which
         // are strictly smaller in the order) is final before it is used.
-        let mut by_order: Vec<NodeId> = (0..n as u8).map(NodeId).collect();
+        let mut by_order: Vec<NodeId> = (0..n as u16).map(NodeId).collect();
         by_order.sort_by_key(|r| order(*r));
 
         let mut next = vec![vec![None::<Direction>; n]; n];
         for dest in 0..n {
-            let d = NodeId(dest as u8);
+            let d = NodeId(dest as u16);
             // h: shortest all-down distance to d — BFS from d over
             // *reversed* down-links (r→nb is down iff order(nb) > order(r)).
             let mut h = vec![u32::MAX; n];
@@ -373,7 +373,7 @@ impl RouteTables {
                 if src == dest {
                     continue;
                 }
-                let r = NodeId(src as u8);
+                let r = NodeId(src as u16);
                 let fr = f[src];
                 if fr == u32::MAX {
                     return None; // no legal path
@@ -401,8 +401,8 @@ impl RouteTables {
             }
         }
         let tables = Self { next };
-        debug_assert!((0..n as u8).all(|s| {
-            (0..n as u8).all(|dd| {
+        debug_assert!((0..n as u16).all(|s| {
+            (0..n as u16).all(|dd| {
                 tables.walk_is_legal(mesh, NodeId(s), NodeId(dd), &|a, b| order(b) < order(a))
             })
         }));
@@ -470,7 +470,7 @@ mod tests {
     use super::*;
     use noc_types::{Coord, VcId};
 
-    fn hdr(dest: u8, thread: u8) -> Header {
+    fn hdr(dest: u16, thread: u8) -> Header {
         Header {
             src: NodeId(0),
             dest: NodeId(dest),
@@ -495,8 +495,8 @@ mod tests {
     #[test]
     fn xy_path_length_is_manhattan_distance() {
         let m = Mesh::paper();
-        for s in 0..16u8 {
-            for d in 0..16u8 {
+        for s in 0..16u16 {
+            for d in 0..16u16 {
                 if s == d {
                     continue;
                 }
@@ -518,8 +518,8 @@ mod tests {
         let m = Mesh::paper();
         let t = RouteTables::build(&m, &[]);
         assert!(t.fully_connected());
-        for s in 0..16u8 {
-            for d in 0..16u8 {
+        for s in 0..16u16 {
+            for d in 0..16u16 {
                 if s == d {
                     continue;
                 }
@@ -576,8 +576,8 @@ mod tests {
         let m = Mesh::paper();
         let t = RouteTables::build_updown(&m, &[]).expect("connected");
         assert!(t.fully_connected());
-        for s in 0..16u8 {
-            for d in 0..16u8 {
+        for s in 0..16u16 {
+            for d in 0..16u16 {
                 if s == d {
                     continue;
                 }
@@ -593,8 +593,8 @@ mod tests {
     /// Walk every pair through the tables: terminates within 16 hops and
     /// never uses a dead link.
     fn assert_walks_sound(m: &Mesh, t: &RouteTables, dead: &[LinkId]) {
-        for s in 0..16u8 {
-            for d in 0..16u8 {
+        for s in 0..16u16 {
+            for d in 0..16u16 {
                 if s == d {
                     continue;
                 }
@@ -643,7 +643,7 @@ mod tests {
         // Find the first feasible orientation root (same scan order as the
         // public builder) so the legality check below can recompute
         // exactly the order the builder used.
-        let (root, t) = (0..16u8)
+        let (root, t) = (0..16u16)
             .find_map(|r| {
                 RouteTables::build_updown_rooted(&m, &dead, NodeId(r)).map(|t| (NodeId(r), t))
             })
@@ -673,8 +673,8 @@ mod tests {
                 }
             }
         }
-        for s in 0..16u8 {
-            for d in 0..16u8 {
+        for s in 0..16u16 {
+            for d in 0..16u16 {
                 if s == d {
                     continue;
                 }
@@ -701,8 +701,8 @@ mod tests {
     #[test]
     fn odd_even_candidates_are_minimal_and_legal() {
         let m = Mesh::paper();
-        for s in 0..16u8 {
-            for d in 0..16u8 {
+        for s in 0..16u16 {
+            for d in 0..16u16 {
                 if s == d {
                     continue;
                 }
@@ -729,8 +729,8 @@ mod tests {
         // and check no banned turn appears: EN/ES in even columns, NW/SW
         // in odd columns.
         let m = Mesh::paper();
-        for s in 0..16u8 {
-            for d in 0..16u8 {
+        for s in 0..16u16 {
+            for d in 0..16u16 {
                 if s == d {
                     continue;
                 }

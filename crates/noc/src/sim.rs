@@ -4,15 +4,14 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::fault::LinkFaults;
 use crate::link::LinkWire;
-use crate::message::{AckKind, AckMsg, LinkFlit, SimEvent, TraceEvent, TraceOutcome};
+use crate::message::{SimEvent, TraceEvent};
 use crate::metrics::MetricsRegistry;
-use crate::router::{CreditReturn, CreditSite, Ejection, Router};
+use crate::router::{CreditSite, Router};
 use crate::routing::Routing;
 use crate::stats::{SimStats, Snapshot};
 use crate::trace::{Record, TraceKind, TraceRecorder, TraceSink};
 use crate::watchdog::{StallKind, StallReport};
 use noc_ecc::{Decode, Secded};
-use noc_mitigation::{Bist, DetectorAction};
 use noc_types::{Direction, Flit, FlitId, LinkId, Mesh, NodeId, Packet, PacketId, Port, VcId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -129,19 +128,25 @@ pub struct Simulator {
     router_active: Vec<bool>,
     /// `link_dead[i]` mirrors `dead_links` for O(1) hot-path lookup.
     link_dead: Vec<bool>,
-    /// Event counters for the periodic [`crate::config::Sabotage`] hooks
-    /// (only advanced while a sabotage is armed).
-    sabotage_credit_seen: u64,
+    /// Event counter for the periodic `OvercountDelivered` sabotage hook
+    /// (only advanced while that sabotage is armed). Lives on the
+    /// simulator — ejection bookkeeping is committed in sequential order
+    /// at any thread count — unlike the `LeakCredit` counter, which is
+    /// per-shard (see [`crate::par`]).
     sabotage_eject_seen: u64,
-    // Reusable scratch buffers so the steady-state cycle loop performs no
-    // heap allocation. Each phase takes its buffer, clears and fills it,
-    // and puts it back (capacity is retained across cycles).
-    ready_scratch: Vec<(VcId, Flit)>,
-    ack_scratch: Vec<AckMsg>,
-    credit_vc_scratch: Vec<VcId>,
-    eject_scratch: Vec<Ejection>,
-    credit_scratch: Vec<CreditReturn>,
+    // Reusable scratch buffer so the steady-state cycle loop performs no
+    // heap allocation (the per-phase scratch lives in each shard's
+    // `ShardFx`; this one serves the sequential injection phase, which
+    // also reuses `poll_buf` above).
     flit_scratch: Vec<Flit>,
+    /// Shard ownership sets for the parallel engine: one entry per
+    /// shard, always at least one. A single entry selects the inline
+    /// sequential path (no pool, no barriers).
+    plans: Vec<crate::par::ShardPlan>,
+    /// Per-shard scratch buffers and buffered side effects.
+    fx: Vec<crate::par::ShardFx>,
+    /// Worker threads, spawned lazily on the first multi-shard step.
+    pool: Option<crate::par::Pool>,
 }
 
 impl Simulator {
@@ -149,7 +154,7 @@ impl Simulator {
     pub fn new(cfg: SimConfig) -> Self {
         let mesh = cfg.mesh.clone();
         let routers = (0..mesh.routers())
-            .map(|r| Router::new(NodeId(r as u8), &mesh, &cfg))
+            .map(|r| Router::new(NodeId(r as u16), &mesh, &cfg))
             .collect();
         let links = mesh
             .all_links()
@@ -160,6 +165,10 @@ impl Simulator {
         let metrics = MetricsRegistry::new(mesh.links(), mesh.routers());
         let tracer = cfg.trace.map(TraceRecorder::new);
         let (n_routers, n_links) = (mesh.routers(), mesh.links());
+        let plans = crate::par::plan_shards(&mesh, cfg.threads.unwrap_or(1));
+        let fx = (0..plans.len())
+            .map(|_| crate::par::ShardFx::default())
+            .collect();
         Self {
             cfg,
             mesh,
@@ -185,15 +194,33 @@ impl Simulator {
             snap_base: (0, 0, 0),
             router_active: vec![true; n_routers],
             link_dead: vec![false; n_links],
-            sabotage_credit_seen: 0,
             sabotage_eject_seen: 0,
-            ready_scratch: Vec::new(),
-            ack_scratch: Vec::new(),
-            credit_vc_scratch: Vec::new(),
-            eject_scratch: Vec::new(),
-            credit_scratch: Vec::new(),
             flit_scratch: Vec::new(),
+            plans,
+            fx,
+            pool: None,
         }
+    }
+
+    /// Re-shard the cycle engine onto `threads` threads (1 = the
+    /// sequential path). The engine is stateless between cycles, so this
+    /// is legal at any cycle boundary; the result stays bit-identical at
+    /// every thread count. Benchmarks and the golden determinism suite
+    /// use this to sweep thread counts without rebuilding the simulator.
+    ///
+    /// Note: the per-shard `LeakCredit` sabotage counters reset (that
+    /// self-test hook is per-shard by design — see [`crate::par`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = None;
+        self.plans = crate::par::plan_shards(&self.mesh, threads.max(1));
+        self.fx = (0..self.plans.len())
+            .map(|_| crate::par::ShardFx::default())
+            .collect();
+    }
+
+    /// Shards the cycle engine currently runs on (1 = sequential path).
+    pub fn threads(&self) -> usize {
+        self.plans.len()
     }
 
     // ------------------------------------------------------------------
@@ -463,9 +490,9 @@ impl Simulator {
         let conc = self.mesh.concentration() as usize;
         let vcs = self.cfg.vcs as usize;
         // Authoritative sites.
-        let mut sites: Vec<(FlitId, u8, &'static str)> = Vec::new();
+        let mut sites: Vec<(FlitId, u16, &'static str)> = Vec::new();
         for (q, queue) in self.inj_queues.iter().enumerate() {
-            let router = (q / vcs / conc) as u8;
+            let router = (q / vcs / conc) as u16;
             for f in queue {
                 sites.push((f.id, router, "injection queue"));
             }
@@ -474,18 +501,18 @@ impl Simulator {
             for unit in &self.routers[r].inputs {
                 for ivc in &unit.vcs {
                     for f in &ivc.fifo {
-                        sites.push((f.id, r as u8, "input FIFO"));
+                        sites.push((f.id, r as u16, "input FIFO"));
                     }
                 }
                 for d in &unit.delayed {
-                    sites.push((d.flit.id, r as u8, "delayed hold"));
+                    sites.push((d.flit.id, r as u16, "delayed hold"));
                 }
                 for s in &unit.pending_scrambles {
-                    sites.push((s.flit.id, r as u8, "pending scramble"));
+                    sites.push((s.flit.id, r as u16, "pending scramble"));
                 }
             }
             for mv in &self.routers[r].st_pending {
-                sites.push((mv.flit.id, r as u8, "crossbar move"));
+                sites.push((mv.flit.id, r as u16, "crossbar move"));
             }
         }
         sites.sort_unstable_by_key(|s| s.0);
@@ -540,7 +567,7 @@ impl Simulator {
         // Teleportation: a flit held at a network input may only be
         // shadowed by the entry of the link that feeds that input.
         for r in 0..self.routers.len() {
-            let node = NodeId(r as u8);
+            let node = NodeId(r as u16);
             for (p, unit) in self.routers[r].inputs.iter().enumerate() {
                 let feeding = match Port::from_index(p) {
                     Port::Net(d) => self
@@ -553,7 +580,7 @@ impl Simulator {
                     if let Some(&l) = entry_at.get(&id) {
                         if Some(l) != feeding {
                             out.push(crate::invariants::Violation {
-                                router: r as u8,
+                                router: r as u16,
                                 what: format!(
                                     "flit {id:?} teleported: held at router {r} input {p} \
                                      but shadowed by link {}",
@@ -694,23 +721,14 @@ impl Simulator {
     }
 
     /// Advance one cycle: the eight phases in reverse pipeline order.
+    /// Phases 1–7 run through the sharded engine ([`crate::par`]) — on
+    /// one shard this is the plain sequential loop; on several it
+    /// fans out across the worker pool and commits per-shard effects in
+    /// sequential order, bit-identical either way.
     pub fn step(&mut self, source: &mut dyn TrafficSource) {
         let now = self.cycle;
-        // Refresh the active set: a router with no buffered, held, or
-        // crossbar-pending flit has nothing to do in phases 2/5/6/7 and
-        // is skipped. Phases that hand a router new work mid-cycle
-        // (arrival, injection admit) flip its bit back on immediately so
-        // the same cycle's later phases still see it.
-        for r in 0..self.routers.len() {
-            self.router_active[r] = self.routers[r].has_phase_work();
-        }
-        self.phase_link_delivery(now);
-        self.phase_resolve_holds(now);
-        self.phase_acks_and_credits(now);
-        self.phase_launch(now);
-        self.phase_st(now);
-        self.phase_sa(now);
-        self.phase_va_rc(now);
+        self.run_phase_groups(now);
+        self.commit_fx(now);
         self.phase_injection(now, source);
         if now.is_multiple_of(self.cfg.snapshot_interval) {
             self.record_snapshot(now);
@@ -804,528 +822,138 @@ impl Simulator {
         Ok(source.done() && self.is_quiescent())
     }
 
-    // Phase 1: flits completing link traversal are decoded and judged.
-    fn phase_link_delivery(&mut self, now: u64) {
-        for li in 0..self.links.len() {
-            let Some(lf) = self.links[li].deliver(now) else {
-                continue;
-            };
-            let link = LinkId(li as u16);
-            let (_, dir) = self.mesh.link_source(link);
-            let dst = self.mesh.link_dest(link);
-            let in_port = Port::Net(dir.opposite());
-            self.handle_arrival(now, link, dst, in_port, lf);
+    /// Run phase groups G1–G3 (phases 1–7) across all shards. With one
+    /// shard everything runs inline on this thread; with more, the pool
+    /// is (lazily) spun up and each group is dispatched behind barriers.
+    fn run_phase_groups(&mut self, now: u64) {
+        use crate::par::{DisjointMut, Group, PhaseCtx};
+        if self.plans.len() > 1 && self.pool.is_none() {
+            self.pool = Some(crate::par::Pool::new(self.plans.len() - 1));
+        }
+        let ctx = PhaseCtx {
+            cfg: &self.cfg,
+            mesh: &self.mesh,
+            routing: &self.routing,
+            dead_links: &self.dead_links,
+            link_dead: &self.link_dead,
+            routers: DisjointMut::new(&mut self.routers),
+            links: DisjointMut::new(&mut self.links),
+            link_metrics: DisjointMut::new(self.metrics.link_slice_mut()),
+            router_active: DisjointMut::new(&mut self.router_active),
+            tracing: self.tracer.is_some(),
+        };
+        match self.pool.as_ref() {
+            None => {
+                let fx = &mut self.fx[0];
+                for g in [Group::G1, Group::G2, Group::G3] {
+                    crate::par::run_group(&ctx, &self.plans[0], fx, g, now);
+                }
+            }
+            Some(pool) => {
+                let fx = self.fx.as_mut_ptr();
+                for g in [Group::G1, Group::G2, Group::G3] {
+                    pool.run(&ctx, &self.plans, fx, g, now);
+                }
+            }
         }
     }
 
-    fn handle_arrival(&mut self, now: u64, link: LinkId, dst: NodeId, in_port: Port, lf: LinkFlit) {
-        // Whatever happens below (buffer write, delayed hold, pending
-        // scramble), the destination router now has phase work.
-        self.router_active[dst.index()] = true;
-        let decode = Secded::decode(lf.codeword);
-        match decode {
-            Decode::Corrected { .. } => {
-                self.stats.corrected_faults += 1;
-                self.metrics.link_mut(link).ecc_corrected.inc();
-                emit!(
-                    self,
-                    now,
-                    TraceKind::EccCorrected {
-                        flit: lf.flit.id,
-                        packet: lf.flit.packet,
-                        link,
-                    }
-                );
-            }
-            Decode::Uncorrectable { .. } => {
-                self.stats.uncorrectable_faults += 1;
-                self.metrics.link_mut(link).ecc_uncorrectable.inc();
-                emit!(
-                    self,
-                    now,
-                    TraceKind::EccDetected {
-                        flit: lf.flit.id,
-                        packet: lf.flit.packet,
-                        link,
-                    }
-                );
-            }
-            Decode::Clean { .. } => {}
-        }
-        let key = (lf.flit.packet, lf.flit.seq);
-        let obf_info = lf.obf.map(|o| (o.attempt, o.plan.method.undo_penalty()));
-        let mitigation = self.cfg.mitigation;
-        let traced = self.cfg.trace_packet == Some(lf.flit.packet);
-        let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
-        let verdict = unit.detector.on_flit(key, &decode, obf_info);
-
-        let mut accepted = matches!(
-            verdict.action,
-            DetectorAction::Accept | DetectorAction::AcceptObfuscated { .. }
-        );
-        // Receiver-side go-back-N ordering: an accepted flit must be the
-        // next expected one on its VC, else it is NACKed despite decoding
-        // cleanly (the upstream will replay in order).
-        if accepted && !Self::wire_in_order(unit, &lf) {
-            accepted = false;
-        }
-
-        if accepted {
-            Self::wire_advance(unit, &lf);
-            unit.remember_word(lf.flit.id, lf.flit.word);
-            let order = unit.take_order();
-            match verdict.action {
-                DetectorAction::AcceptObfuscated { penalty } => {
-                    let obf = lf.obf.expect("obfuscated accept implies metadata");
-                    if let Some(partner) = obf.partner {
-                        unit.pending_scrambles.push(crate::input::PendingScramble {
-                            flit: lf.flit,
-                            vc: lf.vc,
-                            partner,
-                            arrived: now,
-                            penalty,
-                            order,
-                        });
-                    } else {
-                        unit.delayed.push(crate::input::DelayedEntry {
-                            ready: now + penalty as u64,
-                            vc: lf.vc,
-                            flit: lf.flit,
-                            order,
-                        });
-                    }
-                    self.events.push(SimEvent::ObfuscationSucceeded {
-                        link,
-                        plan: obf.plan,
-                        cycle: now,
-                    });
-                }
-                _ => {
-                    // Preserve order behind any same-VC flits still paying
-                    // an obfuscation stall: queue behind them (the release
-                    // logic in `take_ready_delayed` is order-gated).
-                    let held = unit.delayed.iter().any(|d| d.vc == lf.vc)
-                        || unit.pending_scrambles.iter().any(|p| p.vc == lf.vc);
-                    if held {
-                        unit.delayed.push(crate::input::DelayedEntry {
-                            ready: now,
-                            vc: lf.vc,
-                            flit: lf.flit,
-                            order,
-                        });
-                    } else {
-                        self.routers[dst.index()].buffer_write(in_port, lf.vc, lf.flit, now);
-                    }
-                }
-            }
-            if traced {
-                let outcome = match decode {
-                    Decode::Corrected { .. } => TraceOutcome::CorrectedSingleBit,
-                    _ => TraceOutcome::Clean,
-                };
-                self.trace.push(TraceEvent::Delivered {
-                    cycle: now,
-                    flit: lf.flit.id,
-                    link,
-                    outcome,
-                });
-            }
-            emit!(
-                self,
-                now,
-                TraceKind::FlitAccepted {
-                    flit: lf.flit.id,
-                    packet: lf.flit.packet,
-                    link,
-                    obfuscated: lf.obf.is_some(),
-                }
-            );
-            let obf_success = lf.obf.map(|o| o.plan);
-            self.links[link.index()].send_ack(
-                now,
-                AckMsg {
-                    flit: lf.flit.id,
-                    kind: AckKind::Ack { obf_success },
-                },
-            );
+    /// Fold every shard's buffered side effects back into the global
+    /// simulator in exactly the order the sequential engine would have
+    /// produced them: P1 effects (id-merged across shards), then P3,
+    /// P4, and finally the per-ejection P5 bookkeeping in ascending
+    /// router order (shard bands are contiguous, so walking shards in
+    /// order is already router order).
+    fn commit_fx(&mut self, now: u64) {
+        use crate::par::merge_keyed;
+        let Self {
+            fx,
+            tracer,
+            events,
+            trace,
+            pending_quarantine,
+            stats,
+            metrics,
+            birth,
+            sabotage_eject_seen,
+            cfg,
+            last_progress_cycle,
+            ..
+        } = self;
+        // Structured trace records, in phase order (one stream).
+        if let Some(t) = tracer.as_mut() {
+            merge_keyed(fx, |f| &mut f.p1_kinds, |k| t.record(now, k));
+            merge_keyed(fx, |f| &mut f.p3_kinds, |k| t.record(now, k));
+            merge_keyed(fx, |f| &mut f.p4_kinds, |k| t.record(now, k));
         } else {
-            let lob_attempt = match verdict.action {
-                DetectorAction::RetransmitWithLob { attempt } if mitigation => Some(attempt),
-                _ => None,
-            };
-            if traced {
-                self.trace.push(TraceEvent::Delivered {
-                    cycle: now,
-                    flit: lf.flit.id,
-                    link,
-                    outcome: TraceOutcome::Nacked {
-                        lob_requested: lob_attempt.is_some(),
-                    },
-                });
-            }
-            self.metrics.link_mut(link).nacks.inc();
-            emit!(
-                self,
-                now,
-                TraceKind::FlitNacked {
-                    flit: lf.flit.id,
-                    packet: lf.flit.packet,
-                    link,
-                    lob_requested: lob_attempt.is_some(),
-                }
-            );
-            self.links[link.index()].send_ack(
-                now,
-                AckMsg {
-                    flit: lf.flit.id,
-                    kind: AckKind::Nack { lob_attempt },
-                },
-            );
-        }
-
-        if verdict.run_bist && mitigation {
-            let report = Bist::scan(&mut self.links[link.index()].faults);
-            self.stats.bist_scans += 1;
-            self.metrics.link_mut(link).bist_scans.inc();
-            emit!(
-                self,
-                now,
-                TraceKind::BistScan {
-                    link,
-                    passed: report.passed(),
-                }
-            );
-            let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
-            unit.detector.on_bist_result(report.passed());
-            self.events.push(SimEvent::BistRan {
-                link,
-                passed: report.passed(),
-                cycle: now,
-            });
-        }
-        // Report classification changes (faults and obfuscation responses
-        // both move the detector's belief).
-        if mitigation {
-            let unit = &mut self.routers[dst.index()].inputs[in_port.index()];
-            let class = unit.detector.link_class();
-            if class != unit.reported_class {
-                unit.reported_class = class;
-                emit!(self, now, TraceKind::LinkClassified { link, class });
-                self.events.push(SimEvent::LinkClassified {
-                    link,
-                    class,
-                    cycle: now,
-                });
+            for f in fx.iter_mut() {
+                debug_assert!(f.p1_kinds.is_empty() && f.p3_kinds.is_empty());
+                f.p1_kinds.clear();
+                f.p3_kinds.clear();
+                f.p4_kinds.clear();
             }
         }
-    }
-
-    /// Wire-side ordering check for an arriving flit: heads may only start
-    /// once the previous packet's wire stream closed; body/tail flits must
-    /// arrive in sequence.
-    fn wire_in_order(unit: &crate::input::InputUnit, lf: &LinkFlit) -> bool {
-        let ivc = &unit.vcs[lf.vc.index()];
-        if lf.flit.kind.carries_header() {
-            ivc.wire_packet.is_none()
-        } else {
-            ivc.wire_packet == Some(lf.flit.packet) && lf.flit.seq == ivc.expected_seq
+        // Simulator events, in phase order (a second, separate stream).
+        merge_keyed(fx, |f| &mut f.p1_events, |e| events.push(e));
+        merge_keyed(fx, |f| &mut f.p3_events, |e| events.push(e));
+        // Traced-packet journey (third stream).
+        merge_keyed(fx, |f| &mut f.p1_trace, |e| trace.push(e));
+        merge_keyed(fx, |f| &mut f.p4_trace, |e| trace.push(e));
+        // Quarantine requests: ascending link id = sequential P3 order.
+        for f in fx.iter_mut() {
+            pending_quarantine.extend(f.p3_quar.drain(..).map(LinkId));
         }
-    }
-
-    /// Advance wire-side ordering state after accepting a flit (tracked
-    /// separately from the wormhole state machine, which may lag while the
-    /// head sits in RC/VA).
-    fn wire_advance(unit: &mut crate::input::InputUnit, lf: &LinkFlit) {
-        let ivc = &mut unit.vcs[lf.vc.index()];
-        if lf.flit.kind.closes_packet() {
-            ivc.wire_packet = None;
-            ivc.expected_seq = 0;
-        } else if lf.flit.kind.carries_header() {
-            ivc.wire_packet = Some(lf.flit.packet);
-            ivc.expected_seq = 1;
-        } else {
-            ivc.expected_seq += 1;
+        pending_quarantine.sort_unstable();
+        // Commutative counter deltas.
+        for f in fx.iter_mut() {
+            let d = std::mem::take(&mut f.stats);
+            stats.corrected_faults += d.corrected_faults;
+            stats.uncorrectable_faults += d.uncorrectable_faults;
+            stats.bist_scans += d.bist_scans;
+            stats.retransmissions += d.retransmissions;
+            stats.budget_escalations += d.budget_escalations;
         }
-    }
-
-    // Phase 2: scrambles whose partner arrived + expired undo stalls.
-    fn phase_resolve_holds(&mut self, now: u64) {
-        let mut ready = std::mem::take(&mut self.ready_scratch);
-        for r in 0..self.routers.len() {
-            if !self.router_active[r] {
-                continue;
-            }
-            for p in 0..self.routers[r].inputs.len() {
-                {
-                    let unit = &mut self.routers[r].inputs[p];
-                    if unit.delayed.is_empty() && unit.pending_scrambles.is_empty() {
-                        continue;
-                    }
-                    unit.resolve_scrambles(now);
-                    ready.clear();
-                    unit.take_ready_delayed_into(now, &mut ready);
-                }
-                for &(vc, flit) in &ready {
-                    let port = Port::from_index(p);
-                    self.routers[r].buffer_write(port, vc, flit, now);
-                }
-            }
-        }
-        self.ready_scratch = ready;
-    }
-
-    // Phase 3: ACK/NACK and credit returns reach the upstream output units.
-    fn phase_acks_and_credits(&mut self, now: u64) {
-        let budget = self.cfg.retry_budget;
-        let mitigation = self.cfg.mitigation;
-        let mut acks = std::mem::take(&mut self.ack_scratch);
-        let mut credits = std::mem::take(&mut self.credit_vc_scratch);
-        for li in 0..self.links.len() {
-            if self.links[li].reverse_idle() {
-                continue;
-            }
-            let link = LinkId(li as u16);
-            let (src, dir) = self.mesh.link_source(link);
-            acks.clear();
-            credits.clear();
-            self.links[li].take_acks_into(now, &mut acks);
-            self.links[li].take_credits_into(now, &mut credits);
-            // A link with no output unit cannot have carried traffic;
-            // stray reverse-channel messages are dropped, not panicked on.
-            let Some(out) = self.routers[src.index()].outputs[dir.index()].as_mut() else {
-                continue;
-            };
-            for ack in acks.iter() {
-                match ack.kind {
-                    AckKind::Ack { obf_success } => {
-                        if let Some(entry) = out.ack(ack.flit, obf_success, now) {
-                            self.metrics
-                                .link_mut(link)
-                                .delivery_attempts
-                                .record(entry.attempts as u64);
-                        }
-                    }
-                    AckKind::Nack { lob_attempt } => {
-                        out.nack(ack.flit, lob_attempt);
-                        self.stats.retransmissions += 1;
-                        // A replay that just had an L-Ob plan attached is a
-                        // method selection: record it for the forensics
-                        // timeline and the per-link counters.
-                        if lob_attempt.is_some() {
-                            if let Some(e) = out.entries.iter().find(|e| e.flit.id == ack.flit) {
-                                if let Some(ow) = e.obf {
-                                    let (flit, packet) = (e.flit.id, e.flit.packet);
-                                    self.metrics.link_mut(link).lob_selections.inc();
-                                    emit!(
-                                        self,
-                                        now,
-                                        TraceKind::LobSelected {
-                                            flit,
-                                            packet,
-                                            link,
-                                            plan: ow.plan,
-                                            attempt: ow.attempt,
-                                        }
-                                    );
-                                }
-                            }
-                        }
-                        let Some(budget) = budget else {
-                            continue;
-                        };
-                        // Bounded retransmission: one budget of retries
-                        // earns forced obfuscation (when mitigation has
-                        // something to offer), a second exhausted budget
-                        // condemns the link to quarantine. Without
-                        // mitigation there is no middle rung.
-                        let Some(idx) = out.entries.iter().position(|e| e.flit.id == ack.flit)
-                        else {
-                            continue;
-                        };
-                        let attempts = out.entries[idx].attempts;
-                        let quarantine_at = if mitigation {
-                            budget.saturating_mul(2)
-                        } else {
-                            budget
-                        };
-                        if attempts >= quarantine_at.max(1) {
-                            if !self.dead_links.contains(&link)
-                                && !self.pending_quarantine.contains(&link)
-                            {
-                                self.pending_quarantine.push(link);
-                            }
-                        } else if mitigation
-                            && attempts >= budget
-                            && out.force_obfuscate(idx).is_some()
-                        {
-                            self.stats.budget_escalations += 1;
-                            self.metrics.link_mut(link).lob_selections.inc();
-                            emit!(
-                                self,
-                                now,
-                                TraceKind::LobEscalated {
-                                    flit: ack.flit,
-                                    link,
-                                    attempts,
-                                }
-                            );
-                            self.events.push(SimEvent::RetryBudgetEscalated {
-                                link,
-                                flit: ack.flit,
-                                attempts,
-                                cycle: now,
-                            });
-                        }
-                    }
-                }
-            }
-            for &vc in credits.iter() {
-                // Conformance self-test hook: leak every Nth credit.
-                if let Some(crate::config::Sabotage::LeakCredit { every }) = self.cfg.sabotage {
-                    self.sabotage_credit_seen += 1;
-                    if self
-                        .sabotage_credit_seen
-                        .is_multiple_of(every.max(1) as u64)
-                    {
-                        continue;
-                    }
-                }
-                out.credits[vc.index()] += 1;
-                debug_assert!(out.credits[vc.index()] <= self.cfg.vc_depth);
-            }
-        }
-        self.ack_scratch = acks;
-        self.credit_vc_scratch = credits;
-    }
-
-    // Phase 4: drive retransmission-buffer heads onto idle links.
-    fn phase_launch(&mut self, now: u64) {
-        for li in 0..self.links.len() {
-            if self.link_dead[li] || !self.links[li].idle() {
-                continue;
-            }
-            let link = LinkId(li as u16);
-            let (src, dir) = self.mesh.link_source(link);
-            let cfg = &self.cfg;
-            let Some(out) = self.routers[src.index()].outputs[dir.index()].as_mut() else {
-                continue;
-            };
-            // Nothing buffered for retransmission ⇒ nothing can launch.
-            // (Skipping is exact: the send arbiter never advances when
-            // every predicate is false.)
-            if out.entries.is_empty() {
-                continue;
-            }
-            let Some(idx) = out.select_send(|vc| cfg.tdm_slot_open(vc, now)) else {
-                continue;
-            };
-            if cfg.mitigation {
-                out.maybe_protect(idx);
-            }
-            let obf = out.resolve_obf_for_send(idx);
-            let entry_flit = out.entries[idx].flit;
-            let vc = out.entries[idx].vc;
-            let wire_word = match obf {
-                None => entry_flit.word,
-                Some(ow) => {
-                    let key = ow
-                        .partner
-                        .and_then(|pid| {
-                            out.entries
-                                .iter()
-                                .find(|e| e.flit.id == pid)
-                                .map(|e| e.flit.word)
-                        })
-                        .unwrap_or(0);
-                    ow.plan.apply(entry_flit.word, key)
-                }
-            };
-            out.mark_sent(idx, now);
-            let attempt = out.entries[idx].attempts;
-            self.metrics.link_mut(link).flits.inc();
-            if attempt > 1 {
-                self.metrics.link_mut(link).retransmissions.inc();
-            }
-            emit!(
-                self,
-                now,
-                TraceKind::FlitLaunched {
-                    flit: entry_flit.id,
-                    packet: entry_flit.packet,
-                    link,
-                    attempt,
-                    obf: obf.map(|o| o.plan),
-                }
-            );
-            if self.cfg.trace_packet == Some(entry_flit.packet) {
-                self.trace.push(TraceEvent::Launched {
-                    cycle: now,
-                    flit: entry_flit.id,
-                    link,
-                    obfuscated: obf.map(|o| o.plan),
-                    attempt: obf.map(|o| o.attempt).unwrap_or(0),
-                });
-            }
-            self.links[li].launch(
-                now,
-                LinkFlit {
-                    flit: entry_flit,
-                    codeword: Secded::encode(wire_word),
-                    wire_word,
-                    vc,
-                    obf,
-                },
-            );
-        }
-    }
-
-    // Phase 5: crossbar traversals commit; local ejections deliver.
-    fn phase_st(&mut self, now: u64) {
-        let mut ejections = std::mem::take(&mut self.eject_scratch);
-        for r in 0..self.routers.len() {
-            if !self.router_active[r] {
-                continue;
-            }
-            ejections.clear();
-            self.routers[r].st_stage_into(now, &mut ejections);
-            if !ejections.is_empty() {
-                self.last_progress_cycle = now;
-            }
-            for &ej in ejections.iter() {
-                if self.cfg.trace_packet == Some(ej.flit.packet) {
-                    self.trace.push(TraceEvent::Ejected {
+        // P5 ejection bookkeeping, deferred from the workers: shard
+        // bands ascend, so this walk is the sequential per-router order.
+        let mut progress = false;
+        for f in fx.iter_mut() {
+            progress |= std::mem::take(&mut f.progress);
+            let mut ejs = std::mem::take(&mut f.p5_ejections);
+            for &(r, ej) in ejs.iter() {
+                let node = NodeId(r);
+                if cfg.trace_packet == Some(ej.flit.packet) {
+                    trace.push(TraceEvent::Ejected {
                         cycle: now,
                         flit: ej.flit.id,
-                        router: NodeId(r as u8),
+                        router: node,
                     });
                 }
-                self.metrics.router_mut(NodeId(r as u8)).ejected_flits.inc();
-                emit!(
-                    self,
-                    now,
-                    TraceKind::FlitEjected {
-                        flit: ej.flit.id,
-                        packet: ej.flit.packet,
-                        router: NodeId(r as u8),
-                    }
-                );
-                self.stats.delivered_flits += 1;
+                metrics.router_mut(node).ejected_flits.inc();
+                if let Some(t) = tracer.as_mut() {
+                    t.record(
+                        now,
+                        TraceKind::FlitEjected {
+                            flit: ej.flit.id,
+                            packet: ej.flit.packet,
+                            router: node,
+                        },
+                    );
+                }
+                stats.delivered_flits += 1;
                 // Conformance self-test hook: double-count every Nth
                 // ejection in the delivery statistics.
-                if let Some(crate::config::Sabotage::OvercountDelivered { every }) =
-                    self.cfg.sabotage
-                {
-                    self.sabotage_eject_seen += 1;
-                    if self.sabotage_eject_seen.is_multiple_of(every.max(1) as u64) {
-                        self.stats.delivered_flits += 1;
+                if let Some(crate::config::Sabotage::OvercountDelivered { every }) = cfg.sabotage {
+                    *sabotage_eject_seen += 1;
+                    if sabotage_eject_seen.is_multiple_of(every.max(1) as u64) {
+                        stats.delivered_flits += 1;
                     }
                 }
                 if ej.flit.kind.closes_packet() {
-                    self.stats.delivered_packets += 1;
-                    let born = self.birth.remove(&ej.flit.packet).unwrap_or(now);
+                    stats.delivered_packets += 1;
+                    let born = birth.remove(&ej.flit.packet).unwrap_or(now);
                     let latency = now.saturating_sub(born);
-                    self.stats.record_latency(latency);
-                    self.events.push(SimEvent::PacketDelivered {
+                    stats.record_latency(latency);
+                    events.push(SimEvent::PacketDelivered {
                         packet: ej.flit.packet,
                         src: ej.flit.header.src,
                         dest: ej.flit.header.dest,
@@ -1334,50 +962,11 @@ impl Simulator {
                     });
                 }
             }
+            ejs.clear();
+            f.p5_ejections = ejs;
         }
-        self.eject_scratch = ejections;
-    }
-
-    // Phase 6: switch allocation; credits return upstream.
-    fn phase_sa(&mut self, now: u64) {
-        let mut credits = std::mem::take(&mut self.credit_scratch);
-        for r in 0..self.routers.len() {
-            if !self.router_active[r] {
-                continue;
-            }
-            // Conformance self-test hook: the sabotaged router never
-            // performs switch allocation (a dropped SA grant, forever).
-            if let Some(crate::config::Sabotage::StallSaRouter { router }) = self.cfg.sabotage {
-                if router as usize == r {
-                    continue;
-                }
-            }
-            let node = NodeId(r as u8);
-            credits.clear();
-            self.routers[r].sa_stage_into(now, &self.cfg, &mut credits);
-            for &cr in credits.iter() {
-                // Input port Net(d) at `node` is fed by neighbour(node, d)
-                // over that neighbour's link in direction opposite(d).
-                if let Some(feeding) = self
-                    .mesh
-                    .neighbor(node, cr.in_dir)
-                    .and_then(|nb| self.mesh.link_out(nb, cr.in_dir.opposite()))
-                {
-                    self.links[feeding.index()].send_credit(now, cr.vc);
-                }
-            }
-        }
-        self.credit_scratch = credits;
-    }
-
-    // Phase 7: VC allocation then route computation.
-    fn phase_va_rc(&mut self, now: u64) {
-        for r in 0..self.routers.len() {
-            if !self.router_active[r] {
-                continue;
-            }
-            self.routers[r].va_stage(now, &self.cfg);
-            self.routers[r].rc_stage(now, &self.mesh, &self.routing);
+        if progress {
+            *last_progress_cycle = now;
         }
     }
 
@@ -1466,7 +1055,7 @@ impl Simulator {
             // this cycle stalled at the injection port.
             if waiting && !admitted {
                 self.metrics
-                    .router_mut(NodeId(router as u8))
+                    .router_mut(NodeId(router as u16))
                     .injection_stalls
                     .inc();
             }
@@ -1655,7 +1244,7 @@ impl Simulator {
         let mut weak: HashMap<FlitId, (usize, Direction, VcId)> = HashMap::new();
         let mut covered: HashSet<FlitId> = HashSet::new();
         for r in 0..self.routers.len() {
-            let node = NodeId(r as u8);
+            let node = NodeId(r as u16);
             for copy in self.routers[r].purge_packets(victims, now) {
                 unique.insert(copy.flit);
                 let resolved = match copy.site {
@@ -1684,7 +1273,7 @@ impl Simulator {
             }
             let acked = self
                 .mesh
-                .link_out(NodeId(r as u8), dir)
+                .link_out(NodeId(r as u16), dir)
                 .is_some_and(|l| self.links[l.index()].reverse_ack_success_for(flit));
             if acked {
                 continue;
@@ -1752,7 +1341,7 @@ impl Simulator {
             let input = self.routers[r].network_input_occupancy() as u64;
             let output = self.routers[r].output_occupancy() as u64;
             let deepest = self.routers[r].input_high_water();
-            let rm = self.metrics.router_mut(NodeId(r as u8));
+            let rm = self.metrics.router_mut(NodeId(r as u16));
             rm.input_occupancy.observe(input);
             rm.retx_occupancy.observe(output);
             rm.buffer_high_water = deepest;
@@ -1808,7 +1397,7 @@ mod tests {
         }
     }
 
-    fn pkt(id: u64, cycle: u64, src: u8, dest: u8, len: u8) -> Packet {
+    fn pkt(id: u64, cycle: u64, src: u16, dest: u16, len: u8) -> Packet {
         // Low 32 bits of the id carry the creation cycle (see created_at_of).
         Packet::new(
             PacketId((id << 32) | cycle),
@@ -1852,7 +1441,7 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::paper());
         let mut packets = Vec::new();
         for i in 0..40u64 {
-            packets.push(pkt(i + 1, i, (i % 16) as u8, ((i * 7 + 3) % 16) as u8, 4));
+            packets.push(pkt(i + 1, i, (i % 16) as u16, ((i * 7 + 3) % 16) as u16, 4));
         }
         let mut src = ListSource { packets };
         assert!(sim.run_to_quiescence(4000, &mut src), "must drain");
@@ -1882,7 +1471,7 @@ mod tests {
         assert!(!sim.is_quiescent(), "flits still in flight");
     }
 
-    fn mount_dest_trojan(sim: &mut Simulator, dest: u8) -> LinkId {
+    fn mount_dest_trojan(sim: &mut Simulator, dest: u16) -> LinkId {
         use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
         // The XY route 0→1 uses the eastward link out of router 0.
         let link = sim
@@ -1892,7 +1481,7 @@ mod tests {
                 crate::routing::xy_direction(sim.mesh(), NodeId(0), NodeId(dest)),
             )
             .unwrap();
-        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest)));
+        let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest as u8)));
         let faults = std::mem::replace(sim.link_faults_mut(link), LinkFaults::healthy(0));
         *sim.link_faults_mut(link) = faults.with_trojan(ht);
         link
@@ -2114,7 +1703,7 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::paper_resilient());
         let mut packets = Vec::new();
         for i in 0..30u64 {
-            packets.push(pkt(i + 1, i, (i % 16) as u8, ((i * 5 + 2) % 16) as u8, 4));
+            packets.push(pkt(i + 1, i, (i % 16) as u16, ((i * 5 + 2) % 16) as u16, 4));
         }
         let mut src = ListSource { packets };
         let drained = sim
@@ -2140,8 +1729,8 @@ mod tests {
         // spread over several routers — the interesting purge paths.
         let mut packets = Vec::new();
         for i in 0..40u64 {
-            let src_r = [0u8, 4, 8, 2, 12][(i % 5) as usize];
-            let dest = [1u8, 1, 5, 1, 3][(i % 5) as usize];
+            let src_r = [0u16, 4, 8, 2, 12][(i % 5) as usize];
+            let dest = [1u16, 1, 5, 1, 3][(i % 5) as usize];
             let mut p = pkt(i + 1, i, src_r, dest, 4);
             p.vc = VcId((i % 4) as u8);
             packets.push(p);

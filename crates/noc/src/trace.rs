@@ -503,7 +503,7 @@ impl Record {
             "flit_ejected" => TraceKind::FlitEjected {
                 flit: flit()?,
                 packet: packet()?,
-                router: NodeId(get_num(&fields, "router")? as u8),
+                router: NodeId(get_num(&fields, "router")? as u16),
             },
             "packet_dropped" => TraceKind::PacketDropped {
                 packet: packet()?,
@@ -533,7 +533,7 @@ impl Record {
                 class: StallClass::from_label(get_str(&fields, "kind")?)?,
                 router: match lookup(&fields, "router")? {
                     Val::Null => None,
-                    Val::Num(n) => Some(NodeId(*n as u8)),
+                    Val::Num(n) => Some(NodeId(*n as u16)),
                     _ => return None,
                 },
                 dir: match lookup(&fields, "dir")? {

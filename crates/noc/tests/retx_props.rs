@@ -18,7 +18,7 @@ const CAPACITY: usize = 2;
 fn flit(n: u64, vc: VcId) -> Flit {
     let h = Header {
         src: NodeId(0),
-        dest: NodeId((n % 16) as u8),
+        dest: NodeId((n % 16) as u16),
         vc,
         mem_addr: n as u32,
         thread: 0,

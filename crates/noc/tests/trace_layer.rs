@@ -29,7 +29,7 @@ impl TrafficSource for ListSource {
     }
 }
 
-fn pkt(id: u64, cycle: u64, src: u8, dest: u8, len: u8) -> Packet {
+fn pkt(id: u64, cycle: u64, src: u16, dest: u16, len: u8) -> Packet {
     Packet::new(
         PacketId((id << 32) | cycle),
         NodeId(src),

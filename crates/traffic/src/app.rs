@@ -143,7 +143,7 @@ impl AppModel {
     /// Instantiate the model on a mesh with a deterministic seed.
     pub fn new(spec: AppSpec, mesh: Mesh, seed: u64) -> Self {
         let dest_cdf = (0..mesh.routers())
-            .map(|s| Self::build_cdf(&spec, &mesh, NodeId(s as u8)))
+            .map(|s| Self::build_cdf(&spec, &mesh, NodeId(s as u16)))
             .collect();
         Self {
             spec,
@@ -191,7 +191,7 @@ impl AppModel {
     fn build_cdf(spec: &AppSpec, mesh: &Mesh, src: NodeId) -> Vec<(f64, NodeId)> {
         let mut weights = Vec::with_capacity(mesh.routers());
         for d in 0..mesh.routers() {
-            let dest = NodeId(d as u8);
+            let dest = NodeId(d as u16);
             if dest == src {
                 continue;
             }
@@ -259,7 +259,7 @@ impl TrafficSource for AppModel {
             return;
         }
         for core in 0..self.mesh.cores() {
-            let src = self.mesh.router_of_core(CoreId(core as u8));
+            let src = self.mesh.router_of_core(CoreId(core as u16));
             // A single-router mesh has no remote destination to sample
             // (the CDF excludes src), so this core can never inject.
             if self.dest_cdf[src.index()].is_empty() {
@@ -313,8 +313,8 @@ mod tests {
     #[test]
     fn cdf_is_normalised() {
         let m = model(AppSpec::blackscholes());
-        for src in 0..16u8 {
-            let total: f64 = (0..16u8)
+        for src in 0..16u16 {
+            let total: f64 = (0..16u16)
                 .map(|d| m.dest_probability(NodeId(src), NodeId(d)))
                 .sum();
             assert!((total - 1.0).abs() < 1e-9, "src {src}: {total}");
@@ -330,9 +330,9 @@ mod tests {
             let primary = spec.primary;
             let m = model(spec.clone());
             let col =
-                |d: NodeId| -> f64 { (0..16u8).map(|s| m.dest_probability(NodeId(s), d)).sum() };
+                |d: NodeId| -> f64 { (0..16u16).map(|s| m.dest_probability(NodeId(s), d)).sum() };
             let p_primary = col(primary);
-            for d in 0..16u8 {
+            for d in 0..16u16 {
                 let d = NodeId(d);
                 if d == primary {
                     continue;
@@ -354,13 +354,13 @@ mod tests {
         // primary dominates from every individual source too (Fig. 1(a)).
         let m = model(AppSpec::blackscholes());
         let primary = AppSpec::blackscholes().primary;
-        for src in 0..16u8 {
+        for src in 0..16u16 {
             let src = NodeId(src);
             if src == primary {
                 continue;
             }
             let p_primary = m.dest_probability(src, primary);
-            for d in 0..16u8 {
+            for d in 0..16u16 {
                 let d = NodeId(d);
                 if d == src || d == primary {
                     continue;

@@ -92,7 +92,7 @@ impl TrafficSource for FloodAttack {
                 dest,
                 VcId((id.0 % 4) as u8),
                 self.rng.gen(),
-                core.0 % self.mesh.concentration(),
+                (core.0 % self.mesh.concentration() as u16) as u8,
                 self.packet_len,
                 cycle,
             ));

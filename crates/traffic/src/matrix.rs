@@ -60,7 +60,7 @@ impl TrafficMatrix {
                 if n == 0 || s == d {
                     continue;
                 }
-                for link in noc_sim::routing::xy_path(mesh, NodeId(s as u8), NodeId(d as u8)) {
+                for link in noc_sim::routing::xy_path(mesh, NodeId(s as u16), NodeId(d as u16)) {
                     hops[link.index()] += n;
                 }
             }

@@ -29,7 +29,7 @@ impl Pattern {
                     return src;
                 }
                 loop {
-                    let d = NodeId(rng.gen_range(0..mesh.routers() as u8));
+                    let d = NodeId(rng.gen_range(0..mesh.routers() as u16));
                     if d != src {
                         return d;
                     }
@@ -40,7 +40,7 @@ impl Pattern {
                 mesh.node_at(noc_types::Coord::new(c.y, c.x))
             }
             Pattern::BitComplement => {
-                let mask = (mesh.routers() - 1) as u8;
+                let mask = (mesh.routers() - 1) as u16;
                 NodeId(!src.0 & mask)
             }
             Pattern::Hotspot(spots) => spots[rng.gen_range(0..spots.len())],
@@ -111,7 +111,7 @@ impl TrafficSource for SyntheticTraffic {
             if !self.rng.gen_bool(self.rate) {
                 continue;
             }
-            let src = self.mesh.router_of_core(noc_types::CoreId(core as u8));
+            let src = self.mesh.router_of_core(noc_types::CoreId(core as u16));
             let dest = self.pattern.dest(&self.mesh, src, &mut self.rng);
             if dest == src && !matches!(self.pattern, Pattern::Hotspot(_)) {
                 continue;

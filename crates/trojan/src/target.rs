@@ -182,10 +182,17 @@ impl TargetSpec {
         self.matches_header(&h)
     }
 
-    /// Compare against an already-decoded header.
+    /// Compare against an already-decoded header. The comparator inspects
+    /// the paper's 4-bit wire fields, so router ids are viewed mod 16 —
+    /// identical to what [`TargetSpec::matches_wire`] sees on large meshes.
     pub fn matches_header(&self, h: &Header) -> bool {
-        self.src.as_ref().is_none_or(|m| m.matches(h.src.0))
-            && self.dest.as_ref().is_none_or(|m| m.matches(h.dest.0))
+        self.src
+            .as_ref()
+            .is_none_or(|m| m.matches((h.src.0 & 0xF) as u8))
+            && self
+                .dest
+                .as_ref()
+                .is_none_or(|m| m.matches((h.dest.0 & 0xF) as u8))
             && self.vc.as_ref().is_none_or(|m| m.matches(h.vc.0))
             && self.mem.as_ref().is_none_or(|m| m.matches(h.mem_addr))
     }
@@ -196,7 +203,7 @@ mod tests {
     use super::*;
     use noc_types::ids::{NodeId, VcId};
 
-    fn hdr(src: u8, dest: u8, vc: u8, mem: u32) -> Header {
+    fn hdr(src: u16, dest: u16, vc: u8, mem: u32) -> Header {
         Header {
             src: NodeId(src),
             dest: NodeId(dest),

@@ -213,7 +213,7 @@ mod tests {
     use noc_types::header::Header;
     use noc_types::ids::{NodeId, VcId};
 
-    fn wire(src: u8, dest: u8) -> u64 {
+    fn wire(src: u16, dest: u16) -> u64 {
         Header {
             src: NodeId(src),
             dest: NodeId(dest),

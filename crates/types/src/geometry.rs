@@ -148,20 +148,24 @@ impl Mesh {
     /// Build a `width × height` mesh with `concentration` cores per router.
     ///
     /// # Panics
-    /// Panics if the mesh has more than 16 routers (the wire header encodes
-    /// router ids in 4 bits, per the paper) or any dimension is zero.
+    /// Panics if the mesh has more than 4096 routers (LinkId stays a u16 and
+    /// `NodeId` a u16) or any dimension is zero. Meshes beyond the paper's
+    /// 16 routers alias src/dest in the 4-bit wire header fields (see
+    /// `Header::pack`); the simulator routes on the logical header, so this
+    /// only affects on-wire byte patterns, exactly as a real implementation
+    /// reusing the paper's 42-bit header would behave.
     pub fn new(width: u8, height: u8, concentration: u8) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
         assert!(
-            (width as usize) * (height as usize) <= 16,
-            "wire header encodes router ids in 4 bits; at most 16 routers"
+            (width as usize) * (height as usize) <= 4096,
+            "simulator ids are 16-bit; at most 4096 routers"
         );
         assert!(concentration >= 1, "concentration must be at least 1");
         let routers = width as usize * height as usize;
         let mut link_ids = vec![[None; 4]; routers];
         let mut link_ends = Vec::new();
         for (r, ids) in link_ids.iter_mut().enumerate() {
-            let node = NodeId(r as u8);
+            let node = NodeId(r as u16);
             for dir in Direction::ALL {
                 let here = Self::coord_of_raw(width, r);
                 let (dx, dy) = dir.delta();
@@ -242,25 +246,25 @@ impl Mesh {
     #[inline]
     pub fn node_at(&self, c: Coord) -> NodeId {
         debug_assert!(c.x < self.width && c.y < self.height);
-        NodeId(c.y * self.width + c.x)
+        NodeId(c.y as u16 * self.width as u16 + c.x as u16)
     }
 
     /// The router a core is attached to (cores are numbered router-major).
     #[inline]
     pub fn router_of_core(&self, core: CoreId) -> NodeId {
-        NodeId(core.0 / self.concentration)
+        NodeId(core.0 / self.concentration as u16)
     }
 
     /// The local port index of a core on its router.
     #[inline]
     pub fn local_port_of_core(&self, core: CoreId) -> u8 {
-        core.0 % self.concentration
+        (core.0 % self.concentration as u16) as u8
     }
 
     /// All cores attached to `node`.
     pub fn cores_of_router(&self, node: NodeId) -> impl Iterator<Item = CoreId> {
-        let base = node.0 * self.concentration;
-        (base..base + self.concentration).map(CoreId)
+        let base = node.0 * self.concentration as u16;
+        (base..base + self.concentration as u16).map(CoreId)
     }
 
     /// The neighbour of `node` in `dir`, if it exists.
@@ -324,7 +328,7 @@ mod tests {
     #[test]
     fn coordinates_roundtrip() {
         let m = Mesh::paper();
-        for r in 0..16u8 {
+        for r in 0..16u16 {
             let n = NodeId(r);
             assert_eq!(m.node_at(m.coord_of(n)), n);
         }
@@ -333,7 +337,7 @@ mod tests {
     #[test]
     fn neighbors_are_symmetric() {
         let m = Mesh::paper();
-        for r in 0..16u8 {
+        for r in 0..16u16 {
             let n = NodeId(r);
             for dir in Direction::ALL {
                 if let Some(nb) = m.neighbor(n, dir) {
@@ -387,9 +391,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 16 routers")]
-    fn mesh_larger_than_16_routers_rejected() {
-        Mesh::new(5, 4, 1);
+    fn research_scale_meshes_accepted() {
+        // DL2Fence-scale meshes must construct: 16×16 and 32×32.
+        let m16 = Mesh::new(16, 16, 1);
+        assert_eq!(m16.routers(), 256);
+        assert_eq!(m16.links(), 2 * 2 * 16 * 15);
+        let m32 = Mesh::new(32, 32, 1);
+        assert_eq!(m32.routers(), 1024);
+        assert_eq!(m32.links(), 2 * 2 * 32 * 31);
+        // Link ids must stay within LinkId's u16 range at the cap.
+        let n = m32.node_at(Coord::new(31, 31));
+        assert_eq!(n, NodeId(1023));
+        assert_eq!(m32.coord_of(n), Coord::new(31, 31));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4096 routers")]
+    fn mesh_larger_than_4096_routers_rejected() {
+        Mesh::new(65, 64, 1);
     }
 
     #[test]

@@ -71,26 +71,52 @@ pub struct Header {
 }
 
 impl Header {
-    /// Pack into the head-flit wire word. Inverse of [`Header::unpack`].
+    /// Pack into the head-flit wire word. Inverse of [`Header::unpack`] for
+    /// headers whose fields fit the paper's widths.
+    ///
+    /// Each field is masked to its paper-mandated width: on meshes larger
+    /// than 16 routers the 4-bit src/dest wire fields alias (`id mod 16`),
+    /// exactly as silicon reusing the 42-bit header format would. Routing
+    /// and delivery always use the logical [`crate::Flit::header`] copy, so
+    /// aliasing only affects on-wire byte patterns (and thus what a TASP
+    /// comparator sees), never where a packet goes.
     pub fn pack(&self) -> u64 {
-        debug_assert!(self.src.0 < 16, "src must fit 4 bits");
-        debug_assert!(self.dest.0 < 16, "dest must fit 4 bits");
         debug_assert!(self.vc.0 < 4, "vc must fit 2 bits");
         debug_assert!(self.thread < 64, "thread must fit 6 bits");
-        (self.src.0 as u64) << HeaderLayout::SRC_OFFSET
-            | (self.dest.0 as u64) << HeaderLayout::DEST_OFFSET
-            | (self.vc.0 as u64) << HeaderLayout::VC_OFFSET
-            | (self.mem_addr as u64) << HeaderLayout::MEM_OFFSET
-            | (self.thread as u64) << HeaderLayout::THREAD_OFFSET
-            | (self.len as u64) << HeaderLayout::LEN_OFFSET
+        let field = |v: u64, off: u32, bits: u32| (v & ((1u64 << bits) - 1)) << off;
+        field(
+            self.src.0 as u64,
+            HeaderLayout::SRC_OFFSET,
+            HeaderLayout::SRC_BITS,
+        ) | field(
+            self.dest.0 as u64,
+            HeaderLayout::DEST_OFFSET,
+            HeaderLayout::DEST_BITS,
+        ) | field(
+            self.vc.0 as u64,
+            HeaderLayout::VC_OFFSET,
+            HeaderLayout::VC_BITS,
+        ) | field(
+            self.mem_addr as u64,
+            HeaderLayout::MEM_OFFSET,
+            HeaderLayout::MEM_BITS,
+        ) | field(
+            self.thread as u64,
+            HeaderLayout::THREAD_OFFSET,
+            HeaderLayout::THREAD_BITS,
+        ) | field(
+            self.len as u64,
+            HeaderLayout::LEN_OFFSET,
+            HeaderLayout::LEN_BITS,
+        )
     }
 
     /// Decode a head-flit wire word.
     pub fn unpack(word: u64) -> Header {
         let field = |off: u32, bits: u32| (word >> off) & ((1u64 << bits) - 1);
         Header {
-            src: NodeId(field(HeaderLayout::SRC_OFFSET, HeaderLayout::SRC_BITS) as u8),
-            dest: NodeId(field(HeaderLayout::DEST_OFFSET, HeaderLayout::DEST_BITS) as u8),
+            src: NodeId(field(HeaderLayout::SRC_OFFSET, HeaderLayout::SRC_BITS) as u16),
+            dest: NodeId(field(HeaderLayout::DEST_OFFSET, HeaderLayout::DEST_BITS) as u16),
             vc: VcId(field(HeaderLayout::VC_OFFSET, HeaderLayout::VC_BITS) as u8),
             mem_addr: field(HeaderLayout::MEM_OFFSET, HeaderLayout::MEM_BITS) as u32,
             thread: field(HeaderLayout::THREAD_OFFSET, HeaderLayout::THREAD_BITS) as u8,
@@ -149,11 +175,26 @@ mod tests {
 
     proptest! {
         #[test]
-        fn pack_unpack_roundtrips(src in 0u8..16, dest in 0u8..16, vc in 0u8..4,
+        fn pack_unpack_roundtrips(src in 0u16..16, dest in 0u16..16, vc in 0u8..4,
                                   mem in any::<u32>(), thread in 0u8..64, len in any::<u8>()) {
             let h = Header { src: NodeId(src), dest: NodeId(dest), vc: VcId(vc),
                              mem_addr: mem, thread, len };
             prop_assert_eq!(Header::unpack(h.pack()), h);
+        }
+
+        #[test]
+        fn large_mesh_ids_alias_mod_16_on_the_wire(src in 0u16..4096, dest in 0u16..4096) {
+            // On >16-router meshes the wire fields keep the paper's 4-bit
+            // widths; ids alias mod 16 without disturbing neighbouring fields.
+            let h = Header { src: NodeId(src), dest: NodeId(dest), vc: VcId(1),
+                             mem_addr: 0xABCD_1234, thread: 9, len: 5 };
+            let round = Header::unpack(h.pack());
+            prop_assert_eq!(round.src, NodeId(src % 16));
+            prop_assert_eq!(round.dest, NodeId(dest % 16));
+            prop_assert_eq!(round.vc, h.vc);
+            prop_assert_eq!(round.mem_addr, h.mem_addr);
+            prop_assert_eq!(round.thread, h.thread);
+            prop_assert_eq!(round.len, h.len);
         }
 
         #[test]

@@ -5,10 +5,11 @@
 //! Performance Book) while remaining impossible to confuse with one another.
 
 /// Identifies a router in the network. For the paper's 4×4 mesh this is
-/// `0..16`; the header encodes it in 4 bits, so at most 16 routers are
-/// addressable on the wire.
+/// `0..16`; larger research meshes (16×16, 32×32) push it past a byte, so
+/// the simulator-side id is 16 bits. The *wire* header still encodes the
+/// paper's 4-bit field — see `Header::pack` for the aliasing rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub u8);
+pub struct NodeId(pub u16);
 
 impl NodeId {
     /// Raw index, convenient for array indexing.
@@ -19,9 +20,10 @@ impl NodeId {
 }
 
 /// Identifies a core (processing element). With a concentration of 4 on a
-/// 16-router mesh this is `0..64`.
+/// 16-router mesh this is `0..64`; a 32×32 mesh at the same concentration
+/// reaches 4096, hence 16 bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CoreId(pub u8);
+pub struct CoreId(pub u16);
 
 impl CoreId {
     #[inline]
@@ -81,7 +83,8 @@ mod tests {
     #[test]
     fn ids_are_small() {
         // Hot identifiers must stay register-sized.
-        assert_eq!(std::mem::size_of::<NodeId>(), 1);
+        assert_eq!(std::mem::size_of::<NodeId>(), 2);
+        assert_eq!(std::mem::size_of::<CoreId>(), 2);
         assert_eq!(std::mem::size_of::<VcId>(), 1);
         assert_eq!(std::mem::size_of::<LinkId>(), 2);
         assert_eq!(std::mem::size_of::<PacketId>(), 8);

@@ -46,7 +46,7 @@ fn main() {
         if mount_trojan {
             for l in &infected {
                 let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(
-                    AppSpec::blackscholes().primary.0,
+                    (AppSpec::blackscholes().primary.0 & 0xF) as u8,
                 )));
                 let faults = std::mem::replace(
                     sim.link_faults_mut(*l),

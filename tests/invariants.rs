@@ -26,8 +26,8 @@ proptest! {
     /// A TASP injection on any codeword is always detected-but-uncorrectable
     /// (never silent corruption, never correctable).
     #[test]
-    fn tasp_injection_always_detected(word in any::<u64>(), dest in 0u8..16) {
-        let mut ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest)));
+    fn tasp_injection_always_detected(word in any::<u64>(), dest in 0u16..16) {
+        let mut ht = TaspHt::new(TaspConfig::new(TargetSpec::dest(dest as u8)));
         ht.set_kill_switch(true);
         let hdr = Header {
             src: NodeId(0), dest: NodeId(dest), vc: VcId(0),
@@ -44,16 +44,16 @@ proptest! {
     /// the trojan's comparator (the L-Ob premise), except temporal-only
     /// reordering which leaves bits untouched by design.
     #[test]
-    fn ladder_plans_hide_header_targets(src in 0u8..16, dest in 0u8..16,
+    fn ladder_plans_hide_header_targets(src in 0u16..16, dest in 0u16..16,
                                         mem in any::<u32>(), key in any::<u64>()) {
         let hdr = Header {
             src: NodeId(src), dest: NodeId(dest), vc: VcId(0),
             mem_addr: mem, thread: 0, len: 1,
         };
-        let spec = TargetSpec::flow(src, dest);
+        let spec = TargetSpec::flow(src as u8, dest as u8);
         let full_spec = TargetSpec {
-            src: Some(noc_trojan::FieldMatch::Exact(src)),
-            dest: Some(noc_trojan::FieldMatch::Exact(dest)),
+            src: Some(noc_trojan::FieldMatch::Exact(src as u8)),
+            dest: Some(noc_trojan::FieldMatch::Exact(dest as u8)),
             vc: Some(noc_trojan::FieldMatch::Exact(0)),
             mem: Some(noc_trojan::FieldMatch::Exact(mem)),
         };
@@ -103,8 +103,8 @@ proptest! {
         let packets = (0..20u64).map(|i| {
             Packet::new(
                 PacketId(i),
-                NodeId(((seed + i) % 16) as u8),
-                NodeId(((seed * 7 + i * 3 + 1) % 16) as u8),
+                NodeId(((seed + i) % 16) as u16),
+                NodeId(((seed * 7 + i * 3 + 1) % 16) as u16),
                 VcId((i % 4) as u8),
                 0, 0, 3, i,
             )
@@ -186,8 +186,8 @@ fn dead_link_rerouting_preserves_delivery_for_every_single_link() {
 fn xy_and_updown_agree_on_reachability() {
     let mesh = Mesh::paper();
     let t = htnoc::sim::routing::RouteTables::build_updown(&mesh, &[]).unwrap();
-    for s in 0..16u8 {
-        for d in 0..16u8 {
+    for s in 0..16u16 {
+        for d in 0..16u16 {
             if s == d {
                 continue;
             }

@@ -34,7 +34,7 @@ impl TrafficSource for Burst {
 }
 
 fn all_pairs_burst(mesh: &Mesh, len: u8) -> Burst {
-    let n = mesh.routers() as u8;
+    let n = mesh.routers() as u16;
     let mut left = Vec::new();
     let mut id = 0u64;
     for s in 0..n {

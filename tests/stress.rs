@@ -63,7 +63,7 @@ fn stress_one(seed: u64) {
         0 => Pattern::UniformRandom,
         1 => Pattern::Transpose,
         2 => Pattern::BitComplement,
-        _ => Pattern::Hotspot(vec![NodeId((mix(seed, 12) % 16) as u8)]),
+        _ => Pattern::Hotspot(vec![NodeId((mix(seed, 12) % 16) as u16)]),
     };
     let mut traffic = SyntheticTraffic::new(mesh, pattern, 0.015, seed).until(400);
 
