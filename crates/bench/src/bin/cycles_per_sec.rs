@@ -4,11 +4,15 @@
 //! thread axis.
 //!
 //! Writes `BENCH_throughput.json` (cycles/sec, flit-hops/sec, peak RSS,
-//! and a threads → speedup scaling curve) and, when `--gate` is passed,
+//! snapshot serialize/restore latency and encoded size per scenario, and
+//! a threads → speedup scaling curve) and, when `--gate` is passed,
 //! exits non-zero if:
 //!
 //! * cycles/sec on the 4×4 scenarios falls more than 30% below the
 //!   committed `crates/bench/baseline_throughput.json`;
+//! * crash-safe checkpointing at `--checkpoint-every 10000` would cost
+//!   ≥ 1% of simulation time on the 4×4 scenarios (one snapshot
+//!   serialization per 10 000 simulated cycles);
 //! * any scenario's peak RSS exceeds 1.5× its committed ceiling (the
 //!   parallel engine's per-shard scratch must not balloon memory);
 //! * (machine-aware — only when `available_parallelism ≥ threads`) a
@@ -20,7 +24,7 @@
 //!     [--quick] [--gate] [--threads 1,2,4,8] [--out PATH]`
 
 use noc_sim::routing::xy_direction;
-use noc_sim::{LinkFaults, SimConfig, Simulator, TrafficSource};
+use noc_sim::{LinkFaults, SimConfig, SimSnapshot, Simulator, TrafficSource};
 use noc_traffic::{AppModel, AppSpec, Pattern, SyntheticTraffic};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
 use noc_types::{Mesh, NodeId};
@@ -40,6 +44,25 @@ struct Measurement {
     /// Throughput relative to the same scenario at 1 thread (scaling
     /// sweep entries only).
     speedup_vs_t1: Option<f64>,
+    /// Wall time to serialize one full simulator snapshot (best of 3), µs.
+    snapshot_ser_us: f64,
+    /// Wall time to decode + restore that snapshot (best of 3), µs.
+    snapshot_deser_us: f64,
+    /// Encoded snapshot size on disk, bytes.
+    snapshot_bytes: usize,
+    /// Checkpointing tax as a percentage of simulation time when a
+    /// snapshot is serialized every 10 000 cycles: ser-time divided by
+    /// the time this run needs to simulate 10 000 cycles.
+    ckpt_overhead_pct_at_10k: f64,
+}
+
+/// Reset the kernel's RSS high-water mark so each scenario reports its
+/// own peak instead of inheriting a larger earlier scenario's (or the
+/// snapshot-latency probe's scratch buffers). Best-effort: on kernels
+/// where `/proc/self/clear_refs` is read-only the readings stay
+/// cumulative, which can only over-report — the gate stays sound.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
 /// Peak resident set size (VmHWM) of this process, in kB.
@@ -71,19 +94,55 @@ fn measure(
     mut traffic: Box<dyn TrafficSource>,
     budget: u64,
 ) -> Measurement {
+    reset_peak_rss();
     let wall_s = drive(&mut sim, traffic.as_mut(), budget);
     let flit_hops: u64 = sim.metrics().link_flits().iter().sum();
+    // Read RSS before the snapshot probe: its scratch buffers are
+    // checkpointing cost, not simulation cost, and must not trip (or
+    // inflate) the per-scenario memory ceilings.
+    let peak_rss_kb = peak_rss_kb();
+    let (snapshot_ser_us, snapshot_deser_us, snapshot_bytes) = snapshot_cost(&mut sim);
+    let cycles_per_sec = budget as f64 / wall_s;
+    // A checkpoint every 10 000 cycles costs one serialize per
+    // 10_000 / cycles_per_sec seconds of simulation.
+    let ckpt_overhead_pct_at_10k = snapshot_ser_us * 1e-6 / (10_000.0 / cycles_per_sec) * 100.0;
     Measurement {
         name,
         threads,
         cycles: budget,
         wall_s,
-        cycles_per_sec: budget as f64 / wall_s,
+        cycles_per_sec,
         flit_hops,
         flit_hops_per_sec: flit_hops as f64 / wall_s,
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb,
         speedup_vs_t1: None,
+        snapshot_ser_us,
+        snapshot_deser_us,
+        snapshot_bytes,
+        ckpt_overhead_pct_at_10k,
     }
+}
+
+/// Snapshot latency and size at the end state of a measured run:
+/// (serialize µs, decode+restore µs, encoded bytes), each the best of 3
+/// so one scheduler hiccup cannot poison the number.
+fn snapshot_cost(sim: &mut Simulator) -> (f64, f64, usize) {
+    let mut ser_us = f64::INFINITY;
+    let mut deser_us = f64::INFINITY;
+    let mut bytes_len = 0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let snap = sim.snapshot();
+        let bytes = snap.to_bytes();
+        ser_us = ser_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        bytes_len = bytes.len();
+        drop(snap);
+        let t0 = Instant::now();
+        let back = SimSnapshot::from_bytes(&bytes).expect("self-encoded snapshot decodes");
+        sim.restore(&back).expect("self-snapshot restores");
+        deser_us = deser_us.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    (ser_us, deser_us, bytes_len)
 }
 
 /// The paper's baseline: clean blackscholes traffic, mitigation on,
@@ -183,6 +242,20 @@ fn json_scenario(out: &mut String, m: &Measurement, last: bool) {
     if let Some(s) = m.speedup_vs_t1 {
         writeln!(out, "      \"speedup_vs_t1\": {s:.2},").unwrap();
     }
+    writeln!(out, "      \"snapshot_ser_us\": {:.1},", m.snapshot_ser_us).unwrap();
+    writeln!(
+        out,
+        "      \"snapshot_deser_us\": {:.1},",
+        m.snapshot_deser_us
+    )
+    .unwrap();
+    writeln!(out, "      \"snapshot_bytes\": {},", m.snapshot_bytes).unwrap();
+    writeln!(
+        out,
+        "      \"ckpt_overhead_pct_at_10k\": {:.4},",
+        m.ckpt_overhead_pct_at_10k
+    )
+    .unwrap();
     writeln!(out, "      \"peak_rss_kb\": {}", m.peak_rss_kb).unwrap();
     writeln!(out, "    }}{}", if last { "" } else { "," }).unwrap();
 }
@@ -367,9 +440,10 @@ fn main() {
 
         // Peak-RSS ceilings: each scenario must stay within 1.5x its
         // committed high-water mark so the sharded engine's duplicated
-        // scratch buffers can't silently balloon memory. RSS is a
-        // process-wide high-water mark, so the committed values assume
-        // the fixed scenario order above.
+        // scratch buffers can't silently balloon memory. The high-water
+        // mark is reset per scenario, but the allocator retains earlier
+        // heap, so the committed values still assume the fixed scenario
+        // order above.
         let mut all: Vec<&Measurement> = vec![&base, &flood];
         all.extend(scaling.iter());
         for m in &all {
@@ -390,6 +464,27 @@ fn main() {
                 eprintln!(
                     "gate ok: {} peak RSS {} kB (ceiling {:.0} kB)",
                     m.name, m.peak_rss_kb, max
+                );
+            }
+        }
+
+        // Checkpointing ceiling: periodic crash-safe snapshots every
+        // 10 000 cycles must tax the 4x4 scenarios by less than 1% of
+        // simulation time, or checkpointed campaigns stop being free.
+        for m in [&base, &flood] {
+            let pct = m.ckpt_overhead_pct_at_10k;
+            if pct >= 1.0 {
+                eprintln!(
+                    "GATE FAIL: {} checkpoint overhead {pct:.3}% of sim time at \
+                     --checkpoint-every 10000 (ceiling 1%; snapshot ser {:.0} µs)",
+                    m.name, m.snapshot_ser_us
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "gate ok: {} checkpoint overhead {pct:.3}% at every-10k \
+                     (ser {:.0} µs, {} bytes)",
+                    m.name, m.snapshot_ser_us, m.snapshot_bytes
                 );
             }
         }

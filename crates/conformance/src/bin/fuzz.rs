@@ -8,11 +8,21 @@
 //! Runs `cases` scenarios generated from consecutive seeds (or as many
 //! as fit in `budget-secs`), each through the differential driver. On
 //! the first divergence the scenario is shrunk to a minimal reproducer,
-//! written as JSON under `--out` (default `target/conformance`), and the
-//! exact replay command is printed; the process then exits nonzero.
+//! written as JSON under `--out` (default `target/conformance`) next to
+//! a pre-divergence simulator snapshot (the state at the last conformant
+//! epoch boundary, restorable via `Simulator::restore` for single-step
+//! debugging), and the exact replay command is printed; the process then
+//! exits nonzero.
+//!
+//! With `--checkpoint-dir D`, progress is persisted atomically every
+//! `--checkpoint-every` conformant scenarios (default 25), and
+//! `--resume` continues a killed campaign from the first unfinished
+//! seed instead of re-fuzzing the prefix.
 
-use htnoc_conformance::{run_differential_threads, shrink, Scenario};
+use htnoc_conformance::{divergence_artifact, run_differential_threads, shrink, Scenario};
 use noc_sim::config::Sabotage;
+use noc_sim::snapshot::{crc64, put_u64, take_u64};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 struct Args {
@@ -22,6 +32,60 @@ struct Args {
     out: String,
     sabotage: Option<Sabotage>,
     threads: usize,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    resume: bool,
+}
+
+/// Fuzz progress, persisted after every `--checkpoint-every` seeds so a
+/// killed campaign resumes where it left off instead of re-fuzzing the
+/// prefix.
+struct Progress {
+    /// First seed not yet completed.
+    next_seed: u64,
+    /// Scenarios completed so far.
+    ran: u64,
+}
+
+const PROGRESS_MAGIC: &[u8; 8] = b"NOCFUZZ\0";
+
+fn progress_path(dir: &Path) -> PathBuf {
+    dir.join("fuzz-progress.bin")
+}
+
+/// Atomically persist progress (temp sibling + fsync + rename).
+fn save_progress(dir: &Path, p: &Progress) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let mut payload = Vec::new();
+    put_u64(&mut payload, p.next_seed);
+    put_u64(&mut payload, p.ran);
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(PROGRESS_MAGIC);
+    bytes.extend_from_slice(&crc64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let path = progress_path(dir);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Load persisted progress; `None` when absent or corrupt (start fresh).
+fn load_progress(dir: &Path) -> Option<Progress> {
+    let bytes = std::fs::read(progress_path(dir)).ok()?;
+    let body = bytes.strip_prefix(PROGRESS_MAGIC)?;
+    let (crc_bytes, payload) = body.split_at_checked(8)?;
+    if crc64(payload) != u64::from_le_bytes(crc_bytes.try_into().ok()?) {
+        return None;
+    }
+    let mut input = payload;
+    let next_seed = take_u64(&mut input)?;
+    let ran = take_u64(&mut input)?;
+    input.is_empty().then_some(Progress { next_seed, ran })
 }
 
 /// Parse `--sabotage` specs: `stall-sa:R`, `leak-credit:N`, `overcount:N`.
@@ -48,6 +112,9 @@ fn parse_args() -> Result<Args, String> {
         out: "target/conformance".into(),
         sabotage: None,
         threads: 1,
+        checkpoint_dir: None,
+        checkpoint_every: 25,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +134,13 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?.into()),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--resume" => args.resume = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -80,14 +154,29 @@ fn main() {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--seed N] [--cases K] [--budget-secs S] [--out DIR] \
-                 [--threads T] [--sabotage stall-sa:R|leak-credit:N|overcount:N]"
+                 [--threads T] [--sabotage stall-sa:R|leak-credit:N|overcount:N] \
+                 [--checkpoint-dir D [--checkpoint-every K] [--resume]]"
             );
             std::process::exit(2);
         }
     };
     let start = Instant::now();
     let mut ran = 0u64;
-    for seed in args.seed.. {
+    let mut first_seed = args.seed;
+    if args.resume {
+        let Some(dir) = args.checkpoint_dir.as_deref() else {
+            eprintln!("fuzz: --resume needs --checkpoint-dir");
+            std::process::exit(2);
+        };
+        if let Some(p) = load_progress(dir) {
+            // Completed seeds are skipped wholesale; the budget counts
+            // them as already run.
+            first_seed = first_seed.max(p.next_seed);
+            ran = p.ran;
+            println!("fuzz: resuming at seed {first_seed} ({ran} scenarios already done)");
+        }
+    }
+    for seed in first_seed.. {
         let time_up = args
             .budget_secs
             .is_some_and(|s| start.elapsed().as_secs() >= s);
@@ -109,6 +198,18 @@ fn main() {
         let report = run_differential_threads(&scenario, args.threads);
         ran += 1;
         if report.ok() {
+            if let Some(dir) = args.checkpoint_dir.as_deref() {
+                if args.checkpoint_every > 0 && ran.is_multiple_of(args.checkpoint_every) {
+                    let p = Progress {
+                        next_seed: seed + 1,
+                        ran,
+                    };
+                    if let Err(e) = save_progress(dir, &p) {
+                        eprintln!("fuzz: cannot persist progress: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             if ran.is_multiple_of(50) {
                 println!(
                     "fuzz: {ran} scenarios conformant ({}s elapsed)",
@@ -120,6 +221,16 @@ fn main() {
         println!("fuzz: seed {seed} diverged — shrinking");
         for d in report.divergences.iter().take(8) {
             println!("  {d}");
+        }
+        std::fs::create_dir_all(&args.out).expect("create output directory");
+        // Forensic artifact: the simulator frozen at the last conformant
+        // epoch boundary, restorable for single-step debugging.
+        if let Some((cycle, snap)) = divergence_artifact(&scenario, args.threads) {
+            let snap_path = format!("{}/failing-seed-{seed}-pre-divergence.snap", args.out);
+            match snap.write_atomic(snap_path.as_ref()) {
+                Ok(()) => println!("fuzz: pre-divergence snapshot (cycle {cycle}): {snap_path}"),
+                Err(e) => eprintln!("fuzz: cannot write {snap_path}: {e}"),
+            }
         }
         let minimal = shrink(&scenario, &|c| {
             !run_differential_threads(c, args.threads).ok()

@@ -75,6 +75,32 @@ pub fn run_differential(scenario: &Scenario) -> DiffReport {
 /// so any thread-dependent behaviour in the simulator surfaces as an
 /// ordinary divergence.
 pub fn run_differential_threads(scenario: &Scenario, threads: usize) -> DiffReport {
+    run_differential_inner(scenario, threads, false).0
+}
+
+/// Re-run a known-diverging scenario and capture a forensic snapshot of
+/// the simulator at the last epoch boundary *before* the first
+/// divergence was recorded, together with that snapshot's cycle. Restore
+/// it (`Simulator::restore` on a sim built from the same scenario) and
+/// single-step to watch the divergence happen.
+///
+/// Returns `None` when the run did not diverge (nothing to blame).
+pub fn divergence_artifact(
+    scenario: &Scenario,
+    threads: usize,
+) -> Option<(u64, noc_sim::SimSnapshot)> {
+    let (report, snap) = run_differential_inner(scenario, threads, true);
+    if report.ok() {
+        return None;
+    }
+    snap.map(|s| (s.cycle(), s))
+}
+
+fn run_differential_inner(
+    scenario: &Scenario,
+    threads: usize,
+    capture: bool,
+) -> (DiffReport, Option<noc_sim::SimSnapshot>) {
     let oracle = RefSim::new(scenario);
     let exp = oracle.expectation();
     let mut sim = scenario.build_sim();
@@ -90,6 +116,10 @@ pub fn run_differential_threads(scenario: &Scenario, threads: usize) -> DiffRepo
     let mut mark = Watermark::default();
     let mut events = Vec::new();
     let mut quiesced = false;
+    // Forensics: the state at the newest epoch boundary that was still
+    // fully conformant, frozen once the first divergence lands.
+    let mut clean_snap = capture.then(|| sim.snapshot());
+    let mut artifact: Option<noc_sim::SimSnapshot> = None;
 
     while sim.cycle() < scenario.max_cycles {
         sim.step(&mut source);
@@ -112,7 +142,15 @@ pub fn run_differential_threads(scenario: &Scenario, threads: usize) -> DiffRepo
             }
         }
         if now.is_multiple_of(EPOCH) {
+            let before = div.len();
             epoch_checks(&sim, &oracle, &exp, &mut mark, &mut div);
+            if capture && artifact.is_none() {
+                if div.len() > before {
+                    artifact = clean_snap.take();
+                } else {
+                    clean_snap = Some(sim.snapshot());
+                }
+            }
         }
         if source.done() && sim.is_quiescent() {
             quiesced = true;
@@ -126,7 +164,11 @@ pub fn run_differential_threads(scenario: &Scenario, threads: usize) -> DiffRepo
     }
 
     let end = sim.cycle();
+    let before = div.len();
     epoch_checks(&sim, &oracle, &exp, &mut mark, &mut div);
+    if capture && artifact.is_none() && div.len() > before {
+        artifact = clean_snap.take();
+    }
     end_state_checks(
         &sim,
         scenario,
@@ -160,11 +202,19 @@ pub fn run_differential_threads(scenario: &Scenario, threads: usize) -> DiffRepo
             ),
         });
     }
-    DiffReport {
-        divergences: div,
-        cycles: end,
-        quiesced,
+    // A divergence first seen by the end-state audit still gets the last
+    // clean epoch snapshot as its artifact.
+    if capture && artifact.is_none() && !div.is_empty() {
+        artifact = clean_snap.take();
     }
+    (
+        DiffReport {
+            divergences: div,
+            cycles: end,
+            quiesced,
+        },
+        artifact,
+    )
 }
 
 fn epoch_checks(

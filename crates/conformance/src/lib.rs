@@ -26,7 +26,9 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
-pub use diff::{run_differential, run_differential_threads, DiffReport, Divergence};
+pub use diff::{
+    divergence_artifact, run_differential, run_differential_threads, DiffReport, Divergence,
+};
 pub use oracle::{Expectation, RefSim};
 pub use scenario::{PacketSpec, Rng, Scenario, StuckSpec, TrojanSpec};
 pub use shrink::shrink;

@@ -570,6 +570,16 @@ impl TrafficSource for ReplaySource {
     fn done(&self) -> bool {
         self.next >= self.packets.len()
     }
+
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        noc_sim::snapshot::put_u64(out, self.next as u64);
+    }
+
+    fn load_cursor(&mut self, input: &mut &[u8]) {
+        if let Some(next) = noc_sim::snapshot::take_u64(input) {
+            self.next = (next as usize).min(self.packets.len());
+        }
+    }
 }
 
 /// Splitmix64: a tiny, deterministic, dependency-free generator for

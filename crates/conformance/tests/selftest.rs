@@ -159,3 +159,36 @@ fn oracle_and_simulator_agree_on_the_paper_attack() {
     );
     assert!(report.quiesced, "mitigation resolves the DoS");
 }
+
+/// A diverging scenario yields a pre-divergence snapshot: the simulator
+/// frozen at the last conformant epoch boundary, restorable into a fresh
+/// simulator with the same config. A conformant scenario yields none.
+#[test]
+fn divergence_artifact_captures_last_conformant_state() {
+    use htnoc_conformance::divergence_artifact;
+    // A clean run produces no artifact.
+    let clean = Scenario::generate(0);
+    assert!(run_differential(&clean).ok(), "seed 0 is conformant");
+    assert!(divergence_artifact(&clean, 1).is_none());
+    // Find a sabotaged seed that diverges and capture its artifact.
+    let mut failing = None;
+    for seed in 0..200 {
+        let mut sc = Scenario::generate(seed);
+        sc.sabotage = Some(Sabotage::LeakCredit { every: 2 });
+        if !run_differential(&sc).ok() {
+            failing = Some(sc);
+            break;
+        }
+    }
+    let sc = failing.expect("a sabotaged run must diverge within 200 seeds");
+    let (cycle, snap) = divergence_artifact(&sc, 1).expect("diverging run yields an artifact");
+    assert_eq!(
+        snap.cycle(),
+        cycle,
+        "header cycle matches the reported cycle"
+    );
+    // The artifact restores into a simulator built from the same config.
+    let mut sim = noc_sim::Simulator::new(sc.sim_config());
+    sim.restore(&snap).expect("artifact restores cleanly");
+    assert_eq!(sim.cycle(), cycle);
+}

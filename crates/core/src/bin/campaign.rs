@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p htnoc-core --bin campaign [seed] [--trace out.json]
+//!     [--checkpoint-dir D [--checkpoint-every N] [--resume] [--halt-at C]]
 //! ```
 //!
 //! Replays every seeded failure scenario (transient storm, stuck-at
@@ -18,29 +19,90 @@
 //! `trace_event` file at `PATH` (load it in Perfetto or
 //! `chrome://tracing`), and the per-link metrics table prints with the
 //! infected link at the top.
+//!
+//! With `--checkpoint-dir`, the trojan-flood acceptance scenario runs
+//! under periodic crash-safe checkpointing instead: the full simulator
+//! state (plus traffic cursor and stall log) is snapshotted every
+//! `--checkpoint-every` cycles, and `--resume` continues from the newest
+//! valid checkpoint — bit-identically to an uninterrupted run. `--halt-at`
+//! simulates a crash at a given cycle (used by the kill-and-resume CI
+//! job alongside a real SIGKILL).
 
-use htnoc_core::campaign::{run_campaign, trojan_flood_traced_with_sink, CAMPAIGN_SEED};
+use htnoc_core::campaign::{
+    run_campaign, trojan_flood_checkpointed, trojan_flood_traced_with_sink, CheckpointOpts,
+    CAMPAIGN_SEED,
+};
 use htnoc_core::viz;
 use noc_sim::{JsonlSink, TraceConfig};
 use std::io::Write;
 
+const USAGE: &str = "usage: campaign [seed] [--trace out.json] \
+    [--checkpoint-dir D [--checkpoint-every N] [--resume] [--halt-at C]]";
+
 fn main() {
     let mut seed = CAMPAIGN_SEED;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut ckpt_dir: Option<std::path::PathBuf> = None;
+    let mut ckpt_every: u64 = 500;
+    let mut resume = false;
+    let mut halt_at: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            let Some(p) = args.next() else {
-                eprintln!("usage: campaign [seed] [--trace out.json]");
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value\n{USAGE}");
                 std::process::exit(2);
-            };
-            trace_path = Some(p.into());
-        } else {
-            seed = arg.parse::<u64>().unwrap_or_else(|_| {
-                eprintln!("usage: campaign [seed] [--trace out.json]   (got {arg:?})");
-                std::process::exit(2);
-            });
+            })
+        };
+        match arg.as_str() {
+            "--trace" => trace_path = Some(value("--trace").into()),
+            "--checkpoint-dir" => ckpt_dir = Some(value("--checkpoint-dir").into()),
+            "--checkpoint-every" => {
+                ckpt_every = value("--checkpoint-every").parse().unwrap_or_else(|_| {
+                    eprintln!("--checkpoint-every needs a cycle count\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--resume" => resume = true,
+            "--halt-at" => {
+                halt_at = Some(value("--halt-at").parse().unwrap_or_else(|_| {
+                    eprintln!("--halt-at needs a cycle count\n{USAGE}");
+                    std::process::exit(2);
+                }))
+            }
+            _ => {
+                seed = arg.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("{USAGE}   (got {arg:?})");
+                    std::process::exit(2);
+                })
+            }
         }
+    }
+
+    if let Some(dir) = ckpt_dir {
+        // Checkpointed acceptance run: the trojan-flood scenario under
+        // periodic crash-safe snapshots (what the CI kill-and-resume job
+        // drives). The finished report is bit-identical to an
+        // uninterrupted run of the same seed.
+        let mut opts = CheckpointOpts::new(&dir, ckpt_every);
+        opts.resume = resume;
+        opts.halt_at = halt_at;
+        println!(
+            "trojan_flood (checkpointed), seed {seed:#x}, every {ckpt_every} \
+             cycles into {}{}",
+            dir.display(),
+            if resume { ", resuming" } else { "" },
+        );
+        match trojan_flood_checkpointed(seed, &opts) {
+            Some(rep) => println!("{rep}"),
+            None => {
+                println!(
+                    "halted at cycle {} (simulated crash); rerun with --resume",
+                    opts.halt_at.unwrap()
+                );
+            }
+        }
+        return;
     }
 
     println!("fault-injection campaign, seed {seed:#x}");

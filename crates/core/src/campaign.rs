@@ -487,6 +487,156 @@ fn trojan_flood_run(
     (rep, sim)
 }
 
+/// Options for the checkpointed acceptance run
+/// ([`trojan_flood_checkpointed`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointOpts {
+    /// Snapshot the simulator every this-many cycles (0 = never).
+    pub every: u64,
+    /// Directory the rotating checkpoint files live in.
+    pub dir: std::path::PathBuf,
+    /// How many checkpoints to keep (oldest pruned first).
+    pub keep: usize,
+    /// Resume from the newest valid checkpoint in `dir` instead of
+    /// starting at cycle 0.
+    pub resume: bool,
+    /// Stop the driver loop when the simulator reaches this cycle, as a
+    /// crash would — the hook the kill-and-resume tests use. `None` runs
+    /// to completion.
+    pub halt_at: Option<u64>,
+}
+
+impl CheckpointOpts {
+    /// Checkpoint into `dir` every `every` cycles, keeping 3 files.
+    pub fn new(dir: impl Into<std::path::PathBuf>, every: u64) -> Self {
+        Self {
+            every,
+            dir: dir.into(),
+            keep: 3,
+            resume: false,
+            halt_at: None,
+        }
+    }
+}
+
+/// [`trojan_flood`] under periodic crash-safe checkpointing: every
+/// `opts.every` cycles the complete simulator state plus the traffic
+/// cursor and the stall log land in `opts.dir` (atomic write, rotated).
+/// With `opts.resume`, the run continues from the newest valid
+/// checkpoint and finishes **bit-identically** to an uninterrupted run —
+/// same cycles, same stats, same stall diagnoses.
+///
+/// Returns `None` when `opts.halt_at` stopped the run mid-flight (the
+/// simulated crash); otherwise the report, which matches
+/// [`trojan_flood`] for the same seed exactly.
+pub fn trojan_flood_checkpointed(seed: u64, opts: &CheckpointOpts) -> Option<ScenarioReport> {
+    use noc_sim::snapshot::{encode_stall_report, put_u64, Checkpointer};
+
+    const ARM_AT: u64 = 200;
+    const MAX_CYCLES: u64 = 20_000;
+
+    let mut cfg = SimConfig::paper_unprotected();
+    cfg.watchdog = Some(WatchdogConfig {
+        retx_attempt_limit: 24,
+        credit_stall_cycles: 600,
+        global_stall_cycles: 1500,
+    });
+    cfg.check_invariants_every = Some(64);
+    let mut sim = Simulator::new(cfg);
+    // Watchdog trips dump a forensic snapshot next to the checkpoints, so
+    // a CI failure ships the stalled simulator state as an artifact.
+    sim.set_post_mortem_dir(Some(opts.dir.join("post-mortem")));
+    let mesh = sim.mesh().clone();
+    let victim_dest = NodeId(9);
+    let hot = hop(&sim, NodeId(5), victim_dest);
+    mount_trojan(&mut sim, hot, victim_dest);
+    let mut traffic = SyntheticTraffic::new(
+        mesh.clone(),
+        Pattern::Hotspot(vec![victim_dest]),
+        0.05,
+        seed,
+    )
+    .until(1200);
+    let mut stalls: Vec<StallReport> = Vec::new();
+
+    let ck = Checkpointer::new(&opts.dir, opts.keep);
+    if opts.resume {
+        if let Some((path, snap)) = ck.load_latest().expect("checkpoint dir must be readable") {
+            sim.restore(&snap)
+                .unwrap_or_else(|e| panic!("resume from {} failed: {e}", path.display()));
+            let mut ud = snap.user_data();
+            stalls = decode_stall_log(&mut ud)
+                .unwrap_or_else(|| panic!("corrupt stall log in {}", path.display()));
+            traffic.load_cursor(&mut ud);
+        }
+    }
+
+    let save = |sim: &Simulator, traffic: &SyntheticTraffic, stalls: &[StallReport]| {
+        let mut snap = sim.snapshot();
+        let mut ud = Vec::new();
+        put_u64(&mut ud, stalls.len() as u64);
+        for s in stalls {
+            encode_stall_report(&mut ud, s);
+        }
+        traffic.save_cursor(&mut ud);
+        snap.set_user_data(ud);
+        ck.save(&snap)
+            .unwrap_or_else(|e| panic!("checkpoint save failed: {e}"));
+    };
+
+    let mut drained = false;
+    while sim.cycle() < MAX_CYCLES {
+        let now = sim.cycle();
+        // Arming is keyed off the cycle counter (and the kill switches are
+        // part of the snapshot), so a resumed run never re-arms or skips
+        // the arming edge.
+        if now == ARM_AT {
+            sim.arm_trojans(true);
+        }
+        if opts.every > 0 && now > 0 && now.is_multiple_of(opts.every) {
+            save(&sim, &traffic, &stalls);
+        }
+        if opts.halt_at.is_some_and(|h| now >= h) {
+            return None;
+        }
+        if traffic.done() && sim.is_quiescent() {
+            drained = true;
+            break;
+        }
+        match sim.try_step(&mut traffic) {
+            Ok(()) => {}
+            Err(SimError::Stalled(report)) => {
+                stalls.push(report);
+                handle_stall(&mut sim, &report, StallPolicy::QuarantineCulprit);
+            }
+            Err(err) => panic!("fatal simulator error at cycle {}: {err}", sim.cycle()),
+        }
+    }
+
+    let rep = finish("trojan_flood", seed, &sim, drained, stalls);
+    assert!(
+        !rep.stalls.is_empty(),
+        "the unmitigated flood must trip the watchdog"
+    );
+    assert!(
+        rep.quarantined_links >= 1,
+        "the diagnosis must lead to a quarantine"
+    );
+    Some(rep)
+}
+
+/// Decode the stall log that [`trojan_flood_checkpointed`] stores at the
+/// front of the snapshot `user_data`, advancing `input` past it.
+fn decode_stall_log(input: &mut &[u8]) -> Option<Vec<StallReport>> {
+    use noc_sim::snapshot::{decode_stall_report, take_u64};
+    let n = take_u64(input)?;
+    let mut stalls = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        stalls.push(decode_stall_report(input)?);
+    }
+    Some(stalls)
+}
+
 /// Run every scenario on seeds derived from `seed`. Each scenario panics
 /// on any conservation or invariant failure, so a returned vector means
 /// the whole campaign passed.
@@ -544,6 +694,54 @@ mod tests {
         assert!(timeline
             .iter()
             .any(|r| matches!(r.kind, noc_sim::TraceKind::LinkQuarantined { .. })));
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("htnoc-campaign-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpointed_flood_matches_uninterrupted_run() {
+        let seed = CAMPAIGN_SEED.wrapping_add(5);
+        let plain = trojan_flood(seed);
+        let dir = scratch_dir("full");
+        let rep = trojan_flood_checkpointed(seed, &CheckpointOpts::new(&dir, 500))
+            .expect("no halt requested");
+        assert_eq!(plain.cycles, rep.cycles);
+        assert_eq!(plain.injected_flits, rep.injected_flits);
+        assert_eq!(plain.delivered_flits, rep.delivered_flits);
+        assert_eq!(plain.dropped_flits, rep.dropped_flits);
+        assert_eq!(plain.stalls, rep.stalls);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_and_resumed_flood_matches_uninterrupted_run() {
+        let seed = CAMPAIGN_SEED.wrapping_add(5);
+        let plain = trojan_flood(seed);
+        let dir = scratch_dir("kill");
+        // Crash mid-attack, past several checkpoints and at least one
+        // watchdog quarantine...
+        let mut opts = CheckpointOpts::new(&dir, 300);
+        opts.halt_at = Some(1700);
+        assert!(trojan_flood_checkpointed(seed, &opts).is_none());
+        // ...then resume from the newest checkpoint: the finished run must
+        // be indistinguishable from one that never crashed.
+        opts.halt_at = None;
+        opts.resume = true;
+        let rep = trojan_flood_checkpointed(seed, &opts).expect("resumed run completes");
+        assert_eq!(plain.cycles, rep.cycles);
+        assert_eq!(plain.injected_flits, rep.injected_flits);
+        assert_eq!(plain.delivered_flits, rep.delivered_flits);
+        assert_eq!(plain.dropped_flits, rep.dropped_flits);
+        assert_eq!(plain.stalls, rep.stalls);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -83,6 +83,16 @@ impl<S: TrafficSource> TrafficSource for E2eObfuscation<S> {
     fn done(&self) -> bool {
         self.inner.done()
     }
+
+    // The scrambling key is construction state, not progress: the cursor
+    // is exactly the inner source's.
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        self.inner.save_cursor(out);
+    }
+
+    fn load_cursor(&mut self, input: &mut &[u8]) {
+        self.inner.load_cursor(input);
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,37 @@ struct FaultRecord {
     clean_after_obf: bool,
 }
 
+/// Externalised [`FaultRecord`] contents (checkpoint/restore support).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultRecordState {
+    /// Uncorrectable faults recorded for the flit.
+    pub faults: u32,
+    /// Recorded syndromes, in arrival order.
+    pub syndromes: Vec<u8>,
+    /// Obfuscated retransmissions attempted so far.
+    pub obf_attempts: u32,
+    /// The flit eventually crossed cleanly while obfuscated.
+    pub clean_after_obf: bool,
+}
+
+/// Externalised [`ThreatDetector`] runtime state (checkpoint/restore
+/// support). Records are sorted by key so the export is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectorState {
+    /// Per-flit fault records, sorted by key.
+    pub records: Vec<(FlitKey, FaultRecordState)>,
+    /// Total uncorrectable faults seen on the guarded link.
+    pub total_faults: u64,
+    /// Total retransmissions requested.
+    pub total_retransmissions: u64,
+    /// BIST scans requested.
+    pub bist_requests: u64,
+    /// Obfuscation escalations requested.
+    pub lob_escalations: u64,
+    /// Outcome of the most recent BIST scan of the guarded link.
+    pub bist_passed: Option<bool>,
+}
+
 /// Per-input-port threat source detector.
 ///
 /// ```
@@ -324,6 +355,62 @@ impl ThreatDetector {
     /// Drop bookkeeping for a delivered packet (bounded memory in long runs).
     pub fn forget_packet(&mut self, packet: PacketId) {
         self.records.retain(|(p, _), _| *p != packet);
+    }
+
+    /// Export the runtime state for checkpointing. Records are sorted by
+    /// key so the export is byte-stable regardless of hash-map iteration
+    /// order.
+    pub fn export_state(&self) -> DetectorState {
+        let mut records: Vec<(FlitKey, FaultRecordState)> = self
+            .records
+            .iter()
+            .map(|(k, r)| {
+                (
+                    *k,
+                    FaultRecordState {
+                        faults: r.faults,
+                        syndromes: r.syndromes.clone(),
+                        obf_attempts: r.obf_attempts,
+                        clean_after_obf: r.clean_after_obf,
+                    },
+                )
+            })
+            .collect();
+        records.sort_unstable_by_key(|(k, _)| *k);
+        DetectorState {
+            records,
+            total_faults: self.total_faults,
+            total_retransmissions: self.total_retransmissions,
+            bist_requests: self.bist_requests,
+            lob_escalations: self.lob_escalations,
+            bist_passed: self.bist_passed,
+        }
+    }
+
+    /// Restore runtime state captured by [`ThreatDetector::export_state`].
+    /// The detector keeps its current configuration — thresholds are not
+    /// part of the runtime state.
+    pub fn import_state(&mut self, state: DetectorState) {
+        self.records = state
+            .records
+            .into_iter()
+            .map(|(k, r)| {
+                (
+                    k,
+                    FaultRecord {
+                        faults: r.faults,
+                        syndromes: r.syndromes,
+                        obf_attempts: r.obf_attempts,
+                        clean_after_obf: r.clean_after_obf,
+                    },
+                )
+            })
+            .collect();
+        self.total_faults = state.total_faults;
+        self.total_retransmissions = state.total_retransmissions;
+        self.bist_requests = state.bist_requests;
+        self.lob_escalations = state.lob_escalations;
+        self.bist_passed = state.bist_passed;
     }
 }
 

@@ -24,5 +24,8 @@ pub mod detector;
 pub mod lob;
 
 pub use bist::{Bist, BistReport, LinkUnderTest};
-pub use detector::{DetectorAction, DetectorConfig, FaultClass, ThreatDetector, Verdict};
+pub use detector::{
+    DetectorAction, DetectorConfig, DetectorState, FaultClass, FaultRecordState, ThreatDetector,
+    Verdict,
+};
 pub use lob::{Granularity, LobModule, LobPlan, ObfuscationMethod, TriggerScope};

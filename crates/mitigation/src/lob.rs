@@ -278,6 +278,15 @@ impl LobModule {
         self.logged
     }
 
+    /// Restore the runtime state captured from another module via
+    /// [`LobModule::logged_plan`], [`LobModule::attempts`] and
+    /// [`LobModule::successes`] (checkpoint/restore support).
+    pub fn restore(&mut self, logged: Option<LobPlan>, attempts: u64, successes: u64) {
+        self.logged = logged;
+        self.attempts = attempts;
+        self.successes = successes;
+    }
+
     /// What the successful granularity says about the trojan's trigger —
     /// "changing the granularity within the packet could allow us to
     /// identify the triggering mechanism" (§IV-A). A header-window method

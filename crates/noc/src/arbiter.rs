@@ -5,8 +5,8 @@
 /// starvation-freedom property the tests pin down.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundRobin {
-    next: usize,
-    n: usize,
+    pub(crate) next: usize,
+    pub(crate) n: usize,
 }
 
 impl RoundRobin {

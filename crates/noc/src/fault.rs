@@ -62,7 +62,7 @@ pub struct LinkFaults {
     pub stuck: StuckWires,
     /// A mounted TASP trojan, if this link was compromised at fabrication.
     pub trojan: Option<TaspHt>,
-    rng: StdRng,
+    pub(crate) rng: StdRng,
     /// Counters for analysis.
     pub transient_flips: u64,
     /// Trojan fault injections performed on this link.

@@ -127,11 +127,11 @@ pub struct InputUnit {
     /// a fixed-capacity insertion-ordered ring. A hash map here would
     /// re-table under constant fresh-key churn; at ≤ 64 entries a linear
     /// scan is cheaper than hashing and never touches the allocator.
-    seen_words: Vec<(FlitId, u64)>,
+    pub(crate) seen_words: Vec<(FlitId, u64)>,
     /// Index of the oldest ring entry (the next eviction slot).
-    seen_head: usize,
+    pub(crate) seen_head: usize,
     /// Monotonic wire-acceptance counter for order stamps.
-    next_order: u64,
+    pub(crate) next_order: u64,
     /// Last fault classification reported for the guarded link (event
     /// deduplication).
     pub reported_class: noc_mitigation::FaultClass,

@@ -45,6 +45,7 @@ pub(crate) mod par;
 pub mod router;
 pub mod routing;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod watchdog;
@@ -55,6 +56,10 @@ pub use fault::LinkFaults;
 pub use message::SimEvent;
 pub use metrics::{LinkMetrics, MetricsRegistry, RouterMetrics};
 pub use sim::{Simulator, TrafficSource};
+pub use snapshot::{
+    config_hash, decode_stall_report, encode_stall_report, Checkpointer, SimSnapshot,
+    SnapshotError, SNAPSHOT_VERSION,
+};
 pub use stats::{SimStats, Snapshot};
 pub use trace::{ChannelSink, JsonlSink, Record, TraceKind, TraceRecorder, TraceSink};
 pub use watchdog::{StallKind, StallReport, WatchdogConfig};

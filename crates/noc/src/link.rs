@@ -11,11 +11,11 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 pub struct LinkWire {
     /// Flit launched last cycle, delivered when `now >= deliver_at`.
-    in_flight: Option<(u64, LinkFlit)>,
+    pub(crate) in_flight: Option<(u64, LinkFlit)>,
     /// ACK/NACK messages heading upstream: `(deliver_cycle, msg)`.
-    acks: VecDeque<(u64, AckMsg)>,
+    pub(crate) acks: VecDeque<(u64, AckMsg)>,
     /// Credit returns heading upstream: `(deliver_cycle, vc)`.
-    credits: VecDeque<(u64, VcId)>,
+    pub(crate) credits: VecDeque<(u64, VcId)>,
     /// The fault layer (transients, stuck wires, trojan).
     pub faults: LinkFaults,
     /// Lifetime flit count (Fig. 1(c) per-link traffic share).

@@ -11,7 +11,7 @@ use noc_types::{LinkId, NodeId};
 
 /// Monotonically increasing event count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Counter(u64);
+pub struct Counter(pub(crate) u64);
 
 impl Counter {
     /// Add one.
@@ -56,9 +56,9 @@ impl Gauge {
 /// `SimStats`' latency binning).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PowHistogram {
-    buckets: [u64; 16],
-    count: u64,
-    max: u64,
+    pub(crate) buckets: [u64; 16],
+    pub(crate) count: u64,
+    pub(crate) max: u64,
 }
 
 impl PowHistogram {
@@ -138,8 +138,8 @@ pub struct RouterMetrics {
 /// simulator construction.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
-    links: Vec<LinkMetrics>,
-    routers: Vec<RouterMetrics>,
+    pub(crate) links: Vec<LinkMetrics>,
+    pub(crate) routers: Vec<RouterMetrics>,
 }
 
 impl MetricsRegistry {

@@ -54,7 +54,7 @@ pub struct OutputUnit {
     /// L-Ob controller for this link.
     pub lob: LobModule,
     /// Round-robin over slots for fair resend selection.
-    send_rr: RoundRobin,
+    pub(crate) send_rr: RoundRobin,
     /// Cycle of the last delivery progress (ACK received). A port with
     /// waiting work and no progress is stalled by back-pressure or a
     /// retransmission livelock.
@@ -63,11 +63,15 @@ pub struct OutputUnit {
     /// once a method is logged, "similar flits" are obfuscated proactively
     /// on their first traversal (the paper's method log speeding up "the
     /// selection process for similar flits having the same problem").
-    protected_dests: Vec<u16>,
+    pub(crate) protected_dests: Vec<u16>,
     /// Flits driven onto the link (including retries).
     pub flits_sent: u64,
     /// Launches that were retries (attempt ≥ 2).
     pub retransmissions: u64,
+    /// Credits drained through the `LeakCredit` sabotage hook (conformance
+    /// self-tests only). Lives on the output unit — the link's home — so the
+    /// count is identical at every shard/thread count.
+    pub(crate) sab_credit_seen: u64,
 }
 
 impl OutputUnit {
@@ -85,6 +89,7 @@ impl OutputUnit {
             protected_dests: Vec::new(),
             flits_sent: 0,
             retransmissions: 0,
+            sab_credit_seen: 0,
         }
     }
 

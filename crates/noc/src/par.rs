@@ -39,14 +39,11 @@
 //! effect lists — reconstructing the exact sequential order of every
 //! event, trace record, and statistics update. The result is bit-identical
 //! to the sequential engine at every shard count (verified by the golden
-//! determinism suite and the differential conformance fuzzer).
-//!
-//! The one documented exception is [`crate::config::Sabotage::LeakCredit`]:
-//! its *deliberate* defect counts credits in global drain order, which a
-//! sharded drain cannot reproduce without serialising P3, so the counter
-//! is per-shard. Sabotage is a conformance-self-test-only hook and is
-//! deterministic at any fixed thread count, which is all the self-test
-//! needs (it must diverge from the oracle, and still does).
+//! determinism suite and the differential conformance fuzzer). This
+//! includes the [`crate::config::Sabotage::LeakCredit`] self-test hook:
+//! its counter lives on the [`crate::output::OutputUnit`] it leaks from,
+//! and each output's credits drain in wire order under exactly one shard,
+//! so the count is identical at every shard count.
 
 use crate::config::{Sabotage, SimConfig};
 use crate::input::{DelayedEntry, PendingScramble};
@@ -186,9 +183,6 @@ pub(crate) struct ShardFx {
     pub credit_vcs: Vec<VcId>,
     pub ejections: Vec<Ejection>,
     pub credits: Vec<CreditReturn>,
-    // Persistent per-shard counter for the LeakCredit sabotage hook (see
-    // the module docs for why this one is per-shard).
-    pub sab_credit_seen: u64,
     // Per-cycle buffered effects, drained by `Simulator::commit_fx`.
     pub stats: StatsDelta,
     pub progress: bool,
@@ -621,7 +615,6 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
     let ShardFx {
         acks,
         credit_vcs,
-        sab_credit_seen,
         stats,
         p3_kinds,
         p3_events,
@@ -734,10 +727,12 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
             }
         }
         for &vc in credit_vcs.iter() {
-            // Conformance self-test hook: leak every Nth credit.
+            // Conformance self-test hook: leak every Nth credit. The
+            // counter lives on the output unit so the leak pattern is
+            // identical at every shard count.
             if let Some(Sabotage::LeakCredit { every }) = ctx.cfg.sabotage {
-                *sab_credit_seen += 1;
-                if sab_credit_seen.is_multiple_of(every.max(1) as u64) {
+                out.sab_credit_seen += 1;
+                if out.sab_credit_seen.is_multiple_of(every.max(1) as u64) {
                     continue;
                 }
             }

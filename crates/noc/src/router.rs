@@ -86,13 +86,13 @@ pub struct Router {
     /// Output units per network direction (None where no neighbour).
     pub outputs: [Option<OutputUnit>; 4],
     /// VA arbiter per network output, over `input_port * vcs + vc`.
-    va_arb: [RoundRobin; 4],
+    pub(crate) va_arb: [RoundRobin; 4],
     /// SA arbiter per output port (4 net + locals), same indexing.
-    sa_arb: Vec<RoundRobin>,
+    pub(crate) sa_arb: Vec<RoundRobin>,
     /// Crossbar traversals granted last cycle.
     pub st_pending: Vec<StMove>,
     /// Slots already committed to each network output by pending STs.
-    pending_to_output: [u8; 4],
+    pub(crate) pending_to_output: [u8; 4],
 }
 
 impl Router {

@@ -28,7 +28,7 @@ pub enum Routing {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteTables {
     /// `next[router][dest]` — `None` when `dest` is unreachable.
-    next: Vec<Vec<Option<Direction>>>,
+    pub(crate) next: Vec<Vec<Option<Direction>>>,
 }
 
 /// A fixed-capacity set of legal output ports, best-default first — the

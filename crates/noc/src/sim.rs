@@ -37,6 +37,16 @@ pub trait TrafficSource {
     fn done(&self) -> bool {
         false
     }
+
+    /// Append this source's resume cursor (RNG state, position counters)
+    /// to `out`, for checkpointing. The default writes nothing — correct
+    /// for stateless sources like [`NoTraffic`]; stateful sources override
+    /// both cursor methods symmetrically.
+    fn save_cursor(&self, _out: &mut Vec<u8>) {}
+
+    /// Restore the cursor written by [`TrafficSource::save_cursor`],
+    /// consuming exactly the bytes it wrote from the front of `input`.
+    fn load_cursor(&mut self, _input: &mut &[u8]) {}
 }
 
 /// A source that never injects (for drain phases and unit tests).
@@ -76,77 +86,81 @@ impl TrafficSource for NoTraffic {
 /// assert!(sim.stats().avg_latency() >= 30.0);
 /// ```
 pub struct Simulator {
-    cfg: SimConfig,
-    mesh: Mesh,
-    routing: Routing,
-    routers: Vec<Router>,
-    links: Vec<LinkWire>,
-    dead_links: Vec<LinkId>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) mesh: Mesh,
+    pub(crate) routing: Routing,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) links: Vec<LinkWire>,
+    pub(crate) dead_links: Vec<LinkId>,
     /// Injection queues, one per (core, VC class) so a stalled class never
     /// head-of-line blocks another (essential for TDM non-interference).
     /// Indexed `core * vcs + vc`.
-    inj_queues: Vec<VecDeque<Flit>>,
+    pub(crate) inj_queues: Vec<VecDeque<Flit>>,
     /// Round-robin pointer per core over its VC queues.
-    inj_rr: Vec<u8>,
-    cycle: u64,
-    next_flit_id: u64,
+    pub(crate) inj_rr: Vec<u8>,
+    pub(crate) cycle: u64,
+    pub(crate) next_flit_id: u64,
     /// Injection cycle per in-flight packet (latency accounting).
-    birth: std::collections::HashMap<noc_types::PacketId, u64>,
-    stats: SimStats,
-    events: Vec<SimEvent>,
+    pub(crate) birth: std::collections::HashMap<noc_types::PacketId, u64>,
+    pub(crate) stats: SimStats,
+    pub(crate) events: Vec<SimEvent>,
     /// Journey of the traced packet (when `cfg.trace_packet` is set).
-    trace: Vec<TraceEvent>,
-    poll_buf: Vec<Packet>,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) poll_buf: Vec<Packet>,
     /// Cycle of the last network progress event (an ejection anywhere, or
     /// an injection-queue flit admitted into a router) — the global
     /// watchdog's heartbeat.
-    last_progress_cycle: u64,
+    pub(crate) last_progress_cycle: u64,
     /// Links the retry-budget escalation condemned this cycle; quarantined
     /// at the end of `step` so phase ordering stays undisturbed.
-    pending_quarantine: Vec<LinkId>,
+    pub(crate) pending_quarantine: Vec<LinkId>,
     /// Fatal error raised inside `step` (a quarantine disconnected the
     /// mesh); surfaced by the next `try_step`.
-    poisoned: Option<SimError>,
+    pub(crate) poisoned: Option<SimError>,
     /// Watchdog grace baseline: stall ages are measured from the later of
     /// this and the event's own timestamp, so each intervention
     /// (quarantine, trip) re-arms the detectors instead of re-tripping on
     /// survivors that inherited old timestamps.
-    watchdog_armed_at: u64,
+    pub(crate) watchdog_armed_at: u64,
     /// Per-link / per-router counters, gauges, and histograms.
-    metrics: MetricsRegistry,
+    pub(crate) metrics: MetricsRegistry,
     /// Structured event recorder, armed by `cfg.trace`. `None` when
     /// tracing is disabled — the zero-cost path.
-    tracer: Option<TraceRecorder>,
+    pub(crate) tracer: Option<TraceRecorder>,
     /// Aggregate counter values at the previous snapshot (delivered
     /// flits, retransmissions, uncorrectable faults), for the per-interval
     /// deltas in [`Snapshot`].
-    snap_base: (u64, u64, u64),
+    pub(crate) snap_base: (u64, u64, u64),
     /// Per-router activity bits, recomputed each cycle from
     /// [`Router::has_phase_work`] and set eagerly when a phase hands a
     /// router new work (arrival, injection admit): quiescent routers skip
     /// the per-router pipeline phases entirely.
-    router_active: Vec<bool>,
+    pub(crate) router_active: Vec<bool>,
     /// `link_dead[i]` mirrors `dead_links` for O(1) hot-path lookup.
-    link_dead: Vec<bool>,
+    pub(crate) link_dead: Vec<bool>,
     /// Event counter for the periodic `OvercountDelivered` sabotage hook
     /// (only advanced while that sabotage is armed). Lives on the
     /// simulator — ejection bookkeeping is committed in sequential order
-    /// at any thread count — unlike the `LeakCredit` counter, which is
-    /// per-shard (see [`crate::par`]).
-    sabotage_eject_seen: u64,
+    /// at any thread count. (The `LeakCredit` counter similarly lives on
+    /// each [`crate::output::OutputUnit`].)
+    pub(crate) sabotage_eject_seen: u64,
     // Reusable scratch buffer so the steady-state cycle loop performs no
     // heap allocation (the per-phase scratch lives in each shard's
     // `ShardFx`; this one serves the sequential injection phase, which
     // also reuses `poll_buf` above).
-    flit_scratch: Vec<Flit>,
+    pub(crate) flit_scratch: Vec<Flit>,
     /// Shard ownership sets for the parallel engine: one entry per
     /// shard, always at least one. A single entry selects the inline
     /// sequential path (no pool, no barriers).
-    plans: Vec<crate::par::ShardPlan>,
+    pub(crate) plans: Vec<crate::par::ShardPlan>,
     /// Per-shard scratch buffers and buffered side effects.
-    fx: Vec<crate::par::ShardFx>,
+    pub(crate) fx: Vec<crate::par::ShardFx>,
     /// Worker threads, spawned lazily on the first multi-shard step.
-    pool: Option<crate::par::Pool>,
+    pub(crate) pool: Option<crate::par::Pool>,
+    /// When set, a stall diagnosed by [`Simulator::try_step`] also writes
+    /// a post-mortem snapshot (`postmortem-cycle-<N>.snap`) into this
+    /// directory before the error is surfaced.
+    pub(crate) post_mortem_dir: Option<std::path::PathBuf>,
 }
 
 impl Simulator {
@@ -199,6 +213,7 @@ impl Simulator {
             plans,
             fx,
             pool: None,
+            post_mortem_dir: None,
         }
     }
 
@@ -207,9 +222,6 @@ impl Simulator {
     /// is legal at any cycle boundary; the result stays bit-identical at
     /// every thread count. Benchmarks and the golden determinism suite
     /// use this to sweep thread counts without rebuilding the simulator.
-    ///
-    /// Note: the per-shard `LeakCredit` sabotage counters reset (that
-    /// self-test hook is per-shard by design — see [`crate::par`]).
     pub fn set_threads(&mut self, threads: usize) {
         self.pool = None;
         self.plans = crate::par::plan_shards(&self.mesh, threads.max(1));
@@ -787,9 +799,31 @@ impl Simulator {
                 }
             );
             self.events.push(SimEvent::WatchdogTripped { report });
+            self.write_post_mortem();
             return Err(SimError::Stalled(report));
         }
         Ok(())
+    }
+
+    /// Arm automatic post-mortem snapshots: when [`Simulator::try_step`]
+    /// diagnoses a stall, the full simulator state is written to
+    /// `dir/postmortem-cycle-<N>.snap` before the error is surfaced, so
+    /// the deadlocked mesh can be reloaded and inspected offline. Pass
+    /// `None` to disarm.
+    pub fn set_post_mortem_dir(&mut self, dir: Option<std::path::PathBuf>) {
+        self.post_mortem_dir = dir;
+    }
+
+    /// Best-effort post-mortem snapshot (stall forensics). IO errors are
+    /// swallowed: the stall diagnosis must reach the caller regardless.
+    fn write_post_mortem(&mut self) {
+        let Some(dir) = self.post_mortem_dir.clone() else {
+            return;
+        };
+        let snap = self.snapshot();
+        let path = dir.join(format!("postmortem-cycle-{:012}.snap", self.cycle));
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = snap.write_atomic(&path);
     }
 
     /// Guarded version of [`Simulator::run`].

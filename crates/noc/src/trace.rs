@@ -721,11 +721,11 @@ impl TraceSink for ChannelSink {
 /// Bounded ring-buffer recorder with an optional forwarding sink and the
 /// packet/link forensics queries.
 pub struct TraceRecorder {
-    capacity: usize,
-    buf: VecDeque<Record>,
-    emitted: u64,
-    dropped: u64,
-    sink: Option<Box<dyn TraceSink>>,
+    pub(crate) capacity: usize,
+    pub(crate) buf: VecDeque<Record>,
+    pub(crate) emitted: u64,
+    pub(crate) dropped: u64,
+    pub(crate) sink: Option<Box<dyn TraceSink>>,
 }
 
 impl TraceRecorder {

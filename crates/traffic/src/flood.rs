@@ -102,6 +102,32 @@ impl TrafficSource for FloodAttack {
     fn done(&self) -> bool {
         self.until != u64::MAX && self.polled + 1 >= self.until
     }
+
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        noc_sim::snapshot::put_u64(out, self.polled);
+        for s in self.rng.state() {
+            noc_sim::snapshot::put_u64(out, s);
+        }
+        noc_sim::snapshot::put_u64(out, self.next_packet);
+    }
+
+    fn load_cursor(&mut self, input: &mut &[u8]) {
+        use noc_sim::snapshot::take_u64;
+        let Some(polled) = take_u64(input) else {
+            return;
+        };
+        let mut state = [0u64; 4];
+        for s in state.iter_mut() {
+            let Some(v) = take_u64(input) else { return };
+            *s = v;
+        }
+        let Some(next_packet) = take_u64(input) else {
+            return;
+        };
+        self.polled = polled;
+        self.rng = StdRng::from_state(state);
+        self.next_packet = next_packet;
+    }
 }
 
 /// Combine a background workload with a flood attack into one source.
@@ -119,6 +145,16 @@ impl<S: TrafficSource> TrafficSource for WithFlood<S> {
     }
     fn done(&self) -> bool {
         self.background.done() && self.flood.done()
+    }
+
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        self.background.save_cursor(out);
+        self.flood.save_cursor(out);
+    }
+
+    fn load_cursor(&mut self, input: &mut &[u8]) {
+        self.background.load_cursor(input);
+        self.flood.load_cursor(input);
     }
 }
 

@@ -97,6 +97,17 @@ impl<S: TrafficSource> TrafficSource for Recorder<S> {
     fn done(&self) -> bool {
         self.inner.done()
     }
+
+    // The cursor delegates to the wrapped source; the already-captured
+    // trace prefix is not part of the cursor (a resumed recorder records
+    // only from the resume point onward).
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        self.inner.save_cursor(out);
+    }
+
+    fn load_cursor(&mut self, input: &mut &[u8]) {
+        self.inner.load_cursor(input);
+    }
 }
 
 /// Replays a [`Trace`] injection-for-injection. Entries must be in
@@ -120,6 +131,16 @@ impl TrafficSource for Replay {
     }
     fn done(&self) -> bool {
         self.next >= self.entries.len()
+    }
+
+    fn save_cursor(&self, out: &mut Vec<u8>) {
+        noc_sim::snapshot::put_u64(out, self.next as u64);
+    }
+
+    fn load_cursor(&mut self, input: &mut &[u8]) {
+        if let Some(next) = noc_sim::snapshot::take_u64(input) {
+            self.next = (next as usize).min(self.entries.len());
+        }
     }
 }
 

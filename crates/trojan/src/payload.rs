@@ -109,6 +109,17 @@ impl PayloadFsm {
         self.state = 0;
     }
 
+    /// Restore the runtime counters captured from another FSM of the same
+    /// design (checkpoint/restore support).
+    ///
+    /// # Panics
+    /// Panics if `state` is not a valid payload state for this design.
+    pub fn restore(&mut self, state: u16, injections: u64) {
+        assert!(state < self.num_states(), "payload state out of range");
+        self.state = state;
+        self.injections = injections;
+    }
+
     /// The 128-bit XOR mask over the codeword for the current state.
     pub fn mask_for(&self, s: u16) -> u128 {
         let (a, b) = self.positions_for(s);

@@ -205,6 +205,36 @@ impl TaspHt {
     pub fn payload_state(&self) -> u16 {
         self.fsm.state()
     }
+
+    /// Lifetime payload-FSM injection count (checkpoint support).
+    pub fn payload_injections(&self) -> u64 {
+        self.fsm.injections()
+    }
+
+    /// Cycle of the last injection, for cooldown accounting.
+    pub fn last_injection(&self) -> Option<u64> {
+        self.last_injection
+    }
+
+    /// Restore the runtime state captured from another instance of the
+    /// same design (checkpoint/restore support). The configuration is not
+    /// part of the runtime state: construct with [`TaspHt::new`] from the
+    /// same [`TaspConfig`] first, then restore onto it.
+    pub fn restore_runtime(
+        &mut self,
+        killsw: bool,
+        state: TaspState,
+        last_injection: Option<u64>,
+        stats: TaspStats,
+        payload_state: u16,
+        payload_injections: u64,
+    ) {
+        self.killsw = killsw;
+        self.state = state;
+        self.last_injection = last_injection;
+        self.stats = stats;
+        self.fsm.restore(payload_state, payload_injections);
+    }
 }
 
 #[cfg(test)]
