@@ -3,14 +3,55 @@
 //! without a software flood at one victim router.
 //!
 //! Run: `cargo run --release -p noc-bench --bin exp_flood_routing`
+//!     `[--telemetry-out DIR [--telemetry-every N]]`
+//!
+//! With `--telemetry-out`, sweep progress is exported as it runs: an
+//! atomically replaced Prometheus exposition (`DIR/metrics.prom`, cells
+//! completed / total) plus an append-only heartbeat log
+//! (`DIR/heartbeat.jsonl`) every `--telemetry-every` finished cells
+//! (default 1). The computed table is identical either way.
 
-use noc_bench::flood::compute;
+use noc_bench::flood::compute_streamed;
 use noc_bench::table::{f, print_table};
+use noc_sim::TelemetryOut;
 
 fn main() {
+    let mut tel_dir: Option<std::path::PathBuf> = None;
+    let mut tel_every: u64 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--telemetry-out" => tel_dir = Some(value("--telemetry-out").into()),
+            "--telemetry-every" => {
+                tel_every = value("--telemetry-every").parse().unwrap_or_else(|_| {
+                    eprintln!("--telemetry-every needs an item count");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "usage: exp_flood_routing [--telemetry-out DIR [--telemetry-every N]] \
+                     (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut telemetry = tel_dir.map(|dir| {
+        TelemetryOut::new(&dir, tel_every).unwrap_or_else(|e| {
+            eprintln!("exp_flood_routing: cannot open {}: {e}", dir.display());
+            std::process::exit(2);
+        })
+    });
     println!("=== Extension — XY vs odd-even adaptive routing under flood DoS ===\n");
     let rates = [0.01, 0.02, 0.03];
-    let cells = compute(&rates, 1200, 7);
+    let cells = compute_streamed(&rates, 1200, 7, telemetry.as_mut());
     let mut rows = Vec::new();
     for &rate in &rates {
         for (adaptive, name) in [(false, "XY"), (true, "odd-even")] {

@@ -94,6 +94,18 @@ pub fn run_cell(adaptive: bool, flooded: bool, rate: f64, cycles: u64, seed: u64
 
 /// The full comparison grid.
 pub fn compute(rates: &[f64], cycles: u64, seed: u64) -> Vec<FloodCell> {
+    compute_streamed(rates, cycles, seed, None)
+}
+
+/// [`compute`] with optional sweep-progress telemetry: when `out` is
+/// set, interval Prometheus expositions and heartbeat records land in
+/// its directory as cells finish (the results are unchanged).
+pub fn compute_streamed(
+    rates: &[f64],
+    cycles: u64,
+    seed: u64,
+    out: Option<&mut noc_sim::TelemetryOut>,
+) -> Vec<FloodCell> {
     let mut jobs = Vec::new();
     for &rate in rates {
         for adaptive in [false, true] {
@@ -102,7 +114,13 @@ pub fn compute(rates: &[f64], cycles: u64, seed: u64) -> Vec<FloodCell> {
             }
         }
     }
-    htnoc_core::sweep::par_map(jobs, None, |(a, f, r)| run_cell(a, f, r, cycles, seed))
+    let run = |(a, f, r): (bool, bool, f64)| run_cell(a, f, r, cycles, seed);
+    match out {
+        Some(out) => {
+            htnoc_core::sweep::par_map_telemetry(jobs, None, out, "exp_flood_routing", run)
+        }
+        None => htnoc_core::sweep::par_map(jobs, None, run),
+    }
 }
 
 #[cfg(test)]

@@ -18,10 +18,18 @@
 //! `--checkpoint-every` conformant scenarios (default 25), and
 //! `--resume` continues a killed campaign from the first unfinished
 //! seed instead of re-fuzzing the prefix.
+//!
+//! With `--telemetry-out DIR`, campaign liveness is exported on the
+//! same interval: an atomically replaced Prometheus exposition
+//! (`DIR/metrics.prom`, scenario throughput counters) plus an
+//! append-only heartbeat log (`DIR/heartbeat.jsonl`) whose `cycle` field
+//! counts scenarios completed — the hook a supervisor watches to tell a
+//! slow campaign from a hung one.
 
 use htnoc_conformance::{divergence_artifact, run_differential_threads, shrink, Scenario};
 use noc_sim::config::Sabotage;
 use noc_sim::snapshot::{crc64, put_u64, take_u64};
+use noc_sim::TelemetryOut;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -35,6 +43,7 @@ struct Args {
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: u64,
     resume: bool,
+    telemetry_out: Option<PathBuf>,
 }
 
 /// Fuzz progress, persisted after every `--checkpoint-every` seeds so a
@@ -115,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir: None,
         checkpoint_every: 25,
         resume: false,
+        telemetry_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -141,10 +151,41 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--resume" => args.resume = true,
+            "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?.into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// Prometheus exposition for fuzz-campaign liveness (strict-parse
+/// compatible with [`noc_sim::parse_prometheus`]).
+fn fuzz_prom(ran: u64, next_seed: u64, threads: usize) -> String {
+    let mut out = String::new();
+    let mut metric = |name: &str, help: &str, kind: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        ));
+    };
+    metric(
+        "fuzz_scenarios_total",
+        "Conformant scenarios completed.",
+        "counter",
+        ran,
+    );
+    metric(
+        "fuzz_next_seed",
+        "First seed not yet completed.",
+        "gauge",
+        next_seed,
+    );
+    metric(
+        "fuzz_threads",
+        "Shard count each differential run uses.",
+        "gauge",
+        threads as u64,
+    );
+    out
 }
 
 fn main() {
@@ -155,7 +196,8 @@ fn main() {
             eprintln!(
                 "usage: fuzz [--seed N] [--cases K] [--budget-secs S] [--out DIR] \
                  [--threads T] [--sabotage stall-sa:R|leak-credit:N|overcount:N] \
-                 [--checkpoint-dir D [--checkpoint-every K] [--resume]]"
+                 [--checkpoint-dir D [--checkpoint-every K] [--resume]] \
+                 [--telemetry-out DIR]"
             );
             std::process::exit(2);
         }
@@ -176,7 +218,16 @@ fn main() {
             println!("fuzz: resuming at seed {first_seed} ({ran} scenarios already done)");
         }
     }
+    let mut telemetry = args.telemetry_out.as_ref().map(|dir| {
+        TelemetryOut::new(dir, args.checkpoint_every.max(1)).unwrap_or_else(|e| {
+            eprintln!("fuzz: cannot open {}: {e}", dir.display());
+            std::process::exit(2);
+        })
+    });
+    // Tracks the first seed not yet completed (where the loop broke).
+    let mut next_seed = first_seed;
     for seed in first_seed.. {
+        next_seed = seed;
         let time_up = args
             .budget_secs
             .is_some_and(|s| start.elapsed().as_secs() >= s);
@@ -207,6 +258,16 @@ fn main() {
                     if let Err(e) = save_progress(dir, &p) {
                         eprintln!("fuzz: cannot persist progress: {e}");
                         std::process::exit(2);
+                    }
+                }
+            }
+            if let Some(out) = telemetry.as_mut() {
+                // Heartbeat "cycle" counts scenarios completed, so a
+                // supervisor can tell a slow campaign from a hung one.
+                if out.due(ran) {
+                    let prom = fuzz_prom(ran, seed + 1, args.threads);
+                    if let Err(e) = out.write_now(ran, &prom, None, 0) {
+                        eprintln!("fuzz: telemetry write failed: {e}");
                     }
                 }
             }
@@ -253,6 +314,12 @@ fn main() {
             "fuzz: replay with: cargo run -p htnoc-conformance --bin conformance_repro -- {path}"
         );
         std::process::exit(1);
+    }
+    if let Some(out) = telemetry.as_mut() {
+        let prom = fuzz_prom(ran, next_seed, args.threads);
+        if let Err(e) = out.write_now(ran, &prom, None, 0) {
+            eprintln!("fuzz: telemetry write failed: {e}");
+        }
     }
     println!(
         "fuzz: {ran} scenarios, zero divergences ({}s)",

@@ -27,16 +27,27 @@
 //! valid checkpoint — bit-identically to an uninterrupted run. `--halt-at`
 //! simulates a crash at a given cycle (used by the kill-and-resume CI
 //! job alongside a real SIGKILL).
+//!
+//! With `--telemetry-out DIR`, the clean uniform baseline and the
+//! trojan flood re-run with the side-band telemetry plane armed:
+//! `DIR/baseline/` and `DIR/trojan_flood/` each receive an atomically
+//! replaced Prometheus exposition (`metrics.prom`, refreshed every
+//! `--telemetry-every` cycles, default 100), an append-only heartbeat
+//! log (`heartbeat.jsonl`: cycle, cycles/sec, RSS, alerts fired), and
+//! the engine self-profile as a Chrome trace (`engine_trace.json`).
+//! Telemetry never perturbs the run — the reports are bit-identical to
+//! the plain scenarios (pinned by the zero-perturbation suite).
 
 use htnoc_core::campaign::{
-    run_campaign, trojan_flood_checkpointed, trojan_flood_traced_with_sink, CheckpointOpts,
-    CAMPAIGN_SEED,
+    baseline_telemetry_streamed, run_campaign, trojan_flood_checkpointed,
+    trojan_flood_telemetry_streamed, trojan_flood_traced_with_sink, CheckpointOpts, CAMPAIGN_SEED,
 };
 use htnoc_core::viz;
-use noc_sim::{JsonlSink, TraceConfig};
+use noc_sim::{JsonlSink, TelemetryOut, TraceConfig};
 use std::io::Write;
 
 const USAGE: &str = "usage: campaign [seed] [--trace out.json] \
+    [--telemetry-out DIR [--telemetry-every N]] \
     [--checkpoint-dir D [--checkpoint-every N] [--resume] [--halt-at C]]";
 
 fn main() {
@@ -44,6 +55,8 @@ fn main() {
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut ckpt_dir: Option<std::path::PathBuf> = None;
     let mut ckpt_every: u64 = 500;
+    let mut tel_dir: Option<std::path::PathBuf> = None;
+    let mut tel_every: u64 = 100;
     let mut resume = false;
     let mut halt_at: Option<u64> = None;
     let mut args = std::env::args().skip(1);
@@ -60,6 +73,13 @@ fn main() {
             "--checkpoint-every" => {
                 ckpt_every = value("--checkpoint-every").parse().unwrap_or_else(|_| {
                     eprintln!("--checkpoint-every needs a cycle count\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--telemetry-out" => tel_dir = Some(value("--telemetry-out").into()),
+            "--telemetry-every" => {
+                tel_every = value("--telemetry-every").parse().unwrap_or_else(|_| {
+                    eprintln!("--telemetry-every needs a cycle count\n{USAGE}");
                     std::process::exit(2);
                 })
             }
@@ -120,6 +140,10 @@ fn main() {
         reports.len()
     );
 
+    if let Some(dir) = tel_dir {
+        run_telemetry(&dir, tel_every, seed);
+    }
+
     let Some(path) = trace_path else { return };
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -163,4 +187,53 @@ fn main() {
     println!();
     println!("retransmission heatmap (trojan on the 5->9 hop):");
     print!("{}", viz::retx_heatmap(sim.mesh(), sim.metrics()));
+}
+
+/// Re-run the alert-rule control pair with telemetry streaming to disk:
+/// the clean baseline (must stay alert-free) and the trojan flood (must
+/// alert before the watchdog trips).
+fn run_telemetry(dir: &std::path::Path, every: u64, seed: u64) {
+    let open = |name: &str| {
+        TelemetryOut::new(dir.join(name), every).unwrap_or_else(|e| {
+            eprintln!("campaign: cannot open {}/{name}: {e}", dir.display());
+            std::process::exit(2);
+        })
+    };
+    println!();
+    println!(
+        "re-running the baseline + trojan flood with telemetry armed \
+         (every {every} cycles into {})...",
+        dir.display()
+    );
+    let mut base_out = open("baseline");
+    let (base_rep, base_sim) =
+        baseline_telemetry_streamed(seed, 1, &mut base_out).unwrap_or_else(|e| {
+            eprintln!("campaign: baseline telemetry write failed: {e}");
+            std::process::exit(2);
+        });
+    let base_alerts = base_sim.telemetry().map_or(0, |t| t.alerts().fired_total());
+    println!("  {base_rep}");
+    println!("    alerts fired: {base_alerts}");
+    let mut flood_out = open("trojan_flood");
+    let (flood_rep, flood_sim) =
+        trojan_flood_telemetry_streamed(seed.wrapping_add(5), 1, &mut flood_out).unwrap_or_else(
+            |e| {
+                eprintln!("campaign: trojan-flood telemetry write failed: {e}");
+                std::process::exit(2);
+            },
+        );
+    let tel = flood_sim.telemetry().expect("telemetry armed");
+    println!("  {flood_rep}");
+    let cycle_or_never = |c: Option<u64>| c.map_or("never".into(), |c| c.to_string());
+    println!(
+        "    alerts fired: {} (first at cycle {}, watchdog at cycle {})",
+        tel.alerts().fired_total(),
+        cycle_or_never(tel.alerts().first_alert_cycle()),
+        cycle_or_never(tel.first_watchdog_cycle())
+    );
+    println!(
+        "  exported: {0}/baseline/{{metrics.prom,heartbeat.jsonl,engine_trace.json}} \
+         and {0}/trojan_flood/...",
+        dir.display()
+    );
 }

@@ -1,0 +1,138 @@
+//! Strictly validate a Prometheus exposition written by the telemetry
+//! plane, and assert campaign health properties over it:
+//!
+//! ```text
+//! cargo run -p htnoc-core --bin prom_validate -- FILE.prom
+//!     [--expect-alerts-min N] [--expect-no-alerts]
+//!     [--expect-alert-before-watchdog]
+//! ```
+//!
+//! Every line must parse under the strict grammar ([`parse_prometheus`]:
+//! `# HELP`/`# TYPE` comments, `name{labels} value`, finite floats) or
+//! the process exits non-zero. The expectation flags are what the CI
+//! telemetry job pins: the trojan-flood exposition must carry at least
+//! one fired alert whose first cycle precedes the watchdog trip, while
+//! the clean baseline must be alert-free.
+
+use noc_sim::{parse_prometheus, prom_value, AlertClass, PromSample};
+
+const USAGE: &str = "usage: prom_validate FILE.prom [--expect-alerts-min N] \
+    [--expect-no-alerts] [--expect-alert-before-watchdog]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("prom_validate: {msg}");
+    std::process::exit(1);
+}
+
+fn require(samples: &[PromSample], name: &str) -> f64 {
+    prom_value(samples, name).unwrap_or_else(|| fail(&format!("metric {name} missing")))
+}
+
+fn main() {
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut alerts_min: Option<u64> = None;
+    let mut no_alerts = false;
+    let mut before_watchdog = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--expect-alerts-min" => {
+                let v = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--expect-alerts-min needs a count\n{USAGE}");
+                    std::process::exit(2);
+                });
+                alerts_min = Some(v);
+            }
+            "--expect-no-alerts" => no_alerts = true,
+            "--expect-alert-before-watchdog" => before_watchdog = true,
+            _ if path.is_none() && !arg.starts_with("--") => path = Some(arg.into()),
+            _ => {
+                eprintln!("{USAGE}   (got {arg:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let samples = parse_prometheus(&text)
+        .unwrap_or_else(|e| fail(&format!("{}: strict parse failed: {e}", path.display())));
+
+    // Core gauges every *simulator* exposition carries. Driver-liveness
+    // expositions (the fuzz campaign's scenario counters, sweep
+    // progress) have no noc_ metrics and skip the shape checks — the
+    // strict parse and the alert expectations still apply.
+    let simulator_export = samples.iter().any(|s| s.name.starts_with("noc_"));
+    let mut cycle = 0.0;
+    if simulator_export {
+        cycle = require(&samples, "noc_cycle");
+        require(&samples, "noc_delivered_flits_total");
+    }
+    let fired = prom_value(&samples, "noc_alerts_fired_total").unwrap_or_else(|| {
+        if simulator_export {
+            fail("metric noc_alerts_fired_total missing")
+        }
+        0.0
+    });
+
+    // Per-class counters must sum to the total and carry known labels.
+    let mut by_class = 0.0;
+    for s in samples
+        .iter()
+        .filter(|s| s.name == "noc_alerts_by_class_total")
+    {
+        let label = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "class")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| fail("noc_alerts_by_class_total sample without a class label"));
+        if AlertClass::from_label(label).is_none() {
+            fail(&format!("unknown alert class label {label:?}"));
+        }
+        by_class += s.value;
+    }
+    if simulator_export && by_class != fired {
+        fail(&format!(
+            "per-class alert counters sum to {by_class} but noc_alerts_fired_total is {fired}"
+        ));
+    }
+
+    if let Some(min) = alerts_min {
+        if fired < min as f64 {
+            fail(&format!(
+                "expected at least {min} alert(s), exposition has {fired}"
+            ));
+        }
+    }
+    if no_alerts && fired != 0.0 {
+        fail(&format!(
+            "expected an alert-free run, exposition has {fired} alert(s)"
+        ));
+    }
+    if before_watchdog {
+        let first_alert = prom_value(&samples, "noc_first_alert_cycle")
+            .unwrap_or_else(|| fail("noc_first_alert_cycle missing (no alert fired?)"));
+        let first_trip = prom_value(&samples, "noc_first_watchdog_cycle")
+            .unwrap_or_else(|| fail("noc_first_watchdog_cycle missing (watchdog never tripped?)"));
+        if first_alert >= first_trip {
+            fail(&format!(
+                "first alert at cycle {first_alert} did not precede the watchdog trip at {first_trip}"
+            ));
+        }
+        println!(
+            "  online detection at cycle {first_alert} beat the watchdog at {first_trip} \
+             ({} cycle(s) of lead time)",
+            first_trip - first_alert
+        );
+    }
+    println!(
+        "{}: {} sample(s) parsed strictly, cycle {cycle}, {fired} alert(s) fired — OK",
+        path.display(),
+        samples.len()
+    );
+}

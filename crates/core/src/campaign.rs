@@ -25,8 +25,8 @@
 use noc_sim::fault::StuckWires;
 use noc_sim::routing::{xy_direction, xy_path, Routing};
 use noc_sim::{
-    SimConfig, SimError, Simulator, StallReport, TraceConfig, TraceSink, TrafficSource,
-    WatchdogConfig,
+    SimConfig, SimError, Simulator, StallReport, TelemetryConfig, TelemetryOut, TraceConfig,
+    TraceSink, TrafficSource, WatchdogConfig,
 };
 use noc_traffic::{Pattern, SyntheticTraffic};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
@@ -89,6 +89,46 @@ enum StallPolicy {
     QuarantineCulprit,
 }
 
+/// Periodic Prometheus + heartbeat emission for a running scenario: the
+/// driver loop pumps this once per cycle and [`TelemetryOut`] decides
+/// when an interval boundary has been crossed.
+pub struct TelemetryStream<'a> {
+    out: &'a mut TelemetryOut,
+    scenario: &'static str,
+}
+
+impl<'a> TelemetryStream<'a> {
+    /// Stream scenario telemetry into `out`, labelling every Prometheus
+    /// sample with `scenario`.
+    pub fn new(out: &'a mut TelemetryOut, scenario: &'static str) -> Self {
+        Self { out, scenario }
+    }
+
+    /// Write the final exposition plus the engine Chrome trace, after
+    /// the run has drained.
+    pub fn finish(&mut self, sim: &Simulator) -> std::io::Result<noc_sim::Heartbeat> {
+        if let Some(tel) = sim.telemetry() {
+            self.out
+                .write_artifact("engine_trace.json", tel.engine_chrome_trace().as_bytes())?;
+        }
+        let prom = sim.prometheus_text(&[("scenario", self.scenario)]);
+        let alerts = sim.telemetry().map_or(0, |t| t.alerts().fired_total());
+        self.out.write_now(sim.cycle(), &prom, None, alerts)
+    }
+}
+
+fn pump_telemetry(stream: Option<&mut TelemetryStream<'_>>, sim: &Simulator) {
+    let Some(s) = stream else { return };
+    let cycle = sim.cycle();
+    if !s.out.due(cycle) {
+        return;
+    }
+    let prom = sim.prometheus_text(&[("scenario", s.scenario)]);
+    let alerts = sim.telemetry().map_or(0, |t| t.alerts().fired_total());
+    // Telemetry IO must never kill a healthy simulation.
+    let _ = s.out.write_now(cycle, &prom, None, alerts);
+}
+
 fn handle_stall(sim: &mut Simulator, report: &StallReport, policy: StallPolicy) {
     match policy {
         StallPolicy::Fatal => panic!("unexpected stall: {report}"),
@@ -116,11 +156,23 @@ fn drive_until(
     policy: StallPolicy,
     stalls: &mut Vec<StallReport>,
 ) {
+    drive_until_streamed(sim, traffic, until_cycle, policy, stalls, None)
+}
+
+fn drive_until_streamed(
+    sim: &mut Simulator,
+    traffic: &mut dyn TrafficSource,
+    until_cycle: u64,
+    policy: StallPolicy,
+    stalls: &mut Vec<StallReport>,
+    mut stream: Option<&mut TelemetryStream<'_>>,
+) {
     while sim.cycle() < until_cycle {
+        pump_telemetry(stream.as_deref_mut(), sim);
         match sim.try_step(traffic) {
             Ok(()) => {}
             Err(SimError::Stalled(report)) => {
-                stalls.push(report);
+                stalls.push(*report);
                 handle_stall(sim, &report, policy);
             }
             Err(err) => panic!("fatal simulator error at cycle {}: {err}", sim.cycle()),
@@ -136,14 +188,26 @@ fn drain(
     policy: StallPolicy,
     stalls: &mut Vec<StallReport>,
 ) -> bool {
+    drain_streamed(sim, traffic, max_cycles, policy, stalls, None)
+}
+
+fn drain_streamed(
+    sim: &mut Simulator,
+    traffic: &mut dyn TrafficSource,
+    max_cycles: u64,
+    policy: StallPolicy,
+    stalls: &mut Vec<StallReport>,
+    mut stream: Option<&mut TelemetryStream<'_>>,
+) -> bool {
     while sim.cycle() < max_cycles {
+        pump_telemetry(stream.as_deref_mut(), sim);
         if traffic.done() && sim.is_quiescent() {
             return true;
         }
         match sim.try_step(traffic) {
             Ok(()) => {}
             Err(SimError::Stalled(report)) => {
-                stalls.push(report);
+                stalls.push(*report);
                 handle_stall(sim, &report, policy);
             }
             Err(err) => panic!("fatal simulator error at cycle {}: {err}", sim.cycle()),
@@ -399,7 +463,84 @@ pub fn link_death_revival(seed: u64) -> ScenarioReport {
 /// quarantines the blamed link, traffic reroutes, and the run drains
 /// with every flit accounted for.
 pub fn trojan_flood(seed: u64) -> ScenarioReport {
-    trojan_flood_run(seed, None, None, 1).0
+    trojan_flood_run(seed, None, None, 1, false, None).0
+}
+
+/// [`trojan_flood`] on `threads` shards, telemetry off — the control arm
+/// of the zero-perturbation suite.
+pub fn trojan_flood_threads(seed: u64, threads: usize) -> (ScenarioReport, Simulator) {
+    trojan_flood_run(seed, None, None, threads, false, None)
+}
+
+/// [`trojan_flood`] with the side-band telemetry plane armed
+/// ([`noc_sim::Telemetry`]): engine self-profiling, latency/retx
+/// sketches, and the default alert rules run alongside the attack. The
+/// zero-perturbation suite pins that the returned report (and the full
+/// statistics) are bit-identical to the telemetry-off run at every
+/// thread count; the alert suite pins that the flood raises at least one
+/// alert *before* the watchdog trips.
+pub fn trojan_flood_telemetry(seed: u64, threads: usize) -> (ScenarioReport, Simulator) {
+    trojan_flood_run(seed, None, None, threads, true, None)
+}
+
+/// [`trojan_flood_telemetry`] streaming interval Prometheus expositions
+/// and heartbeats into `out` as the run progresses, then writing the
+/// final exposition plus the engine Chrome trace on completion.
+pub fn trojan_flood_telemetry_streamed(
+    seed: u64,
+    threads: usize,
+    out: &mut TelemetryOut,
+) -> std::io::Result<(ScenarioReport, Simulator)> {
+    let mut stream = TelemetryStream::new(out, "trojan_flood");
+    let (rep, sim) = trojan_flood_run(seed, None, None, threads, true, Some(&mut stream));
+    stream.finish(&sim)?;
+    Ok((rep, sim))
+}
+
+/// Clean uniform-random traffic with telemetry armed — the control run
+/// for the alert rules: a healthy mesh must produce **zero** alerts
+/// (pinned by the alert suite, asserted by the CI telemetry job).
+pub fn baseline_telemetry(seed: u64, threads: usize) -> (ScenarioReport, Simulator) {
+    baseline_run(seed, threads, None)
+}
+
+/// [`baseline_telemetry`] streaming interval expositions into `out`; the
+/// CI telemetry job asserts this directory stays alert-free.
+pub fn baseline_telemetry_streamed(
+    seed: u64,
+    threads: usize,
+    out: &mut TelemetryOut,
+) -> std::io::Result<(ScenarioReport, Simulator)> {
+    let mut stream = TelemetryStream::new(out, "baseline_uniform");
+    let (rep, sim) = baseline_run(seed, threads, Some(&mut stream));
+    stream.finish(&sim)?;
+    Ok((rep, sim))
+}
+
+fn baseline_run(
+    seed: u64,
+    threads: usize,
+    stream: Option<&mut TelemetryStream<'_>>,
+) -> (ScenarioReport, Simulator) {
+    let mut cfg = SimConfig::paper_resilient();
+    cfg.threads = Some(threads);
+    let mut sim = Simulator::new(cfg);
+    sim.set_telemetry(TelemetryConfig::default());
+    let mesh = sim.mesh().clone();
+    let mut traffic =
+        SyntheticTraffic::new(mesh.clone(), Pattern::UniformRandom, 0.05, seed).until(1200);
+    let mut stalls = Vec::new();
+    let drained = drain_streamed(
+        &mut sim,
+        &mut traffic,
+        8_000,
+        StallPolicy::Fatal,
+        &mut stalls,
+        stream,
+    );
+    let rep = finish("baseline_uniform", seed, &sim, drained, stalls);
+    assert_eq!(rep.dropped_flits, 0, "a healthy mesh drops nothing");
+    (rep, sim)
 }
 
 /// [`trojan_flood`] with the structured tracer armed: returns the report
@@ -407,7 +548,7 @@ pub fn trojan_flood(seed: u64) -> ScenarioReport {
 /// ([`Simulator::packet_history`], [`Simulator::link_timeline`]), read
 /// the [`noc_sim::MetricsRegistry`], and export the trace.
 pub fn trojan_flood_traced(seed: u64, trace: TraceConfig) -> (ScenarioReport, Simulator) {
-    trojan_flood_run(seed, Some(trace), None, 1)
+    trojan_flood_run(seed, Some(trace), None, 1, false, None)
 }
 
 /// [`trojan_flood_traced`] on the sharded parallel engine: bit-identical
@@ -418,7 +559,7 @@ pub fn trojan_flood_traced_threads(
     trace: TraceConfig,
     threads: usize,
 ) -> (ScenarioReport, Simulator) {
-    trojan_flood_run(seed, Some(trace), None, threads)
+    trojan_flood_run(seed, Some(trace), None, threads, false, None)
 }
 
 /// [`trojan_flood_traced`] streaming every event through `sink` as it is
@@ -429,7 +570,7 @@ pub fn trojan_flood_traced_with_sink(
     trace: TraceConfig,
     sink: Box<dyn TraceSink>,
 ) -> (ScenarioReport, Simulator) {
-    trojan_flood_run(seed, Some(trace), Some(sink), 1)
+    trojan_flood_run(seed, Some(trace), Some(sink), 1, false, None)
 }
 
 fn trojan_flood_run(
@@ -437,6 +578,8 @@ fn trojan_flood_run(
     trace: Option<TraceConfig>,
     sink: Option<Box<dyn TraceSink>>,
     threads: usize,
+    telemetry: bool,
+    mut stream: Option<&mut TelemetryStream<'_>>,
 ) -> (ScenarioReport, Simulator) {
     let mut cfg = SimConfig::paper_unprotected();
     cfg.threads = Some(threads);
@@ -448,6 +591,9 @@ fn trojan_flood_run(
     cfg.check_invariants_every = Some(64);
     cfg.trace = trace;
     let mut sim = Simulator::new(cfg);
+    if telemetry {
+        sim.set_telemetry(TelemetryConfig::default());
+    }
     if let Some(sink) = sink {
         sim.set_trace_sink(sink);
     }
@@ -463,14 +609,22 @@ fn trojan_flood_run(
     )
     .until(1200);
     let mut stalls = Vec::new();
-    drive_until(&mut sim, &mut traffic, 200, StallPolicy::Fatal, &mut stalls);
+    drive_until_streamed(
+        &mut sim,
+        &mut traffic,
+        200,
+        StallPolicy::Fatal,
+        &mut stalls,
+        stream.as_deref_mut(),
+    );
     sim.arm_trojans(true);
-    let drained = drain(
+    let drained = drain_streamed(
         &mut sim,
         &mut traffic,
         20_000,
         StallPolicy::QuarantineCulprit,
         &mut stalls,
+        stream,
     );
     let rep = finish("trojan_flood", seed, &sim, drained, stalls);
     assert!(
@@ -606,7 +760,7 @@ pub fn trojan_flood_checkpointed(seed: u64, opts: &CheckpointOpts) -> Option<Sce
         match sim.try_step(&mut traffic) {
             Ok(()) => {}
             Err(SimError::Stalled(report)) => {
-                stalls.push(report);
+                stalls.push(*report);
                 handle_stall(&mut sim, &report, StallPolicy::QuarantineCulprit);
             }
             Err(err) => panic!("fatal simulator error at cycle {}: {err}", sim.cycle()),

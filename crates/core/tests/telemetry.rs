@@ -1,0 +1,162 @@
+//! Telemetry acceptance suite: the observability plane observes, never
+//! perturbs.
+//!
+//! * **Zero perturbation** — the trojan-flood scenario produces
+//!   bit-identical statistics (full `SimStats`, including the per-window
+//!   time series) with telemetry armed and disarmed, at one shard and at
+//!   four. Telemetry reads simulation-derived integers and wall clocks;
+//!   it never writes back.
+//! * **Alert rules** — the unmitigated flood raises at least one alert
+//!   *before* the watchdog trips (online detection beats the post-mortem
+//!   diagnosis), while the clean uniform baseline stays alert-free.
+//! * **Prometheus export** — a real run's exposition parses under the
+//!   strict parser and carries the alert/watchdog ordering.
+
+use htnoc_core::campaign::{
+    baseline_telemetry, trojan_flood_telemetry, trojan_flood_threads, CAMPAIGN_SEED,
+};
+use noc_sim::{parse_prometheus, prom_value, AlertClass};
+use proptest::prelude::*;
+
+/// The acceptance seed: the published trojan-flood run.
+const FLOOD_SEED: u64 = CAMPAIGN_SEED.wrapping_add(5);
+
+proptest! {
+    // Each case runs the full flood twice; keep the budget small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn telemetry_never_perturbs_the_simulation(
+        seed in 0u64..512,
+        tidx in 0usize..2,
+    ) {
+        let threads = [1usize, 4][tidx];
+        let (plain_rep, plain_sim) = trojan_flood_threads(seed, threads);
+        let (tel_rep, tel_sim) = trojan_flood_telemetry(seed, threads);
+        // Full statistics fingerprint: aggregates, histogram, and the
+        // per-window time series must match bit for bit.
+        prop_assert_eq!(
+            format!("{:?}", plain_sim.stats()),
+            format!("{:?}", tel_sim.stats())
+        );
+        prop_assert_eq!(plain_rep.cycles, tel_rep.cycles);
+        prop_assert_eq!(plain_rep.injected_flits, tel_rep.injected_flits);
+        prop_assert_eq!(plain_rep.delivered_flits, tel_rep.delivered_flits);
+        prop_assert_eq!(plain_rep.dropped_flits, tel_rep.dropped_flits);
+        prop_assert_eq!(plain_rep.quarantined_links, tel_rep.quarantined_links);
+        prop_assert_eq!(&plain_rep.stalls, &tel_rep.stalls);
+    }
+}
+
+#[test]
+fn flood_alerts_fire_before_the_watchdog() {
+    let (rep, sim) = trojan_flood_telemetry(FLOOD_SEED, 1);
+    let tel = sim.telemetry().expect("telemetry armed");
+    let alerts = tel.alerts();
+    assert!(
+        alerts.fired_total() >= 1,
+        "the flood must raise at least one alert"
+    );
+    let first_alert = alerts
+        .first_alert_cycle()
+        .expect("at least one alert fired");
+    let first_trip = tel
+        .first_watchdog_cycle()
+        .expect("the unmitigated flood trips the watchdog");
+    assert!(
+        first_alert < first_trip,
+        "online detection (cycle {first_alert}) must beat the watchdog \
+         (cycle {first_trip})"
+    );
+    assert!(!rep.stalls.is_empty());
+}
+
+#[test]
+fn baseline_stays_alert_free() {
+    let (_rep, sim) = baseline_telemetry(CAMPAIGN_SEED, 1);
+    let tel = sim.telemetry().expect("telemetry armed");
+    assert_eq!(
+        tel.alerts().fired_total(),
+        0,
+        "clean traffic must not alert: {:?}",
+        tel.alerts().history().collect::<Vec<_>>()
+    );
+    assert_eq!(tel.alerts().first_alert_cycle(), None);
+    assert_eq!(tel.first_watchdog_cycle(), None);
+}
+
+#[test]
+fn engine_profile_and_timeline_accumulate() {
+    let (_rep, sim) = trojan_flood_telemetry(FLOOD_SEED, 1);
+    let tel = sim.telemetry().expect("telemetry armed");
+    assert!(tel.cycles_profiled() > 0);
+    assert!(
+        tel.phase_total_ns().iter().sum::<u64>() > 0,
+        "phase timers accumulated"
+    );
+    for g in tel.group_loads() {
+        assert!(g.imbalance_permille() >= 1000, "max/mean ratio ≥ 1");
+    }
+    // The engine timeline exports as a balanced Chrome trace object.
+    let json = tel.engine_chrome_trace();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"traceEvents\"") && json.contains("\"engine\""));
+    assert!(json.contains("\"ph\":\"X\""), "timeline slices captured");
+}
+
+#[test]
+fn prometheus_export_of_a_real_run_parses_strictly() {
+    let (rep, sim) = trojan_flood_telemetry(FLOOD_SEED, 1);
+    let text = sim.prometheus_text(&[("scenario", "trojan_flood")]);
+    let samples = parse_prometheus(&text).expect("strict parse");
+    assert_eq!(prom_value(&samples, "noc_cycle"), Some(rep.cycles as f64));
+    assert_eq!(
+        prom_value(&samples, "noc_delivered_flits_total"),
+        Some(rep.delivered_flits as f64)
+    );
+    let fired = prom_value(&samples, "noc_alerts_fired_total").expect("alert counter exported");
+    assert!(fired >= 1.0);
+    let first_alert = prom_value(&samples, "noc_first_alert_cycle").expect("first alert cycle");
+    let first_trip =
+        prom_value(&samples, "noc_first_watchdog_cycle").expect("first watchdog cycle");
+    assert!(
+        first_alert < first_trip,
+        "exported ordering must show detection before the trip"
+    );
+    // Per-class counters carry the label round trip.
+    let by_class: f64 = samples
+        .iter()
+        .filter(|s| s.name == "noc_alerts_by_class_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(by_class, fired);
+    // Every class label is one of ours.
+    for s in samples
+        .iter()
+        .filter(|s| s.name == "noc_alerts_by_class_total")
+    {
+        let label = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "class")
+            .map(|(_, v)| v.as_str())
+            .expect("class label");
+        assert!(AlertClass::from_label(label).is_some(), "{label}");
+    }
+}
+
+#[test]
+fn stall_reports_carry_the_engine_heartbeat() {
+    let (rep, _sim) = trojan_flood_telemetry(FLOOD_SEED, 1);
+    let stall = rep.stalls.first().expect("the flood stalls");
+    let hb = stall
+        .heartbeat
+        .expect("telemetry-armed runs attach a heartbeat to the diagnosis");
+    assert_eq!(hb.cycle, stall.cycle);
+    assert!(hb.phase_ns.iter().sum::<u64>() > 0, "profile accumulated");
+    // And without telemetry the report is heartbeat-free (and still
+    // compares equal — equality ignores the side band).
+    let (plain, _) = trojan_flood_threads(FLOOD_SEED, 1);
+    assert!(plain.stalls[0].heartbeat.is_none());
+    assert_eq!(plain.stalls[0], *stall);
+}

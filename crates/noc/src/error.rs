@@ -16,7 +16,7 @@ use noc_types::LinkId;
 pub enum SimError {
     /// The watchdog diagnosed a deadlock/livelock. The simulator remains
     /// usable: callers typically quarantine the culprit link and resume.
-    Stalled(StallReport),
+    Stalled(Box<StallReport>),
     /// Quarantining/killing links left some router pair unroutable; the
     /// mesh cannot degrade gracefully past this point.
     MeshDisconnected {
@@ -68,13 +68,14 @@ mod tests {
 
     #[test]
     fn errors_render_their_diagnosis() {
-        let e = SimError::Stalled(StallReport {
+        let e = SimError::Stalled(Box::new(StallReport {
             cycle: 500,
             kind: StallKind::GlobalDeadlock { idle_cycles: 200 },
             resident_flits: 9,
             queued_flits: 4,
             delivered_flits: 77,
-        });
+            heartbeat: None,
+        }));
         assert!(e.to_string().contains("global deadlock"));
 
         let e = SimError::MeshDisconnected {

@@ -47,6 +47,7 @@ pub mod routing;
 pub mod sim;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod watchdog;
 
@@ -61,5 +62,10 @@ pub use snapshot::{
     SnapshotError, SNAPSHOT_VERSION,
 };
 pub use stats::{SimStats, Snapshot};
+pub use telemetry::{
+    default_rules, parse_prometheus, prom_value, prometheus_text, AlertClass, AlertEngine,
+    AlertRecord, AlertRule, EngineHeartbeat, Heartbeat, PromSample, QuantileSketch, Telemetry,
+    TelemetryConfig, TelemetryOut, WindowObs,
+};
 pub use trace::{ChannelSink, JsonlSink, Record, TraceKind, TraceRecorder, TraceSink};
 pub use watchdog::{StallKind, StallReport, WatchdogConfig};

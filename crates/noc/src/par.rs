@@ -195,6 +195,16 @@ pub(crate) struct ShardFx {
     pub p4_kinds: Vec<(u16, TraceKind)>,
     pub p4_trace: Vec<(u16, TraceEvent)>,
     pub p5_ejections: Vec<(u16, Ejection)>,
+    // Telemetry scratch, drained by `Telemetry::absorb_cycle` at commit.
+    // Strictly side-band: written only when `PhaseCtx::telemetry` is set
+    // and never read by any phase.
+    /// Nanoseconds this shard spent per phase this cycle.
+    pub tel_phase_ns: [u64; crate::telemetry::PHASE_COUNT],
+    /// Timeline spans per barrier group this cycle: (start ns since the
+    /// telemetry epoch, duration ns); (0, 0) when not sampled.
+    pub tel_group_spans: [(u64, u64); crate::telemetry::GROUP_COUNT],
+    /// Launch attempts of flits acknowledged this cycle (sketch feed).
+    pub tel_retx_attempts: Vec<u64>,
 }
 
 /// Merge the `sel`-selected effect lists of all shards in ascending key
@@ -260,6 +270,17 @@ pub(crate) struct PhaseCtx<'a> {
     /// Whether the structured tracer is armed (`cfg.trace`): gates every
     /// `p*_kinds` push so the disabled path stays zero-cost.
     pub tracing: bool,
+    /// Whether the telemetry plane is armed: gates the deterministic
+    /// sketch feeds (e.g. retransmission-attempt counts).
+    pub telemetry: bool,
+    /// Whether this cycle's scoped phase timers run (sampled every
+    /// `profile_every` cycles; implies `telemetry`).
+    pub profile: bool,
+    /// Whether this cycle's engine timeline is being sampled (implies
+    /// `profile`).
+    pub timeline: bool,
+    /// Wall-clock origin for engine-timeline offsets.
+    pub epoch: std::time::Instant,
 }
 
 /// The three barrier-separated phase groups (see module docs).
@@ -279,6 +300,10 @@ pub(crate) fn run_group(
     g: Group,
     now: u64,
 ) {
+    if ctx.profile {
+        run_group_timed(ctx, plan, fx, g, now);
+        return;
+    }
     match g {
         Group::G1 => {
             // Refresh the active set for the owned band: a router with no
@@ -300,6 +325,53 @@ pub(crate) fn run_group(
             phase_sa(ctx, plan, fx, now);
             phase_va_rc(ctx, plan, now);
         }
+    }
+}
+
+/// The telemetry-armed variant of [`run_group`]: the identical phase
+/// calls wrapped in scoped timers. Timings land only in the shard's
+/// side-band scratch; no phase reads them, so arming telemetry cannot
+/// change simulated state. The G1 timer for `link_delivery` also covers
+/// the active-set refresh that precedes it.
+fn run_group_timed(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, g: Group, now: u64) {
+    use std::time::Instant;
+    let g0 = Instant::now();
+    let gi = match g {
+        Group::G1 => {
+            for r in plan.routers.clone() {
+                *ctx.router_active.idx(r) = ctx.routers.idx(r).has_phase_work();
+            }
+            phase_link_delivery(ctx, plan, fx, now);
+            let t1 = Instant::now();
+            fx.tel_phase_ns[0] += t1.duration_since(g0).as_nanos() as u64;
+            phase_resolve_holds(ctx, plan, fx, now);
+            fx.tel_phase_ns[1] += t1.elapsed().as_nanos() as u64;
+            0
+        }
+        Group::G2 => {
+            phase_acks_and_credits(ctx, plan, fx, now);
+            let t1 = Instant::now();
+            fx.tel_phase_ns[2] += t1.duration_since(g0).as_nanos() as u64;
+            phase_launch(ctx, plan, fx, now);
+            fx.tel_phase_ns[3] += t1.elapsed().as_nanos() as u64;
+            1
+        }
+        Group::G3 => {
+            phase_st(ctx, plan, fx, now);
+            let t1 = Instant::now();
+            fx.tel_phase_ns[4] += t1.duration_since(g0).as_nanos() as u64;
+            phase_sa(ctx, plan, fx, now);
+            let t2 = Instant::now();
+            fx.tel_phase_ns[5] += t2.duration_since(t1).as_nanos() as u64;
+            phase_va_rc(ctx, plan, now);
+            fx.tel_phase_ns[6] += t2.elapsed().as_nanos() as u64;
+            2
+        }
+    };
+    if ctx.timeline {
+        let start_ns = g0.duration_since(ctx.epoch).as_nanos() as u64;
+        let dur_ns = (g0.elapsed().as_nanos() as u64).max(1);
+        fx.tel_group_spans[gi] = (start_ns, dur_ns);
     }
 }
 
@@ -619,6 +691,7 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
         p3_kinds,
         p3_events,
         p3_quar,
+        tel_retx_attempts,
         ..
     } = fx;
     for &li16 in &plan.links_src {
@@ -645,6 +718,11 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
                             .idx(li)
                             .delivery_attempts
                             .record(entry.attempts as u64);
+                        // Deterministic sketch feed: attempt counts are
+                        // simulation state, independent of sharding.
+                        if ctx.telemetry {
+                            tel_retx_attempts.push(entry.attempts as u64);
+                        }
                     }
                 }
                 AckKind::Nack { lob_attempt } => {

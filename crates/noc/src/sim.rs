@@ -161,6 +161,14 @@ pub struct Simulator {
     /// a post-mortem snapshot (`postmortem-cycle-<N>.snap`) into this
     /// directory before the error is surfaced.
     pub(crate) post_mortem_dir: Option<std::path::PathBuf>,
+    /// The side-band telemetry plane (`noc::telemetry`); `None` (the
+    /// default) keeps every hook a single branch and the goldens
+    /// untouched. Armed via [`Simulator::set_telemetry`] rather than
+    /// `SimConfig`, deliberately: telemetry must never enter the
+    /// checkpoint config hash.
+    pub(crate) telemetry: Option<Box<crate::telemetry::Telemetry>>,
+    /// Wall-clock origin shared with the shard phase timers.
+    pub(crate) epoch: std::time::Instant,
 }
 
 impl Simulator {
@@ -214,6 +222,8 @@ impl Simulator {
             fx,
             pool: None,
             post_mortem_dir: None,
+            telemetry: None,
+            epoch: std::time::Instant::now(),
         }
     }
 
@@ -357,6 +367,40 @@ impl Simulator {
             }
             None => false,
         }
+    }
+
+    /// Arm the side-band telemetry plane (`noc::telemetry`): engine
+    /// self-profiling, streaming latency/retx sketches, and the alert
+    /// rules. Runtime-only by design — not part of `SimConfig`, so
+    /// arming it never changes the checkpoint config hash, and the
+    /// zero-perturbation tests prove it never changes simulated state.
+    pub fn set_telemetry(&mut self, cfg: crate::telemetry::TelemetryConfig) {
+        let tel = crate::telemetry::Telemetry::new(cfg);
+        self.epoch = tel.epoch;
+        self.telemetry = Some(Box::new(tel));
+    }
+
+    /// The telemetry plane, when armed.
+    pub fn telemetry(&self) -> Option<&crate::telemetry::Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Disarm and return the telemetry plane.
+    pub fn take_telemetry(&mut self) -> Option<Box<crate::telemetry::Telemetry>> {
+        self.telemetry.take()
+    }
+
+    /// Prometheus text exposition of the metrics registry, aggregate
+    /// statistics, and (when armed) the telemetry gauges. `labels` are
+    /// attached to every sample.
+    pub fn prometheus_text(&self, labels: &[(&str, &str)]) -> String {
+        crate::telemetry::prometheus_text(
+            self.cycle,
+            &self.stats,
+            &self.metrics,
+            self.telemetry.as_deref(),
+            labels,
+        )
     }
 
     /// Forensics: every buffered trace record about `packet`, in order
@@ -782,8 +826,12 @@ impl Simulator {
                 }
             }
         }
-        if let Some(report) = self.check_watchdog() {
+        if let Some(mut report) = self.check_watchdog() {
             self.watchdog_armed_at = self.cycle;
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_watchdog(self.cycle);
+                report.heartbeat = Some(t.engine_heartbeat(self.cycle));
+            }
             let (router, dir) = match report.culprit() {
                 Some((r, d)) => (Some(r), Some(d)),
                 None => (None, None),
@@ -800,7 +848,7 @@ impl Simulator {
             );
             self.events.push(SimEvent::WatchdogTripped { report });
             self.write_post_mortem();
-            return Err(SimError::Stalled(report));
+            return Err(SimError::Stalled(Box::new(report)));
         }
         Ok(())
     }
@@ -875,6 +923,10 @@ impl Simulator {
             link_metrics: DisjointMut::new(self.metrics.link_slice_mut()),
             router_active: DisjointMut::new(&mut self.router_active),
             tracing: self.tracer.is_some(),
+            telemetry: self.telemetry.is_some(),
+            profile: self.telemetry.as_ref().is_some_and(|t| t.profile_due(now)),
+            timeline: self.telemetry.as_ref().is_some_and(|t| t.timeline_due(now)),
+            epoch: self.epoch,
         };
         match self.pool.as_ref() {
             None => {
@@ -912,6 +964,7 @@ impl Simulator {
             sabotage_eject_seen,
             cfg,
             last_progress_cycle,
+            telemetry,
             ..
         } = self;
         // Structured trace records, in phase order (one stream).
@@ -987,6 +1040,9 @@ impl Simulator {
                     let born = birth.remove(&ej.flit.packet).unwrap_or(now);
                     let latency = now.saturating_sub(born);
                     stats.record_latency(latency);
+                    if let Some(t) = telemetry.as_deref_mut() {
+                        t.record_latency(latency);
+                    }
                     events.push(SimEvent::PacketDelivered {
                         packet: ej.flit.packet,
                         src: ej.flit.header.src,
@@ -1001,6 +1057,12 @@ impl Simulator {
         }
         if progress {
             *last_progress_cycle = now;
+        }
+        // Side-band engine profile: drained last, reads only wall-clock
+        // scratch plus simulation-derived integers already committed.
+        if let Some(t) = telemetry.as_deref_mut() {
+            let profiled = t.profile_due(now);
+            t.absorb_cycle(now, profiled, fx);
         }
     }
 
@@ -1119,6 +1181,9 @@ impl Simulator {
             resident_flits: resident,
             queued_flits: queued,
             delivered_flits: self.stats.delivered_flits,
+            // Attached by `try_step` when telemetry is armed; equality
+            // and the snapshot codec both ignore it.
+            heartbeat: None,
         };
         for r in &self.routers {
             for d in 0..4 {
@@ -1402,6 +1467,44 @@ impl Simulator {
             retransmissions: self.stats.retransmissions - r0,
             uncorrectable_faults: self.stats.uncorrectable_faults - u0,
         });
+        // Side-band alert evaluation on the same window cadence. Inputs
+        // are simulation-derived integers only, so the verdicts are
+        // deterministic for a given run; the alerts live in the telemetry
+        // plane and trace bus, never in `stats`.
+        if let Some(mut tel) = self.telemetry.take() {
+            let snap = self.stats.snapshots.last().expect("just pushed");
+            let mut max_credit_age = 0u64;
+            for r in &self.routers {
+                for d in 0..4 {
+                    let Some(out) = r.outputs[d].as_ref() else {
+                        continue;
+                    };
+                    for e in &out.entries {
+                        max_credit_age = max_credit_age.max(now.saturating_sub(e.entered_at));
+                    }
+                }
+            }
+            let obs = crate::telemetry::WindowObs {
+                cycle: now,
+                p99_latency: None, // filled from the window sketch
+                retransmissions: snap.retransmissions,
+                delivered_flits: snap.delivered_flits,
+                resident_flits: self.resident_flits() as u64,
+                max_credit_age,
+            };
+            for alert in tel.evaluate_window(obs) {
+                emit!(
+                    self,
+                    now,
+                    TraceKind::Alert {
+                        class: alert.class,
+                        value: alert.value,
+                        threshold: alert.threshold,
+                    }
+                );
+            }
+            self.telemetry = Some(tel);
+        }
     }
 }
 

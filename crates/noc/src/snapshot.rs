@@ -652,6 +652,9 @@ pub fn decode_stall_report(input: &mut &[u8]) -> Option<StallReport> {
         resident_flits: take_u64(input)? as usize,
         queued_flits: take_u64(input)? as usize,
         delivered_flits: take_u64(input)?,
+        // Wall-clock telemetry is not simulation state: a restored run
+        // re-arms (or not) its own telemetry plane.
+        heartbeat: None,
     })
 }
 
@@ -1535,7 +1538,7 @@ fn get_trace_event(r: &mut Reader) -> Result<TraceEvent, SnapshotError> {
 fn get_sim_error(r: &mut Reader) -> Result<Option<SimError>, SnapshotError> {
     Ok(match r.u8()? {
         0 => None,
-        1 => Some(SimError::Stalled(get_stall_report(r)?)),
+        1 => Some(SimError::Stalled(Box::new(get_stall_report(r)?))),
         2 => {
             let cycle = r.u64()?;
             let n = r.len()?;
@@ -2568,6 +2571,7 @@ mod tests {
             resident_flits: 19,
             queued_flits: 7,
             delivered_flits: 3,
+            heartbeat: None,
         };
         let mut buf = Vec::new();
         encode_stall_report(&mut buf, &report);

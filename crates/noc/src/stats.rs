@@ -106,30 +106,47 @@ impl SimStats {
     }
 
     /// Approximate latency percentile (0.0–1.0) from the power-of-two
-    /// histogram: the upper bound of the bucket containing the quantile.
-    /// `q = 0.0` asks for the minimum and returns the *lower* bound of
-    /// the first non-empty bucket instead (the upper bound would
-    /// overstate the minimum by up to 2×).
+    /// histogram, interpolating *within* the winning bucket: the `k`-th
+    /// of `n` samples in bucket `[lo, lo + w)` is estimated at the
+    /// midpoint of its `1/n` slice, `lo + (2k − 1)·w / 2n`. The estimate
+    /// always lies inside the bucket that actually holds the ranked
+    /// sample (returning the bucket's upper bound, as this used to,
+    /// overstated tail latency by up to 2×) and is cross-checked against
+    /// [`crate::telemetry::QuantileSketch`] by property test. `q = 0.0`
+    /// asks for the minimum and returns the bucket's lower bound.
     pub fn latency_percentile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q));
         if self.latency_samples == 0 {
             return 0;
         }
+        // Bucket 0 holds [0, 2); bucket i ≥ 1 holds [2^i, 2^(i+1)).
+        let bounds = |i: usize| -> (u64, u64) {
+            if i == 0 {
+                (0, 2)
+            } else {
+                (1u64 << i, 1u64 << i)
+            }
+        };
         if q == 0.0 {
             let first = self
                 .latency_histogram
                 .iter()
                 .position(|&c| c > 0)
                 .expect("samples exist");
-            return if first == 0 { 0 } else { 1u64 << first };
+            return bounds(first).0;
         }
         let rank = (q * self.latency_samples as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
-        for (i, count) in self.latency_histogram.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return 1u64 << (i + 1);
+        for (i, &count) in self.latency_histogram.iter().enumerate() {
+            if seen + count >= rank {
+                let (lo, w) = bounds(i);
+                let k = rank - seen; // 1-based rank within this bucket
+                let est = lo + ((2 * k - 1) * w) / (2 * count);
+                // Never report past the observed maximum (the top bucket
+                // is usually mostly empty above it).
+                return est.min(self.latency_max);
             }
+            seen += count;
         }
         self.latency_max
     }
@@ -170,6 +187,62 @@ impl SimStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_interpolates_within_the_bucket() {
+        // Regression: eight samples all in bucket [32, 64) used to
+        // collapse every quantile to the bucket bound 64. The k-th of 8
+        // is now estimated at 32 + (2k − 1)·32/16 = 32 + (2k − 1)·2.
+        let mut s = SimStats::default();
+        for _ in 0..8 {
+            s.record_latency(63);
+        }
+        assert_eq!(s.latency_percentile(0.125), 34); // k = 1
+        assert_eq!(s.latency_percentile(0.5), 46); // k = 4
+        assert_eq!(s.latency_percentile(1.0), 62); // k = 8
+    }
+
+    #[test]
+    fn percentile_never_exceeds_the_observed_maximum() {
+        let mut s = SimStats::default();
+        s.record_latency(40); // bucket [32, 64), midpoint 48 > max 40
+        assert_eq!(s.latency_percentile(0.99), 40);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The pow-2 histogram and `telemetry::QuantileSketch` rank the
+        /// same sample (same ceil-rank convention), so their estimates
+        /// differ only by bucketing: within a factor of ~2 of each other
+        /// (histogram buckets are octave-wide, sketch error is ≤ 1/32).
+        #[test]
+        fn percentile_tracks_the_telemetry_sketch(
+            seed in any::<u64>(),
+            n in 1usize..300,
+            qi in 0usize..4,
+        ) {
+            let q = [0.5, 0.9, 0.99, 1.0][qi];
+            let mut s = SimStats::default();
+            let mut sk = crate::telemetry::QuantileSketch::new();
+            let mut x = seed | 1;
+            for _ in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = x % 100_000;
+                s.record_latency(v);
+                sk.record(v);
+            }
+            let hist = s.latency_percentile(q);
+            let sketch = sk.quantile(q);
+            prop_assert!(
+                hist <= (11 * sketch) / 5 + 2 && sketch <= (11 * hist) / 5 + 2,
+                "histogram {hist} vs sketch {sketch} at q={q}"
+            );
+        }
+    }
 
     #[test]
     fn latency_and_ratio_handle_empty_runs() {
@@ -204,10 +277,11 @@ mod tests {
         assert_eq!(s.latency_samples, 10);
         assert_eq!(s.latency_max, 1025);
         // Each sample lands in its own power-of-two bucket (3→[2,4),
-        // 5→[4,8), …); the 5th of 10 samples is 33, whose bucket's upper
-        // bound is 64, and the 9th is 513 (bound 1024).
-        assert_eq!(s.latency_percentile(0.5), 64);
-        assert_eq!(s.latency_percentile(0.9), 1024);
+        // 5→[4,8), …); the 5th of 10 samples is 33, estimated at the
+        // midpoint of its bucket [32, 64) = 48, and the 9th is 513,
+        // estimated at the midpoint of [512, 1024) = 768.
+        assert_eq!(s.latency_percentile(0.5), 48);
+        assert_eq!(s.latency_percentile(0.9), 768);
         // q = 0.0 reports the lower bound of the first non-empty bucket:
         // 3 lands in [2, 4), so the minimum estimate is 2, not 4.
         assert_eq!(s.latency_percentile(0.0), 2);

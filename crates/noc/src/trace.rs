@@ -217,6 +217,16 @@ pub enum TraceKind {
         /// Packets explicitly dropped by the purge.
         dropped_packets: u64,
     },
+    /// A telemetry alert rule fired (`noc::telemetry`'s online DoS
+    /// detector, mirrored onto the trace bus).
+    Alert {
+        /// Which rule class fired.
+        class: crate::telemetry::AlertClass,
+        /// The observed value that crossed the threshold.
+        value: u64,
+        /// The effective threshold it crossed.
+        threshold: u64,
+    },
 }
 
 impl TraceKind {
@@ -237,6 +247,7 @@ impl TraceKind {
             TraceKind::BistScan { .. } => "bist_scan",
             TraceKind::WatchdogTripped { .. } => "watchdog_tripped",
             TraceKind::LinkQuarantined { .. } => "link_quarantined",
+            TraceKind::Alert { .. } => "alert",
         }
     }
 }
@@ -447,6 +458,17 @@ impl Record {
                     link.0
                 );
             }
+            TraceKind::Alert {
+                class,
+                value,
+                threshold,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"class\":\"{}\",\"value\":{value},\"threshold\":{threshold}",
+                    class.label()
+                );
+            }
         }
         s.push('}');
         s
@@ -546,6 +568,11 @@ impl Record {
                 link: link()?,
                 dropped_flits: get_num(&fields, "dropped_flits")?,
                 dropped_packets: get_num(&fields, "dropped_packets")?,
+            },
+            "alert" => TraceKind::Alert {
+                class: crate::telemetry::AlertClass::from_label(get_str(&fields, "class")?)?,
+                value: get_num(&fields, "value")?,
+                threshold: get_num(&fields, "threshold")?,
             },
             _ => return None,
         };
@@ -967,6 +994,22 @@ mod tests {
         let line = rec.to_jsonl();
         assert_eq!(Record::from_jsonl(&line), Some(rec));
         assert!(line.contains("\"obf\":\"rotate13:header\""), "{line}");
+    }
+
+    #[test]
+    fn alert_records_round_trip_jsonl() {
+        let rec = Record {
+            cycle: 1400,
+            kind: TraceKind::Alert {
+                class: crate::telemetry::AlertClass::RetxSurge,
+                value: 512,
+                threshold: 96,
+            },
+        };
+        let line = rec.to_jsonl();
+        assert_eq!(Record::from_jsonl(&line), Some(rec));
+        assert!(line.contains("\"event\":\"alert\""), "{line}");
+        assert!(line.contains("\"class\":\"retx_surge\""), "{line}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!    [`WatchdogConfig::global_stall_cycles`]. The chip is dead even if no
 //!    single port can be blamed.
 
+use crate::telemetry::EngineHeartbeat;
 use noc_types::{Direction, FlitId, NodeId};
 
 /// Thresholds for the three stall detectors. The defaults are sized for
@@ -92,7 +93,14 @@ impl StallKind {
 }
 
 /// A structured stall diagnosis, produced instead of spinning forever.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality deliberately ignores [`StallReport::heartbeat`]: the
+/// heartbeat is wall-clock telemetry (per-phase times, shard imbalance,
+/// alert history), not simulation state, so traced/untraced and
+/// checkpointed/uninterrupted runs compare equal regardless of whether
+/// telemetry was armed. The checkpoint codec skips it for the same
+/// reason.
+#[derive(Debug, Clone, Copy)]
 pub struct StallReport {
     /// Cycle the watchdog tripped.
     pub cycle: u64,
@@ -104,7 +112,22 @@ pub struct StallReport {
     pub queued_flits: usize,
     /// Flits delivered before the stall.
     pub delivered_flits: u64,
+    /// The engine-health heartbeat at trip time, when telemetry was
+    /// armed — makes a stall post-mortem self-contained.
+    pub heartbeat: Option<EngineHeartbeat>,
 }
+
+impl PartialEq for StallReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle
+            && self.kind == other.kind
+            && self.resident_flits == other.resident_flits
+            && self.queued_flits == other.queued_flits
+            && self.delivered_flits == other.delivered_flits
+    }
+}
+
+impl Eq for StallReport {}
 
 impl StallReport {
     /// The router/direction to blame, when the stall names one. A global
@@ -173,6 +196,7 @@ mod tests {
             resident_flits: 3,
             queued_flits: 0,
             delivered_flits: 10,
+            heartbeat: None,
         };
         assert_eq!(base.culprit(), None);
         let named = StallReport {
@@ -199,9 +223,33 @@ mod tests {
             resident_flits: 40,
             queued_flits: 12,
             delivered_flits: 100,
+            heartbeat: None,
         };
         let s = r.to_string();
         assert!(s.contains("credit stall"));
         assert!(s.contains("router 3"));
+    }
+
+    #[test]
+    fn equality_ignores_the_telemetry_heartbeat() {
+        let base = StallReport {
+            cycle: 100,
+            kind: StallKind::GlobalDeadlock { idle_cycles: 50 },
+            resident_flits: 3,
+            queued_flits: 0,
+            delivered_flits: 10,
+            heartbeat: None,
+        };
+        let with_hb = StallReport {
+            heartbeat: Some(EngineHeartbeat {
+                cycle: 100,
+                phase_ns: [1; crate::telemetry::PHASE_COUNT],
+                group_imbalance_permille: [1000; crate::telemetry::GROUP_COUNT],
+                alerts_fired: 3,
+                last_alert: None,
+            }),
+            ..base
+        };
+        assert_eq!(base, with_hb, "heartbeat is side-band, not state");
     }
 }
