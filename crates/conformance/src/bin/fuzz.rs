@@ -97,8 +97,12 @@ fn load_progress(dir: &Path) -> Option<Progress> {
     input.is_empty().then_some(Progress { next_seed, ran })
 }
 
-/// Parse `--sabotage` specs: `stall-sa:R`, `leak-credit:N`, `overcount:N`.
+/// Parse `--sabotage` specs: `stall-sa:R`, `leak-credit:N`, `overcount:N`,
+/// or the argless `over-skip`.
 fn parse_sabotage(spec: &str) -> Result<Sabotage, String> {
+    if spec == "over-skip" {
+        return Ok(Sabotage::OverSkip);
+    }
     let (kind, arg) = spec
         .split_once(':')
         .ok_or_else(|| format!("sabotage spec '{spec}' needs kind:value"))?;
@@ -108,7 +112,7 @@ fn parse_sabotage(spec: &str) -> Result<Sabotage, String> {
         "leak-credit" => Ok(Sabotage::LeakCredit { every: n }),
         "overcount" => Ok(Sabotage::OvercountDelivered { every: n }),
         other => Err(format!(
-            "unknown sabotage kind '{other}' (stall-sa, leak-credit, overcount)"
+            "unknown sabotage kind '{other}' (stall-sa, leak-credit, overcount, over-skip)"
         )),
     }
 }
@@ -195,7 +199,7 @@ fn main() {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--seed N] [--cases K] [--budget-secs S] [--out DIR] \
-                 [--threads T] [--sabotage stall-sa:R|leak-credit:N|overcount:N] \
+                 [--threads T] [--sabotage stall-sa:R|leak-credit:N|overcount:N|over-skip] \
                  [--checkpoint-dir D [--checkpoint-every K] [--resume]] \
                  [--telemetry-out DIR]"
             );

@@ -161,6 +161,29 @@ fn run_differential_inner(
         if div.len() >= 32 {
             break;
         }
+        // Fast-forward over provably idle stretches (bursty scenarios
+        // leave the whole network quiescent between bursts), capped at
+        // the next epoch boundary so the cross-check cadence is
+        // unchanged. The skip gate guarantees the skipped cycles are
+        // no-ops, so a skip landing on a boundary observes exactly the
+        // state naive stepping would have — and an over-skipping engine
+        // (the `Sabotage::OverSkip` self-test) swallows an injection the
+        // oracle counts, surfacing as injection drift right here.
+        let cap = scenario.max_cycles.min((now / EPOCH + 1) * EPOCH);
+        if cap > now && sim.skip_idle_cycles(cap - now, &mut source) > 0 {
+            let landed = sim.cycle();
+            if landed.is_multiple_of(EPOCH) {
+                let before = div.len();
+                epoch_checks(&sim, &oracle, &exp, &mut mark, &mut div);
+                if capture && artifact.is_none() {
+                    if div.len() > before {
+                        artifact = clean_snap.take();
+                    } else {
+                        clean_snap = Some(sim.snapshot());
+                    }
+                }
+            }
+        }
     }
 
     let end = sim.cycle();
@@ -178,7 +201,14 @@ fn run_differential_inner(
         quiesced,
         &mut div,
     );
-    if exp.drains && !quiesced && div.is_empty() {
+    // A schedule extending past the cycle budget can never report
+    // `done()`, so an empty network at the end is not a drain failure —
+    // mirror the `inject_at < max_cycles` filter `must_deliver_all` uses.
+    let schedule_fits = scenario
+        .packets
+        .iter()
+        .all(|p| p.inject_at < scenario.max_cycles);
+    if exp.drains && schedule_fits && !quiesced && div.is_empty() {
         div.push(Divergence {
             cycle: end,
             what: format!(

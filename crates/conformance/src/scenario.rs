@@ -235,6 +235,9 @@ impl Scenario {
                 ("kind".into(), Json::Str("overcount_delivered".into())),
                 ("every".into(), num(every as u64)),
             ]),
+            Some(Sabotage::OverSkip) => {
+                Json::Obj(vec![("kind".into(), Json::Str("over_skip".into()))])
+            }
         };
         Json::Obj(vec![
             ("seed".into(), num(self.seed)),
@@ -323,6 +326,7 @@ impl Scenario {
                 Some("overcount_delivered") => Sabotage::OvercountDelivered {
                     every: req_u64(s, "every")? as u32,
                 },
+                Some("over_skip") => Sabotage::OverSkip,
                 other => return Err(format!("unknown sabotage kind {other:?}")),
             }),
         };
@@ -451,6 +455,16 @@ impl Scenario {
                 }
             }
         }
+        // Long idle gaps between injection bursts: the whole network goes
+        // quiescent between bursts, stressing the fast-forward horizon
+        // math (the skip must land exactly on each burst's first cycle).
+        // Domain 4 keeps its tight 600-cycle DoS window.
+        if domain != 4 && rng.chance(1, 4) {
+            let gap = 300 + rng.below(700);
+            for (i, p) in sc.packets.iter_mut().enumerate() {
+                p.inject_at = (i as u64 / 4) * gap + rng.below(8);
+            }
+        }
         sc.max_cycles = if domain == 4 {
             600
         } else {
@@ -569,6 +583,29 @@ impl TrafficSource for ReplaySource {
     }
     fn done(&self) -> bool {
         self.next >= self.packets.len()
+    }
+
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        // The head entry is the earliest possible injection; `max(now)`
+        // keeps an overdue head (possible after a shrinker edit) from
+        // advertising a horizon in the past.
+        self.packets.get(self.next).map(|p| p.created_at.max(now))
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        // As-if polled through `to - 1`: entries due strictly before `to`
+        // would have been injected by a stepped cycle, but a skip cannot
+        // inject — a fast-forward that lands past one (the OverSkip
+        // defect) loses it here, and the oracle's exact `injected_by`
+        // epoch check catches the divergence. A correct skip never lands
+        // past the advertised horizon, so nothing is ever dropped.
+        while self
+            .packets
+            .get(self.next)
+            .is_some_and(|p| p.created_at < to)
+        {
+            self.next += 1;
+        }
     }
 
     fn save_cursor(&self, out: &mut Vec<u8>) {

@@ -110,6 +110,17 @@ fn overcount_delivered_sabotage_shrinks_to_minimal_reproducer() {
     ));
 }
 
+#[test]
+fn over_skip_sabotage_shrinks_to_minimal_reproducer() {
+    // The fast-forward off-by-one: only bites when a skip window is
+    // bounded by the source's injection horizon, i.e. on scenarios with
+    // genuine idle gaps — exactly what the bursty generator arm
+    // produces. The skipped-over injection surfaces as injection drift
+    // at the next epoch cross-check.
+    let minimal = sabotage_pipeline(|_| Sabotage::OverSkip);
+    assert!(matches!(minimal.sabotage, Some(Sabotage::OverSkip)));
+}
+
 /// The oracle is an independent reimplementation; sanity-check one
 /// crossing prediction against the real simulator on the paper's mesh:
 /// an armed trojan under mitigation classifies as HardwareTrojan and the

@@ -757,6 +757,28 @@ pub fn trojan_flood_checkpointed(seed: u64, opts: &CheckpointOpts) -> Option<Sce
             drained = true;
             break;
         }
+        // Fast-forward idle stretches, but never across a driver-loop
+        // deadline: the arming edge, the next checkpoint multiple, and
+        // the simulated-crash cycle must all land on exactly the cycle
+        // the naive loop would have visited, so a skip truncated by any
+        // of them resumes the bookkeeping above bit-identically.
+        let mut cap = MAX_CYCLES;
+        if now < ARM_AT {
+            cap = cap.min(ARM_AT);
+        }
+        if let Some(gap) = now.checked_div(opts.every) {
+            cap = cap.min((gap + 1) * opts.every);
+        }
+        if let Some(h) = opts.halt_at {
+            cap = cap.min(h);
+        }
+        if cap > now {
+            match sim.skip_idle_cycles_guarded(cap - now, &mut traffic) {
+                Ok(0) => {}
+                Ok(_) => continue,
+                Err(err) => panic!("fatal simulator error at cycle {}: {err}", sim.cycle()),
+            }
+        }
         match sim.try_step(&mut traffic) {
             Ok(()) => {}
             Err(SimError::Stalled(report)) => {
@@ -896,6 +918,34 @@ mod tests {
         assert_eq!(plain.dropped_flits, rep.dropped_flits);
         assert_eq!(plain.stalls, rep.stalls);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idle_skip_truncates_exactly_at_driver_deadlines() {
+        // The checkpoint loop feeds `skip_idle_cycles_guarded` a budget of
+        // `deadline - now` (arming edge, checkpoint multiple, --halt-at).
+        // A skip must land exactly on that deadline — never a cycle past
+        // it — and otherwise stop exactly at the source's horizon.
+        use noc_traffic::FloodAttack;
+        use noc_types::CoreId;
+        let mut sim = Simulator::new(SimConfig::paper_resilient());
+        let mut src = FloodAttack::new(sim.mesh().clone(), vec![CoreId(20)], vec![NodeId(0)], 1)
+            .window(900, 910);
+        // One settle step so the conservative all-set bitmaps compact.
+        sim.step(&mut src);
+        assert_eq!(sim.cycle(), 1);
+        let skipped = sim
+            .skip_idle_cycles_guarded(511, &mut src)
+            .expect("empty network audits clean");
+        assert_eq!(skipped, 511, "a mid-gap deadline truncates the skip");
+        assert_eq!(sim.cycle(), 512);
+        let skipped = sim
+            .skip_idle_cycles_guarded(10_000, &mut src)
+            .expect("empty network audits clean");
+        assert_eq!(skipped, 900 - 512, "the horizon bounds a generous budget");
+        assert_eq!(sim.cycle(), 900, "skip stops exactly at the attack window");
+        // At the horizon itself nothing is provably idle.
+        assert_eq!(sim.skip_idle_cycles_guarded(10_000, &mut src).unwrap(), 0);
     }
 
     #[test]

@@ -84,6 +84,16 @@ impl<S: TrafficSource> TrafficSource for E2eObfuscation<S> {
         self.inner.done()
     }
 
+    // Scrambling rewrites packets but never creates or delays them, so
+    // the inner source's lookahead holds verbatim.
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        self.inner.next_injection_at(now)
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        self.inner.skip_to(to);
+    }
+
     // The scrambling key is construction state, not progress: the cursor
     // is exactly the inner source's.
     fn save_cursor(&self, out: &mut Vec<u8>) {

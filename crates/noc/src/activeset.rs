@@ -1,0 +1,285 @@
+//! Hierarchical active-set bitmaps for the sharded cycle engine.
+//!
+//! An [`ActiveSet`] is a two-level bitmap over a dense id space (routers,
+//! or link *positions* in a shard-ordered permutation): a `words` level
+//! with one bit per id, and a `summary` level with one bit per word. The
+//! phase loops iterate only the set bits of their own shard's range
+//! instead of linearly scanning every id, and the whole-network
+//! quiescence gate in [`crate::Simulator::skip_idle_cycles`] is a scan of
+//! the (tiny) summary level.
+//!
+//! Bits are *superset hints*: a set bit means the id **may** have work,
+//! and every consumer re-checks the authoritative predicate (the
+//! `router_active` bool, wire occupancy, queue emptiness) before acting.
+//! A stale set bit therefore costs one wasted check; a stale *clear* bit
+//! would lose work, so the update protocol only ever clears a bit at the
+//! single site that just observed the authoritative predicate false.
+//!
+//! Concurrency: `set`/`clear`/`get` use relaxed atomics. The engine's
+//! barrier groups provide the happens-before edges (a bit set in group
+//! G2 is consumed in G1 of the *next* cycle, across a pool barrier), and
+//! within a group each bit is touched only by the shard that owns its
+//! id, so same-word operations from different shards target disjoint
+//! bits and commute — iteration order and results stay deterministic at
+//! every shard count. `clear` deliberately leaves the summary bit alone
+//! (a concurrent summary clear could lose a sibling's set); the serial
+//! [`ActiveSet::compact`] pass between cycles trims the summary level,
+//! after which [`ActiveSet::all_clear`] is exact.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = 64;
+
+/// Two-level atomic bitmap over `len` ids (see module docs).
+pub(crate) struct ActiveSet {
+    /// One bit per id.
+    words: Vec<AtomicU64>,
+    /// One bit per word: a superset of "word is nonzero".
+    summary: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl std::fmt::Debug for ActiveSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveSet")
+            .field("len", &self.len)
+            .field("set", &self.count())
+            .finish()
+    }
+}
+
+impl ActiveSet {
+    /// A set over ids `0..len` with every bit set (everything may have
+    /// work until proven otherwise — the safe initial state).
+    pub(crate) fn new_all_set(len: usize) -> Self {
+        let mut s = Self {
+            words: (0..len.div_ceil(WORD_BITS))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            summary: (0..len.div_ceil(WORD_BITS).div_ceil(WORD_BITS))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            len,
+        };
+        s.set_all();
+        s
+    }
+
+    /// Mark every id active (new/restore/re-shard: conservative reset).
+    /// Tail bits past `len` stay zero so [`ActiveSet::all_clear`] and
+    /// [`ActiveSet::count`] never see phantom ids.
+    pub(crate) fn set_all(&mut self) {
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let base = w * WORD_BITS;
+            let live = self.len.saturating_sub(base).min(WORD_BITS);
+            *word.get_mut() = if live == WORD_BITS {
+                u64::MAX
+            } else {
+                (1u64 << live) - 1
+            };
+        }
+        for (s, sw) in self.summary.iter_mut().enumerate() {
+            let base = s * WORD_BITS;
+            let live = self.words.len().saturating_sub(base).min(WORD_BITS);
+            *sw.get_mut() = if live == WORD_BITS {
+                u64::MAX
+            } else {
+                (1u64 << live) - 1
+            };
+        }
+    }
+
+    /// Mark id `i` active. Safe to call concurrently from any shard.
+    #[inline]
+    pub(crate) fn set(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let w = i / WORD_BITS;
+        self.words[w].fetch_or(1u64 << (i % WORD_BITS), Ordering::Relaxed);
+        self.summary[w / WORD_BITS].fetch_or(1u64 << (w % WORD_BITS), Ordering::Relaxed);
+    }
+
+    /// Mark id `i` inactive. Only the shard that owns `i` in the current
+    /// group may call this, and only after observing the authoritative
+    /// predicate false. The summary bit is left set (see module docs).
+    #[inline]
+    pub(crate) fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS].fetch_and(!(1u64 << (i % WORD_BITS)), Ordering::Relaxed);
+    }
+
+    /// Whether id `i` is marked active.
+    #[cfg(test)]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS].load(Ordering::Relaxed) & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Serial maintenance between cycles: drop summary bits whose word
+    /// went all-clear. After this, [`ActiveSet::all_clear`] is exact.
+    pub(crate) fn compact(&mut self) {
+        for (s, sw) in self.summary.iter_mut().enumerate() {
+            let mut bits = *sw.get_mut();
+            let mut keep = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let w = s * WORD_BITS + b;
+                if self
+                    .words
+                    .get_mut(w)
+                    .is_none_or(|word| *word.get_mut() == 0)
+                {
+                    keep &= !(1u64 << b);
+                }
+            }
+            *sw.get_mut() = keep;
+        }
+    }
+
+    /// Whether no id is marked active. Exact immediately after
+    /// [`ActiveSet::compact`]; otherwise may report a stale `false`
+    /// (never a stale `true` — sets raise summary bits eagerly).
+    pub(crate) fn all_clear(&self) -> bool {
+        self.summary.iter().all(|s| s.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Number of set bits (diagnostics only).
+    pub(crate) fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Visit every set id in `range`, ascending. The summary level skips
+    /// 64-word (4096-id) dead zones in one load. Iterates over a
+    /// snapshot of each word, so the callback may `clear` visited ids
+    /// (the refresh loop does) without perturbing the walk.
+    #[inline]
+    pub(crate) fn for_each_set_in(&self, range: Range<usize>, mut f: impl FnMut(usize)) {
+        if range.start >= range.end {
+            return;
+        }
+        let first_w = range.start / WORD_BITS;
+        let last_w = (range.end - 1) / WORD_BITS;
+        let mut w = first_w;
+        while w <= last_w {
+            // Summary hop: skip whole all-clear summary blocks.
+            let s = w / WORD_BITS;
+            let sbits = self.summary[s].load(Ordering::Relaxed) >> (w % WORD_BITS);
+            if sbits == 0 {
+                w = (s + 1) * WORD_BITS;
+                continue;
+            }
+            w += sbits.trailing_zeros() as usize;
+            if w > last_w {
+                break;
+            }
+            let mut bits = self.words[w].load(Ordering::Relaxed);
+            if w == first_w {
+                bits &= u64::MAX << (range.start % WORD_BITS);
+            }
+            if w == last_w {
+                let tail = range.end - w * WORD_BITS;
+                if tail < WORD_BITS {
+                    bits &= (1u64 << tail) - 1;
+                }
+            }
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(w * WORD_BITS + b);
+            }
+            w += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(set: &ActiveSet, r: Range<usize>) -> Vec<usize> {
+        let mut v = Vec::new();
+        set.for_each_set_in(r, |i| v.push(i));
+        v
+    }
+
+    #[test]
+    fn starts_all_set_and_clears_exactly() {
+        let mut s = ActiveSet::new_all_set(130);
+        assert_eq!(s.count(), 130);
+        assert!(!s.all_clear());
+        for i in 0..130 {
+            assert!(s.get(i));
+            s.clear(i);
+        }
+        assert_eq!(s.count(), 0);
+        // Summary is a lazy superset until compacted.
+        assert!(!s.all_clear());
+        s.compact();
+        assert!(s.all_clear());
+    }
+
+    #[test]
+    fn set_after_compact_raises_summary_again() {
+        let mut s = ActiveSet::new_all_set(100);
+        for i in 0..100 {
+            s.clear(i);
+        }
+        s.compact();
+        assert!(s.all_clear());
+        s.set(77);
+        assert!(!s.all_clear(), "set must eagerly raise the summary");
+        assert!(s.get(77));
+        assert_eq!(collect(&s, 0..100), vec![77]);
+    }
+
+    #[test]
+    fn ranged_iteration_is_ascending_and_masked() {
+        let s = ActiveSet::new_all_set(300);
+        for i in 0..300 {
+            s.clear(i);
+        }
+        for &i in &[3usize, 63, 64, 65, 127, 128, 200, 299] {
+            s.set(i);
+        }
+        assert_eq!(collect(&s, 0..300), vec![3, 63, 64, 65, 127, 128, 200, 299]);
+        assert_eq!(collect(&s, 64..128), vec![64, 65, 127]);
+        assert_eq!(collect(&s, 65..65), Vec::<usize>::new());
+        assert_eq!(collect(&s, 66..200), vec![127, 128]);
+        assert_eq!(collect(&s, 299..300), vec![299]);
+    }
+
+    #[test]
+    fn iteration_survives_clearing_visited_bits() {
+        let mut s = ActiveSet::new_all_set(192);
+        for i in 0..192 {
+            s.clear(i);
+        }
+        for &i in &[10usize, 70, 130, 190] {
+            s.set(i);
+        }
+        let mut seen = Vec::new();
+        s.for_each_set_in(0..192, |i| {
+            seen.push(i);
+            s.clear(i);
+        });
+        assert_eq!(seen, vec![10, 70, 130, 190]);
+        s.compact();
+        assert!(s.all_clear());
+    }
+
+    #[test]
+    fn summary_hop_skips_dead_zones() {
+        // 8192 ids = 2 summary words; only the far end is populated.
+        let mut s = ActiveSet::new_all_set(8192);
+        for i in 0..8192 {
+            s.clear(i);
+        }
+        s.compact();
+        s.set(8000);
+        assert_eq!(collect(&s, 0..8192), vec![8000]);
+    }
+}

@@ -57,6 +57,12 @@ pub enum Sabotage {
         /// Period of the overcount (1 = double-count every ejection).
         every: u32,
     },
+    /// The quiescence fast-forward engine overshoots: whenever a skip
+    /// window is bounded by the traffic source's injection horizon (not
+    /// by the caller's cycle budget), it skips one cycle *past* the
+    /// horizon — exactly the off-by-one a horizon derivation bug would
+    /// produce, swallowing the first injection of the next burst.
+    OverSkip,
 }
 
 /// Structured-tracing configuration (see [`crate::trace`]). Absent from

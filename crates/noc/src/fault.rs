@@ -136,6 +136,23 @@ impl LinkFaults {
     pub fn trojan_armed(&self) -> bool {
         self.trojan.as_ref().is_some_and(|t| t.kill_switch())
     }
+
+    /// Earliest future cycle this fault layer could act *on its own*,
+    /// without a flit traversal — `None` for every fault model in this
+    /// crate: transient upsets and the trojan's XOR tree strike only in
+    /// flight (inside [`LinkFaults::traverse`], which is also the only
+    /// place the RNG is drawn), stuck wires are combinational, and the
+    /// TASP cooldown is anchored to the absolute cycle of the last
+    /// injection rather than a per-cycle countdown. The simulator's
+    /// fast-forward engine folds this into its skip horizon, so a future
+    /// *time-triggered* fault model (a cycle-counter time-bomb trojan,
+    /// periodic wear-out) bounds the window by reporting its wakeup here
+    /// instead of being silently jumped over.
+    pub fn next_autonomous_event_at(&self, now: u64) -> Option<u64> {
+        self.trojan
+            .as_ref()
+            .and_then(|t| t.autonomous_wakeup_at(now))
+    }
 }
 
 /// BIST drives raw patterns through the same physical effects — except the

@@ -180,6 +180,17 @@ impl InputUnit {
         depth.saturating_sub(committed)
     }
 
+    /// Earliest future cycle at which this unit acts on a *timer* rather
+    /// than an arrival: the soonest delayed-entry (L-Ob undo stall)
+    /// release. Pending scrambles wait on a partner flit, not on time, so
+    /// they do not contribute. Feeds the fast-forward engine's
+    /// defence-in-depth audit — a unit holding a timed release can never
+    /// be part of a provably idle network, since its held flit is also
+    /// counted resident.
+    pub fn next_timed_event_at(&self) -> Option<u64> {
+        self.delayed.iter().map(|d| d.ready).min()
+    }
+
     /// Record a delivered flit's word for later descrambling use.
     pub fn remember_word(&mut self, id: FlitId, word: u64) {
         if let Some(e) = self.seen_words.iter_mut().find(|e| e.0 == id) {

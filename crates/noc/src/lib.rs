@@ -31,6 +31,7 @@
 //! 7. RC — route computation for freshly buffered head flits;
 //! 8. injection — cores push flits into local input VCs (BW).
 
+pub(crate) mod activeset;
 pub mod arbiter;
 pub mod config;
 pub mod error;

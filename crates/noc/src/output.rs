@@ -93,6 +93,18 @@ impl OutputUnit {
         }
     }
 
+    /// Whether this unit holds no state a future cycle could act on
+    /// without a new arrival: no retransmission entries (pending sends
+    /// or un-ACKed flits) and no downstream VC still owned by an
+    /// in-flight wormhole. The fast-forward engine's defence-in-depth
+    /// audit demands this of every unit once the activity bitmaps read
+    /// clear — a VC ownership that outlived its packet's tail would
+    /// otherwise be jumped over and silently block traffic after the
+    /// skip.
+    pub fn is_skip_transparent(&self) -> bool {
+        self.entries.is_empty() && self.vc_owner.iter().all(Option::is_none)
+    }
+
     /// Whether a new flit for `vc` can enter the retransmission stage.
     /// Under [`RetxScheme::PerVc`] each VC owns a full `capacity`-deep
     /// buffer (the paper's "retransmission buffers within each VC",

@@ -44,10 +44,21 @@
 //! its counter lives on the [`crate::output::OutputUnit`] it leaks from,
 //! and each output's credits drain in wire order under exactly one shard,
 //! so the count is identical at every shard count.
+//!
+//! Scheduling: each phase walks the raised bits of a hierarchical
+//! active set ([`crate::activeset::ActiveSet`]) restricted to its
+//! shard's router band or link-position range instead of scanning every
+//! id. Link bitmaps are indexed by partition *position* (see
+//! [`LinkOrders`]) so a shard's links occupy one dense range; ascending
+//! position within a shard is ascending link id, preserving the
+//! sequential iteration order. Bits are superset hints — every consumer
+//! re-checks the authoritative predicate, so a stale bit costs one
+//! check and can never change simulated state.
 
+use crate::activeset::ActiveSet;
 use crate::config::{Sabotage, SimConfig};
 use crate::input::{DelayedEntry, PendingScramble};
-use crate::link::LinkWire;
+use crate::link::LanesView;
 use crate::message::{AckKind, AckMsg, LinkFlit, SimEvent, TraceEvent, TraceOutcome};
 use crate::metrics::LinkMetrics;
 use crate::router::{CreditReturn, Ejection, Router};
@@ -55,7 +66,7 @@ use crate::routing::Routing;
 use crate::trace::TraceKind;
 use noc_ecc::{Decode, Secded};
 use noc_mitigation::{Bist, DetectorAction};
-use noc_types::{Flit, LinkId, Mesh, NodeId, Port, VcId};
+use noc_types::{Direction, Flit, LinkId, Mesh, NodeId, Port, VcId};
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -112,11 +123,18 @@ impl<'a, T> DisjointMut<'a, T> {
 /// mesh with `s | k` shards this is exactly a row band), plus the links
 /// partitioned by destination (used in G1/G3) and by source (G2). Both
 /// link lists are ascending, which the commit merge relies on.
+///
+/// `dst_range` / `src_range` are this shard's contiguous slots in the
+/// shard-ordered link *position* spaces (see [`link_orders`]): the
+/// active-set bitmaps over links are indexed by position so each shard
+/// iterates one dense range instead of a scattered id list.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardPlan {
     pub routers: Range<usize>,
     pub links_dst: Vec<u16>,
     pub links_src: Vec<u16>,
+    pub dst_range: Range<usize>,
+    pub src_range: Range<usize>,
 }
 
 /// Split the mesh into at most `shards` contiguous router bands (never
@@ -127,27 +145,77 @@ pub(crate) fn plan_shards(mesh: &Mesh, shards: usize) -> Vec<ShardPlan> {
     let (base, extra) = (n / s, n % s);
     let mut plans = Vec::with_capacity(s);
     let mut start = 0usize;
+    let (mut dst_off, mut src_off) = (0usize, 0usize);
     for i in 0..s {
         let len = base + usize::from(i < extra);
         let routers = start..start + len;
         start += len;
-        let links_dst = mesh
+        let links_dst: Vec<u16> = mesh
             .all_links()
             .filter(|&l| routers.contains(&mesh.link_dest(l).index()))
             .map(|l| l.0)
             .collect();
-        let links_src = mesh
+        let links_src: Vec<u16> = mesh
             .all_links()
             .filter(|&l| routers.contains(&mesh.link_source(l).0.index()))
             .map(|l| l.0)
             .collect();
+        let dst_range = dst_off..dst_off + links_dst.len();
+        let src_range = src_off..src_off + links_src.len();
+        dst_off = dst_range.end;
+        src_off = src_range.end;
         plans.push(ShardPlan {
             routers,
             links_dst,
             links_src,
+            dst_range,
+            src_range,
         });
     }
     plans
+}
+
+/// The bijections between link ids and their *positions* in the two
+/// shard-ordered partitions. Position spaces concatenate the shards'
+/// ascending link lists, so each shard's links occupy one contiguous
+/// position range ([`ShardPlan::dst_range`] / [`ShardPlan::src_range`])
+/// and ascending position within a shard is ascending link id — the
+/// order every phase loop and the commit merge rely on.
+pub(crate) struct LinkOrders {
+    /// Link id → position in the by-destination partition.
+    pub dst_pos: Vec<u16>,
+    /// Position in the by-destination partition → link id.
+    pub dst_order: Vec<u16>,
+    /// Link id → position in the by-source partition.
+    pub src_pos: Vec<u16>,
+    /// Position in the by-source partition → link id.
+    pub src_order: Vec<u16>,
+}
+
+pub(crate) fn link_orders(plans: &[ShardPlan], n_links: usize) -> LinkOrders {
+    let mut o = LinkOrders {
+        dst_pos: vec![0; n_links],
+        dst_order: vec![0; n_links],
+        src_pos: vec![0; n_links],
+        src_order: vec![0; n_links],
+    };
+    let mut pos = 0u16;
+    for p in plans {
+        for &li in &p.links_dst {
+            o.dst_pos[li as usize] = pos;
+            o.dst_order[pos as usize] = li;
+            pos += 1;
+        }
+    }
+    let mut pos = 0u16;
+    for p in plans {
+        for &li in &p.links_src {
+            o.src_pos[li as usize] = pos;
+            o.src_order[pos as usize] = li;
+            pos += 1;
+        }
+    }
+    o
 }
 
 // ---------------------------------------------------------------------
@@ -183,6 +251,11 @@ pub(crate) struct ShardFx {
     pub credit_vcs: Vec<VcId>,
     pub ejections: Vec<Ejection>,
     pub credits: Vec<CreditReturn>,
+    /// P1 batching scratch: this cycle's arrivals, dense, ascending link
+    /// id, collected before the fault-traversal + SECDED decode pass.
+    pub p1_arrivals: Vec<(u16, LinkFlit)>,
+    /// P1 batching scratch: decode verdicts, parallel to `p1_arrivals`.
+    pub p1_decodes: Vec<Decode>,
     // Per-cycle buffered effects, drained by `Simulator::commit_fx`.
     pub stats: StatsDelta,
     pub progress: bool,
@@ -264,9 +337,21 @@ pub(crate) struct PhaseCtx<'a> {
     pub dead_links: &'a [LinkId],
     pub link_dead: &'a [bool],
     pub routers: DisjointMut<'a, Router>,
-    pub links: DisjointMut<'a, LinkWire>,
+    pub links: LanesView<'a>,
     pub link_metrics: DisjointMut<'a, LinkMetrics>,
     pub router_active: DisjointMut<'a, bool>,
+    /// Hierarchical active sets (superset hints — every consumer
+    /// re-checks the authoritative predicate; see [`crate::activeset`]).
+    /// `router_set` mirrors `router_active`; the link sets are indexed
+    /// by partition *position* via the maps below.
+    pub router_set: &'a ActiveSet,
+    pub fwd_set: &'a ActiveSet,
+    pub rev_set: &'a ActiveSet,
+    pub launch_set: &'a ActiveSet,
+    pub dst_pos: &'a [u16],
+    pub dst_order: &'a [u16],
+    pub src_pos: &'a [u16],
+    pub src_order: &'a [u16],
     /// Whether the structured tracer is armed (`cfg.trace`): gates every
     /// `p*_kinds` push so the disabled path stays zero-cost.
     pub tracing: bool,
@@ -310,9 +395,12 @@ pub(crate) fn run_group(
             // buffered, held, or crossbar-pending flit skips phases
             // 2/5/6/7. Arrivals below flip bits back on eagerly; they can
             // only target routers in this same band (links_dst ⊆ band).
-            for r in plan.routers.clone() {
-                *ctx.router_active.idx(r) = ctx.routers.idx(r).has_phase_work();
-            }
+            // Only bitmap-raised routers can have gained work since they
+            // last went idle (every activation site sets the bit), so the
+            // scan walks set bits instead of the whole band; a clear bit
+            // implies the bool is already false, so skipping the write
+            // leaves `router_active` exactly as the linear scan would.
+            refresh_active(ctx, plan);
             phase_link_delivery(ctx, plan, fx, now);
             phase_resolve_holds(ctx, plan, fx, now);
         }
@@ -338,9 +426,7 @@ fn run_group_timed(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, g: Gr
     let g0 = Instant::now();
     let gi = match g {
         Group::G1 => {
-            for r in plan.routers.clone() {
-                *ctx.router_active.idx(r) = ctx.routers.idx(r).has_phase_work();
-            }
+            refresh_active(ctx, plan);
             phase_link_delivery(ctx, plan, fx, now);
             let t1 = Instant::now();
             fx.tel_phase_ns[0] += t1.duration_since(g0).as_nanos() as u64;
@@ -375,21 +461,52 @@ fn run_group_timed(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, g: Gr
     }
 }
 
-// Phase 1: flits completing link traversal are decoded and judged.
+/// The G1 active-set refresh for one shard's band (see [`run_group`]).
+fn refresh_active(ctx: &PhaseCtx<'_>, plan: &ShardPlan) {
+    ctx.router_set.for_each_set_in(plan.routers.clone(), |r| {
+        let w = ctx.routers.idx(r).has_phase_work();
+        *ctx.router_active.idx(r) = w;
+        if !w {
+            ctx.router_set.clear(r);
+        }
+    });
+}
+
+// Phase 1: flits completing link traversal are decoded and judged. Three
+// passes over the shard's raised forward-wire bits so the fault layer and
+// the SECDED kernel batch over a dense arrival list: (1) collect arrivals
+// off the wires (clearing each bit — a taken wire is empty, and `LT_CYCLES
+// == 1` means a raised bit is always due), (2) fault traversal + decode in
+// a tight loop over the dense list, (3) detector/buffer handling in the
+// same ascending link order the sequential engine uses.
 fn phase_link_delivery(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
-    for &li16 in &plan.links_dst {
-        let li = li16 as usize;
-        let Some(lf) = ctx.links.idx(li).deliver(now) else {
-            continue;
-        };
+    let mut arrivals = std::mem::take(&mut fx.p1_arrivals);
+    let mut decodes = std::mem::take(&mut fx.p1_decodes);
+    arrivals.clear();
+    decodes.clear();
+    ctx.fwd_set.for_each_set_in(plan.dst_range.clone(), |pos| {
+        ctx.fwd_set.clear(pos);
+        let li16 = ctx.dst_order[pos];
+        if let Some(lf) = ctx.links.take_arrival(li16 as usize, now) {
+            arrivals.push((li16, lf));
+        }
+    });
+    for (li16, lf) in arrivals.iter_mut() {
+        *lf = ctx.links.traverse(*li16 as usize, now, *lf);
+        decodes.push(Secded::decode(lf.codeword));
+    }
+    for (&(li16, lf), &decode) in arrivals.iter().zip(decodes.iter()) {
         let link = LinkId(li16);
         let (_, dir) = ctx.mesh.link_source(link);
         let dst = ctx.mesh.link_dest(link);
         let in_port = Port::Net(dir.opposite());
-        handle_arrival(ctx, fx, now, link, dst, in_port, lf);
+        handle_arrival(ctx, fx, now, link, dst, in_port, lf, decode);
     }
+    fx.p1_arrivals = arrivals;
+    fx.p1_decodes = decodes;
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_arrival(
     ctx: &PhaseCtx<'_>,
     fx: &mut ShardFx,
@@ -398,12 +515,13 @@ fn handle_arrival(
     dst: NodeId,
     in_port: Port,
     lf: LinkFlit,
+    decode: Decode,
 ) {
     // Whatever happens below (buffer write, delayed hold, pending
     // scramble), the destination router now has phase work.
     *ctx.router_active.idx(dst.index()) = true;
+    ctx.router_set.set(dst.index());
     let li = link.index();
-    let decode = Secded::decode(lf.codeword);
     match decode {
         Decode::Corrected { .. } => {
             fx.stats.corrected_faults += 1;
@@ -533,13 +651,15 @@ fn handle_arrival(
             ));
         }
         let obf_success = lf.obf.map(|o| o.plan);
-        ctx.links.idx(li).send_ack(
+        ctx.links.send_ack(
+            li,
             now,
             AckMsg {
                 flit: lf.flit.id,
                 kind: AckKind::Ack { obf_success },
             },
         );
+        ctx.rev_set.set(ctx.src_pos[li] as usize);
     } else {
         let lob_attempt = match verdict.action {
             DetectorAction::RetransmitWithLob { attempt } if mitigation => Some(attempt),
@@ -570,17 +690,19 @@ fn handle_arrival(
                 },
             ));
         }
-        ctx.links.idx(li).send_ack(
+        ctx.links.send_ack(
+            li,
             now,
             AckMsg {
                 flit: lf.flit.id,
                 kind: AckKind::Nack { lob_attempt },
             },
         );
+        ctx.rev_set.set(ctx.src_pos[li] as usize);
     }
 
     if verdict.run_bist && mitigation {
-        let report = Bist::scan(&mut ctx.links.idx(li).faults);
+        let report = Bist::scan(ctx.links.faults_mut(li));
         fx.stats.bist_scans += 1;
         ctx.link_metrics.idx(li).bist_scans.inc();
         if ctx.tracing {
@@ -657,9 +779,9 @@ fn wire_advance(unit: &mut crate::input::InputUnit, lf: &LinkFlit) {
 // Phase 2: scrambles whose partner arrived + expired undo stalls.
 fn phase_resolve_holds(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
     let ready = &mut fx.ready;
-    for r in plan.routers.clone() {
+    ctx.router_set.for_each_set_in(plan.routers.clone(), |r| {
         if !*ctx.router_active.idx(r) {
-            continue;
+            return;
         }
         let ports = ctx.routers.idx(r).inputs.len();
         for p in 0..ports {
@@ -677,7 +799,7 @@ fn phase_resolve_holds(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, n
                 ctx.routers.idx(r).buffer_write(port, vc, flit, now);
             }
         }
-    }
+    });
 }
 
 // Phase 3: ACK/NACK and credit returns reach the upstream output units.
@@ -694,21 +816,29 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
         tel_retx_attempts,
         ..
     } = fx;
-    for &li16 in &plan.links_src {
+    ctx.rev_set.for_each_set_in(plan.src_range.clone(), |pos| {
+        let li16 = ctx.src_order[pos];
         let li = li16 as usize;
-        if ctx.links.idx(li).reverse_idle() {
-            continue;
+        if ctx.links.reverse_idle(li) {
+            ctx.rev_set.clear(pos);
+            return;
         }
         let link = LinkId(li16);
         let (src, dir) = ctx.mesh.link_source(link);
         acks.clear();
         credit_vcs.clear();
-        ctx.links.idx(li).take_acks_into(now, acks);
-        ctx.links.idx(li).take_credits_into(now, credit_vcs);
+        ctx.links.take_acks_into(li, now, acks);
+        ctx.links.take_credits_into(li, now, credit_vcs);
+        // Entries stamped `now + 1` (pushed by P1 earlier this cycle)
+        // stay queued; only a fully drained reverse channel drops the
+        // bit. P6 pushes later this cycle re-raise it.
+        if ctx.links.reverse_idle(li) {
+            ctx.rev_set.clear(pos);
+        }
         // A link with no output unit cannot have carried traffic;
         // stray reverse-channel messages are dropped, not panicked on.
         let Some(out) = ctx.routers.idx(src.index()).outputs[dir.index()].as_mut() else {
-            continue;
+            return;
         };
         for ack in acks.iter() {
             match ack.kind {
@@ -817,93 +947,110 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
             out.credits[vc.index()] += 1;
             debug_assert!(out.credits[vc.index()] <= ctx.cfg.vc_depth);
         }
-    }
+    });
 }
 
-// Phase 4: drive retransmission-buffer heads onto idle links.
+// Phase 4: drive retransmission-buffer heads onto idle links. Iterates
+// the raised launch bits (wires whose output unit may hold entries); the
+// predicate checks are the sequential ones, reordered so the emptiness
+// check (which decides whether the bit may drop) runs first — all three
+// are pure reads, so the reorder is observation-equivalent.
 fn phase_launch(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
-    for &li16 in &plan.links_src {
-        let li = li16 as usize;
-        if ctx.link_dead[li] || !ctx.links.idx(li).idle() {
-            continue;
-        }
-        let link = LinkId(li16);
-        let (src, dir) = ctx.mesh.link_source(link);
-        let cfg = ctx.cfg;
-        let Some(out) = ctx.routers.idx(src.index()).outputs[dir.index()].as_mut() else {
-            continue;
-        };
-        // Nothing buffered for retransmission ⇒ nothing can launch.
-        // (Skipping is exact: the send arbiter never advances when
-        // every predicate is false.)
-        if out.entries.is_empty() {
-            continue;
-        }
-        let Some(idx) = out.select_send(|vc| cfg.tdm_slot_open(vc, now)) else {
-            continue;
-        };
-        if cfg.mitigation {
-            out.maybe_protect(idx);
-        }
-        let obf = out.resolve_obf_for_send(idx);
-        let entry_flit = out.entries[idx].flit;
-        let vc = out.entries[idx].vc;
-        let wire_word = match obf {
-            None => entry_flit.word,
-            Some(ow) => {
-                let key = ow
-                    .partner
-                    .and_then(|pid| {
-                        out.entries
-                            .iter()
-                            .find(|e| e.flit.id == pid)
-                            .map(|e| e.flit.word)
-                    })
-                    .unwrap_or(0);
-                ow.plan.apply(entry_flit.word, key)
+    let ShardFx {
+        p4_kinds, p4_trace, ..
+    } = fx;
+    ctx.launch_set
+        .for_each_set_in(plan.src_range.clone(), |pos| {
+            let li16 = ctx.src_order[pos];
+            let li = li16 as usize;
+            let link = LinkId(li16);
+            let (src, dir) = ctx.mesh.link_source(link);
+            let cfg = ctx.cfg;
+            let Some(out) = ctx.routers.idx(src.index()).outputs[dir.index()].as_mut() else {
+                ctx.launch_set.clear(pos);
+                return;
+            };
+            // Nothing buffered for retransmission ⇒ nothing can launch, and
+            // nothing will until the ST stage pushes a fresh entry (which
+            // re-raises this bit), so it can drop. (Skipping is exact: the
+            // send arbiter never advances when every predicate is false.)
+            if out.entries.is_empty() {
+                ctx.launch_set.clear(pos);
+                return;
             }
-        };
-        out.mark_sent(idx, now);
-        let attempt = out.entries[idx].attempts;
-        ctx.link_metrics.idx(li).flits.inc();
-        if attempt > 1 {
-            ctx.link_metrics.idx(li).retransmissions.inc();
-        }
-        if ctx.tracing {
-            fx.p4_kinds.push((
-                li16,
-                TraceKind::FlitLaunched {
-                    flit: entry_flit.id,
-                    packet: entry_flit.packet,
-                    link,
-                    attempt,
-                    obf: obf.map(|o| o.plan),
+            // Dead or occupied wire: the entries still want out, keep the bit.
+            if ctx.link_dead[li] || !ctx.links.idle(li) {
+                return;
+            }
+            let Some(idx) = out.select_send(|vc| cfg.tdm_slot_open(vc, now)) else {
+                return;
+            };
+            if cfg.mitigation {
+                out.maybe_protect(idx);
+            }
+            let obf = out.resolve_obf_for_send(idx);
+            let entry_flit = out.entries[idx].flit;
+            let vc = out.entries[idx].vc;
+            let wire_word = match obf {
+                None => entry_flit.word,
+                Some(ow) => {
+                    let key = ow
+                        .partner
+                        .and_then(|pid| {
+                            out.entries
+                                .iter()
+                                .find(|e| e.flit.id == pid)
+                                .map(|e| e.flit.word)
+                        })
+                        .unwrap_or(0);
+                    ow.plan.apply(entry_flit.word, key)
+                }
+            };
+            out.mark_sent(idx, now);
+            let attempt = out.entries[idx].attempts;
+            ctx.link_metrics.idx(li).flits.inc();
+            if attempt > 1 {
+                ctx.link_metrics.idx(li).retransmissions.inc();
+            }
+            if ctx.tracing {
+                p4_kinds.push((
+                    li16,
+                    TraceKind::FlitLaunched {
+                        flit: entry_flit.id,
+                        packet: entry_flit.packet,
+                        link,
+                        attempt,
+                        obf: obf.map(|o| o.plan),
+                    },
+                ));
+            }
+            if ctx.cfg.trace_packet == Some(entry_flit.packet) {
+                p4_trace.push((
+                    li16,
+                    TraceEvent::Launched {
+                        cycle: now,
+                        flit: entry_flit.id,
+                        link,
+                        obfuscated: obf.map(|o| o.plan),
+                        attempt: obf.map(|o| o.attempt).unwrap_or(0),
+                    },
+                ));
+            }
+            ctx.links.launch(
+                li,
+                now,
+                LinkFlit {
+                    flit: entry_flit,
+                    codeword: Secded::encode(wire_word),
+                    wire_word,
+                    vc,
+                    obf,
                 },
-            ));
-        }
-        if ctx.cfg.trace_packet == Some(entry_flit.packet) {
-            fx.p4_trace.push((
-                li16,
-                TraceEvent::Launched {
-                    cycle: now,
-                    flit: entry_flit.id,
-                    link,
-                    obfuscated: obf.map(|o| o.plan),
-                    attempt: obf.map(|o| o.attempt).unwrap_or(0),
-                },
-            ));
-        }
-        ctx.links.idx(li).launch(
-            now,
-            LinkFlit {
-                flit: entry_flit,
-                codeword: Secded::encode(wire_word),
-                wire_word,
-                vc,
-                obf,
-            },
-        );
-    }
+            );
+            // The wire is now occupied: raise its forward bit for the
+            // destination shard's P1 next cycle.
+            ctx.fwd_set.set(ctx.dst_pos[li] as usize);
+        });
 }
 
 // Phase 5: crossbar traversals commit; local ejections deliver. The
@@ -918,9 +1065,9 @@ fn phase_st(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
         progress,
         ..
     } = fx;
-    for r in plan.routers.clone() {
+    ctx.router_set.for_each_set_in(plan.routers.clone(), |r| {
         if !*ctx.router_active.idx(r) {
-            continue;
+            return;
         }
         ejections.clear();
         ctx.routers.idx(r).st_stage_into(now, ejections);
@@ -930,7 +1077,26 @@ fn phase_st(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
         for &ej in ejections.iter() {
             p5_ejections.push((r as u16, ej));
         }
-    }
+        // Crossbar traversals may have pushed fresh retransmission
+        // entries; raise the launch bit of every outgoing wire that now
+        // has something to send. This is the only site that grows
+        // `entries` (`OutputUnit::push` is called solely from the ST
+        // stage), so P4's emptiness-gated clear cannot lose work —
+        // crucially, `has_phase_work` ignores retransmission entries, so
+        // the launch bit (not the router bit) is what keeps a draining
+        // retransmission buffer scheduled.
+        let node = NodeId(r as u16);
+        for d in Direction::ALL {
+            let pending = ctx.routers.idx(r).outputs[d.index()]
+                .as_ref()
+                .is_some_and(|o| !o.entries.is_empty());
+            if pending {
+                if let Some(l) = ctx.mesh.link_out(node, d) {
+                    ctx.launch_set.set(ctx.src_pos[l.index()] as usize);
+                }
+            }
+        }
+    });
 }
 
 // Phase 6: switch allocation; credits return upstream. The feeding link
@@ -938,15 +1104,15 @@ fn phase_st(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
 // stay inside this shard's `links_dst` ownership set.
 fn phase_sa(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
     let credits = &mut fx.credits;
-    for r in plan.routers.clone() {
+    ctx.router_set.for_each_set_in(plan.routers.clone(), |r| {
         if !*ctx.router_active.idx(r) {
-            continue;
+            return;
         }
         // Conformance self-test hook: the sabotaged router never
         // performs switch allocation (a dropped SA grant, forever).
         if let Some(Sabotage::StallSaRouter { router }) = ctx.cfg.sabotage {
             if router as usize == r {
-                continue;
+                return;
             }
         }
         let node = NodeId(r as u16);
@@ -964,21 +1130,22 @@ fn phase_sa(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx, now: u64) {
                     plan.links_dst.binary_search(&feeding.0).is_ok(),
                     "credit pushed into a link another shard owns"
                 );
-                ctx.links.idx(feeding.index()).send_credit(now, cr.vc);
+                ctx.links.send_credit(feeding.index(), now, cr.vc);
+                ctx.rev_set.set(ctx.src_pos[feeding.index()] as usize);
             }
         }
-    }
+    });
 }
 
 // Phase 7: VC allocation then route computation.
 fn phase_va_rc(ctx: &PhaseCtx<'_>, plan: &ShardPlan, now: u64) {
-    for r in plan.routers.clone() {
+    ctx.router_set.for_each_set_in(plan.routers.clone(), |r| {
         if !*ctx.router_active.idx(r) {
-            continue;
+            return;
         }
         ctx.routers.idx(r).va_stage(now, ctx.cfg);
         ctx.routers.idx(r).rc_stage(now, ctx.mesh, ctx.routing);
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -1162,6 +1329,40 @@ mod tests {
                 for &l in &p.links_src {
                     assert!(p.routers.contains(&mesh.link_source(LinkId(l)).0.index()));
                 }
+            }
+            // Position ranges: contiguous, sized to the link lists,
+            // covering.
+            let (mut dst_next, mut src_next) = (0usize, 0usize);
+            for p in &plans {
+                assert_eq!(p.dst_range.start, dst_next);
+                assert_eq!(p.dst_range.len(), p.links_dst.len());
+                dst_next = p.dst_range.end;
+                assert_eq!(p.src_range.start, src_next);
+                assert_eq!(p.src_range.len(), p.links_src.len());
+                src_next = p.src_range.end;
+            }
+            assert_eq!(dst_next, mesh.links());
+            assert_eq!(src_next, mesh.links());
+        }
+    }
+
+    #[test]
+    fn link_orders_are_inverse_bijections_in_shard_order() {
+        let mesh = Mesh::paper();
+        for shards in [1usize, 3, 16] {
+            let plans = plan_shards(&mesh, shards);
+            let o = link_orders(&plans, mesh.links());
+            for li in 0..mesh.links() {
+                assert_eq!(o.dst_order[o.dst_pos[li] as usize] as usize, li);
+                assert_eq!(o.src_order[o.src_pos[li] as usize] as usize, li);
+            }
+            for p in &plans {
+                // Each shard's positions are its dense range, ascending
+                // link id within it.
+                let dst: Vec<u16> = p.dst_range.clone().map(|pos| o.dst_order[pos]).collect();
+                assert_eq!(dst, p.links_dst);
+                let src: Vec<u16> = p.src_range.clone().map(|pos| o.src_order[pos]).collect();
+                assert_eq!(src, p.links_src);
             }
         }
     }

@@ -618,6 +618,23 @@ impl Router {
         let outputs: usize = self.outputs.iter().flatten().map(|o| o.occupancy()).sum();
         inputs + outputs + self.st_pending.len()
     }
+
+    /// Defence-in-depth for the fast-forward gate: once every activity
+    /// bitmap reads clear, no input unit may still hold a timed release,
+    /// no output unit may hold retransmission state or a stale VC
+    /// ownership, and no crossbar traversal may be pending. Violation
+    /// means a bitmap bug let state hide from the skip proof.
+    pub fn is_skip_transparent(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|u| u.next_timed_event_at().is_none())
+            && self
+                .outputs
+                .iter()
+                .flatten()
+                .all(OutputUnit::is_skip_transparent)
+            && self.st_pending.is_empty()
+    }
 }
 
 fn header_packet(ivc: &crate::input::InputVc) -> noc_types::PacketId {

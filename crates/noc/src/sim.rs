@@ -1,9 +1,10 @@
 //! The top-level cycle-accurate simulator.
 
+use crate::activeset::ActiveSet;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::fault::LinkFaults;
-use crate::link::LinkWire;
+use crate::link::LinkLanes;
 use crate::message::{SimEvent, TraceEvent};
 use crate::metrics::MetricsRegistry;
 use crate::router::{CreditSite, Router};
@@ -47,6 +48,25 @@ pub trait TrafficSource {
     /// Restore the cursor written by [`TrafficSource::save_cursor`],
     /// consuming exactly the bytes it wrote from the front of `input`.
     fn load_cursor(&mut self, _input: &mut &[u8]) {}
+
+    /// Event-horizon lookahead for [`Simulator::skip_idle_cycles`]: the
+    /// earliest cycle `>= now` at which polling this source may either
+    /// produce a packet or change its observable state (`done()`), when
+    /// polled cycle-by-cycle from `now`. `None` promises the source will
+    /// never produce again *and* that `done()` is already at its final
+    /// value. The default `Some(now)` declares no lookahead at all, which
+    /// disables fast-forward for this source — always correct.
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
+    /// Advance internal cursors exactly as if `poll` had been called for
+    /// every cycle in `[current, to)` — required so checkpointed source
+    /// cursors and `done()` are bit-identical with fast-forward on or
+    /// off. Only ever called with `to` at or below the horizon this
+    /// source returned from [`TrafficSource::next_injection_at`], so a
+    /// correct implementation drops nothing.
+    fn skip_to(&mut self, _to: u64) {}
 }
 
 /// A source that never injects (for drain phases and unit tests).
@@ -56,6 +76,9 @@ impl TrafficSource for NoTraffic {
     fn poll(&mut self, _cycle: u64, _out: &mut Vec<Packet>) {}
     fn done(&self) -> bool {
         true
+    }
+    fn next_injection_at(&self, _now: u64) -> Option<u64> {
+        None
     }
 }
 
@@ -90,7 +113,8 @@ pub struct Simulator {
     pub(crate) mesh: Mesh,
     pub(crate) routing: Routing,
     pub(crate) routers: Vec<Router>,
-    pub(crate) links: Vec<LinkWire>,
+    /// The link datapath, structure-of-arrays (see [`crate::link`]).
+    pub(crate) links: LinkLanes,
     pub(crate) dead_links: Vec<LinkId>,
     /// Injection queues, one per (core, VC class) so a stalled class never
     /// head-of-line blocks another (essential for TDM non-interference).
@@ -138,6 +162,36 @@ pub struct Simulator {
     pub(crate) router_active: Vec<bool>,
     /// `link_dead[i]` mirrors `dead_links` for O(1) hot-path lookup.
     pub(crate) link_dead: Vec<bool>,
+    /// Hierarchical superset of `router_active` (see [`crate::activeset`]):
+    /// the per-router phases iterate only its set bits. Derived state —
+    /// never serialized; rebuilt all-set on construct/restore/re-shard.
+    pub(crate) router_set: ActiveSet,
+    /// Forward wires that may deliver next P1, indexed by the link's
+    /// *destination-partition position* (`dst_pos`). Set at launch,
+    /// cleared by the delivering shard.
+    pub(crate) fwd_set: ActiveSet,
+    /// Reverse wires that may carry ACKs/credits, indexed by the link's
+    /// *source-partition position* (`src_pos`). Set at send_ack /
+    /// send_credit, cleared once the reverse wire drains empty.
+    pub(crate) rev_set: ActiveSet,
+    /// Links whose retransmission entries may be non-empty (launch
+    /// candidates for P4), indexed by `src_pos`. Set when the ST stage
+    /// pushes an entry, cleared when P4 observes the entries empty.
+    pub(crate) launch_set: ActiveSet,
+    /// Link id → position in the shard-ordered `links_dst` partition
+    /// (contiguous ascending range per shard), and the inverse.
+    pub(crate) dst_pos: Vec<u16>,
+    pub(crate) dst_order: Vec<u16>,
+    /// Same permutation pair for the `links_src` partition.
+    pub(crate) src_pos: Vec<u16>,
+    pub(crate) src_order: Vec<u16>,
+    /// Whether [`Simulator::skip_idle_cycles`] may fast-forward (on by
+    /// default; `--no-skip` style A/B harnesses turn it off).
+    pub(crate) fast_forward: bool,
+    /// Cycles fast-forwarded so far. Diagnostic only — deliberately not
+    /// in [`SimStats`], so goldens/snapshots are identical with
+    /// fast-forward on or off.
+    pub(crate) skipped_cycles: u64,
     /// Event counter for the periodic `OvercountDelivered` sabotage hook
     /// (only advanced while that sabotage is armed). Lives on the
     /// simulator — ejection bookkeeping is committed in sequential order
@@ -178,10 +232,11 @@ impl Simulator {
         let routers = (0..mesh.routers())
             .map(|r| Router::new(NodeId(r as u16), &mesh, &cfg))
             .collect();
-        let links = mesh
-            .all_links()
-            .map(|l| LinkWire::new(LinkFaults::healthy(0xB0C0_0000 + l.index() as u64)))
-            .collect();
+        let links = LinkLanes::new(
+            mesh.all_links()
+                .map(|l| LinkFaults::healthy(0xB0C0_0000 + l.index() as u64))
+                .collect(),
+        );
         let cores = mesh.cores();
         let vcs = cfg.vcs as usize;
         let metrics = MetricsRegistry::new(mesh.links(), mesh.routers());
@@ -191,6 +246,7 @@ impl Simulator {
         let fx = (0..plans.len())
             .map(|_| crate::par::ShardFx::default())
             .collect();
+        let orders = crate::par::link_orders(&plans, n_links);
         Self {
             cfg,
             mesh,
@@ -216,6 +272,16 @@ impl Simulator {
             snap_base: (0, 0, 0),
             router_active: vec![true; n_routers],
             link_dead: vec![false; n_links],
+            router_set: ActiveSet::new_all_set(n_routers),
+            fwd_set: ActiveSet::new_all_set(n_links),
+            rev_set: ActiveSet::new_all_set(n_links),
+            launch_set: ActiveSet::new_all_set(n_links),
+            dst_pos: orders.dst_pos,
+            dst_order: orders.dst_order,
+            src_pos: orders.src_pos,
+            src_order: orders.src_order,
+            fast_forward: true,
+            skipped_cycles: 0,
             sabotage_eject_seen: 0,
             flit_scratch: Vec::new(),
             plans,
@@ -238,6 +304,18 @@ impl Simulator {
         self.fx = (0..self.plans.len())
             .map(|_| crate::par::ShardFx::default())
             .collect();
+        // The link-position permutations follow the plan; the activity
+        // bitmaps reset to the conservative all-set state (they are
+        // superset hints, so over-approximating is always sound).
+        let orders = crate::par::link_orders(&self.plans, self.mesh.links());
+        self.dst_pos = orders.dst_pos;
+        self.dst_order = orders.dst_order;
+        self.src_pos = orders.src_pos;
+        self.src_order = orders.src_order;
+        self.router_set.set_all();
+        self.fwd_set.set_all();
+        self.rev_set.set_all();
+        self.launch_set.set_all();
     }
 
     /// Shards the cycle engine currently runs on (1 = sequential path).
@@ -266,18 +344,18 @@ impl Simulator {
 
     /// Access a link's fault layer (mount trojans, set transients/stuck-ats).
     pub fn link_faults_mut(&mut self, link: LinkId) -> &mut LinkFaults {
-        &mut self.links[link.index()].faults
+        self.links.faults_mut(link.index())
     }
 
     /// Immutable view of a link fault layer.
     pub fn link_faults(&self, link: LinkId) -> &LinkFaults {
-        &self.links[link.index()].faults
+        self.links.faults(link.index())
     }
 
     /// Assert/deassert the kill switch on every mounted trojan.
     pub fn arm_trojans(&mut self, on: bool) {
-        for l in &mut self.links {
-            if let Some(t) = l.faults.trojan.as_mut() {
+        for li in 0..self.links.len() {
+            if let Some(t) = self.links.faults_mut(li).trojan.as_mut() {
                 t.set_kill_switch(on);
             }
         }
@@ -492,7 +570,7 @@ impl Simulator {
                         ids.insert(e.flit.id);
                     }
                 }
-                if let Some(lf) = self.links[li].in_flight() {
+                if let Some(lf) = self.links.in_flight(li) {
                     if lf.vc == vc {
                         ids.insert(lf.flit.id);
                     }
@@ -511,7 +589,7 @@ impl Simulator {
                     }
                 }
                 let credits = o.credits[v] as usize;
-                let wire = self.links[li].reverse_credits_for(vc);
+                let wire = self.links.reverse_credits_for(li, vc);
                 if credits + wire + ids.len() < depth {
                     out.push(crate::invariants::Violation {
                         router: src.0,
@@ -606,7 +684,7 @@ impl Simulator {
         }
         // An in-flight copy always duplicates its own link's entry.
         for li in 0..self.links.len() {
-            if let Some(lf) = self.links[li].in_flight() {
+            if let Some(lf) = self.links.in_flight(li) {
                 if entry_at.get(&lf.flit.id) != Some(&LinkId(li as u16)) {
                     let (src, _) = self.mesh.link_source(LinkId(li as u16));
                     out.push(crate::invariants::Violation {
@@ -666,7 +744,7 @@ impl Simulator {
     /// wire word — and a sound encoding must decode clean.
     fn check_ecc_soundness(&self, out: &mut Vec<crate::invariants::Violation>) {
         for li in 0..self.links.len() {
-            let Some(lf) = self.links[li].in_flight() else {
+            let Some(lf) = self.links.in_flight(li) else {
                 continue;
             };
             let (src, _) = self.mesh.link_source(LinkId(li as u16));
@@ -756,21 +834,34 @@ impl Simulator {
     // Execution
     // ------------------------------------------------------------------
 
-    /// Run for `cycles` cycles with the given traffic source.
+    /// Run for `cycles` cycles with the given traffic source. Provably
+    /// no-op stretches are fast-forwarded (see
+    /// [`Simulator::skip_idle_cycles`]); the final state is bit-identical
+    /// to naive stepping.
     pub fn run(&mut self, cycles: u64, source: &mut dyn TrafficSource) {
-        for _ in 0..cycles {
-            self.step(source);
+        let deadline = self.cycle.saturating_add(cycles);
+        while self.cycle < deadline {
+            if self.skip_idle_cycles(deadline - self.cycle, source) == 0 {
+                self.step(source);
+            }
         }
     }
 
     /// Run until every injected flit is delivered (or `max_cycles` passes,
     /// which indicates saturation/deadlock). Returns true on full drain.
     pub fn run_to_quiescence(&mut self, max_cycles: u64, source: &mut dyn TrafficSource) -> bool {
-        let deadline = self.cycle + max_cycles;
+        let deadline = self.cycle.saturating_add(max_cycles);
         while self.cycle < deadline {
             self.step(source);
             if source.done() && self.is_quiescent() {
                 return true;
+            }
+            // Fast-forward only after the exit check: the skip gate
+            // requires an empty network and a future horizon, conditions
+            // under which the naive loop provably would not have exited
+            // during the skipped stretch (the source is not done).
+            if self.cycle < deadline {
+                self.skip_idle_cycles(deadline - self.cycle, source);
             }
         }
         source.done() && self.is_quiescent()
@@ -880,8 +971,11 @@ impl Simulator {
         cycles: u64,
         source: &mut dyn TrafficSource,
     ) -> Result<(), SimError> {
-        for _ in 0..cycles {
-            self.try_step(source)?;
+        let deadline = self.cycle.saturating_add(cycles);
+        while self.cycle < deadline {
+            if self.skip_idle_cycles_guarded(deadline - self.cycle, source)? == 0 {
+                self.try_step(source)?;
+            }
         }
         Ok(())
     }
@@ -894,14 +988,194 @@ impl Simulator {
         max_cycles: u64,
         source: &mut dyn TrafficSource,
     ) -> Result<bool, SimError> {
-        let deadline = self.cycle + max_cycles;
+        let deadline = self.cycle.saturating_add(max_cycles);
         while self.cycle < deadline {
             self.try_step(source)?;
             if source.done() && self.is_quiescent() {
                 return Ok(true);
             }
+            if self.cycle < deadline {
+                self.skip_idle_cycles_guarded(deadline - self.cycle, source)?;
+            }
         }
         Ok(source.done() && self.is_quiescent())
+    }
+
+    // ------------------------------------------------------------------
+    // Quiescence-aware fast-forward (the event-horizon engine)
+    // ------------------------------------------------------------------
+
+    /// Enable or disable cycle skipping (on by default). With it off,
+    /// [`Simulator::skip_idle_cycles`] always returns 0 and every run
+    /// helper degenerates to naive stepping — the A/B arm for the
+    /// equivalence proptests and the bench `--no-skip` flag.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Whether cycle skipping is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Cycles fast-forwarded so far (diagnostic; not part of
+    /// [`SimStats`], snapshots, or goldens).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Fast-forward over provably no-op cycles, up to `limit` cycles
+    /// ahead. Returns the number skipped (0 = could not prove anything).
+    ///
+    /// A cycle is provably no-op when the network holds no state that any
+    /// phase could act on — every hierarchical activity bitmap is clear
+    /// (no router phase work, no forward wire, no reverse message, no
+    /// retransmission entry), the injection queues are empty, and no
+    /// quarantine or poison is pending — and the traffic source's
+    /// [`TrafficSource::next_injection_at`] horizon lies in the future.
+    /// Under those conditions phases 1–7 touch nothing, injection admits
+    /// nothing, the trojan FSMs cannot advance (they only snoop at link
+    /// delivery), and the watchdog is vacuously silent, so the *only*
+    /// per-cycle effect of naive stepping is the periodic
+    /// [`Snapshot`] (and its telemetry alert-window evaluation) — which
+    /// this fast path replays exactly, once per skipped
+    /// `snapshot_interval` multiple. The skip is therefore bit-identical
+    /// to naive stepping by construction; `tests/` proves it again by
+    /// proptest against the disabled-skip arm.
+    pub fn skip_idle_cycles(&mut self, limit: u64, source: &mut dyn TrafficSource) -> u64 {
+        let Some((from, to)) = self.skip_window(limit, source) else {
+            return 0;
+        };
+        self.commit_skip(from, to, source);
+        to - from
+    }
+
+    /// Guarded fast-forward: replays [`Simulator::try_step`]'s periodic
+    /// invariant audit. The simulator state is constant across the
+    /// window, so a single audit stands for every multiple of
+    /// `check_invariants_every` inside it; on violation the skip is
+    /// truncated to the exact cycle where naive guarded stepping would
+    /// have surfaced the error.
+    pub fn skip_idle_cycles_guarded(
+        &mut self,
+        limit: u64,
+        source: &mut dyn TrafficSource,
+    ) -> Result<u64, SimError> {
+        let Some((from, to)) = self.skip_window(limit, source) else {
+            return Ok(0);
+        };
+        if let Some(every) = self.cfg.check_invariants_every {
+            // `try_step` audits after the cycle counter increments, i.e.
+            // at multiples of `every` in `(from, to]`.
+            let first = (from + 1).next_multiple_of(every.max(1));
+            if first <= to {
+                let violations = self.check_all_invariants();
+                if !violations.is_empty() {
+                    self.commit_skip(from, first, source);
+                    return Err(SimError::InvariantViolations {
+                        cycle: first,
+                        violations,
+                    });
+                }
+            }
+        }
+        self.commit_skip(from, to, source);
+        Ok(to - from)
+    }
+
+    /// The skip gate: prove cycles `[self.cycle, to)` are no-ops and
+    /// return the window, or `None`. Checks are ordered cheapest-first;
+    /// the bitmap compaction doubles as the summary-level maintenance
+    /// pass.
+    fn skip_window(&mut self, limit: u64, source: &mut dyn TrafficSource) -> Option<(u64, u64)> {
+        if !self.fast_forward || limit == 0 {
+            return None;
+        }
+        let now = self.cycle;
+        // Source horizon first — the cheapest reject while traffic flows.
+        let horizon = match source.next_injection_at(now) {
+            Some(h) if h <= now => return None,
+            Some(h) => h,
+            None => u64::MAX,
+        };
+        self.router_set.compact();
+        if !self.router_set.all_clear() {
+            return None;
+        }
+        self.fwd_set.compact();
+        self.rev_set.compact();
+        self.launch_set.compact();
+        if !(self.fwd_set.all_clear() && self.rev_set.all_clear() && self.launch_set.all_clear()) {
+            return None;
+        }
+        if !self.pending_quarantine.is_empty() || self.poisoned.is_some() {
+            return None;
+        }
+        if self.queued_flits() != 0 {
+            return None;
+        }
+        // The clear bitmaps already imply an empty network; re-derive it
+        // from the authoritative state so a bitmap bug can only cost
+        // performance, never correctness.
+        if self.resident_flits() != 0 {
+            debug_assert!(false, "activity bitmaps clear but flits resident");
+            return None;
+        }
+        // Defence in depth: every timed release (input scramble delays),
+        // retransmission entry, VC ownership, and pending switch grant
+        // holds a resident flit, so clear bitmaps imply all of them are
+        // idle — audit that implication rather than trust it.
+        debug_assert!(
+            self.routers
+                .iter()
+                .all(crate::router::Router::is_skip_transparent),
+            "activity bitmaps clear but a router holds timed or ownership state"
+        );
+        let cap = now.saturating_add(limit);
+        let mut to = horizon.min(cap);
+        // Fault layers are reactive today (next_autonomous_event_at is
+        // None throughout), but a time-triggered fault model bounds the
+        // window here instead of being silently jumped over.
+        for li in 0..self.links.len() {
+            match self.links.faults(li).next_autonomous_event_at(now) {
+                Some(h) if h <= now => return None,
+                Some(h) => to = to.min(h),
+                None => {}
+            }
+        }
+        // Conformance self-test defect: overshoot the horizon by one
+        // cycle (swallowing an injection) whenever the horizon — not the
+        // caller's cap — bounded the window, so harness-imposed caps
+        // (epoch boundaries, --halt-at) are still honoured.
+        if matches!(self.cfg.sabotage, Some(crate::config::Sabotage::OverSkip)) && to < cap {
+            to += 1;
+        }
+        (to > now).then_some((now, to))
+    }
+
+    /// Apply a proven skip window: replay the periodic snapshot (and its
+    /// alert evaluation) for every `snapshot_interval` multiple inside
+    /// it, advance the cycle counter, and fast-forward the source cursor.
+    fn commit_skip(&mut self, from: u64, to: u64, source: &mut dyn TrafficSource) {
+        let iv = self.cfg.snapshot_interval;
+        if iv == 0 {
+            // `is_multiple_of(0)` only holds at cycle 0.
+            if from == 0 {
+                self.record_snapshot(0);
+            }
+        } else {
+            let mut m = from.next_multiple_of(iv);
+            while m < to {
+                self.record_snapshot(m);
+                m += iv;
+            }
+        }
+        self.skipped_cycles += to - from;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_skipped(to - from);
+        }
+        self.cycle = to;
+        source.skip_to(to);
     }
 
     /// Run phase groups G1–G3 (phases 1–7) across all shards. With one
@@ -919,9 +1193,17 @@ impl Simulator {
             dead_links: &self.dead_links,
             link_dead: &self.link_dead,
             routers: DisjointMut::new(&mut self.routers),
-            links: DisjointMut::new(&mut self.links),
+            links: self.links.view(),
             link_metrics: DisjointMut::new(self.metrics.link_slice_mut()),
             router_active: DisjointMut::new(&mut self.router_active),
+            router_set: &self.router_set,
+            fwd_set: &self.fwd_set,
+            rev_set: &self.rev_set,
+            launch_set: &self.launch_set,
+            dst_pos: &self.dst_pos,
+            dst_order: &self.dst_order,
+            src_pos: &self.src_pos,
+            src_order: &self.src_order,
             tracing: self.tracer.is_some(),
             telemetry: self.telemetry.is_some(),
             profile: self.telemetry.as_ref().is_some_and(|t| t.profile_due(now)),
@@ -1141,6 +1423,7 @@ impl Simulator {
                     self.inj_queues[q].pop_front();
                     self.routers[router].buffer_write(port, vc, f, now);
                     self.router_active[router] = true;
+                    self.router_set.set(router);
                     self.inj_rr[core] = ((v + 1) % vcs) as u8;
                     self.last_progress_cycle = now;
                     admitted = true;
@@ -1259,7 +1542,7 @@ impl Simulator {
         if let Some(out) = self.routers[src.index()].outputs[dir.index()].as_ref() {
             victims.extend(out.entries.iter().map(|e| e.flit.packet));
         }
-        if let Some(lf) = self.links[link.index()].in_flight() {
+        if let Some(lf) = self.links.in_flight(link.index()) {
             victims.insert(lf.flit.packet);
         }
         for mv in &self.routers[src.index()].st_pending {
@@ -1373,7 +1656,7 @@ impl Simulator {
             let acked = self
                 .mesh
                 .link_out(NodeId(r as u16), dir)
-                .is_some_and(|l| self.links[l.index()].reverse_ack_success_for(flit));
+                .is_some_and(|l| self.links.reverse_ack_success_for(l.index(), flit));
             if acked {
                 continue;
             }
@@ -1387,8 +1670,9 @@ impl Simulator {
         }
         // Wire copies always duplicate a live retransmission entry: they
         // are neither counted nor credited, but must never deliver.
-        for l in &mut self.links {
-            l.purge_in_flight(|lf| victims.contains(&lf.flit.packet));
+        for li in 0..self.links.len() {
+            self.links
+                .purge_in_flight(li, |lf| victims.contains(&lf.flit.packet));
         }
         let mut flits = unique.len() as u64;
         for q in &mut self.inj_queues {

@@ -1168,12 +1168,14 @@ fn put_field_match_u32(out: &mut Vec<u8>, m: &Option<FieldMatch<u32>>) {
     }
 }
 
-fn put_link(out: &mut Vec<u8>, link: &crate::link::LinkWire) {
-    match &link.in_flight {
+/// Encode link `i` of the SoA pool. Field order is identical to the old
+/// per-struct layout, so the wire format is unchanged.
+fn put_link(out: &mut Vec<u8>, lanes: &crate::link::LinkLanes, i: usize) {
+    match &lanes.flits[i] {
         None => put_bool(out, false),
-        Some((at, lf)) => {
+        Some(lf) => {
             put_bool(out, true);
-            put_u64(out, *at);
+            put_u64(out, lanes.arrive_at[i]);
             put_flit(out, &lf.flit);
             put_u128(out, lf.codeword.0);
             put_u64(out, lf.wire_word);
@@ -1181,8 +1183,8 @@ fn put_link(out: &mut Vec<u8>, link: &crate::link::LinkWire) {
             put_opt_obf(out, lf.obf.as_ref());
         }
     }
-    put_u64(out, link.acks.len() as u64);
-    for (at, msg) in &link.acks {
+    put_u64(out, lanes.acks[i].len() as u64);
+    for (at, msg) in &lanes.acks[i] {
         put_u64(out, *at);
         put_u64(out, msg.flit.0);
         match msg.kind {
@@ -1202,16 +1204,17 @@ fn put_link(out: &mut Vec<u8>, link: &crate::link::LinkWire) {
             }
         }
     }
-    put_u64(out, link.credits.len() as u64);
-    for (at, vc) in &link.credits {
+    put_u64(out, lanes.credits[i].len() as u64);
+    for (at, vc) in &lanes.credits[i] {
         put_u64(out, *at);
         put_u8(out, vc.0);
     }
     // Fault layer.
-    put_f64(out, link.faults.transient_bit_prob);
-    put_u128(out, link.faults.stuck.stuck_one);
-    put_u128(out, link.faults.stuck.stuck_zero);
-    match &link.faults.trojan {
+    let faults = &lanes.faults[i];
+    put_f64(out, faults.transient_bit_prob);
+    put_u128(out, faults.stuck.stuck_one);
+    put_u128(out, faults.stuck.stuck_zero);
+    match &faults.trojan {
         None => put_bool(out, false),
         Some(ht) => {
             put_bool(out, true);
@@ -1247,12 +1250,12 @@ fn put_link(out: &mut Vec<u8>, link: &crate::link::LinkWire) {
             put_u64(out, ht.payload_injections());
         }
     }
-    for s in link.faults.rng.state() {
+    for s in faults.rng.state() {
         put_u64(out, s);
     }
-    put_u64(out, link.faults.transient_flips);
-    put_u64(out, link.faults.trojan_injections);
-    put_u64(out, link.flits_carried);
+    put_u64(out, faults.transient_flips);
+    put_u64(out, faults.trojan_injections);
+    put_u64(out, lanes.flits_carried[i]);
 }
 
 fn put_tracer(out: &mut Vec<u8>, tracer: Option<&TraceRecorder>) {
@@ -1358,8 +1361,8 @@ fn encode_sim(sim: &Simulator) -> Vec<u8> {
         put_router(&mut p, r);
     }
     put_u64(&mut p, sim.links.len() as u64);
-    for l in &sim.links {
-        put_link(&mut p, l);
+    for i in 0..sim.links.len() {
+        put_link(&mut p, &sim.links, i);
     }
     p
 }
@@ -1889,29 +1892,33 @@ fn get_field_match_u32(r: &mut Reader) -> Result<Option<FieldMatch<u32>>, Snapsh
     })
 }
 
-fn restore_link(r: &mut Reader, link: &mut crate::link::LinkWire) -> Result<(), SnapshotError> {
-    link.in_flight = if r.flag()? {
+/// Restore link `i` of the SoA pool (the mirror of [`put_link`]).
+fn restore_link(
+    r: &mut Reader,
+    lanes: &mut crate::link::LinkLanes,
+    i: usize,
+) -> Result<(), SnapshotError> {
+    if r.flag()? {
         let at = r.u64()?;
         let flit = get_flit(r)?;
         let codeword = Codeword(r.u128()?);
         let wire_word = r.u64()?;
         let vc = VcId(r.u8()?);
         let obf = get_opt_obf(r)?;
-        Some((
-            at,
-            LinkFlit {
-                flit,
-                codeword,
-                wire_word,
-                vc,
-                obf,
-            },
-        ))
+        lanes.arrive_at[i] = at;
+        lanes.flits[i] = Some(LinkFlit {
+            flit,
+            codeword,
+            wire_word,
+            vc,
+            obf,
+        });
     } else {
-        None
-    };
+        lanes.arrive_at[i] = u64::MAX;
+        lanes.flits[i] = None;
+    }
     let n = r.len()?;
-    link.acks = VecDeque::with_capacity(n.min(1 << 16));
+    lanes.acks[i] = VecDeque::with_capacity(n.min(1 << 16));
     for _ in 0..n {
         let at = r.u64()?;
         let flit = FlitId(r.u64()?);
@@ -1924,22 +1931,23 @@ fn restore_link(r: &mut Reader, link: &mut crate::link::LinkWire) -> Result<(), 
             },
             t => return Err(corrupt(format!("ack kind tag {t}"))),
         };
-        link.acks.push_back((at, AckMsg { flit, kind }));
+        lanes.acks[i].push_back((at, AckMsg { flit, kind }));
     }
     let n = r.len()?;
-    link.credits = VecDeque::with_capacity(n.min(1 << 16));
+    lanes.credits[i] = VecDeque::with_capacity(n.min(1 << 16));
     for _ in 0..n {
         let at = r.u64()?;
-        link.credits.push_back((at, VcId(r.u8()?)));
+        lanes.credits[i].push_back((at, VcId(r.u8()?)));
     }
-    link.faults.transient_bit_prob = r.f64()?;
+    let faults = &mut lanes.faults[i];
+    faults.transient_bit_prob = r.f64()?;
     let stuck_one = r.u128()?;
     let stuck_zero = r.u128()?;
-    link.faults.stuck = crate::fault::StuckWires {
+    faults.stuck = crate::fault::StuckWires {
         stuck_one,
         stuck_zero,
     };
-    link.faults.trojan = if r.flag()? {
+    faults.trojan = if r.flag()? {
         let target = TargetSpec {
             src: get_field_match_u8(r)?,
             dest: get_field_match_u8(r)?,
@@ -1982,10 +1990,10 @@ fn restore_link(r: &mut Reader, link: &mut crate::link::LinkWire) -> Result<(), 
     for s in rng_state.iter_mut() {
         *s = r.u64()?;
     }
-    link.faults.rng = StdRng::from_state(rng_state);
-    link.faults.transient_flips = r.u64()?;
-    link.faults.trojan_injections = r.u64()?;
-    link.flits_carried = r.u64()?;
+    faults.rng = StdRng::from_state(rng_state);
+    faults.transient_flips = r.u64()?;
+    faults.trojan_injections = r.u64()?;
+    lanes.flits_carried[i] = r.u64()?;
     Ok(())
 }
 
@@ -2183,8 +2191,8 @@ fn decode_sim(sim: &mut Simulator, payload: &[u8]) -> Result<(), SnapshotError> 
     if n != sim.links.len() {
         return Err(corrupt(format!("links {n} != {}", sim.links.len())));
     }
-    for link in sim.links.iter_mut() {
-        restore_link(&mut r, link)?;
+    for i in 0..sim.links.len() {
+        restore_link(&mut r, &mut sim.links, i)?;
     }
     r.finish()
 }

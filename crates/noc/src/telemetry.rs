@@ -750,6 +750,11 @@ pub struct Telemetry {
     timeline: Vec<TimelineSlice>,
     alerts: AlertEngine,
     cycles_profiled: u64,
+    /// Cycles the fast-forward engine skipped (provably no-op, never
+    /// stepped). Simulated time still advances over them, so alert
+    /// windows and per-interval deltas are exact; only wall-clock
+    /// profiling samples are absent.
+    cycles_skipped: u64,
     first_watchdog_cycle: Option<u64>,
 }
 
@@ -769,8 +774,20 @@ impl Telemetry {
             timeline: Vec::new(),
             alerts: AlertEngine::new(rules),
             cycles_profiled: 0,
+            cycles_skipped: 0,
             first_watchdog_cycle: None,
         }
+    }
+
+    /// Account `n` fast-forwarded cycles (see `cycles_skipped`).
+    #[inline]
+    pub(crate) fn note_skipped(&mut self, n: u64) {
+        self.cycles_skipped += n;
+    }
+
+    /// Cycles the fast-forward engine skipped so far.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
     }
 
     /// Whether the scoped phase timers should run on `cycle`. Timeline
@@ -1152,6 +1169,11 @@ pub fn prometheus_text(
             "noc_retx_attempts_p99",
             "p99 launch attempts per acknowledged flit.",
             tel.retx_attempts.quantile(0.99),
+        );
+        w.counter(
+            "noc_cycles_skipped_total",
+            "Cycles fast-forwarded by the quiescence engine.",
+            tel.cycles_skipped,
         );
         w.family(
             "noc_phase_ns_total",

@@ -301,6 +301,30 @@ impl TrafficSource for AppModel {
         self.until != u64::MAX && self.polled + 1 >= self.until
     }
 
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        if now >= self.until {
+            // Schedule exhausted: `poll` only moves the watermark and
+            // `done()` is already final.
+            return None;
+        }
+        if self.bursting(now) {
+            // Inside a burst the per-core coins are drawn every cycle.
+            return Some(now);
+        }
+        // Burst-off phase: `poll` returns before touching the RNG, so
+        // the lull is skippable up to the next burst boundary (clamped
+        // to `until - 1`, the cycle whose poll finalizes `done()`).
+        let next_burst = (now / self.spec.burst_period + 1) * self.spec.burst_period;
+        Some(next_burst.min(self.until - 1).max(now))
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        // Only the serialized `polled` watermark moves during a lull.
+        if to > 0 {
+            self.polled = self.polled.max(to - 1);
+        }
+    }
+
     fn save_cursor(&self, out: &mut Vec<u8>) {
         noc_sim::snapshot::put_u64(out, self.polled);
         for s in self.rng.state() {

@@ -103,6 +103,25 @@ impl TrafficSource for FloodAttack {
         self.until != u64::MAX && self.polled + 1 >= self.until
     }
 
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        if now >= self.until {
+            // Attack over: `poll` only moves the watermark and `done()`
+            // is already final.
+            return None;
+        }
+        // Before the window opens `poll` returns without touching the
+        // RNG, so the quiet lead-in is skippable up to `from`. Clamp to
+        // `until - 1` so a window that never opens (`from >= until`)
+        // still stops at the cycle where `done()` flips.
+        Some(self.from.max(now).min(self.until - 1))
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        if to > 0 {
+            self.polled = self.polled.max(to - 1);
+        }
+    }
+
     fn save_cursor(&self, out: &mut Vec<u8>) {
         noc_sim::snapshot::put_u64(out, self.polled);
         for s in self.rng.state() {
@@ -145,6 +164,24 @@ impl<S: TrafficSource> TrafficSource for WithFlood<S> {
     }
     fn done(&self) -> bool {
         self.background.done() && self.flood.done()
+    }
+
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        // The combined source can act whenever either part can: the
+        // earlier of the two horizons (a `None` part never acts again).
+        match (
+            self.background.next_injection_at(now),
+            self.flood.next_injection_at(now),
+        ) {
+            (None, None) => None,
+            (Some(h), None) | (None, Some(h)) => Some(h),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        self.background.skip_to(to);
+        self.flood.skip_to(to);
     }
 
     fn save_cursor(&self, out: &mut Vec<u8>) {

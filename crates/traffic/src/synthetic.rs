@@ -141,6 +141,28 @@ impl TrafficSource for SyntheticTraffic {
         self.until != u64::MAX && self.polled + 1 >= self.until
     }
 
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        if now < self.until {
+            // The Bernoulli coin is drawn (advancing the RNG) on every
+            // polled cycle inside the window, so no cycle is provably
+            // injection-free: the earliest candidate is `now` itself.
+            Some(now)
+        } else {
+            // Window closed: `poll` returns before touching the RNG, no
+            // packet can ever be produced, and `done()` is already final.
+            None
+        }
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        // Mirror what polling cycles `..to` would have done: past the
+        // window only the `polled` watermark moves (it is serialized in
+        // the cursor, so it must track exactly).
+        if to > 0 {
+            self.polled = self.polled.max(to - 1);
+        }
+    }
+
     fn save_cursor(&self, out: &mut Vec<u8>) {
         noc_sim::snapshot::put_u64(out, self.polled);
         for s in self.rng.state() {

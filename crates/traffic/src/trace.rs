@@ -98,6 +98,16 @@ impl<S: TrafficSource> TrafficSource for Recorder<S> {
         self.inner.done()
     }
 
+    // Lookahead delegates: a window where the inner source provably
+    // injects nothing records nothing, so the trace is unperturbed.
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        self.inner.next_injection_at(now)
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        self.inner.skip_to(to);
+    }
+
     // The cursor delegates to the wrapped source; the already-captured
     // trace prefix is not part of the cursor (a resumed recorder records
     // only from the resume point onward).
@@ -131,6 +141,22 @@ impl TrafficSource for Replay {
     }
     fn done(&self) -> bool {
         self.next >= self.entries.len()
+    }
+
+    fn next_injection_at(&self, now: u64) -> Option<u64> {
+        // The head entry is the next act; an already-late head (stale
+        // cycle) clamps to `now`, which disables skipping. Exhausted
+        // trace: `done()` is final and nothing is ever produced.
+        self.entries.get(self.next).map(|e| e.cycle.max(now))
+    }
+
+    fn skip_to(&mut self, to: u64) {
+        // Naive polling of cycles `..to` consumes (without emitting)
+        // every entry whose cycle is already behind `to`; the cursor is
+        // `next`, so it must advance identically.
+        while self.entries.get(self.next).is_some_and(|e| e.cycle < to) {
+            self.next += 1;
+        }
     }
 
     fn save_cursor(&self, out: &mut Vec<u8>) {

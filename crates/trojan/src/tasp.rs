@@ -201,6 +201,19 @@ impl TaspHt {
         Some((1u128 << a) | (1u128 << b))
     }
 
+    /// Earliest future cycle this trojan could act without a flit
+    /// crossing the link — `None`: TASP is purely reactive. The
+    /// comparator fires only inside [`TaspHt::snoop`], and the cooldown
+    /// compares against the absolute `cycle` argument rather than
+    /// decrementing a counter every cycle, so idle cycles leave the FSM
+    /// bit-identical no matter how many are skipped. A time-triggered
+    /// variant (cycle-counter kill switch, periodic beacon) must return
+    /// its wakeup cycle here so the simulator's fast-forward engine
+    /// stops at it instead of jumping over the activation.
+    pub fn autonomous_wakeup_at(&self, _now: u64) -> Option<u64> {
+        None
+    }
+
     /// Current payload state (PL index) — exposed for the ablation benches.
     pub fn payload_state(&self) -> u16 {
         self.fsm.state()
