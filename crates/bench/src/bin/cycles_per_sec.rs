@@ -43,7 +43,7 @@ use noc_sim::telemetry::{GROUP_COUNT, GROUP_LABELS, PHASE_COUNT, PHASE_LABELS};
 use noc_sim::{LinkFaults, SimConfig, SimSnapshot, Simulator, TelemetryConfig, TrafficSource};
 use noc_traffic::{AppModel, AppSpec, Pattern, SyntheticTraffic};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
-use noc_types::{Mesh, NodeId};
+use noc_types::{Direction, Mesh, NodeId};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -356,6 +356,50 @@ fn scaling_trojan_flood_parts(
     (sim, Box::new(traffic))
 }
 
+/// Research-scale torus baseline: uniform-random traffic on a
+/// `dim`×`dim` torus — every route comes from the precomputed topology
+/// tables (dateline VC classes included) and both ring dimensions can
+/// wrap, so the average hop count drops and the wrap links carry real
+/// load.
+fn torus_baseline(dim: u8, threads: usize, budget: u64, skip: bool) -> Measurement {
+    let mut cfg = SimConfig::paper();
+    cfg.mesh = Mesh::new_torus(dim, dim, 1);
+    cfg.snapshot_interval = 1_000;
+    cfg.threads = Some(threads);
+    let sim = Simulator::new(cfg);
+    let mesh = sim.mesh().clone();
+    let traffic =
+        SyntheticTraffic::new(mesh, Pattern::UniformRandom, 0.05, 0xBA5E).until(budget * 2 / 3);
+    let name = format!("torus_baseline_{dim}x{dim}_t{threads}");
+    measure(name, threads, sim, Box::new(traffic), budget, skip)
+}
+
+/// Research-scale torus flood: the TASP comparator rides an East wrap
+/// link — dest-0 hotspot traffic from the far half of row 0 reaches the
+/// victim over the `dim-1 → 0` wrap hop, a link plain meshes do not
+/// have.
+fn torus_trojan_flood(dim: u8, threads: usize, budget: u64, skip: bool) -> Measurement {
+    let mut cfg = SimConfig::paper_unprotected();
+    cfg.mesh = Mesh::new_torus(dim, dim, 1);
+    cfg.snapshot_interval = 1_000;
+    cfg.threads = Some(threads);
+    let mut sim = Simulator::new(cfg);
+    let victim = NodeId(0);
+    let hot = sim
+        .mesh()
+        .link_out(NodeId(dim as u16 - 1), Direction::East)
+        .expect("the torus has an East wrap hop on every row");
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest((victim.0 & 0xF) as u8)));
+    let faults = std::mem::replace(sim.link_faults_mut(hot), LinkFaults::healthy(hot.0 as u64));
+    *sim.link_faults_mut(hot) = faults.with_trojan(ht);
+    sim.arm_trojans(true);
+    let mesh = sim.mesh().clone();
+    let traffic = SyntheticTraffic::new(mesh, Pattern::Hotspot(vec![victim]), 0.02, 0x0D15_EA5E)
+        .until(budget * 3 / 5);
+    let name = format!("torus_trojan_flood_{dim}x{dim}_t{threads}");
+    measure(name, threads, sim, Box::new(traffic), budget, skip)
+}
+
 /// Paired telemetry-overhead experiment on the 16×16 trojan flood:
 /// back-to-back disarmed/armed runs, nine pairs with alternating arm
 /// order (so warm-cache / frequency-ramp bias cannot systematically
@@ -617,6 +661,47 @@ fn main() {
         }
     }
 
+    // Topology sweep: the same research-scale pair on a 16×16 torus at
+    // threads {1, 8} ∩ axis. Reported in their own section and excluded
+    // from every gate — wrap links reshape the traffic, so the mesh
+    // floors do not transfer; torus floors come once the numbers settle.
+    let torus_threads: Vec<usize> = threads_axis
+        .iter()
+        .copied()
+        .filter(|t| *t == 1 || *t == 8)
+        .collect();
+    let mut torus: Vec<Measurement> = Vec::new();
+    {
+        let dim = 16u8;
+        let budget = scaling_budget(dim);
+        for kind in ["baseline", "trojan_flood"] {
+            let mut t1_cps = None;
+            for &t in &torus_threads {
+                eprintln!("cycles_per_sec: torus_{kind}_{dim}x{dim}_t{t} ({budget} cycles)...");
+                let mut m = match kind {
+                    "baseline" => torus_baseline(dim, t, budget, skip),
+                    _ => torus_trojan_flood(dim, t, budget, skip),
+                };
+                m.degraded_host = avail < t;
+                if t == 1 {
+                    t1_cps = Some(m.cycles_per_sec);
+                } else if let Some(t1) = t1_cps {
+                    m.speedup_vs_t1 = Some(m.cycles_per_sec / t1);
+                }
+                eprintln!(
+                    "  {:>12.0} cycles/s  {:>12.0} flit-hops/s  {} kB peak RSS{}",
+                    m.cycles_per_sec,
+                    m.flit_hops_per_sec,
+                    m.peak_rss_kb,
+                    m.speedup_vs_t1
+                        .map(|s| format!("  {s:.2}x vs t1"))
+                        .unwrap_or_default()
+                );
+                torus.push(m);
+            }
+        }
+    }
+
     // Telemetry-overhead pair on the headline research-scale scenario.
     // Longer than the scaling budget: each arm must outlast transient
     // host noise for the pairwise estimate to mean anything.
@@ -667,6 +752,15 @@ fn main() {
     let n = scaling.len();
     json_scenario(&mut out, &drain_off, n == 0);
     for (i, m) in scaling.iter().enumerate() {
+        json_scenario(&mut out, m, i + 1 == n);
+    }
+    writeln!(out, "  }},").unwrap();
+    // The torus sweep lives in its own section so its entries can be
+    // added (or re-measured) without touching the committed mesh lines,
+    // and so no gate accidentally picks them up.
+    writeln!(out, "  \"torus_scenarios\": {{").unwrap();
+    let n = torus.len();
+    for (i, m) in torus.iter().enumerate() {
         json_scenario(&mut out, m, i + 1 == n);
     }
     writeln!(out, "  }},").unwrap();

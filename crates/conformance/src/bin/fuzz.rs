@@ -26,7 +26,10 @@
 //! counts scenarios completed — the hook a supervisor watches to tell a
 //! slow campaign from a hung one.
 
-use htnoc_conformance::{divergence_artifact, run_differential_threads, shrink, Scenario};
+use htnoc_conformance::{
+    divergence_artifact, run_differential_threads, shrink, Scenario, TOPOLOGY_DEGRADED,
+    TOPOLOGY_MESH, TOPOLOGY_TORUS,
+};
 use noc_sim::config::Sabotage;
 use noc_sim::snapshot::{crc64, put_u64, take_u64};
 use noc_sim::TelemetryOut;
@@ -44,6 +47,19 @@ struct Args {
     checkpoint_every: u64,
     resume: bool,
     telemetry_out: Option<PathBuf>,
+    topology: Option<u8>,
+}
+
+/// Parse `--topology` specs: `mesh`, `torus`, or `degraded`.
+fn parse_topology(spec: &str) -> Result<u8, String> {
+    match spec {
+        "mesh" => Ok(TOPOLOGY_MESH),
+        "torus" => Ok(TOPOLOGY_TORUS),
+        "degraded" => Ok(TOPOLOGY_DEGRADED),
+        other => Err(format!(
+            "unknown topology '{other}' (mesh, torus, degraded)"
+        )),
+    }
 }
 
 /// Fuzz progress, persisted after every `--checkpoint-every` seeds so a
@@ -129,6 +145,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every: 25,
         resume: false,
         telemetry_out: None,
+        topology: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -156,6 +173,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--resume" => args.resume = true,
             "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?.into()),
+            "--topology" => args.topology = Some(parse_topology(&value("--topology")?)?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -199,7 +217,8 @@ fn main() {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--seed N] [--cases K] [--budget-secs S] [--out DIR] \
-                 [--threads T] [--sabotage stall-sa:R|leak-credit:N|overcount:N|over-skip] \
+                 [--threads T] [--topology mesh|torus|degraded] \
+                 [--sabotage stall-sa:R|leak-credit:N|overcount:N|over-skip] \
                  [--checkpoint-dir D [--checkpoint-every K] [--resume]] \
                  [--telemetry-out DIR]"
             );
@@ -239,7 +258,7 @@ fn main() {
         if time_up || cases_done {
             break;
         }
-        let mut scenario = Scenario::generate(seed);
+        let mut scenario = Scenario::generate_in(seed, args.topology);
         if let Some(sabotage) = args.sabotage {
             // Self-test mode: compile the defect into every scenario. A
             // stalled router must exist in the sampled mesh to bite.

@@ -30,5 +30,8 @@ pub use diff::{
     divergence_artifact, run_differential, run_differential_threads, DiffReport, Divergence,
 };
 pub use oracle::{Expectation, RefSim};
-pub use scenario::{PacketSpec, Rng, Scenario, StuckSpec, TrojanSpec};
+pub use scenario::{
+    PacketSpec, Rng, Scenario, StuckSpec, TrojanSpec, TOPOLOGY_DEGRADED, TOPOLOGY_MESH,
+    TOPOLOGY_TORUS,
+};
 pub use shrink::shrink;

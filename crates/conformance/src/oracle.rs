@@ -35,7 +35,7 @@
 
 use crate::scenario::Scenario;
 use noc_ecc::Secded;
-use noc_types::{Mesh, NodeId, PacketId};
+use noc_types::{Mesh, NodeId, PacketId, Topology};
 
 /// Per-link bound on a monotone counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,13 +92,15 @@ pub struct RefSim {
 }
 
 impl RefSim {
-    /// Build the model (computes every packet's XY path).
+    /// Build the model (computes every packet's clean first-pass path:
+    /// the independent XY walk on a plain mesh, the topology route
+    /// tables on a torus or degraded mesh).
     pub fn new(scenario: &Scenario) -> Self {
         let mesh = scenario.mesh();
         let paths = scenario
             .packets
             .iter()
-            .map(|p| xy_walk(&mesh, NodeId(p.src), NodeId(p.dest)))
+            .map(|p| clean_path(&mesh, NodeId(p.src), NodeId(p.dest)))
             .collect();
         Self {
             mesh,
@@ -310,6 +312,26 @@ impl RefSim {
     }
 }
 
+/// The links one packet crosses on a clean first pass. A plain mesh
+/// keeps the fully independent [`xy_walk`]; a torus or degraded mesh
+/// walks the simulator's own deterministic route tables
+/// ([`noc_sim::routing::route_path`]) — there the prediction cross-checks
+/// fault accounting and quarantine against the tables rather than
+/// re-deriving the routing function, which `crates/noc`'s own property
+/// tests cover.
+pub fn clean_path(mesh: &Mesh, src: NodeId, dest: NodeId) -> Vec<u16> {
+    match mesh.topology() {
+        Topology::Mesh => xy_walk(mesh, src, dest),
+        _ => {
+            let routing = noc_sim::routing::Routing::for_mesh(mesh);
+            noc_sim::routing::route_path(mesh, &routing, src, dest)
+                .into_iter()
+                .map(|l| l.0)
+                .collect()
+        }
+    }
+}
+
 /// Dimension-order walk from `src` to `dest`: all X hops, then all Y
 /// hops. Implemented from the paper's description, independently of
 /// `noc_sim::routing`, so a routing bug in either shows as a divergence.
@@ -384,6 +406,8 @@ mod tests {
             trojans: Vec::new(),
             stuck: Vec::new(),
             sabotage: None,
+            topology: crate::scenario::TOPOLOGY_MESH,
+            removed: Vec::new(),
         }
     }
 

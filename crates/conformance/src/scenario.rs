@@ -15,7 +15,14 @@ use noc_sim::watchdog::WatchdogConfig;
 use noc_sim::{RetxScheme, SimConfig, Simulator, TrafficSource};
 use noc_traffic::{AppModel, AppSpec, Pattern, SyntheticTraffic, Trace};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
-use noc_types::{LinkId, Mesh, NodeId, Packet, PacketId, VcId};
+use noc_types::{Direction, LinkId, Mesh, NodeId, Packet, PacketId, VcId};
+
+/// [`Scenario::topology`] value for a plain 2-D mesh.
+pub const TOPOLOGY_MESH: u8 = 0;
+/// [`Scenario::topology`] value for a 2-D torus (wrap links, dateline VCs).
+pub const TOPOLOGY_TORUS: u8 = 1;
+/// [`Scenario::topology`] value for a fault-degraded mesh.
+pub const TOPOLOGY_DEGRADED: u8 = 2;
 
 /// One packet to inject.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,21 +116,62 @@ pub struct Scenario {
     pub stuck: Vec<StuckSpec>,
     /// Deliberate defect for oracle self-tests.
     pub sabotage: Option<Sabotage>,
+    /// Topology family: [`TOPOLOGY_MESH`], [`TOPOLOGY_TORUS`], or
+    /// [`TOPOLOGY_DEGRADED`].
+    pub topology: u8,
+    /// Removed adjacencies of a degraded mesh as `(router, direction
+    /// index)` pairs; entries that do not exist or would disconnect the
+    /// graph are ignored (see [`Scenario::effective_removed`]).
+    pub removed: Vec<(u16, u8)>,
 }
 
 impl Scenario {
     /// The mesh this scenario simulates.
     pub fn mesh(&self) -> Mesh {
-        Mesh::new(
-            self.width.max(1),
-            self.height.max(1),
-            self.concentration.max(1),
-        )
+        let c = self.concentration.max(1);
+        match self.topology {
+            // The torus constructor needs both dimensions ≥ 2 (a 1-wide
+            // ring would wrap a node onto itself).
+            TOPOLOGY_TORUS => Mesh::new_torus(self.width.max(2), self.height.max(2), c),
+            TOPOLOGY_DEGRADED => {
+                let (w, h) = (self.width.max(1), self.height.max(1));
+                let removed = self.effective_removed();
+                Mesh::new_degraded(w, h, c, &removed)
+            }
+            _ => Mesh::new(self.width.max(1), self.height.max(1), c),
+        }
+    }
+
+    /// The subset of [`Scenario::removed`] a degraded mesh actually
+    /// honours: in-range adjacencies that exist in the base mesh, accepted
+    /// greedily only while the graph stays connected. Total on arbitrary
+    /// input, so a shrink candidate or hand-edited JSON can never panic
+    /// the mesh constructor.
+    pub fn effective_removed(&self) -> Vec<(NodeId, Direction)> {
+        let (w, h) = (self.width.max(1), self.height.max(1));
+        let c = self.concentration.max(1);
+        let base = Mesh::new(w, h, c);
+        let mut keep: Vec<(NodeId, Direction)> = Vec::new();
+        for &(node, dir) in &self.removed {
+            let Some(&dir) = Direction::ALL.get(dir as usize) else {
+                continue;
+            };
+            let node = NodeId(node);
+            if node.index() >= base.routers() || base.neighbor(node, dir).is_none() {
+                continue;
+            }
+            let mut cand = keep.clone();
+            cand.push((node, dir));
+            if Mesh::new_degraded(w, h, c, &cand).connected() {
+                keep = cand;
+            }
+        }
+        keep
     }
 
     /// Routers in the mesh.
     pub fn routers(&self) -> usize {
-        self.width as usize * self.height as usize
+        self.mesh().routers()
     }
 
     /// The simulator configuration this scenario runs under.
@@ -239,10 +287,22 @@ impl Scenario {
                 Json::Obj(vec![("kind".into(), Json::Str("over_skip".into()))])
             }
         };
+        let removed = self
+            .removed
+            .iter()
+            .map(|&(node, dir)| {
+                Json::Obj(vec![
+                    ("node".into(), num(node as u64)),
+                    ("dir".into(), num(dir as u64)),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("seed".into(), num(self.seed)),
             ("width".into(), num(self.width as u64)),
             ("height".into(), num(self.height as u64)),
+            ("topology".into(), num(self.topology as u64)),
+            ("removed".into(), Json::Arr(removed)),
             ("concentration".into(), num(self.concentration as u64)),
             ("vcs".into(), num(self.vcs as u64)),
             ("vc_depth".into(), num(self.vc_depth as u64)),
@@ -334,6 +394,18 @@ impl Scenario {
             None | Some(Json::Null) => None,
             Some(b) => Some(b.as_u64().ok_or("invalid 'retry_budget'")? as u32),
         };
+        // Topology fields default to a plain mesh so pre-topology
+        // scenario files stay parseable.
+        let topology = match v.get("topology") {
+            None | Some(Json::Null) => TOPOLOGY_MESH,
+            Some(t) => t.as_u64().ok_or("invalid 'topology'")? as u8,
+        };
+        let mut removed = Vec::new();
+        if let Some(arr) = v.get("removed").and_then(Json::as_arr) {
+            for r in arr {
+                removed.push((req_u64(r, "node")? as u16, req_u64(r, "dir")? as u8));
+            }
+        }
         Ok(Scenario {
             seed: req_u64(v, "seed")?,
             width: req_u64(v, "width")? as u8,
@@ -351,6 +423,8 @@ impl Scenario {
             trojans,
             stuck,
             sabotage,
+            topology,
+            removed,
         })
     }
 
@@ -377,22 +451,42 @@ impl Scenario {
     /// quarantine with a single trojan on a redundant mesh, and single
     /// stuck-at-one wires.
     pub fn generate(seed: u64) -> Scenario {
+        Self::generate_in(seed, None)
+    }
+
+    /// [`Scenario::generate`] restricted to one topology family
+    /// ([`TOPOLOGY_MESH`] / [`TOPOLOGY_TORUS`] / [`TOPOLOGY_DEGRADED`]);
+    /// `None` samples freely — mesh half the time, torus and degraded a
+    /// quarter each.
+    pub fn generate_in(seed: u64, family: Option<u8>) -> Scenario {
         let mut rng = Rng::new(seed);
+        let topology = family.unwrap_or_else(|| match rng.below(4) {
+            0 => TOPOLOGY_TORUS,
+            1 => TOPOLOGY_DEGRADED,
+            _ => TOPOLOGY_MESH,
+        });
         let domain = rng.below(8);
-        // Mesh: the quarantine domain needs path redundancy.
+        // Mesh: the quarantine domain needs path redundancy; a torus
+        // needs both dimensions ≥ 2 to wrap, and a degraded mesh needs
+        // them to have any removable adjacency.
         let (width, height) = loop {
             let w = 1 + rng.below(4) as u8;
             let h = 1 + rng.below(4) as u8;
             if (w as usize) * (h as usize) > 16 {
                 continue;
             }
-            if domain == 5 && (w < 2 || h < 2) {
+            if (domain == 5 || topology != TOPOLOGY_MESH) && (w < 2 || h < 2) {
                 continue;
             }
             break (w, h);
         };
         let concentration = 1 + rng.below(2) as u8;
-        let vcs = 1 + rng.below(4) as u8;
+        // The dateline scheme needs a low and a high VC half.
+        let vcs = if topology == TOPOLOGY_TORUS {
+            2 + rng.below(3) as u8
+        } else {
+            1 + rng.below(4) as u8
+        };
         let mut sc = Scenario {
             seed,
             width,
@@ -410,7 +504,32 @@ impl Scenario {
             trojans: Vec::new(),
             stuck: Vec::new(),
             sabotage: None,
+            topology,
+            removed: Vec::new(),
         };
+        // Knock out a couple of adjacencies of a degraded mesh. The
+        // quarantine domain keeps the full mesh: its oracle prediction
+        // needs every single-link removal to leave the graph connected,
+        // which pre-removed links could defeat.
+        if topology == TOPOLOGY_DEGRADED && domain != 5 {
+            let base = Mesh::new(width, height, concentration);
+            for _ in 0..1 + rng.below(2) {
+                let node = rng.below(base.routers() as u64) as u16;
+                let dir = if rng.chance(1, 2) {
+                    Direction::East
+                } else {
+                    Direction::North
+                };
+                sc.removed.push((node, dir.index() as u8));
+            }
+            // Store exactly the effective set (connectivity-filtered) so
+            // the JSON never carries dead entries.
+            sc.removed = sc
+                .effective_removed()
+                .iter()
+                .map(|&(n, d)| (n.0, d.index() as u8))
+                .collect();
+        }
         let mesh = sc.mesh();
         sc.packets = Self::generate_packets(&mut rng, &mesh, vcs, concentration);
         match domain {
@@ -538,12 +657,15 @@ impl Scenario {
     /// Mount up to `n` trojans on links actually crossed by a packet,
     /// targeting that packet's destination so the comparator fires.
     fn mount_trojans(rng: &mut Rng, sc: &mut Scenario, mesh: &Mesh, n: usize) {
+        // The simulator's own routing function, so the sampled links are
+        // on real first-pass paths on every topology (XY on a plain mesh).
+        let routing = noc_sim::routing::Routing::for_mesh(mesh);
         for _ in 0..n {
             let candidates: Vec<(LinkId, u16)> = sc
                 .packets
                 .iter()
                 .flat_map(|p| {
-                    noc_sim::routing::xy_path(mesh, NodeId(p.src), NodeId(p.dest))
+                    noc_sim::routing::route_path(mesh, &routing, NodeId(p.src), NodeId(p.dest))
                         .into_iter()
                         .map(move |l| (l, p.dest))
                 })
@@ -695,6 +817,58 @@ mod tests {
                 assert!((s.bit as usize) < noc_ecc::CODEWORD_BITS);
             }
         }
+    }
+
+    #[test]
+    fn topology_families_generate_well_formed_scenarios() {
+        let mut seen = [false; 3];
+        for seed in 0..200 {
+            for family in [None, Some(TOPOLOGY_TORUS), Some(TOPOLOGY_DEGRADED)] {
+                let sc = Scenario::generate_in(seed, family);
+                if let Some(f) = family {
+                    assert_eq!(sc.topology, f);
+                }
+                seen[sc.topology as usize] = true;
+                let mesh = sc.mesh();
+                assert!(mesh.routers() <= 16, "seed {seed}");
+                assert!(mesh.connected(), "seed {seed}");
+                if sc.topology == TOPOLOGY_TORUS {
+                    assert!(sc.vcs >= 2, "dateline classes need two VC halves");
+                    assert!(sc.width >= 2 && sc.height >= 2);
+                }
+                if sc.topology == TOPOLOGY_DEGRADED {
+                    // The stored list is exactly the effective one.
+                    let effective: Vec<(u16, u8)> = sc
+                        .effective_removed()
+                        .iter()
+                        .map(|&(n, d)| (n.0, d.index() as u8))
+                        .collect();
+                    assert_eq!(sc.removed, effective, "seed {seed}");
+                }
+                for t in &sc.trojans {
+                    assert!((t.link as usize) < mesh.links(), "seed {seed}");
+                }
+                for s in &sc.stuck {
+                    assert!((s.link as usize) < mesh.links(), "seed {seed}");
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "the free sampler must hit every family in 200 seeds"
+        );
+    }
+
+    #[test]
+    fn hostile_topology_json_never_panics_the_mesh_builder() {
+        // Out-of-range nodes, non-existent adjacencies, and
+        // graph-disconnecting removals must all be ignored, not panic.
+        let mut sc = Scenario::generate_in(3, Some(TOPOLOGY_DEGRADED));
+        sc.removed = vec![(999, 0), (0, 9), (0, 1), (0, 3), (0, 0), (0, 2)];
+        let mesh = sc.mesh();
+        assert!(mesh.connected());
+        let round = Scenario::parse(&sc.to_json_string()).unwrap();
+        assert_eq!(round, sc);
     }
 
     #[test]

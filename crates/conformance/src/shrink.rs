@@ -11,7 +11,7 @@
 //! deterministic and bounded by [`MAX_CHECKS`] predicate evaluations, so
 //! a shrink in CI cannot run away.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, TOPOLOGY_MESH, TOPOLOGY_TORUS};
 use noc_sim::config::Sabotage;
 
 /// Hard cap on predicate evaluations per shrink.
@@ -26,6 +26,7 @@ pub fn shrink(start: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
         let before = fingerprint(&best);
         packet_passes(&mut best, fails, &mut checks);
         hardware_passes(&mut best, fails, &mut checks);
+        topology_passes(&mut best, fails, &mut checks);
         field_passes(&mut best, fails, &mut checks);
         mesh_passes(&mut best, fails, &mut checks);
         geometry_passes(&mut best, fails, &mut checks);
@@ -36,7 +37,8 @@ pub fn shrink(start: &Scenario, fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
 }
 
 /// Cheap structural fingerprint to detect a fixpoint.
-fn fingerprint(sc: &Scenario) -> (usize, usize, usize, u8, u8, u8, u8, u64, bool) {
+#[allow(clippy::type_complexity)]
+fn fingerprint(sc: &Scenario) -> (usize, usize, usize, u8, u8, u8, u8, u64, bool, u8, usize) {
     (
         sc.packets.len(),
         sc.trojans.len(),
@@ -47,6 +49,8 @@ fn fingerprint(sc: &Scenario) -> (usize, usize, usize, u8, u8, u8, u8, u64, bool
         sc.vc_depth,
         sc.max_cycles,
         sc.sabotage.is_some(),
+        sc.topology,
+        sc.removed.len(),
     )
 }
 
@@ -116,6 +120,28 @@ fn hardware_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, check
     }
 }
 
+/// Simplify the topology: restore removed adjacencies one at a time,
+/// then collapse a torus or degraded mesh to a plain mesh. Both edits
+/// renumber the links, so — like [`mesh_passes`] — they only run once
+/// all link-addressed hardware (trojans, stuck wires) is gone.
+fn topology_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
+    if best.topology == TOPOLOGY_MESH || !best.trojans.is_empty() || !best.stuck.is_empty() {
+        return;
+    }
+    let mut i = 0;
+    while i < best.removed.len() {
+        let mut cand = best.clone();
+        cand.removed.remove(i);
+        if !attempt(cand, best, fails, checks) {
+            i += 1;
+        }
+    }
+    let mut cand = best.clone();
+    cand.topology = TOPOLOGY_MESH;
+    cand.removed.clear();
+    attempt(cand, best, fails, checks);
+}
+
 /// Simplify per-packet fields and the run length.
 fn field_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
     for i in 0..best.packets.len() {
@@ -154,7 +180,10 @@ fn field_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: 
 /// mesh shapes, so this pass only runs once all link-addressed hardware
 /// (trojans, stuck wires) has been deleted.
 fn mesh_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
-    if !best.trojans.is_empty() || !best.stuck.is_empty() {
+    // Non-mesh topologies first collapse via `topology_passes`; shrinking
+    // their dimensions directly would invalidate wrap links and removed
+    // adjacencies.
+    if best.topology != TOPOLOGY_MESH || !best.trojans.is_empty() || !best.stuck.is_empty() {
         return;
     }
     loop {
@@ -191,7 +220,13 @@ fn mesh_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &
 
 /// Reduce buffer geometry: fewer VCs, shallower buffers.
 fn geometry_passes(best: &mut Scenario, fails: &dyn Fn(&Scenario) -> bool, checks: &mut usize) {
-    while best.vcs > 1 {
+    // The torus dateline scheme needs a low and a high VC half.
+    let vc_floor = if best.topology == TOPOLOGY_TORUS {
+        2
+    } else {
+        1
+    };
+    while best.vcs > vc_floor {
         let mut cand = best.clone();
         cand.vcs -= 1;
         for p in &mut cand.packets {

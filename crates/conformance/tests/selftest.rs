@@ -3,21 +3,70 @@
 //! bargain — must *fail*, shrink small, and replay deterministically
 //! when a deliberate defect is compiled into the simulator's cycle loop.
 
-use htnoc_conformance::{run_differential, shrink, Scenario};
+use htnoc_conformance::{
+    run_differential, shrink, Scenario, TOPOLOGY_DEGRADED, TOPOLOGY_MESH, TOPOLOGY_TORUS,
+};
 use noc_sim::config::Sabotage;
 
 /// Fixed seed sweep: every generated scenario is conformant. This is the
-/// unit-test twin of `fuzz --seed 0 --cases 300` (CI runs the binary at
-/// larger budgets; this keeps `cargo test` self-contained).
+/// unit-test twin of `fuzz --seed 0 --cases 500` (CI runs the binary at
+/// larger budgets; this keeps `cargo test` self-contained). The free
+/// sampler mixes all three topology families (mesh half the time, torus
+/// and degraded a quarter each).
 #[test]
 fn fixed_seed_set_is_conformant() {
-    for seed in 0..300 {
+    for seed in 0..500 {
         let sc = Scenario::generate(seed);
         let report = run_differential(&sc);
         assert!(
             report.ok(),
             "seed {seed} diverged: {:?}",
             report.divergences
+        );
+    }
+}
+
+/// The same 500-seed sweep pinned to each topology family in turn, so a
+/// family-specific oracle bug cannot hide behind the mixed sampler's
+/// seed allocation.
+#[test]
+fn fixed_seed_set_is_conformant_per_topology_family() {
+    for family in [TOPOLOGY_MESH, TOPOLOGY_TORUS, TOPOLOGY_DEGRADED] {
+        for seed in 0..500 {
+            let sc = Scenario::generate_in(seed, Some(family));
+            let report = run_differential(&sc);
+            assert!(
+                report.ok(),
+                "family {family} seed {seed} diverged: {:?}",
+                report.divergences
+            );
+        }
+    }
+}
+
+/// Every deliberate defect the sabotage self-tests rely on must still be
+/// caught when the fabric is a torus — the differential driver's teeth
+/// must not dull on the new topology.
+#[test]
+fn sabotage_defects_still_diverge_on_a_torus() {
+    type SabotageMaker = fn(&Scenario) -> Sabotage;
+    let kinds: &[(&str, SabotageMaker)] = &[
+        ("stall-sa", |sc| Sabotage::StallSaRouter {
+            router: sc.packets[0].src % sc.routers().max(1) as u16,
+        }),
+        ("leak-credit", |_| Sabotage::LeakCredit { every: 2 }),
+        ("overcount", |_| Sabotage::OvercountDelivered { every: 2 }),
+        ("over-skip", |_| Sabotage::OverSkip),
+    ];
+    for (name, make) in kinds {
+        let diverged = (0..200).any(|seed| {
+            let mut sc = Scenario::generate_in(seed, Some(TOPOLOGY_TORUS));
+            sc.sabotage = Some(make(&sc));
+            !run_differential(&sc).ok()
+        });
+        assert!(
+            diverged,
+            "{name} sabotage never diverged on a torus within 200 seeds"
         );
     }
 }
@@ -153,6 +202,8 @@ fn oracle_and_simulator_agree_on_the_paper_attack() {
         trojans: Vec::new(),
         stuck: Vec::new(),
         sabotage: None,
+        topology: htnoc_conformance::TOPOLOGY_MESH,
+        removed: Vec::new(),
     };
     let path =
         htnoc_conformance::oracle::xy_walk(&sc.mesh(), noc_types::NodeId(0), noc_types::NodeId(15));

@@ -73,6 +73,9 @@ pub struct Scenario {
     /// Worker threads for the sharded cycle engine (`None`/`Some(1)`:
     /// sequential). Bit-identical results at every setting.
     pub threads: Option<usize>,
+    /// Override the fabric (`None`: the paper's 4×4 mesh). A torus or
+    /// degraded mesh routes through the topology tables in `crates/noc`.
+    pub mesh: Option<Mesh>,
 }
 
 impl Scenario {
@@ -95,6 +98,7 @@ impl Scenario {
             vcs: Vec::new(),
             trace: None,
             threads: None,
+            mesh: None,
         }
     }
 
@@ -122,9 +126,18 @@ impl Scenario {
         self
     }
 
+    /// Replace the fabric (e.g. a torus or fault-degraded mesh).
+    pub fn with_mesh(mut self, mesh: Mesh) -> Self {
+        self.mesh = Some(mesh);
+        self
+    }
+
     /// The simulator configuration this strategy implies.
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::paper();
+        if let Some(mesh) = &self.mesh {
+            cfg.mesh = mesh.clone();
+        }
         cfg.snapshot_interval = self.snapshot_interval;
         cfg.trace = self.trace;
         cfg.threads = self.threads;

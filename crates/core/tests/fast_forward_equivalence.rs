@@ -205,6 +205,54 @@ fn quarantine_reroute_skip_equals_naive() {
     }
 }
 
+/// Topology axis: the skip window's no-op proof must hold when routing
+/// comes from the topology tables rather than XY — dateline VC classes
+/// on a torus, up*/down* routes on a fault-degraded mesh.
+#[test]
+fn topology_families_skip_equals_naive() {
+    let torus = Mesh::new_torus(4, 4, 1);
+    let degraded = Mesh::new_degraded(
+        4,
+        4,
+        1,
+        &[(NodeId(5), Direction::East), (NodeId(9), Direction::North)],
+    );
+    for (name, mesh) in [("torus", &torus), ("degraded", &degraded)] {
+        for strategy in [Strategy::Unprotected, Strategy::S2sLob] {
+            for threads in [1usize, 4] {
+                let sc =
+                    bursty_scenario(AppSpec::blackscholes(), strategy.clone(), 0xC0FFEE, threads)
+                        .with_mesh(mesh.clone());
+                let label = format!("{name} {strategy:?} t{threads}");
+                let skipped = assert_equivalent(&sc, &label);
+                assert!(
+                    skipped > 0,
+                    "{label}: the drain tail must actually engage the skip engine \
+                     or this test proves nothing"
+                );
+            }
+        }
+    }
+}
+
+/// A trojan flood through a torus wrap link — the retransmission storm
+/// rides a hop that plain meshes do not have, and skipping must still be
+/// invisible.
+#[test]
+fn torus_wrap_flood_skip_equals_naive() {
+    let torus = Mesh::new_torus(4, 4, 1);
+    let wrap = torus
+        .link_out(NodeId(3), Direction::East)
+        .expect("the torus has an East wrap hop on every row");
+    for threads in [1usize, 4] {
+        let sc = bursty_scenario(AppSpec::blackscholes(), Strategy::S2sLob, 0xC0FFEE, threads)
+            .with_mesh(torus.clone())
+            .with_infected(vec![wrap]);
+        let label = format!("torus-wrap-flood t{threads}");
+        assert_equivalent(&sc, &label);
+    }
+}
+
 /// Traced arm: with the structured tracer recording every flit event,
 /// the canonical JSONL stream must be byte-identical — skipped windows
 /// may not drop, reorder, or duplicate a single record.

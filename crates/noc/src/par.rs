@@ -1143,7 +1143,7 @@ fn phase_va_rc(ctx: &PhaseCtx<'_>, plan: &ShardPlan, now: u64) {
         if !*ctx.router_active.idx(r) {
             return;
         }
-        ctx.routers.idx(r).va_stage(now, ctx.cfg);
+        ctx.routers.idx(r).va_stage(now, ctx.cfg, ctx.routing);
         ctx.routers.idx(r).rc_stage(now, ctx.mesh, ctx.routing);
     });
 }

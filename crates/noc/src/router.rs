@@ -198,7 +198,9 @@ impl Router {
 
     /// VA: grant output VCs to VCs that finished route computation.
     /// One grant per network output port per cycle; local ejection skips VA.
-    pub fn va_stage(&mut self, cycle: u64, cfg: &SimConfig) {
+    /// The routing function supplies the dateline VC class each flit must
+    /// allocate on a torus (everywhere else the class is unrestricted).
+    pub fn va_stage(&mut self, cycle: u64, cfg: &SimConfig, routing: &Routing) {
         let vcs = cfg.vcs as usize;
         // Local-ejection VCs proceed straight to Active.
         for unit in &mut self.inputs {
@@ -240,7 +242,10 @@ impl Router {
                 let h = ivc.fifo.front().expect("head").header;
                 // Strict TDM: the VC allocator is also time-multiplexed
                 // across domains.
-                if cfg.tdm_slot_open(h.vc.0, cycle) && candidate_out_vc(out, &h, cfg).is_some() {
+                let class = routing.vc_class(self.node, h.dest);
+                if cfg.tdm_slot_open(h.vc.0, cycle)
+                    && candidate_out_vc(out, &h, cfg, class).is_some()
+                {
                     req[dir.index()] |= 1 << (p * vcs + v);
                 }
             }
@@ -252,8 +257,9 @@ impl Router {
             if let Some(winner) = self.va_arb[d].grant_masked(mask) {
                 let (p, v) = (winner / vcs, winner % vcs);
                 let header = self.inputs[p].vcs[v].fifo.front().expect("head").header;
+                let class = routing.vc_class(self.node, header.dest);
                 let out = self.outputs[d].as_mut().expect("output exists");
-                let w = candidate_out_vc(out, &header, cfg).expect("checked above");
+                let w = candidate_out_vc(out, &header, cfg, class).expect("checked above");
                 out.vc_owner[w.index()] = Some(header_packet(&self.inputs[p].vcs[v]));
                 let ivc = &mut self.inputs[p].vcs[v];
                 ivc.out_vc = Some(w);
@@ -642,14 +648,22 @@ fn header_packet(ivc: &crate::input::InputVc) -> noc_types::PacketId {
 }
 
 /// First free output VC usable by a packet with header `h` (TDM keeps
-/// packets inside their domain's VC partition). A free function over the
+/// packets inside their domain's VC partition; the dateline scheme keeps
+/// torus packets inside their class's VC half). A free function over the
 /// output unit (rather than a `&self` method) so the VA grant predicate
 /// can call it while the arbiter itself is mutably borrowed.
-fn candidate_out_vc(out: &OutputUnit, h: &noc_types::Header, cfg: &SimConfig) -> Option<VcId> {
+fn candidate_out_vc(
+    out: &OutputUnit,
+    h: &noc_types::Header,
+    cfg: &SimConfig,
+    class: crate::routing::VcClass,
+) -> Option<VcId> {
     let my_domain = cfg.domain_of_vc(h.vc.0);
-    (0..cfg.vcs)
-        .map(VcId)
-        .find(|w| out.vc_owner[w.index()].is_none() && cfg.domain_of_vc(w.0) == my_domain)
+    (0..cfg.vcs).map(VcId).find(|w| {
+        out.vc_owner[w.index()].is_none()
+            && cfg.domain_of_vc(w.0) == my_domain
+            && class.admits(w.0, cfg.vcs)
+    })
 }
 
 #[cfg(test)]
@@ -716,7 +730,7 @@ mod tests {
         assert_eq!(r.inputs[4].vcs[0].state, VcState::VcAlloc);
         assert_eq!(r.inputs[4].vcs[0].route, Some(Port::Net(Direction::East)));
         // Cycle 2: VA.
-        r.va_stage(2, &c);
+        r.va_stage(2, &c, &Routing::Xy);
         assert_eq!(r.inputs[4].vcs[0].state, VcState::Active);
         let w = r.inputs[4].vcs[0].out_vc.expect("granted");
         assert_eq!(
@@ -749,7 +763,7 @@ mod tests {
         r.buffer_write(Port::Net(Direction::West), VcId(1), head(5), 0);
         r.rc_stage(1, &mesh, &Routing::Xy);
         assert_eq!(r.inputs[1].vcs[1].route, Some(Port::Local(0)));
-        r.va_stage(2, &c);
+        r.va_stage(2, &c, &Routing::Xy);
         assert_eq!(r.inputs[1].vcs[1].state, VcState::Active);
         let credits = r.sa_stage(3, &c);
         assert_eq!(credits.len(), 1, "network input returns a credit");
@@ -786,7 +800,7 @@ mod tests {
         }
         r.buffer_write(Port::Local(0), VcId(0), head(6), 0);
         r.rc_stage(1, &mesh, &Routing::Xy);
-        r.va_stage(2, &c);
+        r.va_stage(2, &c, &Routing::Xy);
         r.sa_stage(3, &c);
         assert!(
             r.st_pending.is_empty(),
@@ -817,8 +831,8 @@ mod tests {
         r.buffer_write(Port::Local(0), VcId(0), mk(1, 0), 0);
         r.buffer_write(Port::Local(1), VcId(1), mk(2, 1), 0);
         r.rc_stage(1, &mesh, &Routing::Xy);
-        r.va_stage(2, &c);
-        r.va_stage(3, &c); // second requester granted next cycle
+        r.va_stage(2, &c, &Routing::Xy);
+        r.va_stage(3, &c, &Routing::Xy); // second requester granted next cycle
         r.sa_stage(4, &c);
         assert_eq!(r.st_pending.len(), 1, "one grant per output per cycle");
         r.st_stage(5);

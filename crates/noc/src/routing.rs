@@ -1,7 +1,8 @@
-//! Route computation: XY dimension-order routing plus table-driven routing
-//! for the fault-avoidance (Ariadne-style) baseline.
+//! Route computation: XY dimension-order routing, table-driven routing
+//! for the fault-avoidance (Ariadne-style) baseline, and topology-derived
+//! tables ([`TopoRoutes`]) for tori and degraded meshes.
 
-use noc_types::{Direction, Header, LinkId, Mesh, NodeId, Port};
+use noc_types::{Direction, Header, LinkId, Mesh, NodeId, Port, Topology};
 use std::collections::VecDeque;
 
 /// The routing function installed in every router.
@@ -22,6 +23,42 @@ pub enum Routing {
     /// the "multiple adaptive algorithms" the paper compares XY against
     /// under flood DoS.
     OddEven,
+    /// Topology-derived tables with per-hop VC classes: wrap-minimal
+    /// dimension-order routing plus dateline VC classes on a torus,
+    /// up*/down* shortest legal paths on a degraded mesh. Built by
+    /// [`TopoRoutes::for_mesh`]; installed by the simulator whenever the
+    /// configured [`Mesh`] is not a plain mesh.
+    Topo(TopoRoutes),
+}
+
+/// The virtual-channel class a flit must allocate on its next hop.
+///
+/// On a torus, deadlock freedom comes from the **dateline** scheme: the
+/// VC space is split into a low half (class 0) and a high half (class 1),
+/// a ring's wrap link is always taken in class 1, and a flit that still
+/// has the wrap ahead of it travels in class 0. Since the class is a pure
+/// function of (current router, destination) it costs no per-flit state —
+/// and therefore no snapshot bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcClass {
+    /// No class restriction (mesh, tables, odd-even).
+    Any = 2,
+    /// Dateline class 0: VCs `[0, vcs/2)`.
+    Low = 0,
+    /// Dateline class 1: VCs `[vcs/2, vcs)`.
+    High = 1,
+}
+
+impl VcClass {
+    /// Whether VC `vc` (of `vcs` total) belongs to this class.
+    #[inline]
+    pub fn admits(self, vc: u8, vcs: u8) -> bool {
+        match self {
+            VcClass::Any => true,
+            VcClass::Low => vc < vcs / 2,
+            VcClass::High => vc >= vcs / 2,
+        }
+    }
 }
 
 /// Table-driven routes, rebuilt whenever a link is declared dead.
@@ -103,9 +140,240 @@ impl Routing {
                     set.push(Port::Net(*dir));
                 }
             }
+            Routing::Topo(t) => {
+                if let Some(dir) = t.next[node.index()][h.dest.index()] {
+                    set.push(Port::Net(dir));
+                }
+            }
         }
         set
     }
+
+    /// The VC class a flit standing at `node` must allocate for its next
+    /// hop toward `dest`. Only [`Routing::Topo`] on a torus restricts the
+    /// class; every other routing function (and every hop of an up*/down*
+    /// route, whose turn restrictions already break dependency cycles)
+    /// admits any VC.
+    #[inline]
+    pub fn vc_class(&self, node: NodeId, dest: NodeId) -> VcClass {
+        match self {
+            Routing::Topo(t) => t.class(node, dest),
+            _ => VcClass::Any,
+        }
+    }
+
+    /// The routing function the simulator installs for a given fabric:
+    /// XY on a plain mesh (bit-identical to the pre-topology simulator),
+    /// topology tables otherwise.
+    ///
+    /// # Panics
+    /// Panics when a degraded mesh is disconnected (no routing function
+    /// can serve it).
+    pub fn for_mesh(mesh: &Mesh) -> Routing {
+        match mesh.topology() {
+            Topology::Mesh => Routing::Xy,
+            _ => Routing::Topo(
+                TopoRoutes::for_mesh(mesh)
+                    .expect("topology must be connected to build route tables"),
+            ),
+        }
+    }
+}
+
+/// Topology-derived route tables with per-hop dateline VC classes.
+///
+/// * **Torus** — wrap-minimal dimension-order routing: correct X first
+///   (shorter way around the ring, ties broken East), then Y (ties broken
+///   North), with [`VcClass`] datelines making each unidirectional ring's
+///   channel-dependency graph acyclic.
+/// * **Degraded mesh** — up*/down* shortest legal paths over the surviving
+///   adjacencies ([`RouteTables::build_updown`] on the degraded graph);
+///   deadlock-free by turn restriction, so every hop is [`VcClass::Any`].
+/// * **Plain mesh** — shortest-path tables (the simulator prefers
+///   [`Routing::Xy`] here; the tables exist for tests and oracles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoRoutes {
+    /// `next[router][dest]` — `None` when `dest` is unreachable.
+    pub(crate) next: Vec<Vec<Option<Direction>>>,
+    /// `class[router][dest]` encoded 0 = Low, 1 = High, 2 = Any.
+    pub(crate) class: Vec<Vec<u8>>,
+}
+
+impl TopoRoutes {
+    /// Build the route tables for `mesh`'s topology. Returns `None` when
+    /// the graph is disconnected (possible only for degraded meshes).
+    pub fn for_mesh(mesh: &Mesh) -> Option<Self> {
+        let n = mesh.routers();
+        match mesh.topology() {
+            Topology::Torus => {
+                let mut next = vec![vec![None; n]; n];
+                let mut class = vec![vec![2u8; n]; n];
+                for src in 0..n {
+                    for dest in 0..n {
+                        if src == dest {
+                            continue;
+                        }
+                        let (at, d) = (NodeId(src as u16), NodeId(dest as u16));
+                        let dir = torus_direction(mesh, at, d);
+                        next[src][dest] = Some(dir);
+                        class[src][dest] = torus_vc_class(mesh, at, d) as u8;
+                    }
+                }
+                Some(Self { next, class })
+            }
+            Topology::Mesh | Topology::Degraded { .. } => {
+                let tables = match mesh.topology() {
+                    Topology::Mesh => {
+                        let t = RouteTables::build(mesh, &[]);
+                        t.fully_connected().then_some(t)?
+                    }
+                    _ => RouteTables::build_updown(mesh, &[])?,
+                };
+                let class = vec![vec![2u8; n]; n];
+                Some(Self {
+                    next: tables.next,
+                    class,
+                })
+            }
+        }
+    }
+
+    /// Reassemble from raw tables (snapshot decode).
+    pub(crate) fn from_parts(next: Vec<Vec<Option<Direction>>>, class: Vec<Vec<u8>>) -> Self {
+        Self { next, class }
+    }
+
+    /// The VC class for the hop out of `node` toward `dest`.
+    #[inline]
+    pub fn class(&self, node: NodeId, dest: NodeId) -> VcClass {
+        match self.class[node.index()][dest.index()] {
+            0 => VcClass::Low,
+            1 => VcClass::High,
+            _ => VcClass::Any,
+        }
+    }
+
+    /// Whether every router can still reach every other.
+    pub fn fully_connected(&self) -> bool {
+        let n = self.next.len();
+        (0..n).all(|r| (0..n).all(|d| r == d || self.next[r][d].is_some()))
+    }
+}
+
+/// Wrap-minimal dimension-order direction on a torus: correct X before Y;
+/// on each axis take the shorter way around the ring, breaking the exact
+/// tie (half the ring either way) toward East / North. The choice is
+/// stable along the route: moving the minimal way shrinks that way's
+/// distance, so every downstream router picks the same direction.
+pub fn torus_direction(mesh: &Mesh, node: NodeId, dest: NodeId) -> Direction {
+    let (w, h) = (mesh.width() as i16, mesh.height() as i16);
+    let here = mesh.coord_of(node);
+    let there = mesh.coord_of(dest);
+    if here.x != there.x {
+        let east = (there.x as i16 - here.x as i16).rem_euclid(w);
+        if east * 2 <= w {
+            Direction::East
+        } else {
+            Direction::West
+        }
+    } else {
+        let north = (there.y as i16 - here.y as i16).rem_euclid(h);
+        if north * 2 <= h {
+            Direction::North
+        } else {
+            Direction::South
+        }
+    }
+}
+
+/// Dateline VC class for the hop [`torus_direction`] picks at `node`.
+///
+/// Each unidirectional ring has one dateline: the wrap link (East out of
+/// `x = W-1`, West out of `x = 0`, and the Y analogues). A route segment
+/// that still has its ring's wrap link **ahead** of it travels in class 0;
+/// the wrap link itself and everything after it travel in class 1. Both
+/// facts are decidable from (node, dest) alone: going East, the remaining
+/// path crosses the wrap iff `x_node > x_dest`.
+///
+/// Deadlock-freedom witness (per ring): a class-0 cycle would need the
+/// wrap link in class 0, but the wrap link is always class 1; a class-1
+/// cycle would need some flit to *enter* the wrap link from a class-1
+/// non-wrap link, but any flit one hop before the wrap is still on the
+/// crossing side and therefore class 0 (or starts at the dateline router
+/// itself, where its first link is the wrap). Each flit's class is
+/// monotone 0 → 1, X is fully corrected before Y, and the four rings of
+/// an axis pair are link-disjoint — so the whole channel-dependency graph
+/// is acyclic. The property test
+/// `torus_channel_dependency_graph_is_acyclic` checks this exhaustively.
+pub fn torus_vc_class(mesh: &Mesh, node: NodeId, dest: NodeId) -> VcClass {
+    let (w, h) = (mesh.width(), mesh.height());
+    let here = mesh.coord_of(node);
+    let there = mesh.coord_of(dest);
+    if here.x != there.x {
+        match torus_direction(mesh, node, dest) {
+            Direction::East => {
+                // Crosses the x = W-1 → 0 seam iff walking East must pass
+                // it, i.e. the destination column is numerically behind.
+                if here.x > there.x && here.x != w - 1 {
+                    VcClass::Low
+                } else {
+                    VcClass::High
+                }
+            }
+            _ => {
+                if here.x < there.x && here.x != 0 {
+                    VcClass::Low
+                } else {
+                    VcClass::High
+                }
+            }
+        }
+    } else {
+        match torus_direction(mesh, node, dest) {
+            Direction::North => {
+                if here.y > there.y && here.y != h - 1 {
+                    VcClass::Low
+                } else {
+                    VcClass::High
+                }
+            }
+            _ => {
+                if here.y < there.y && here.y != 0 {
+                    VcClass::Low
+                } else {
+                    VcClass::High
+                }
+            }
+        }
+    }
+}
+
+/// The unique link path a deterministic routing function sends a packet
+/// along — the generalization of [`xy_path`] the conformance oracle and
+/// trojan placement use on every topology.
+///
+/// # Panics
+/// Panics on [`Routing::OddEven`] (adaptive: no unique path) and on
+/// unroutable pairs.
+pub fn route_path(mesh: &Mesh, routing: &Routing, src: NodeId, dest: NodeId) -> Vec<LinkId> {
+    let mut path = Vec::new();
+    let mut at = src;
+    let mut hops = 0;
+    while at != dest {
+        let dir = match routing {
+            Routing::Xy => xy_direction(mesh, at, dest),
+            Routing::Table(t) => t.next[at.index()][dest.index()].expect("table routes the pair"),
+            Routing::Topo(t) => {
+                t.next[at.index()][dest.index()].expect("topology tables route the pair")
+            }
+            Routing::OddEven => panic!("odd-even is adaptive: no unique path"),
+        };
+        path.push(mesh.link_out(at, dir).expect("routed hop exists"));
+        at = mesh.neighbor(at, dir).expect("routed hop exists");
+        hops += 1;
+        assert!(hops <= mesh.routers(), "routing cycle on {src:?}->{dest:?}");
+    }
+    path
 }
 
 /// Legal minimal directions under the odd-even turn model.
@@ -787,5 +1055,137 @@ mod tests {
         let m = Mesh::new(2, 1, 1);
         let dead: Vec<LinkId> = m.all_links().collect();
         assert!(RouteTables::build_updown(&m, &dead).is_none());
+    }
+
+    #[test]
+    fn torus_direction_is_wrap_minimal_with_east_north_ties() {
+        let t = Mesh::new_torus(4, 4, 1);
+        // (0,0) → (3,0): one wrap hop West beats three hops East.
+        assert_eq!(torus_direction(&t, NodeId(0), NodeId(3)), Direction::West);
+        // (0,0) → (2,0): exact tie (2 either way) breaks East.
+        assert_eq!(torus_direction(&t, NodeId(0), NodeId(2)), Direction::East);
+        // X corrected before Y: (0,0) → (3,3) goes West first.
+        assert_eq!(torus_direction(&t, NodeId(0), NodeId(15)), Direction::West);
+        // Aligned column: (1,0) → (1,3) is one wrap hop South.
+        assert_eq!(torus_direction(&t, NodeId(1), NodeId(13)), Direction::South);
+    }
+
+    #[test]
+    fn torus_routes_terminate_and_are_wrap_minimal() {
+        for (w, h) in [(4u8, 4u8), (3, 5), (2, 4)] {
+            let t = Mesh::new_torus(w, h, 1);
+            let r = Routing::for_mesh(&t);
+            assert!(matches!(r, Routing::Topo(_)));
+            let n = t.routers() as u16;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let path = route_path(&t, &r, NodeId(s), NodeId(d));
+                    assert_eq!(
+                        path.len() as u32,
+                        t.hop_distance(NodeId(s), NodeId(d)),
+                        "{w}x{h}: {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_dateline_class_is_monotone_and_wrap_is_high() {
+        let t = Mesh::new_torus(4, 4, 1);
+        let r = Routing::for_mesh(&t);
+        let n = t.routers() as u16;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let mut at = NodeId(s);
+                // Class must be monotone Low → High within each
+                // dimension's segment of the route (the X prefix, then
+                // the Y suffix; Y may legitimately restart at Low).
+                let mut high = [false; 2];
+                while at != NodeId(d) {
+                    let class = r.vc_class(at, NodeId(d));
+                    assert_ne!(class, VcClass::Any, "torus hops carry a class");
+                    let dir = torus_direction(&t, at, NodeId(d));
+                    let nb = t.neighbor(at, dir).unwrap();
+                    let (ca, cb) = (t.coord_of(at), t.coord_of(nb));
+                    // Wrap hops (coordinate jumps across the seam) are
+                    // always class 1.
+                    if ca.x.abs_diff(cb.x) > 1 || ca.y.abs_diff(cb.y) > 1 {
+                        assert_eq!(class, VcClass::High, "{s}->{d} wrap at {at:?}");
+                    }
+                    let dim = usize::from(ca.x == cb.x); // 0 = X hop, 1 = Y hop
+                    if high[dim] {
+                        assert_eq!(
+                            class,
+                            VcClass::High,
+                            "{s}->{d}: class fell back to Low at {at:?}"
+                        );
+                    }
+                    high[dim] |= class == VcClass::High;
+                    at = nb;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_mesh_routes_avoid_removed_adjacencies() {
+        let d = Mesh::new_degraded(
+            4,
+            4,
+            1,
+            &[(NodeId(5), Direction::East), (NodeId(9), Direction::North)],
+        );
+        let r = Routing::for_mesh(&d);
+        let n = d.routers() as u16;
+        for s in 0..n {
+            for dd in 0..n {
+                if s == dd {
+                    continue;
+                }
+                // route_path itself asserts every hop's link exists on the
+                // degraded graph — a removed adjacency has no LinkId.
+                let path = route_path(&d, &r, NodeId(s), NodeId(dd));
+                assert!(!path.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn vc_class_partition_covers_the_vc_space() {
+        for vcs in [2u8, 3, 4, 8] {
+            for v in 0..vcs {
+                assert!(VcClass::Any.admits(v, vcs));
+                assert_ne!(
+                    VcClass::Low.admits(v, vcs),
+                    VcClass::High.admits(v, vcs),
+                    "vc {v} of {vcs} must belong to exactly one dateline class"
+                );
+            }
+            assert!(VcClass::High.admits(vcs - 1, vcs));
+            assert!(VcClass::Low.admits(0, vcs));
+        }
+    }
+
+    #[test]
+    fn route_path_matches_xy_path_on_a_plain_mesh() {
+        let m = Mesh::paper();
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(
+                    route_path(&m, &Routing::Xy, NodeId(s), NodeId(d)),
+                    xy_path(&m, NodeId(s), NodeId(d))
+                );
+            }
+        }
     }
 }

@@ -229,6 +229,20 @@ impl Simulator {
     /// Build a simulator over the configured mesh, all links healthy.
     pub fn new(cfg: SimConfig) -> Self {
         let mesh = cfg.mesh.clone();
+        if *mesh.topology() == noc_types::Topology::Torus {
+            // The dateline scheme needs a low and a high VC half, and the
+            // TDM slot filter could intersect a dateline class to an empty
+            // set of grantable VCs — a deadlock by construction.
+            assert!(
+                cfg.vcs >= 2,
+                "a torus needs vcs >= 2 for the dateline VC classes"
+            );
+            assert!(
+                cfg.qos == crate::config::QosMode::None,
+                "TDM QoS partitioning is incompatible with torus dateline VCs"
+            );
+        }
+        let routing = Routing::for_mesh(&mesh);
         let routers = (0..mesh.routers())
             .map(|r| Router::new(NodeId(r as u16), &mesh, &cfg))
             .collect();
@@ -250,7 +264,7 @@ impl Simulator {
         Self {
             cfg,
             mesh,
-            routing: Routing::Xy,
+            routing,
             routers,
             links,
             dead_links: Vec::new(),

@@ -948,6 +948,23 @@ fn put_routing(out: &mut Vec<u8>, routing: &Routing) {
             }
         }
         Routing::OddEven => put_u8(out, 2),
+        Routing::Topo(t) => {
+            put_u8(out, 3);
+            put_u64(out, t.next.len() as u64);
+            for (row, classes) in t.next.iter().zip(&t.class) {
+                put_u64(out, row.len() as u64);
+                for (entry, class) in row.iter().zip(classes) {
+                    match entry {
+                        None => put_bool(out, false),
+                        Some(d) => {
+                            put_bool(out, true);
+                            put_u8(out, d.index() as u8);
+                        }
+                    }
+                    put_u8(out, *class);
+                }
+            }
+        }
     }
 }
 
@@ -1639,6 +1656,40 @@ fn get_routing(r: &mut Reader, n_routers: usize) -> Result<Routing, SnapshotErro
             Routing::Table(RouteTables { next })
         }
         2 => Routing::OddEven,
+        3 => {
+            let rows = r.len()?;
+            if rows != n_routers {
+                return Err(corrupt(format!("topo table rows {rows} != {n_routers}")));
+            }
+            let mut next = Vec::with_capacity(rows);
+            let mut class = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let cols = r.len()?;
+                if cols != n_routers {
+                    return Err(corrupt(format!("topo table cols {cols} != {n_routers}")));
+                }
+                let mut row = Vec::with_capacity(cols);
+                let mut crow = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    row.push(if r.flag()? {
+                        Some(
+                            direction_from_u8(r.u8()?)
+                                .ok_or_else(|| corrupt("topo table direction"))?,
+                        )
+                    } else {
+                        None
+                    });
+                    let c = r.u8()?;
+                    if c > 2 {
+                        return Err(corrupt(format!("topo table vc class {c}")));
+                    }
+                    crow.push(c);
+                }
+                next.push(row);
+                class.push(crow);
+            }
+            Routing::Topo(crate::routing::TopoRoutes::from_parts(next, class))
+        }
         t => return Err(corrupt(format!("routing tag {t}"))),
     })
 }

@@ -10,7 +10,7 @@ use noc_sim::routing::xy_direction;
 use noc_sim::snapshot::{put_u64, take_u64};
 use noc_sim::{LinkFaults, SimConfig, SimSnapshot, Simulator, SnapshotError, TrafficSource};
 use noc_trojan::{TargetSpec, TaspConfig, TaspHt};
-use noc_types::{NodeId, Packet, PacketId, VcId};
+use noc_types::{Direction, Mesh, NodeId, Packet, PacketId, VcId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,12 +100,29 @@ impl TrafficSource for RandSource {
     }
 }
 
-fn build_sim(scheme: RetxScheme, threads: usize, trojan: bool) -> Simulator {
+/// The topology axis: 0 = the paper mesh, 1 = its torus closure, 2 = a
+/// fault-degraded mesh. The degraded removal set stays clear of the
+/// (5, North) hot link the trojan and quarantine machinery pin.
+fn axis_mesh(topo: u8) -> Mesh {
+    match topo {
+        1 => Mesh::new_torus(4, 4, 1),
+        2 => Mesh::new_degraded(
+            4,
+            4,
+            1,
+            &[(NodeId(5), Direction::East), (NodeId(9), Direction::North)],
+        ),
+        _ => Mesh::paper(),
+    }
+}
+
+fn build_sim(scheme: RetxScheme, threads: usize, trojan: bool, topo: u8) -> Simulator {
     let mut cfg = if trojan {
         SimConfig::paper_unprotected()
     } else {
         SimConfig::paper()
     };
+    cfg.mesh = axis_mesh(topo);
     cfg.retx_scheme = scheme;
     cfg.threads = Some(threads);
     let mut sim = Simulator::new(cfg);
@@ -137,6 +154,7 @@ fn quarantine_hot_link(sim: &mut Simulator) {
     sim.quarantine_link(hot).ok();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn checkpoint_resume_matches(
     seed: u64,
     scheme: RetxScheme,
@@ -145,11 +163,12 @@ fn checkpoint_resume_matches(
     quarantine: bool,
     ckpt_at: u64,
     extra: u64,
+    topo: u8,
 ) -> Result<(), TestCaseError> {
     let inject_until = ckpt_at + extra / 2;
 
     // Uninterrupted reference.
-    let mut reference = build_sim(scheme, threads, trojan);
+    let mut reference = build_sim(scheme, threads, trojan, topo);
     let mut ref_src = RandSource::new(seed, inject_until);
     reference.run(ckpt_at, &mut ref_src);
     if quarantine {
@@ -160,7 +179,7 @@ fn checkpoint_resume_matches(
     // Checkpointed twin: identical up to `ckpt_at`, then serialized
     // through bytes (sim payload + traffic cursor) and resumed in a
     // fresh simulator and a fresh source.
-    let mut first = build_sim(scheme, threads, trojan);
+    let mut first = build_sim(scheme, threads, trojan, topo);
     let mut src = RandSource::new(seed, inject_until);
     first.run(ckpt_at, &mut src);
     if quarantine {
@@ -175,7 +194,7 @@ fn checkpoint_resume_matches(
     let _ = src;
 
     let snap = SimSnapshot::from_bytes(&bytes).expect("snapshot decodes");
-    let mut resumed = build_sim(scheme, threads, trojan);
+    let mut resumed = build_sim(scheme, threads, trojan, topo);
     resumed.restore(&snap).expect("snapshot restores");
     let mut resumed_src = RandSource::new(0, 0);
     let mut cursor = snap.user_data();
@@ -188,13 +207,14 @@ fn checkpoint_resume_matches(
     prop_assert_eq!(
         resumed_snap.payload(),
         reference_snap.payload(),
-        "resumed state diverged (scheme {:?}, t={}, trojan {}, quarantine {}, ckpt {}, +{})",
+        "resumed state diverged (scheme {:?}, t={}, trojan {}, quarantine {}, ckpt {}, +{}, topo {})",
         scheme,
         threads,
         trojan,
         quarantine,
         ckpt_at,
-        extra
+        extra,
+        topo
     );
     prop_assert_eq!(
         format!("{:?}", resumed.stats()),
@@ -218,12 +238,13 @@ proptest! {
         quarantine in any::<bool>(),
         ckpt_at in 40u64..240,
         extra in 40u64..240,
+        topo in 0u8..3,
     ) {
         let scheme = if scheme_pervc { RetxScheme::PerVc } else { RetxScheme::Output };
         let threads = if four_threads { 4 } else { 1 };
         // Quarantine only makes sense with the trojan's link present.
         checkpoint_resume_matches(
-            seed, scheme, threads, trojan, quarantine && trojan, ckpt_at, extra,
+            seed, scheme, threads, trojan, quarantine && trojan, ckpt_at, extra, topo,
         )?;
     }
 
@@ -238,7 +259,7 @@ proptest! {
         flip_sel in any::<u64>(),
         flip_bit in 0u8..8,
     ) {
-        let mut sim = build_sim(RetxScheme::Output, 1, true);
+        let mut sim = build_sim(RetxScheme::Output, 1, true, 0);
         let mut src = RandSource::new(seed, 80);
         sim.run(120, &mut src);
         let bytes = sim.snapshot().to_bytes();

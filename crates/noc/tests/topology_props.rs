@@ -1,0 +1,177 @@
+//! Property tests for the topology layer: on random connected
+//! topologies every deterministic route terminates at its destination
+//! without ever touching a removed adjacency, and the torus dateline VC
+//! scheme leaves the channel-dependency graph acyclic (the deadlock-
+//! freedom argument of DESIGN.md §17, checked exhaustively per shape).
+
+use noc_sim::routing::{route_path, Routing, VcClass};
+use noc_types::{Direction, Mesh, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Sample a random connected degraded mesh: random dimensions, then up
+/// to four adjacency removals accepted greedily while the graph stays
+/// connected.
+fn random_degraded(rng: &mut StdRng) -> (Mesh, Vec<(NodeId, Direction)>) {
+    let w = rng.gen_range(2u8..=5);
+    let h = rng.gen_range(2u8..=5);
+    let base = Mesh::new(w, h, 1);
+    let mut removed: Vec<(NodeId, Direction)> = Vec::new();
+    for _ in 0..rng.gen_range(0usize..=4) {
+        let node = NodeId(rng.gen_range(0..base.routers()) as u16);
+        let dir = if rng.gen_bool(0.5) {
+            Direction::East
+        } else {
+            Direction::North
+        };
+        if base.neighbor(node, dir).is_none() {
+            continue;
+        }
+        let mut cand = removed.clone();
+        cand.push((node, dir));
+        if Mesh::new_degraded(w, h, 1, &cand).connected() {
+            removed = cand;
+        }
+    }
+    (Mesh::new_degraded(w, h, 1, &removed), removed)
+}
+
+/// Walk every (src, dest) route and check it reaches the destination in
+/// at most `routers` hops without crossing a removed adjacency.
+fn check_routes_terminate(
+    mesh: &Mesh,
+    removed: &[(NodeId, Direction)],
+) -> Result<(), TestCaseError> {
+    let routing = Routing::for_mesh(mesh);
+    let banned: HashSet<(u16, usize)> = removed
+        .iter()
+        .flat_map(|&(n, d)| {
+            let peer = Mesh::new(mesh.width(), mesh.height(), 1)
+                .neighbor(n, d)
+                .expect("removed adjacency exists in the base mesh");
+            [(n.0, d.index()), (peer.0, d.opposite().index())]
+        })
+        .collect();
+    let n = mesh.routers() as u16;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let path = route_path(mesh, &routing, NodeId(s), NodeId(d));
+            prop_assert!(
+                path.len() <= mesh.routers(),
+                "{s}->{d} took {} hops",
+                path.len()
+            );
+            let mut at = NodeId(s);
+            for l in &path {
+                let (src, dir) = mesh.link_source(*l);
+                prop_assert_eq!(src, at, "path is contiguous");
+                prop_assert!(
+                    !banned.contains(&(src.0, dir.index())),
+                    "{s}->{d} crossed removed adjacency ({}, {dir:?})",
+                    src.0
+                );
+                at = mesh.link_dest(*l);
+            }
+            prop_assert_eq!(at, NodeId(d), "route terminates at the destination");
+        }
+    }
+    Ok(())
+}
+
+/// Build the channel-dependency graph a torus induces — one vertex per
+/// (link, dateline class), one edge per consecutive hop pair on any
+/// deterministic route — and verify it is acyclic by iterative DFS.
+fn check_torus_cdg_acyclic(w: u8, h: u8) -> Result<(), TestCaseError> {
+    let t = Mesh::new_torus(w, h, 1);
+    prop_assert_eq!(*t.topology(), Topology::Torus);
+    let routing = Routing::for_mesh(&t);
+    let channels = t.links() * 2;
+    let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); channels];
+    let n = t.routers() as u16;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let path = route_path(&t, &routing, NodeId(s), NodeId(d));
+            let mut at = NodeId(s);
+            let mut prev: Option<usize> = None;
+            for l in &path {
+                let class = routing.vc_class(at, NodeId(d));
+                prop_assert!(class != VcClass::Any, "torus hops carry a class");
+                let ch = l.index() * 2 + usize::from(class == VcClass::High);
+                if let Some(p) = prev {
+                    edges[p].insert(ch);
+                }
+                prev = Some(ch);
+                at = t.link_dest(*l);
+            }
+        }
+    }
+    // Colors: 0 = unvisited, 1 = on the stack, 2 = done.
+    let mut color = vec![0u8; channels];
+    for start in 0..channels {
+        if color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS: (node, next-neighbor cursor).
+        let mut stack: Vec<(usize, Vec<usize>)> = Vec::new();
+        color[start] = 1;
+        stack.push((start, edges[start].iter().copied().collect()));
+        while let Some((node, succ)) = stack.last_mut() {
+            match succ.pop() {
+                Some(next) => {
+                    prop_assert!(
+                        color[next] != 1,
+                        "channel-dependency cycle through link {} on {w}x{h} torus",
+                        next / 2
+                    );
+                    if color[next] == 0 {
+                        color[next] = 1;
+                        let succs = edges[next].iter().copied().collect();
+                        stack.push((next, succs));
+                    }
+                }
+                None => {
+                    color[*node] = 2;
+                    stack.pop();
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn degraded_routes_terminate_and_avoid_removed_links(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mesh, removed) = random_degraded(&mut rng);
+        check_routes_terminate(&mesh, &removed)?;
+    }
+
+    #[test]
+    fn torus_routes_terminate_on_random_shapes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = rng.gen_range(2u8..=6);
+        let h = rng.gen_range(2u8..=6);
+        let t = Mesh::new_torus(w, h, 1);
+        check_routes_terminate(&t, &[])?;
+    }
+}
+
+#[test]
+fn torus_channel_dependency_graph_is_acyclic() {
+    // Exhaustive over the shapes the rest of the suite exercises,
+    // including non-square and minimum-size rings.
+    for (w, h) in [(2u8, 2u8), (2, 4), (3, 3), (4, 4), (3, 5), (5, 4), (8, 8)] {
+        check_torus_cdg_acyclic(w, h).unwrap();
+    }
+}

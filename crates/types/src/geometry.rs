@@ -128,12 +128,38 @@ impl Port {
     }
 }
 
-/// Geometry of a concentrated 2-D mesh.
+/// The connection rule of the network fabric: which router pairs share a
+/// link. The [`Mesh`] struct carries one of these; everything downstream
+/// (link numbering, routing, shard planning) derives from the neighbour
+/// relation it induces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Plain 2-D mesh: neighbours clipped at the boundary (the paper's
+    /// evaluation platform).
+    Mesh,
+    /// 2-D torus: every row and column wraps around, so each router has
+    /// all four neighbours. Deadlock-free routing on a torus needs the
+    /// dateline VC scheme (see `noc-sim`'s `TopoRoutes`), which requires
+    /// at least 2 virtual channels.
+    Torus,
+    /// A mesh with some adjacencies statically removed — the shape a
+    /// post-quarantine network actually has. Removal is **symmetric**
+    /// (both unidirectional links of an adjacency go away together), and
+    /// each removed adjacency is stored in canonical form: the endpoint
+    /// the East/North link leaves from, sorted and deduplicated.
+    Degraded {
+        /// Canonical removed adjacencies as `(node, East | North)`.
+        removed: Vec<(NodeId, Direction)>,
+    },
+}
+
+/// Geometry of a concentrated 2-D network.
 ///
 /// Link numbering: for every router in row-major order and every direction in
 /// [`Direction::ALL`] order, the outgoing link (if the neighbour exists) gets
-/// the next [`LinkId`]. A 4×4 mesh therefore has 48 links, ids `0..48`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the next [`LinkId`]. A 4×4 mesh therefore has 48 links, ids `0..48`; a
+/// 4×4 torus has 64 (every router keeps all four neighbours).
+#[derive(Clone, PartialEq, Eq)]
 pub struct Mesh {
     width: u8,
     height: u8,
@@ -142,6 +168,30 @@ pub struct Mesh {
     link_ids: Vec<[Option<LinkId>; 4]>,
     /// Reverse map: link id → (source router, direction).
     link_ends: Vec<(NodeId, Direction)>,
+    /// The connection rule the neighbour table was built from.
+    topology: Topology,
+    /// Precomputed `neighbors[router][direction]` under `topology`.
+    neighbors: Vec<[Option<NodeId>; 4]>,
+}
+
+// The config hash (and several goldens) fingerprint the simulator config
+// through its `Debug` text, so the plain-mesh rendering must stay exactly
+// what the pre-topology derived impl produced: the original five fields,
+// in order, with `topology` appended only when it deviates from the mesh
+// default. (`neighbors` is derived data and never printed.)
+impl std::fmt::Debug for Mesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Mesh");
+        d.field("width", &self.width)
+            .field("height", &self.height)
+            .field("concentration", &self.concentration)
+            .field("link_ids", &self.link_ids)
+            .field("link_ends", &self.link_ends);
+        if self.topology != Topology::Mesh {
+            d.field("topology", &self.topology);
+        }
+        d.finish()
+    }
 }
 
 impl Mesh {
@@ -155,6 +205,63 @@ impl Mesh {
     /// only affects on-wire byte patterns, exactly as a real implementation
     /// reusing the paper's 42-bit header would behave.
     pub fn new(width: u8, height: u8, concentration: u8) -> Self {
+        Self::with_topology(width, height, concentration, Topology::Mesh)
+    }
+
+    /// Build a `width × height` torus. Both dimensions must be at least 2
+    /// (a 1-wide ring would wrap a router onto itself).
+    pub fn new_torus(width: u8, height: u8, concentration: u8) -> Self {
+        assert!(
+            width >= 2 && height >= 2,
+            "torus dimensions must be at least 2 (wrap links must not self-loop)"
+        );
+        Self::with_topology(width, height, concentration, Topology::Torus)
+    }
+
+    /// Build a mesh with the given adjacencies removed (both directions of
+    /// each named pair). `removed` entries may name either endpoint of an
+    /// adjacency; they are normalized to `(node, East | North)` form.
+    ///
+    /// # Panics
+    /// Panics if an entry names a boundary direction with no mesh
+    /// neighbour.
+    pub fn new_degraded(
+        width: u8,
+        height: u8,
+        concentration: u8,
+        removed: &[(NodeId, Direction)],
+    ) -> Self {
+        let base = Self::new(width, height, concentration);
+        let mut canon: Vec<(NodeId, Direction)> = removed
+            .iter()
+            .map(|&(n, d)| match d {
+                Direction::East | Direction::North => {
+                    assert!(
+                        base.neighbor(n, d).is_some(),
+                        "removed adjacency {n:?} {d:?} does not exist on the mesh"
+                    );
+                    (n, d)
+                }
+                Direction::West | Direction::South => {
+                    let nb = base
+                        .neighbor(n, d)
+                        .unwrap_or_else(|| panic!("removed adjacency {n:?} {d:?} does not exist"));
+                    (nb, d.opposite())
+                }
+            })
+            .collect();
+        canon.sort_by_key(|(n, d)| (n.0, d.index()));
+        canon.dedup();
+        Self::with_topology(
+            width,
+            height,
+            concentration,
+            Topology::Degraded { removed: canon },
+        )
+    }
+
+    /// Build the neighbour table and link numbering for any topology.
+    pub fn with_topology(width: u8, height: u8, concentration: u8, topology: Topology) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
         assert!(
             (width as usize) * (height as usize) <= 4096,
@@ -162,16 +269,42 @@ impl Mesh {
         );
         assert!(concentration >= 1, "concentration must be at least 1");
         let routers = width as usize * height as usize;
+        let node_at = |x: u8, y: u8| NodeId(y as u16 * width as u16 + x as u16);
+        let mut neighbors = vec![[None; 4]; routers];
+        for (r, nbs) in neighbors.iter_mut().enumerate() {
+            let here = Self::coord_of_raw(width, r);
+            for dir in Direction::ALL {
+                let (dx, dy) = dir.delta();
+                let nx = here.x as i16 + dx as i16;
+                let ny = here.y as i16 + dy as i16;
+                let inside = nx >= 0 && ny >= 0 && nx < width as i16 && ny < height as i16;
+                nbs[dir.index()] = match &topology {
+                    Topology::Mesh | Topology::Degraded { .. } if inside => {
+                        Some(node_at(nx as u8, ny as u8))
+                    }
+                    Topology::Mesh | Topology::Degraded { .. } => None,
+                    Topology::Torus => Some(node_at(
+                        nx.rem_euclid(width as i16) as u8,
+                        ny.rem_euclid(height as i16) as u8,
+                    )),
+                };
+            }
+        }
+        if let Topology::Degraded { removed } = &topology {
+            for &(n, d) in removed {
+                debug_assert!(matches!(d, Direction::East | Direction::North));
+                let nb = neighbors[n.index()][d.index()]
+                    .expect("canonical removed adjacency exists on the mesh");
+                neighbors[n.index()][d.index()] = None;
+                neighbors[nb.index()][d.opposite().index()] = None;
+            }
+        }
         let mut link_ids = vec![[None; 4]; routers];
         let mut link_ends = Vec::new();
         for (r, ids) in link_ids.iter_mut().enumerate() {
             let node = NodeId(r as u16);
             for dir in Direction::ALL {
-                let here = Self::coord_of_raw(width, r);
-                let (dx, dy) = dir.delta();
-                let nx = here.x as i16 + dx as i16;
-                let ny = here.y as i16 + dy as i16;
-                if nx < 0 || ny < 0 || nx >= width as i16 || ny >= height as i16 {
+                if neighbors[r][dir.index()].is_none() {
                     continue;
                 }
                 let id = LinkId(link_ends.len() as u16);
@@ -185,12 +318,43 @@ impl Mesh {
             concentration,
             link_ids,
             link_ends,
+            topology,
+            neighbors,
         }
     }
 
     /// The paper's evaluation platform: 4×4 mesh, 4 cores per router.
     pub fn paper() -> Self {
         Self::new(4, 4, 4)
+    }
+
+    /// The connection rule this network was built from.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Whether every router can reach every other over the alive
+    /// adjacencies (BFS over the neighbour table).
+    pub fn connected(&self) -> bool {
+        let n = self.routers();
+        let mut seen = vec![false; n];
+        let mut q = std::collections::VecDeque::new();
+        seen[0] = true;
+        q.push_back(NodeId(0));
+        let mut count = 1;
+        while let Some(at) = q.pop_front() {
+            for dir in Direction::ALL {
+                if let Some(nb) = self.neighbor(at, dir) {
+                    if !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        count += 1;
+                        q.push_back(nb);
+                    }
+                }
+            }
+        }
+        count == n
     }
 
     #[inline]
@@ -267,18 +431,10 @@ impl Mesh {
         (base..base + self.concentration as u16).map(CoreId)
     }
 
-    /// The neighbour of `node` in `dir`, if it exists.
+    /// The neighbour of `node` in `dir`, if it exists under this topology.
     #[inline]
     pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
-        let c = self.coord_of(node);
-        let (dx, dy) = dir.delta();
-        let nx = c.x as i16 + dx as i16;
-        let ny = c.y as i16 + dy as i16;
-        if nx < 0 || ny < 0 || nx >= self.width as i16 || ny >= self.height as i16 {
-            None
-        } else {
-            Some(self.node_at(Coord::new(nx as u8, ny as u8)))
-        }
+        self.neighbors[node.index()][dir.index()]
     }
 
     /// The outgoing link of `node` in `dir`, if the neighbour exists.
@@ -306,10 +462,21 @@ impl Mesh {
         (0..self.links() as u16).map(LinkId)
     }
 
-    /// Hop distance between two routers under minimal routing.
+    /// Hop distance between two routers under minimal routing. On a torus
+    /// each axis takes the shorter way around the ring; on a degraded mesh
+    /// this is the full-mesh Manhattan distance — a lower bound the latency
+    /// models use as a locality weight, not an exact path length.
     #[inline]
     pub fn hop_distance(&self, a: NodeId, b: NodeId) -> u32 {
-        self.coord_of(a).manhattan(self.coord_of(b))
+        let (ca, cb) = (self.coord_of(a), self.coord_of(b));
+        match self.topology {
+            Topology::Torus => {
+                let dx = ca.x.abs_diff(cb.x);
+                let dy = ca.y.abs_diff(cb.y);
+                dx.min(self.width - dx) as u32 + dy.min(self.height - dy) as u32
+            }
+            _ => ca.manhattan(cb),
+        }
     }
 }
 
@@ -409,6 +576,111 @@ mod tests {
     #[should_panic(expected = "at most 4096 routers")]
     fn mesh_larger_than_4096_routers_rejected() {
         Mesh::new(65, 64, 1);
+    }
+
+    #[test]
+    fn torus_gives_every_router_four_links() {
+        let t = Mesh::new_torus(4, 4, 4);
+        assert_eq!(t.routers(), 16);
+        assert_eq!(t.links(), 64);
+        for r in 0..16u16 {
+            let n = NodeId(r);
+            for dir in Direction::ALL {
+                let nb = t.neighbor(n, dir).expect("torus routers have 4 neighbours");
+                assert_eq!(t.neighbor(nb, dir.opposite()), Some(n), "wrap symmetric");
+            }
+        }
+        // The eastern wrap: (3,0) → (0,0).
+        assert_eq!(
+            t.neighbor(t.node_at(Coord::new(3, 0)), Direction::East),
+            Some(t.node_at(Coord::new(0, 0)))
+        );
+        // Northern wrap: (1,3) → (1,0).
+        assert_eq!(
+            t.neighbor(t.node_at(Coord::new(1, 3)), Direction::North),
+            Some(t.node_at(Coord::new(1, 0)))
+        );
+    }
+
+    #[test]
+    fn torus_hop_distance_takes_the_short_way_around() {
+        let t = Mesh::new_torus(4, 4, 1);
+        let m = Mesh::new(4, 4, 1);
+        let (a, b) = (t.node_at(Coord::new(0, 0)), t.node_at(Coord::new(3, 3)));
+        assert_eq!(t.hop_distance(a, b), 2, "one wrap hop per axis");
+        assert_eq!(m.hop_distance(a, b), 6, "mesh distance unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_wide_torus_rejected() {
+        Mesh::new_torus(1, 4, 1);
+    }
+
+    #[test]
+    fn degraded_removal_is_symmetric_and_normalized() {
+        // Remove the (5 ↔ 6) adjacency, named from its *western* endpoint
+        // going East and, redundantly, from its eastern endpoint going
+        // West: both normalize to the same canonical pair.
+        let d = Mesh::new_degraded(
+            4,
+            4,
+            1,
+            &[
+                (NodeId(5), Direction::East),
+                (NodeId(6), Direction::West),
+                (NodeId(9), Direction::North),
+            ],
+        );
+        assert_eq!(d.neighbor(NodeId(5), Direction::East), None);
+        assert_eq!(d.neighbor(NodeId(6), Direction::West), None);
+        assert_eq!(d.neighbor(NodeId(9), Direction::North), None);
+        assert_eq!(d.neighbor(NodeId(13), Direction::South), None);
+        assert_eq!(d.links(), 48 - 4, "two adjacencies = four directed links");
+        match d.topology() {
+            Topology::Degraded { removed } => {
+                assert_eq!(
+                    removed,
+                    &vec![(NodeId(5), Direction::East), (NodeId(9), Direction::North)]
+                );
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert!(d.connected());
+        // Untouched adjacencies keep their symmetry.
+        assert_eq!(d.neighbor(NodeId(5), Direction::West), Some(NodeId(4)));
+        assert_eq!(d.neighbor(NodeId(4), Direction::East), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn degraded_can_disconnect_and_connected_detects_it() {
+        // Cut both adjacencies of corner router 0 on a 2×2 mesh.
+        let d = Mesh::new_degraded(
+            2,
+            2,
+            1,
+            &[(NodeId(0), Direction::East), (NodeId(0), Direction::North)],
+        );
+        assert!(!d.connected());
+        assert!(Mesh::paper().connected());
+        assert!(Mesh::new_torus(4, 4, 1).connected());
+    }
+
+    #[test]
+    fn plain_mesh_debug_rendering_is_unchanged_by_the_topology_field() {
+        // The simulator's config hash fingerprints `Debug` text; a plain
+        // mesh must render exactly as it did before topologies existed
+        // (no `topology`/`neighbors` fields), while a torus must differ.
+        let m = format!("{:?}", Mesh::new(2, 1, 1));
+        assert_eq!(
+            m,
+            "Mesh { width: 2, height: 1, concentration: 1, \
+             link_ids: [[Some(LinkId(0)), None, None, None], \
+             [None, Some(LinkId(1)), None, None]], \
+             link_ends: [(NodeId(0), East), (NodeId(1), West)] }"
+        );
+        let t = format!("{:?}", Mesh::new_torus(2, 2, 1));
+        assert!(t.contains("topology: Torus"), "{t}");
     }
 
     #[test]

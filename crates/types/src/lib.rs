@@ -23,7 +23,7 @@ pub mod ids;
 pub mod packet;
 
 pub use flit::{Flit, FlitKind};
-pub use geometry::{Coord, Direction, Mesh, Port};
+pub use geometry::{Coord, Direction, Mesh, Port, Topology};
 pub use header::{Header, HeaderLayout};
 pub use ids::{CoreId, FlitId, LinkId, NodeId, PacketId, VcId};
 pub use packet::Packet;
