@@ -6,6 +6,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use htnoc_core::prelude::*;
 use noc_ecc::{flip_bit, flip_bits, Secded};
 use noc_mitigation::LobPlan;
+use noc_sim::routing::xy_direction;
+use noc_sim::telemetry::PHASE_LABELS;
+use noc_sim::{LinkFaults, TelemetryConfig, TrafficSource};
+use noc_traffic::{Pattern, SyntheticTraffic};
 
 fn bench_secded(c: &mut Criterion) {
     let mut g = c.benchmark_group("secded");
@@ -119,11 +123,68 @@ fn bench_sim_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+/// A saturated 8×8 trojan flood with an unbounded hotspot stream — the
+/// allocation-bound regime the bitset wavefront datapath targets. The
+/// traffic never drains, so the phase benches below sample a steady
+/// state rather than a ramp.
+fn flood_parts() -> (Simulator, Box<dyn TrafficSource>) {
+    let mut cfg = SimConfig::paper_unprotected();
+    cfg.mesh = Mesh::new(8, 8, 1);
+    cfg.snapshot_interval = u64::MAX;
+    let mut sim = Simulator::new(cfg);
+    let victim = NodeId(4 * 8 + 4);
+    let feeder = NodeId(victim.0 - 1);
+    let hot = {
+        let dir = xy_direction(sim.mesh(), feeder, victim);
+        sim.mesh().link_out(feeder, dir).expect("adjacent")
+    };
+    let ht = TaspHt::new(TaspConfig::new(TargetSpec::dest((victim.0 & 0xF) as u8)));
+    let faults = std::mem::replace(sim.link_faults_mut(hot), LinkFaults::healthy(hot.0 as u64));
+    *sim.link_faults_mut(hot) = faults.with_trojan(ht);
+    sim.arm_trojans(true);
+    let mesh = sim.mesh().clone();
+    let traffic = SyntheticTraffic::new(mesh, Pattern::Hotspot(vec![victim]), 0.02, 0x0D15_EA5E);
+    (sim, Box::new(traffic))
+}
+
+/// Per-phase cost of the engine's hot allocation phases under the
+/// saturated flood. Each bench replays whole simulator steps but
+/// charges only its own phase's telemetry-clocked nanoseconds, so the
+/// numbers decompose the `sim/step_loaded` wall time phase by phase
+/// (VA+RC wavefront, switch allocation, batched ack/credit settlement).
+fn bench_phases(c: &mut Criterion) {
+    use std::time::Duration;
+    let mut g = c.benchmark_group("phase");
+    g.sample_size(10);
+    for name in ["va_rc", "switch_alloc", "acks_credits"] {
+        let idx = PHASE_LABELS
+            .iter()
+            .position(|l| *l == name)
+            .expect("phase label");
+        g.bench_function(name, |b| {
+            let (mut sim, mut traffic) = flood_parts();
+            sim.set_telemetry(TelemetryConfig::default());
+            sim.run(500, traffic.as_mut()); // reach saturation first
+            b.iter_custom(|iters| {
+                let before = sim.telemetry().expect("telemetry armed").phase_total_ns()[idx];
+                for _ in 0..iters {
+                    sim.step(traffic.as_mut());
+                    sim.drain_events();
+                }
+                let after = sim.telemetry().expect("telemetry armed").phase_total_ns()[idx];
+                Duration::from_nanos(after - before)
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_secded,
     bench_tasp,
     bench_lob,
-    bench_sim_cycle
+    bench_sim_cycle,
+    bench_phases
 );
 criterion_main!(benches);

@@ -83,8 +83,11 @@ struct Measurement {
     /// side band).
     phase_share_pct: [f64; PHASE_COUNT],
     /// Average max/mean shard-time ratio per barrier group, permille
-    /// (1000 = perfectly balanced; only meaningful when `threads > 1`).
-    group_imbalance_permille: [u64; GROUP_COUNT],
+    /// (1000 = perfectly balanced). `None` at a single shard: max/mean
+    /// over one shard is identically 1000, so reporting it would make
+    /// the degenerate value indistinguishable from a genuinely balanced
+    /// multi-shard run. Serialized as JSON `null`.
+    group_imbalance_permille: Option<[u64; GROUP_COUNT]>,
 }
 
 /// Reset the kernel's RSS high-water mark so each scenario reports its
@@ -145,7 +148,7 @@ fn measure(
     // inflate) the per-scenario memory ceilings.
     let peak_rss_kb = peak_rss_kb();
     let mut phase_share_pct = [0.0; PHASE_COUNT];
-    let mut group_imbalance_permille = [0; GROUP_COUNT];
+    let mut group_imbalance_permille = None;
     if let Some(tel) = sim.telemetry() {
         let totals = tel.phase_total_ns();
         let sum: u64 = totals.iter().sum();
@@ -154,8 +157,12 @@ fn measure(
                 *share = *t as f64 / sum as f64 * 100.0;
             }
         }
-        for (imb, load) in group_imbalance_permille.iter_mut().zip(tel.group_loads()) {
-            *imb = load.imbalance_permille();
+        if threads > 1 {
+            let mut imb = [0; GROUP_COUNT];
+            for (i, load) in imb.iter_mut().zip(tel.group_loads()) {
+                *i = load.imbalance_permille();
+            }
+            group_imbalance_permille = Some(imb);
         }
     }
     let (snapshot_ser_us, snapshot_deser_us, snapshot_bytes) = snapshot_cost(&mut sim);
@@ -513,13 +520,19 @@ fn json_scenario(out: &mut String, m: &Measurement, last: bool) {
         .collect::<Vec<_>>()
         .join(", ");
     writeln!(out, "      \"phase_share_pct\": {{{shares}}},").unwrap();
-    let imb = GROUP_LABELS
-        .iter()
-        .zip(m.group_imbalance_permille)
-        .map(|(l, v)| format!("\"{l}\": {v}"))
-        .collect::<Vec<_>>()
-        .join(", ");
-    writeln!(out, "      \"group_imbalance_permille\": {{{imb}}},").unwrap();
+    match m.group_imbalance_permille {
+        Some(per_group) => {
+            let imb = GROUP_LABELS
+                .iter()
+                .zip(per_group)
+                .map(|(l, v)| format!("\"{l}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(out, "      \"group_imbalance_permille\": {{{imb}}},").unwrap();
+        }
+        // A single shard has nothing to be imbalanced against.
+        None => writeln!(out, "      \"group_imbalance_permille\": null,").unwrap(),
+    }
     writeln!(out, "      \"peak_rss_kb\": {}", m.peak_rss_kb).unwrap();
     writeln!(out, "    }}{}", if last { "" } else { "," }).unwrap();
 }
@@ -627,6 +640,28 @@ fn main() {
     eprintln!(
         "  saturated flood on/off throughput ratio: {flood_skip_ratio:.2} (median of 5 pairs)"
     );
+
+    // The wavefront-allocator headline scenario: a saturated 8×8 flood
+    // with fast-forward disabled, so every wall-clock second is spent in
+    // the allocation datapath (VA/SA/RC) rather than skip bookkeeping.
+    // Sequential on purpose — the bitset datapath's gain must show
+    // without sharding hiding it. 4x the 4x4 flood budget: this number
+    // feeds a 1.8x gate floor, so the run must outlast timer and warmup
+    // noise (at the 4x4 budget the whole run is under 50 ms).
+    let flood8_budget = flood_budget * 4;
+    eprintln!("cycles_per_sec: trojan_flood_8x8_noskip ({flood8_budget} cycles)...");
+    let flood8 = {
+        let (sim, traffic) = scaling_trojan_flood_parts(8, 1, flood8_budget);
+        measure(
+            "trojan_flood_8x8_noskip".into(),
+            1,
+            sim,
+            traffic,
+            flood8_budget,
+            false,
+        )
+    };
+    eprintln!("  {:>12.0} cycles/s", flood8.cycles_per_sec);
 
     // Mesh-scaling sweep: each scenario at every thread count on the
     // axis, sequential (t1) first as the speedup reference.
@@ -748,6 +783,7 @@ fn main() {
     json_scenario(&mut out, &base, false);
     json_scenario(&mut out, &flood, false);
     json_scenario(&mut out, &flood_off, false);
+    json_scenario(&mut out, &flood8, false);
     json_scenario(&mut out, &drain_on, false);
     let n = scaling.len();
     json_scenario(&mut out, &drain_off, n == 0);
@@ -844,7 +880,8 @@ fn main() {
         // mark is reset per scenario, but the allocator retains earlier
         // heap, so the committed values still assume the fixed scenario
         // order above.
-        let mut all: Vec<&Measurement> = vec![&base, &flood, &flood_off, &drain_on, &drain_off];
+        let mut all: Vec<&Measurement> =
+            vec![&base, &flood, &flood_off, &flood8, &drain_on, &drain_off];
         all.extend(scaling.iter());
         for m in &all {
             let key = format!("gate_rss_{}_kb", m.name);
@@ -869,24 +906,70 @@ fn main() {
         }
 
         // Checkpointing ceiling: periodic crash-safe snapshots every
-        // 10 000 cycles must tax the 4x4 scenarios by less than 1% of
-        // simulation time, or checkpointed campaigns stop being free.
-        for m in [&base, &flood] {
+        // 10 000 cycles must stay a rounding error on the 4x4
+        // scenarios, or checkpointed campaigns stop being free. The
+        // metric is relative to simulation time, so every simulator
+        // speedup shrinks its denominator and inflates the percentage
+        // without any snapshot regression; the flood's ceiling was
+        // re-recorded at 2% after the wavefront datapath made the
+        // saturated cycle loop ~2.3x faster (its serializer still runs
+        // in the same ~850 µs it always did, over a 4x larger encoded
+        // state than the baseline's).
+        for (m, ceiling) in [(&base, 1.0), (&flood, 2.0)] {
             let pct = m.ckpt_overhead_pct_at_10k;
-            if pct >= 1.0 {
+            if pct >= ceiling {
                 eprintln!(
                     "GATE FAIL: {} checkpoint overhead {pct:.3}% of sim time at \
-                     --checkpoint-every 10000 (ceiling 1%; snapshot ser {:.0} µs)",
+                     --checkpoint-every 10000 (ceiling {ceiling}%; snapshot ser {:.0} µs)",
                     m.name, m.snapshot_ser_us
                 );
                 failed = true;
             } else {
                 eprintln!(
                     "gate ok: {} checkpoint overhead {pct:.3}% at every-10k \
-                     (ser {:.0} µs, {} bytes)",
+                     (ceiling {ceiling}%, ser {:.0} µs, {} bytes)",
                     m.name, m.snapshot_ser_us, m.snapshot_bytes
                 );
             }
+        }
+
+        // Wavefront-datapath floor: the sequential 8×8 flood with
+        // fast-forward disabled must hold the bitset allocator's gain —
+        // at least 1.8× the committed pre-wavefront throughput for this
+        // container class. A 1.8× floor is an 80%-scale effect, but the
+        // margin that actually needs resolving is the headroom between
+        // the recorded post-wavefront gain (~2.3×) and the floor, so
+        // the check abstains when the host's A/A noise floor exceeds
+        // that ~25% headroom.
+        if let Some(before8) = json_number(&doc, "before_trojan_flood_8x8_noskip_cps") {
+            let floor = before8 * 1.8;
+            if tel_noise_pct > 25.0 {
+                eprintln!(
+                    "gate skip: trojan_flood_8x8_noskip at {:.0} cycles/s (floor \
+                     {floor:.0}) but the host's A/A noise floor is {tel_noise_pct:.2}% \
+                     (cannot resolve the wavefront headroom)",
+                    flood8.cycles_per_sec
+                );
+            } else if flood8.cycles_per_sec < floor {
+                eprintln!(
+                    "GATE FAIL: trojan_flood_8x8_noskip at {:.0} cycles/s is below \
+                     1.8x the pre-wavefront baseline of {before8:.0} (floor {floor:.0})",
+                    flood8.cycles_per_sec
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "gate ok: trojan_flood_8x8_noskip at {:.0} cycles/s ({:.2}x the \
+                     pre-wavefront {before8:.0}, floor 1.8x)",
+                    flood8.cycles_per_sec,
+                    flood8.cycles_per_sec / before8
+                );
+            }
+        } else {
+            eprintln!(
+                "gate note: no before_trojan_flood_8x8_noskip_cps committed; \
+                 wavefront floor unchecked"
+            );
         }
 
         // Scaling floors, machine-aware: parallel throughput claims are
@@ -928,6 +1011,47 @@ fn main() {
             }
         }
 
+        // Shard-balance ceiling: no barrier group may run its slowest
+        // shard at more than 5x the mean — beyond that the partition is
+        // effectively sequential and the speedup floors above only pass
+        // by luck. Skipped at a single shard (the metric is reported as
+        // null there: max/mean over one shard is identically 1000) and
+        // on degraded hosts (oversubscription skews per-shard time).
+        for m in &scaling {
+            match m.group_imbalance_permille {
+                None => {
+                    eprintln!(
+                        "gate skip: {} shard balance (single shard; metric is null)",
+                        m.name
+                    );
+                }
+                Some(_) if m.degraded_host => {
+                    eprintln!(
+                        "gate skip: {} shard balance (degraded host: {} threads on \
+                         {avail} hardware threads)",
+                        m.name, m.threads
+                    );
+                }
+                Some(per_group) => {
+                    let worst = per_group.iter().copied().max().unwrap_or(1000);
+                    if worst > 5000 {
+                        eprintln!(
+                            "GATE FAIL: {} worst group imbalance {worst} permille \
+                             (ceiling 5000; one shard is dragging the barrier)",
+                            m.name
+                        );
+                        failed = true;
+                    } else {
+                        eprintln!(
+                            "gate ok: {} worst group imbalance {worst} permille \
+                             (ceiling 5000)",
+                            m.name
+                        );
+                    }
+                }
+            }
+        }
+
         // Fast-forward floors. The drain-heavy scenario must gain at
         // least 3x from quiescence skipping — that is the whole point
         // of the engine — and the saturated 4x4 flood (no idle windows
@@ -962,19 +1086,25 @@ fn main() {
             eprintln!(
                 "gate skip: flood skip ratio measured {flood_skip_ratio:.2} but the \
                  host's A/A noise floor is {tel_noise_pct:.2}% (cannot resolve the \
-                 30% no-regression band)"
+                 10% no-regression band)"
             );
-        } else if flood_skip_ratio < 0.7 {
+        } else if flood_skip_ratio < 0.9 {
+            // Re-recorded floor: since the skip gate's busy-network
+            // early-out landed (the active sets are probed before the
+            // injection-horizon walk), the paired-median ratio sits at
+            // ~1.0, so a saturated flood losing more than 10% to the
+            // horizon probe is a regression, not noise.
             eprintln!(
                 "GATE FAIL: fast-forward regresses the saturated trojan flood to \
-                 {flood_skip_ratio:.2}x of its skip-off throughput (floor 0.7; the \
-                 horizon probe must stay out of the hot path)"
+                 {flood_skip_ratio:.2}x of its skip-off throughput (floor 0.9; the \
+                 horizon probe must reject via the active sets before walking \
+                 the injection schedule)"
             );
             failed = true;
         } else {
             eprintln!(
                 "gate ok: saturated flood at {flood_skip_ratio:.2}x of its skip-off \
-                 throughput with fast-forward enabled (floor 0.7)"
+                 throughput with fast-forward enabled (floor 0.9)"
             );
         }
 

@@ -144,6 +144,33 @@ impl ActiveSet {
         self.summary.iter().all(|s| s.load(Ordering::Relaxed) == 0)
     }
 
+    /// Whether any id is marked active — exact, without mutating the
+    /// summary level. The word level is authoritative (`clear` lands
+    /// there immediately), so each set summary bit is chased to its
+    /// word and a nonzero word answers `true`. Under saturation the
+    /// very first probe is nonzero, making this a one-or-two-load
+    /// reject for the skip gate; after a drain, stale summary bits
+    /// cost one extra load each but the answer stays exact.
+    #[inline]
+    pub(crate) fn any_set(&self) -> bool {
+        for (s, sw) in self.summary.iter().enumerate() {
+            let mut bits = sw.load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let w = s * WORD_BITS + b;
+                if self
+                    .words
+                    .get(w)
+                    .is_some_and(|word| word.load(Ordering::Relaxed) != 0)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Number of set bits (diagnostics only).
     pub(crate) fn count(&self) -> usize {
         self.words
@@ -269,6 +296,23 @@ mod tests {
         assert_eq!(seen, vec![10, 70, 130, 190]);
         s.compact();
         assert!(s.all_clear());
+    }
+
+    #[test]
+    fn any_set_is_exact_without_compaction() {
+        let s = ActiveSet::new_all_set(300);
+        assert!(s.any_set());
+        for i in 0..300 {
+            s.clear(i);
+        }
+        // Summary bits are still raised (clear leaves them), but the
+        // word level is authoritative — any_set must say drained.
+        assert!(!s.all_clear(), "summary is a lazy superset");
+        assert!(!s.any_set(), "any_set chases summary bits to words");
+        s.set(257);
+        assert!(s.any_set());
+        s.clear(257);
+        assert!(!s.any_set());
     }
 
     #[test]

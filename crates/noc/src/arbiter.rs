@@ -118,6 +118,27 @@ mod tests {
     }
 
     #[test]
+    fn empty_mask_preserves_the_pointer_mid_sequence() {
+        // The wavefront drives grant_masked every cycle, including
+        // cycles where no lane requests; an empty wavefront step must
+        // not perturb fairness (the pointer stays put), and a request
+        // mask entirely below the pointer must wrap to its lowest bit.
+        let mut a = RoundRobin::new(6);
+        assert_eq!(a.grant_masked(0b10_0000), Some(5));
+        let parked = a.clone();
+        for _ in 0..3 {
+            assert_eq!(a.grant_masked(0), None);
+            assert_eq!(a, parked, "an empty mask must not advance the pointer");
+        }
+        // Pointer wrapped to 0 after granting the top requester, so a
+        // low-bits-only mask is the hi != 0 path; park the pointer mid
+        // range to force the wrap (hi == 0) path instead.
+        a.next = 4;
+        assert_eq!(a.grant_masked(0b0110), Some(1));
+        assert_eq!(a.next, 2);
+    }
+
+    #[test]
     fn starvation_freedom() {
         // With everyone always requesting, each of the n requesters is
         // granted exactly once per n consecutive grants.

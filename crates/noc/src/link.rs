@@ -226,6 +226,22 @@ impl LinkLanes {
         }
     }
 
+    /// Drain arrived credits of link `i` into per-VC counts: `counts[v]`
+    /// gains one per credit for VC `v`. Same drain condition as
+    /// [`LinkLanes::take_credits_into`]; only the representation differs
+    /// (a histogram instead of an ordered list), which is lossless for
+    /// the batched settlement path because credit addition commutes.
+    pub fn take_credit_counts_into(&mut self, i: usize, now: u64, counts: &mut [u32]) {
+        while let Some((at, vc)) = self.credits[i].front() {
+            if *at <= now {
+                counts[vc.index()] += 1;
+                self.credits[i].pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
     /// Fault layer of link `i`.
     pub fn faults(&self, i: usize) -> &LinkFaults {
         &self.faults[i]
@@ -377,6 +393,21 @@ impl LanesView<'_> {
         while let Some((at, _)) = credits.front() {
             if *at <= now {
                 out.push(credits.pop_front().unwrap().1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drain arrived credits of link `i` into per-VC counts (sharded
+    /// counterpart of [`LinkLanes::take_credit_counts_into`]).
+    pub(crate) fn take_credit_counts_into(&self, i: usize, now: u64, counts: &mut [u32]) {
+        self.check(i);
+        let credits = unsafe { &mut *self.credits.add(i) };
+        while let Some((at, vc)) = credits.front() {
+            if *at <= now {
+                counts[vc.index()] += 1;
+                credits.pop_front();
             } else {
                 break;
             }

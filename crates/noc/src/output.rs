@@ -323,6 +323,21 @@ impl OutputUnit {
         }
     }
 
+    /// Settle a batch of same-cycle credit returns in one pass:
+    /// `counts[v]` credits arrived for VC `v`. Exactly the per-message
+    /// `credits[vc] += 1` loop — addition commutes, so the arrival order
+    /// the message path preserves is unobservable here. Callers keep the
+    /// per-message path whenever a sabotage hook is configured (the
+    /// `LeakCredit` counter is order-sensitive).
+    pub(crate) fn settle_credits(&mut self, counts: &[u32], vc_depth: u8) {
+        for (c, &n) in self.credits.iter_mut().zip(counts) {
+            if n != 0 {
+                *c += n as u8;
+                debug_assert!(*c <= vc_depth);
+            }
+        }
+    }
+
     /// Age (cycles) of the oldest entry still fighting for delivery; used
     /// by the blocked-port statistic.
     pub fn oldest_entry_age(&self, cycle: u64) -> Option<u64> {

@@ -334,6 +334,8 @@ pub(crate) struct PhaseCtx<'a> {
     pub cfg: &'a SimConfig,
     pub mesh: &'a Mesh,
     pub routing: &'a Routing,
+    /// Version counter for `routing` (RC memo invalidation).
+    pub routing_epoch: u32,
     pub dead_links: &'a [LinkId],
     pub link_dead: &'a [bool],
     pub routers: DisjointMut<'a, Router>,
@@ -826,9 +828,20 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
         let link = LinkId(li16);
         let (src, dir) = ctx.mesh.link_source(link);
         acks.clear();
-        credit_vcs.clear();
         ctx.links.take_acks_into(li, now, acks);
-        ctx.links.take_credits_into(li, now, credit_vcs);
+        // Credit settlement is batched into per-VC counts unless a
+        // sabotage hook is configured: the plain path only ever adds
+        // `credits[vc] += 1` (commutative), while `LeakCredit` counts
+        // individual messages in arrival order and must see each one.
+        let batch = ctx.cfg.sabotage.is_none();
+        let mut counts = [0u32; 16];
+        if batch {
+            debug_assert!((ctx.cfg.vcs as usize) <= counts.len());
+            ctx.links.take_credit_counts_into(li, now, &mut counts);
+        } else {
+            credit_vcs.clear();
+            ctx.links.take_credits_into(li, now, credit_vcs);
+        }
         // Entries stamped `now + 1` (pushed by P1 earlier this cycle)
         // stay queued; only a fully drained reverse channel drops the
         // bit. P6 pushes later this cycle re-raise it.
@@ -933,6 +946,10 @@ fn phase_acks_and_credits(ctx: &PhaseCtx<'_>, plan: &ShardPlan, fx: &mut ShardFx
                     }
                 }
             }
+        }
+        if batch {
+            out.settle_credits(&counts, ctx.cfg.vc_depth);
+            return;
         }
         for &vc in credit_vcs.iter() {
             // Conformance self-test hook: leak every Nth credit. The
@@ -1144,7 +1161,9 @@ fn phase_va_rc(ctx: &PhaseCtx<'_>, plan: &ShardPlan, now: u64) {
             return;
         }
         ctx.routers.idx(r).va_stage(now, ctx.cfg, ctx.routing);
-        ctx.routers.idx(r).rc_stage(now, ctx.mesh, ctx.routing);
+        ctx.routers
+            .idx(r)
+            .rc_stage(now, ctx.mesh, ctx.routing, ctx.routing_epoch);
     });
 }
 

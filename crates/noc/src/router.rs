@@ -6,7 +6,7 @@
 //! cycle it happened so a flit spends exactly one cycle per stage.
 
 use crate::arbiter::RoundRobin;
-use crate::config::SimConfig;
+use crate::config::{QosMode, SimConfig};
 use crate::input::{InputUnit, VcState};
 use crate::output::OutputUnit;
 use crate::routing::Routing;
@@ -76,6 +76,112 @@ pub struct PurgedCopy {
     pub from_retx: bool,
 }
 
+/// SoA membership lanes over a router's input VCs: one bit per
+/// `input_port * vcs + vc` requester, mirroring the per-VC struct state
+/// so the allocation stages (RC/VA/SA) build their request masks with a
+/// handful of AND/ANDNOT ops instead of walking every `InputVc`.
+///
+/// The lanes are *derived* state — `InputVc` stays authoritative, the
+/// snapshot codec never sees them, and [`VcLanes::rebuild`] reconstructs
+/// them exactly from the structs (restore, purge). Every lane is exact,
+/// not a superset: each transition site updates its bit in the same
+/// statement block as the struct mutation, and the debug-build reference
+/// oracle (`reference_*_mask`) re-derives each stage's mask from the
+/// structs and asserts equality every cycle.
+///
+/// Freshness replaces the per-VC `since < cycle` pipeline-pacing reads:
+/// stage stamps never exceed the current cycle, so `since < cycle` is
+/// exactly "not stamped this cycle", i.e. `!fresh_at(cycle)`.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VcLanes {
+    /// VCs in [`VcState::Routing`].
+    routing: u64,
+    /// VCs in [`VcState::VcAlloc`].
+    vcalloc: u64,
+    /// VCs in [`VcState::Active`].
+    active: u64,
+    /// VCs with a nonempty FIFO (head-flit readiness).
+    head: u64,
+    /// VCs whose `since` stamp equals `fresh_cycle`.
+    fresh: u64,
+    /// The cycle `fresh` is valid for.
+    fresh_cycle: u64,
+    /// VCs routed toward each network direction.
+    route_dir: [u64; 4],
+    /// VCs routed toward a local ejection port.
+    route_local: u64,
+}
+
+impl VcLanes {
+    /// Bits stamped in `cycle` (empty when the lane belongs to an older
+    /// cycle — stamps never run ahead of the clock).
+    #[inline]
+    fn fresh_at(&self, cycle: u64) -> u64 {
+        if self.fresh_cycle == cycle {
+            self.fresh
+        } else {
+            0
+        }
+    }
+
+    /// Record that `bit`'s VC was stamped `since = cycle`.
+    #[inline]
+    fn stamp(&mut self, bit: u64, cycle: u64) {
+        if self.fresh_cycle != cycle {
+            self.fresh = 0;
+            self.fresh_cycle = cycle;
+        }
+        self.fresh |= bit;
+    }
+
+    /// Drop `bit` from every route lane (VC released or purged).
+    #[inline]
+    fn clear_route(&mut self, bit: u64) {
+        for l in self.route_dir.iter_mut() {
+            *l &= !bit;
+        }
+        self.route_local &= !bit;
+    }
+
+    /// Reconstruct every lane from the authoritative per-VC structs
+    /// (snapshot restore, packet purge — the two sites that mutate VC
+    /// state without going through the stage methods).
+    fn rebuild(inputs: &[InputUnit], cycle: u64) -> Self {
+        let vcs = inputs.first().map_or(0, |u| u.vcs.len());
+        let mut l = Self {
+            fresh_cycle: cycle,
+            ..Self::default()
+        };
+        for (p, unit) in inputs.iter().enumerate() {
+            for (v, ivc) in unit.vcs.iter().enumerate() {
+                let bit = 1u64 << (p * vcs + v);
+                match ivc.state {
+                    VcState::Idle => {}
+                    VcState::Routing => l.routing |= bit,
+                    VcState::VcAlloc => l.vcalloc |= bit,
+                    VcState::Active => l.active |= bit,
+                }
+                if !ivc.fifo.is_empty() {
+                    l.head |= bit;
+                }
+                if ivc.since >= cycle {
+                    l.fresh |= bit;
+                }
+                match ivc.route {
+                    Some(Port::Net(dir)) => l.route_dir[dir.index()] |= bit,
+                    Some(Port::Local(_)) => l.route_local |= bit,
+                    None => {}
+                }
+            }
+        }
+        l
+    }
+}
+
+/// `rc_cache` sentinel: the destination is unroutable under the current
+/// tables (hold the head; the watchdog reports a permanent hold).
+const RC_UNROUTABLE: u8 = 5;
+
 /// One router.
 #[derive(Debug)]
 pub struct Router {
@@ -93,6 +199,17 @@ pub struct Router {
     pub st_pending: Vec<StMove>,
     /// Slots already committed to each network output by pending STs.
     pub(crate) pending_to_output: [u8; 4],
+    /// SoA request-mask lanes mirroring the input VC state.
+    pub(crate) lanes: VcLanes,
+    /// Route memo keyed by destination: `0` = unfilled, `1..=4` =
+    /// `Direction::ALL` index + 1, [`RC_UNROUTABLE`] = empty route set.
+    /// Valid only for deterministic single-candidate routing functions
+    /// (XY and table-driven — not odd-even, whose choice is adaptive)
+    /// and only while `rc_cache_epoch` matches the simulator's routing
+    /// epoch. Sized at construction: one byte per destination.
+    pub(crate) rc_cache: Vec<u8>,
+    /// Routing epoch `rc_cache` was filled under.
+    pub(crate) rc_cache_epoch: u32,
 }
 
 impl Router {
@@ -100,6 +217,10 @@ impl Router {
     pub fn new(node: NodeId, mesh: &Mesh, cfg: &SimConfig) -> Self {
         let ports = cfg.ports();
         let requesters = ports * cfg.vcs as usize;
+        assert!(
+            requesters <= 64,
+            "requester bitmasks hold 64 (port, VC) pairs"
+        );
         let inputs = (0..ports)
             .map(|_| InputUnit::new(cfg.vcs, ThreatDetector::new(cfg.detector)))
             .collect();
@@ -122,7 +243,19 @@ impl Router {
             sa_arb: (0..ports).map(|_| RoundRobin::new(requesters)).collect(),
             st_pending: Vec::new(),
             pending_to_output: [0; 4],
+            lanes: VcLanes::default(),
+            // One byte per destination, allocated up front: the steady
+            // state never touches the allocator.
+            rc_cache: vec![0u8; mesh.routers()],
+            rc_cache_epoch: 0,
         }
+    }
+
+    /// Reconstruct the SoA lanes from the per-VC structs. Called after
+    /// the two paths that mutate VC state outside the stage methods
+    /// (snapshot restore, packet purge).
+    pub(crate) fn rebuild_lanes(&mut self, cycle: u64) {
+        self.lanes = VcLanes::rebuild(&self.inputs, cycle);
     }
 
     /// Buffer write (BW): place an accepted flit into an input VC FIFO and
@@ -130,14 +263,19 @@ impl Router {
     /// draining packet simply queues; `InputVc::release` re-arms the state
     /// machine when the stream reaches it.
     pub fn buffer_write(&mut self, port: Port, vc: VcId, flit: Flit, cycle: u64) {
+        let vcs = self.inputs[0].vcs.len();
+        let bit = 1u64 << (port.index() * vcs + vc.index());
         let unit = &mut self.inputs[port.index()];
         let ivc = &mut unit.vcs[vc.index()];
         if flit.kind.carries_header() && ivc.state == VcState::Idle && ivc.fifo.is_empty() {
             ivc.state = VcState::Routing;
             ivc.packet = Some(flit.packet);
             ivc.since = cycle;
+            self.lanes.routing |= bit;
+            self.lanes.stamp(bit, cycle);
         }
         ivc.fifo.push_back(flit);
+        self.lanes.head |= bit;
         let occ = unit.occupancy() as u64;
         unit.occupancy_high_water = unit.occupancy_high_water.max(occ);
     }
@@ -146,33 +284,105 @@ impl Router {
     /// adaptive routing function (odd-even), the least congested legal
     /// candidate wins — judged by downstream credits plus free
     /// retransmission slots at each candidate output.
-    pub fn rc_stage(&mut self, cycle: u64, mesh: &Mesh, routing: &Routing) {
-        let ports = self.inputs.len();
+    ///
+    /// `routing_epoch` versions the simulator's routing function; a bump
+    /// (table reroute after quarantine, or an explicit swap) invalidates
+    /// the per-destination route memo. Deterministic single-candidate
+    /// functions (XY, tables) answer repeat destinations from the memo
+    /// without re-deriving the route set; odd-even bypasses the memo
+    /// entirely — its choice is adaptive (congestion- and
+    /// source-dependent), so only the full derivation is correct.
+    pub fn rc_stage(&mut self, cycle: u64, mesh: &Mesh, routing: &Routing, routing_epoch: u32) {
         let vcs = self.inputs[0].vcs.len();
-        for p in 0..ports {
-            for v in 0..vcs {
-                let ivc = &self.inputs[p].vcs[v];
-                if ivc.state == VcState::Routing && ivc.since < cycle {
-                    let header = ivc.fifo.front().expect("Routing VC holds its head").header;
-                    let candidates = routing.route_set(mesh, self.node, &header);
-                    if candidates.is_empty() {
-                        // Unroutable under the current tables (possible
-                        // mid-degradation, between a link death and the
-                        // reroute): hold the head and retry next cycle;
-                        // the watchdog reports it if no route ever comes.
-                        continue;
+        let mut mask = self.lanes.routing & !self.lanes.fresh_at(cycle);
+        #[cfg(any(test, debug_assertions))]
+        debug_assert_eq!(
+            mask,
+            self.reference_rc_mask(cycle),
+            "RC lane mask diverged from per-VC struct state"
+        );
+        let memoize = !matches!(routing, Routing::OddEven);
+        if memoize && self.rc_cache_epoch != routing_epoch {
+            self.rc_cache.fill(0);
+            self.rc_cache_epoch = routing_epoch;
+        }
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let bit = 1u64 << i;
+            let (p, v) = (i / vcs, i % vcs);
+            let header = self.inputs[p].vcs[v]
+                .fifo
+                .front()
+                .expect("Routing VC holds its head")
+                .header;
+            let port = if memoize && header.dest != self.node {
+                match self.rc_cache[header.dest.index()] {
+                    0 => {
+                        let candidates = routing.route_set(mesh, self.node, &header);
+                        if candidates.is_empty() {
+                            // Unroutable under the current tables
+                            // (possible mid-degradation, between a link
+                            // death and the reroute): hold the head and
+                            // retry next cycle; the watchdog reports it
+                            // if no route ever comes.
+                            self.rc_cache[header.dest.index()] = RC_UNROUTABLE;
+                            continue;
+                        }
+                        debug_assert_eq!(
+                            candidates.as_slice().len(),
+                            1,
+                            "deterministic routing yields one candidate off-destination"
+                        );
+                        let port = self.pick_candidate(candidates.as_slice());
+                        if let Port::Net(dir) = port {
+                            self.rc_cache[header.dest.index()] = dir.index() as u8 + 1;
+                        }
+                        port
                     }
-                    // Candidate scoring reads only the output units; the
-                    // commit touches only this input VC — safe to do
-                    // in-place with the copied header.
-                    let port = self.pick_candidate(candidates.as_slice());
-                    let ivc = &mut self.inputs[p].vcs[v];
-                    ivc.route = Some(port);
-                    ivc.state = VcState::VcAlloc;
-                    ivc.since = cycle;
+                    RC_UNROUTABLE => continue,
+                    d => Port::Net(Direction::ALL[(d - 1) as usize]),
+                }
+            } else {
+                let candidates = routing.route_set(mesh, self.node, &header);
+                if candidates.is_empty() {
+                    continue;
+                }
+                // Candidate scoring reads only the output units; the
+                // commit touches only this input VC — safe to do
+                // in-place with the copied header.
+                self.pick_candidate(candidates.as_slice())
+            };
+            let ivc = &mut self.inputs[p].vcs[v];
+            ivc.route = Some(port);
+            ivc.state = VcState::VcAlloc;
+            ivc.since = cycle;
+            self.lanes.routing &= !bit;
+            self.lanes.vcalloc |= bit;
+            match port {
+                Port::Net(dir) => self.lanes.route_dir[dir.index()] |= bit,
+                Port::Local(_) => self.lanes.route_local |= bit,
+            }
+            self.lanes.stamp(bit, cycle);
+        }
+    }
+
+    /// Reference oracle for the RC request mask, re-derived from the
+    /// per-VC structs exactly as the pre-lanes datapath did. Compiled
+    /// into every debug/test build and asserted against the lane-built
+    /// mask each cycle.
+    #[cfg(any(test, debug_assertions))]
+    fn reference_rc_mask(&self, cycle: u64) -> u64 {
+        let vcs = self.inputs[0].vcs.len();
+        let mut mask = 0u64;
+        for (p, unit) in self.inputs.iter().enumerate() {
+            for (v, ivc) in unit.vcs.iter().enumerate() {
+                if ivc.state == VcState::Routing && ivc.since < cycle {
+                    mask |= 1u64 << (p * vcs + v);
                 }
             }
         }
+        mask
     }
 
     /// Congestion-aware output selection among legal route candidates.
@@ -202,43 +412,70 @@ impl Router {
     /// allocate on a torus (everywhere else the class is unrestricted).
     pub fn va_stage(&mut self, cycle: u64, cfg: &SimConfig, routing: &Routing) {
         let vcs = cfg.vcs as usize;
-        // Local-ejection VCs proceed straight to Active.
-        for unit in &mut self.inputs {
-            for ivc in &mut unit.vcs {
-                if ivc.state == VcState::VcAlloc
-                    && ivc.since < cycle
-                    && matches!(ivc.route, Some(Port::Local(_)))
-                {
-                    ivc.state = VcState::Active;
-                    ivc.out_vc = None;
-                    ivc.since = cycle;
-                }
-            }
-        }
         let ports = cfg.ports();
         assert!(
             ports * vcs <= 64,
             "requester bitmasks hold 64 (port, VC) pairs"
         );
+        // Requesters that finished RC before this cycle. Snapshotted up
+        // front: the local-eject commits below move bits out of the
+        // vcalloc lane, but they sit in `route_local`, which is disjoint
+        // from every `route_dir` lane, so the network masks built from
+        // this snapshot cannot include them.
+        let elig = self.lanes.vcalloc & !self.lanes.fresh_at(cycle);
+        #[cfg(any(test, debug_assertions))]
+        debug_assert_eq!(
+            elig,
+            self.reference_va_eligible(cycle),
+            "VA lane mask diverged from per-VC struct state"
+        );
+        // Local-ejection VCs proceed straight to Active.
+        let mut local = elig & self.lanes.route_local;
+        while local != 0 {
+            let i = local.trailing_zeros() as usize;
+            local &= local - 1;
+            let bit = 1u64 << i;
+            let ivc = &mut self.inputs[i / vcs].vcs[i % vcs];
+            ivc.state = VcState::Active;
+            ivc.out_vc = None;
+            ivc.since = cycle;
+            self.lanes.vcalloc &= !bit;
+            self.lanes.active |= bit;
+            self.lanes.stamp(bit, cycle);
+        }
         // Requester masks, one per network direction: bit `p*vcs + v` is
         // set when that input VC finished RC toward the direction and an
         // output VC is free for it. Stable for the rest of the stage: a
         // VA grant only claims a VC on the output it granted, each ivc
         // routes to exactly one direction, and each direction is visited
         // once.
+        //
+        // Without QoS domains every requester shares TDM domain 0 (all
+        // slots open) and without a dateline scheme every class is
+        // unrestricted, so `candidate_out_vc` collapses to "any output
+        // VC unowned" — one predicate per direction instead of one per
+        // requester.
+        let uniform = matches!(cfg.qos, QosMode::None) && !matches!(routing, Routing::Topo(_));
         let mut req = [0u64; 4];
-        for p in 0..ports {
-            for v in 0..vcs {
-                let ivc = &self.inputs[p].vcs[v];
-                if ivc.state != VcState::VcAlloc || ivc.since >= cycle {
-                    continue;
+        for (d, slot) in self.outputs.iter().enumerate() {
+            let Some(out) = slot.as_ref() else {
+                continue;
+            };
+            let cand = elig & self.lanes.route_dir[d];
+            if cand == 0 {
+                continue;
+            }
+            if uniform {
+                if out.vc_owner.iter().any(Option::is_none) {
+                    req[d] = cand;
                 }
-                let Some(Port::Net(dir)) = ivc.route else {
-                    continue;
-                };
-                let Some(out) = self.outputs[dir.index()].as_ref() else {
-                    continue;
-                };
+                continue;
+            }
+            let mut m = cand;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let ivc = &self.inputs[i / vcs].vcs[i % vcs];
                 let h = ivc.fifo.front().expect("head").header;
                 // Strict TDM: the VC allocator is also time-multiplexed
                 // across domains.
@@ -246,10 +483,16 @@ impl Router {
                 if cfg.tdm_slot_open(h.vc.0, cycle)
                     && candidate_out_vc(out, &h, cfg, class).is_some()
                 {
-                    req[dir.index()] |= 1 << (p * vcs + v);
+                    req[d] |= 1u64 << i;
                 }
             }
         }
+        #[cfg(any(test, debug_assertions))]
+        debug_assert_eq!(
+            req,
+            self.reference_va_req(cycle, cfg, routing, elig),
+            "VA request masks diverged from the reference datapath"
+        );
         for (d, &mask) in req.iter().enumerate() {
             if self.outputs[d].is_none() {
                 continue;
@@ -265,8 +508,64 @@ impl Router {
                 ivc.out_vc = Some(w);
                 ivc.state = VcState::Active;
                 ivc.since = cycle;
+                let bit = 1u64 << winner;
+                self.lanes.vcalloc &= !bit;
+                self.lanes.active |= bit;
+                self.lanes.stamp(bit, cycle);
             }
         }
+    }
+
+    /// Reference oracle: VA-eligible requesters re-derived from the
+    /// per-VC structs (`VcAlloc`, stamped before this cycle).
+    #[cfg(any(test, debug_assertions))]
+    fn reference_va_eligible(&self, cycle: u64) -> u64 {
+        let vcs = self.inputs[0].vcs.len();
+        let mut mask = 0u64;
+        for (p, unit) in self.inputs.iter().enumerate() {
+            for (v, ivc) in unit.vcs.iter().enumerate() {
+                if ivc.state == VcState::VcAlloc && ivc.since < cycle {
+                    mask |= 1u64 << (p * vcs + v);
+                }
+            }
+        }
+        mask
+    }
+
+    /// Reference oracle: per-direction VA request masks built exactly as
+    /// the pre-lanes datapath did (per-requester TDM and output-VC
+    /// probes), over the same eligibility snapshot the stage used.
+    #[cfg(any(test, debug_assertions))]
+    fn reference_va_req(
+        &self,
+        cycle: u64,
+        cfg: &SimConfig,
+        routing: &Routing,
+        elig: u64,
+    ) -> [u64; 4] {
+        let vcs = cfg.vcs as usize;
+        let mut req = [0u64; 4];
+        for (p, unit) in self.inputs.iter().enumerate() {
+            for (v, ivc) in unit.vcs.iter().enumerate() {
+                if elig & (1u64 << (p * vcs + v)) == 0 {
+                    continue;
+                }
+                let Some(Port::Net(dir)) = ivc.route else {
+                    continue;
+                };
+                let Some(out) = self.outputs[dir.index()].as_ref() else {
+                    continue;
+                };
+                let h = ivc.fifo.front().expect("head").header;
+                let class = routing.vc_class(self.node, h.dest);
+                if cfg.tdm_slot_open(h.vc.0, cycle)
+                    && candidate_out_vc(out, &h, cfg, class).is_some()
+                {
+                    req[dir.index()] |= 1 << (p * vcs + v);
+                }
+            }
+        }
+        req
     }
 
     /// SA: pick at most one flit per output port and per input port,
@@ -291,6 +590,10 @@ impl Router {
             ports * vcs <= 64,
             "requester bitmasks hold 64 (port, VC) pairs"
         );
+        // Requesters with an Active state (stamped before this cycle)
+        // and a buffered head flit — the lane-level part of the old
+        // per-VC predicate walk.
+        let elig = self.lanes.active & !self.lanes.fresh_at(cycle) & self.lanes.head;
         // Requester masks, one per output port: bit `p*vcs + v` is set
         // when that input VC's head flit could cross to the port this
         // cycle. Every predicate input is stable for the rest of the
@@ -298,6 +601,137 @@ impl Router {
         // granted, and each output is visited exactly once — except the
         // one-grant-per-input-port rule, enforced by clearing the
         // winner's input-port bits from every mask.
+        let mut req = [0u64; 64];
+        if elig != 0 {
+            // Without QoS domains every TDM slot is open; the per-flit
+            // probe only matters under `QosMode::Tdm`.
+            let tdm_all = matches!(cfg.qos, QosMode::None);
+            for (d, slot) in self.outputs.iter().enumerate() {
+                let mut m = elig & self.lanes.route_dir[d];
+                if m == 0 {
+                    continue;
+                }
+                let Some(out) = slot.as_ref() else {
+                    continue;
+                };
+                // The retransmission-occupancy headroom check is shared
+                // by every requester of this output.
+                if (out.occupancy() + self.pending_to_output[d] as usize) >= out.total_capacity() {
+                    continue;
+                }
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let ivc = &self.inputs[i / vcs].vcs[i % vcs];
+                    // The whole crossbar is time-multiplexed: every
+                    // crossing happens on the packet's domain slots.
+                    if !tdm_all
+                        && !cfg.tdm_slot_open(ivc.fifo.front().expect("head").header.vc.0, cycle)
+                    {
+                        continue;
+                    }
+                    let w = ivc.out_vc.expect("network route holds an out VC");
+                    if out.has_slot(w) && out.credits[w.index()] > 0 {
+                        req[d] |= 1u64 << i;
+                    }
+                }
+            }
+            // Local ejection: always crossbar-eligible (subject to TDM).
+            let mut m = elig & self.lanes.route_local;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let ivc = &self.inputs[i / vcs].vcs[i % vcs];
+                if !tdm_all
+                    && !cfg.tdm_slot_open(ivc.fifo.front().expect("head").header.vc.0, cycle)
+                {
+                    continue;
+                }
+                let Some(route @ Port::Local(_)) = ivc.route else {
+                    unreachable!("route_local lane implies a local route")
+                };
+                req[route.index()] |= 1u64 << i;
+            }
+        }
+        #[cfg(any(test, debug_assertions))]
+        debug_assert_eq!(
+            req,
+            self.reference_sa_req(cycle, cfg),
+            "SA request masks diverged from the reference datapath"
+        );
+        // Visit output ports in rotating order for fairness.
+        let first = (cycle as usize) % ports;
+        for step in 0..ports {
+            let q = (first + step) % ports;
+            let out_port = Port::from_index(q);
+            if let Some(winner) = self.sa_arb[q].grant_masked(req[q]) {
+                let (p, v) = (winner / vcs, winner % vcs);
+                let bit = 1u64 << winner;
+                // One grant per input port: retire its other requesters.
+                let pmask = ((1u64 << vcs) - 1) << (p * vcs);
+                for m in req.iter_mut() {
+                    *m &= !pmask;
+                }
+                let out_vc = self.inputs[p].vcs[v].out_vc;
+                let flit = self.inputs[p].vcs[v]
+                    .fifo
+                    .pop_front()
+                    .expect("eligible implies head");
+                if self.inputs[p].vcs[v].fifo.is_empty() {
+                    self.lanes.head &= !bit;
+                }
+                if let Port::Net(dir) = out_port {
+                    let d = dir.index();
+                    let w = out_vc.expect("net route");
+                    let out = self.outputs[d].as_mut().expect("exists");
+                    out.credits[w.index()] -= 1;
+                    self.pending_to_output[d] += 1;
+                }
+                // Return a credit to whoever feeds this input port.
+                if let Port::Net(in_dir) = Port::from_index(p) {
+                    credits.push(CreditReturn {
+                        in_dir,
+                        vc: VcId(v as u8),
+                    });
+                }
+                if flit.kind.closes_packet() {
+                    self.release_vc(p, v, cycle);
+                }
+                self.st_pending.push(StMove {
+                    flit,
+                    out_port,
+                    out_vc,
+                    granted_at: cycle,
+                });
+            }
+        }
+    }
+
+    /// Release input VC `(p, v)` after its tail departs, keeping the SoA
+    /// lanes in lockstep with the struct-level state machine (which may
+    /// immediately re-arm on a queued head).
+    fn release_vc(&mut self, p: usize, v: usize, cycle: u64) {
+        let vcs = self.inputs[0].vcs.len();
+        let bit = 1u64 << (p * vcs + v);
+        let ivc = &mut self.inputs[p].vcs[v];
+        ivc.release(cycle);
+        let rearmed = ivc.state == VcState::Routing;
+        self.lanes.routing &= !bit;
+        self.lanes.vcalloc &= !bit;
+        self.lanes.active &= !bit;
+        self.lanes.clear_route(bit);
+        if rearmed {
+            self.lanes.routing |= bit;
+        }
+        self.lanes.stamp(bit, cycle);
+    }
+
+    /// Reference oracle: per-output SA request masks built exactly as
+    /// the pre-lanes datapath did (full per-VC predicate walk).
+    #[cfg(any(test, debug_assertions))]
+    fn reference_sa_req(&self, cycle: u64, cfg: &SimConfig) -> [u64; 64] {
+        let vcs = cfg.vcs as usize;
+        let ports = cfg.ports();
         let mut req = [0u64; 64];
         for p in 0..ports {
             for v in 0..vcs {
@@ -311,8 +745,6 @@ impl Router {
                 let Some(route) = ivc.route else {
                     continue;
                 };
-                // The whole crossbar is time-multiplexed: ejection also
-                // happens on the packet's domain slots.
                 if !cfg.tdm_slot_open(flit.header.vc.0, cycle) {
                     continue;
                 }
@@ -337,48 +769,7 @@ impl Router {
                 }
             }
         }
-        // Visit output ports in rotating order for fairness.
-        let first = (cycle as usize) % ports;
-        for step in 0..ports {
-            let q = (first + step) % ports;
-            let out_port = Port::from_index(q);
-            if let Some(winner) = self.sa_arb[q].grant_masked(req[q]) {
-                let (p, v) = (winner / vcs, winner % vcs);
-                // One grant per input port: retire its other requesters.
-                let pmask = ((1u64 << vcs) - 1) << (p * vcs);
-                for m in req.iter_mut() {
-                    *m &= !pmask;
-                }
-                let out_vc = self.inputs[p].vcs[v].out_vc;
-                let flit = self.inputs[p].vcs[v]
-                    .fifo
-                    .pop_front()
-                    .expect("eligible implies head");
-                if let Port::Net(dir) = out_port {
-                    let d = dir.index();
-                    let w = out_vc.expect("net route");
-                    let out = self.outputs[d].as_mut().expect("exists");
-                    out.credits[w.index()] -= 1;
-                    self.pending_to_output[d] += 1;
-                }
-                // Return a credit to whoever feeds this input port.
-                if let Port::Net(in_dir) = Port::from_index(p) {
-                    credits.push(CreditReturn {
-                        in_dir,
-                        vc: VcId(v as u8),
-                    });
-                }
-                if flit.kind.closes_packet() {
-                    self.inputs[p].vcs[v].release(cycle);
-                }
-                self.st_pending.push(StMove {
-                    flit,
-                    out_port,
-                    out_vc,
-                    granted_at: cycle,
-                });
-            }
-        }
+        req
     }
 
     /// ST: commit last cycle's SA winners to the output stage; local
@@ -430,12 +821,12 @@ impl Router {
     /// above, so a skipped router's state is bit-identical to having run
     /// the stages against no work.
     pub fn has_phase_work(&self) -> bool {
-        !self.st_pending.is_empty()
-            || self.inputs.iter().any(|u| {
-                !u.delayed.is_empty()
-                    || !u.pending_scrambles.is_empty()
-                    || u.vcs.iter().any(|v| !v.fifo.is_empty())
-            })
+        self.lanes.head != 0
+            || !self.st_pending.is_empty()
+            || self
+                .inputs
+                .iter()
+                .any(|u| !u.delayed.is_empty() || !u.pending_scrambles.is_empty())
     }
 
     /// Total network-input buffer occupancy (Fig. 11 input utilisation).
@@ -611,6 +1002,9 @@ impl Router {
                 }
             }
         }
+        // The retains and releases above bypassed the stage methods;
+        // re-derive the SoA lanes from the surviving struct state.
+        self.rebuild_lanes(cycle);
         purged
     }
 
@@ -723,10 +1117,10 @@ mod tests {
         r.buffer_write(Port::Local(0), VcId(0), head(6), 0);
         assert_eq!(r.inputs[4].vcs[0].state, VcState::Routing);
         // Same cycle RC must not fire (since == cycle).
-        r.rc_stage(0, &mesh, &routing);
+        r.rc_stage(0, &mesh, &routing, 0);
         assert_eq!(r.inputs[4].vcs[0].state, VcState::Routing);
         // Cycle 1: RC.
-        r.rc_stage(1, &mesh, &routing);
+        r.rc_stage(1, &mesh, &routing, 0);
         assert_eq!(r.inputs[4].vcs[0].state, VcState::VcAlloc);
         assert_eq!(r.inputs[4].vcs[0].route, Some(Port::Net(Direction::East)));
         // Cycle 2: VA.
@@ -761,7 +1155,7 @@ mod tests {
         let mesh = c.mesh.clone();
         let mut r = router();
         r.buffer_write(Port::Net(Direction::West), VcId(1), head(5), 0);
-        r.rc_stage(1, &mesh, &Routing::Xy);
+        r.rc_stage(1, &mesh, &Routing::Xy, 0);
         assert_eq!(r.inputs[1].vcs[1].route, Some(Port::Local(0)));
         r.va_stage(2, &c, &Routing::Xy);
         assert_eq!(r.inputs[1].vcs[1].state, VcState::Active);
@@ -799,7 +1193,7 @@ mod tests {
                 .push(f, VcId(0), 0);
         }
         r.buffer_write(Port::Local(0), VcId(0), head(6), 0);
-        r.rc_stage(1, &mesh, &Routing::Xy);
+        r.rc_stage(1, &mesh, &Routing::Xy, 0);
         r.va_stage(2, &c, &Routing::Xy);
         r.sa_stage(3, &c);
         assert!(
@@ -830,7 +1224,7 @@ mod tests {
         };
         r.buffer_write(Port::Local(0), VcId(0), mk(1, 0), 0);
         r.buffer_write(Port::Local(1), VcId(1), mk(2, 1), 0);
-        r.rc_stage(1, &mesh, &Routing::Xy);
+        r.rc_stage(1, &mesh, &Routing::Xy, 0);
         r.va_stage(2, &c, &Routing::Xy);
         r.va_stage(3, &c, &Routing::Xy); // second requester granted next cycle
         r.sa_stage(4, &c);

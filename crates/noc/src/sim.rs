@@ -112,6 +112,11 @@ pub struct Simulator {
     pub(crate) cfg: SimConfig,
     pub(crate) mesh: Mesh,
     pub(crate) routing: Routing,
+    /// Version counter for `routing`, bumped wherever the routing
+    /// function is replaced (explicit swap, quarantine reroute, restore)
+    /// so every router's RC memo invalidates lazily. Derived state —
+    /// never serialized.
+    pub(crate) routing_epoch: u32,
     pub(crate) routers: Vec<Router>,
     /// The link datapath, structure-of-arrays (see [`crate::link`]).
     pub(crate) links: LinkLanes,
@@ -265,6 +270,7 @@ impl Simulator {
             cfg,
             mesh,
             routing,
+            routing_epoch: 0,
             routers,
             links,
             dead_links: Vec::new(),
@@ -378,6 +384,7 @@ impl Simulator {
     /// Replace the routing function (rerouting baseline).
     pub fn set_routing(&mut self, routing: Routing) {
         self.routing = routing;
+        self.routing_epoch = self.routing_epoch.wrapping_add(1);
     }
 
     /// Declare links dead: nothing launches on them any more. Combine with
@@ -1106,7 +1113,20 @@ impl Simulator {
             return None;
         }
         let now = self.cycle;
-        // Source horizon first — the cheapest reject while traffic flows.
+        // Busy-network early-out first: under saturation the active
+        // sets are dense, so `any_set` rejects in one or two summary
+        // loads before paying the source-horizon lookup (which walks
+        // the injection schedule and dominated the gate's cost in the
+        // flood benchmarks — a per-cycle tax that never bought a skip).
+        if self.router_set.any_set()
+            || self.fwd_set.any_set()
+            || self.rev_set.any_set()
+            || self.launch_set.any_set()
+        {
+            return None;
+        }
+        // Source horizon — the cheapest remaining reject while traffic
+        // flows into an otherwise drained network.
         let horizon = match source.next_injection_at(now) {
             Some(h) if h <= now => return None,
             Some(h) => h,
@@ -1204,6 +1224,7 @@ impl Simulator {
             cfg: &self.cfg,
             mesh: &self.mesh,
             routing: &self.routing,
+            routing_epoch: self.routing_epoch,
             dead_links: &self.dead_links,
             link_dead: &self.link_dead,
             routers: DisjointMut::new(&mut self.routers),
@@ -1603,6 +1624,7 @@ impl Simulator {
         match crate::routing::RouteTables::build_updown(&self.mesh, &self.dead_links) {
             Some(tables) if tables.fully_connected() => {
                 self.routing = Routing::Table(tables);
+                self.routing_epoch = self.routing_epoch.wrapping_add(1);
                 Ok(())
             }
             _ => Err(SimError::MeshDisconnected {

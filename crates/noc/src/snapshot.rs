@@ -2295,6 +2295,15 @@ impl Simulator {
         }
         self.poll_buf.clear();
         self.flit_scratch.clear();
+        // The codec wrote the authoritative per-VC structs directly; the
+        // derived SoA lanes must be re-derived, and the restored routing
+        // function may differ from whatever the RC memos were filled
+        // under — a fresh epoch invalidates them lazily.
+        let cycle = self.cycle;
+        for r in self.routers.iter_mut() {
+            r.rebuild_lanes(cycle);
+        }
+        self.routing_epoch = self.routing_epoch.wrapping_add(1);
         let threads = self.plans.len().max(1);
         self.set_threads(threads);
         Ok(())

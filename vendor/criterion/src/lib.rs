@@ -95,6 +95,25 @@ impl Bencher {
         self.elapsed = start.elapsed();
         self.iters = iters;
     }
+
+    /// Measure with caller-supplied timing: `f` receives an iteration
+    /// count and returns the total `Duration` to charge for it (real
+    /// criterion's `iter_custom`). For benchmarks whose measured
+    /// quantity is a sub-slice of the work driven — e.g. one engine
+    /// phase's telemetry-clocked time across whole simulator steps —
+    /// wall-clocking the drive loop would measure the wrong thing.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Size the measurement batch from a short calibration batch;
+        // batch sizing tracks the (cheaper) reported duration, so the
+        // driving cost can only make the batch smaller, never longer.
+        let calib_iters = 3u64;
+        let calib = f(calib_iters).max(Duration::from_nanos(1));
+        let per_iter = calib / calib_iters as u32;
+        let target = (Duration::from_millis(250).as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters = target.clamp(5, 2_000_000);
+        self.elapsed = f(iters);
+        self.iters = iters;
+    }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
